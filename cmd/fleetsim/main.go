@@ -1,0 +1,72 @@
+// Command fleetsim stands up a simulated microservice fleet with injected
+// goroutine leaks and serves a real goroutine-profile endpoint per
+// instance, for driving cmd/leakprof end to end:
+//
+//	fleetsim -services 3 -instances 4 -days 3
+//
+// prints one service=url pair per instance (paste into leakprof
+// -endpoints) and blocks until interrupted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/patterns"
+)
+
+func main() {
+	services := flag.Int("services", 3, "number of services")
+	instances := flag.Int("instances", 4, "instances per service")
+	days := flag.Int("days", 3, "leak growth days to simulate before serving")
+	leakRate := flag.Int("rate", 6000, "blocked goroutines per affected instance per day")
+	flag.Parse()
+
+	pats := []*patterns.Pattern{
+		patterns.TimeoutLeak, patterns.UnclosedRange, patterns.ContractDone,
+		patterns.NCast, patterns.PrematureReturn,
+	}
+	var configs []fleet.ServiceConfig
+	for s := 0; s < *services; s++ {
+		cfg := fleet.ServiceConfig{
+			Name:             fmt.Sprintf("svc%02d", s),
+			Instances:        *instances,
+			BenignGoroutines: 30,
+			Seed:             int64(s + 1),
+		}
+		if s%2 == 0 { // every other service carries a defect
+			p := pats[s/2%len(pats)]
+			cfg.Pattern = p
+			cfg.LeakFile = fmt.Sprintf("services/svc%02d/handler.go", s)
+			cfg.LeakLine = 42
+			cfg.LeakPerDay = *leakRate
+			cfg.LeakStartDay = 1
+			cfg.FixDay = -1
+			cfg.DeployEveryDays = 1000
+		}
+		configs = append(configs, cfg)
+	}
+	f := fleet.New(time.Now(), configs)
+	for d := 0; d < *days; d++ {
+		f.AdvanceDay()
+	}
+	endpoints, shutdown := f.Serve()
+	defer shutdown()
+
+	var pairs []string
+	for _, ep := range endpoints {
+		pairs = append(pairs, ep.Service+"="+ep.URL)
+	}
+	fmt.Println("fleet is live; run:")
+	fmt.Printf("  leakprof -threshold %d -endpoints %s\n", *leakRate/2, strings.Join(pairs, ","))
+	fmt.Println("press Ctrl-C to stop")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+}

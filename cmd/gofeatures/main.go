@@ -1,0 +1,58 @@
+// Command gofeatures scans a Go source tree and prints the paper's
+// Table I (package paradigm split) and Table II (concurrency feature
+// counts) for it.
+//
+// Usage:
+//
+//	gofeatures [-wrappers name1,name2] path/to/src
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/features"
+)
+
+func main() {
+	wrappers := flag.String("wrappers", "asyncRun", "comma-separated goroutine-wrapper function names")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: gofeatures [-wrappers ...] <path>")
+		os.Exit(2)
+	}
+	root := flag.Arg(0)
+	var files []features.SourceFile
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(root, path)
+		files = append(files, features.SourceFile{
+			Path:    filepath.ToSlash(rel),
+			Content: string(src),
+			Test:    strings.HasSuffix(path, "_test.go"),
+		})
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gofeatures: %v\n", err)
+		os.Exit(1)
+	}
+	sc := &features.Scanner{Wrappers: strings.Split(*wrappers, ",")}
+	t2, t1, err := sc.Scan(files)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gofeatures: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(features.FormatTableI(t1))
+	fmt.Println()
+	fmt.Print(features.FormatTableII(t2))
+}

@@ -1,0 +1,52 @@
+// Command goleakify applies the paper's build-pipeline instrumentation
+// (Section IV-A) to a source tree: every test package gains a TestMain
+// that invokes goleak.VerifyTestMain, so lingering goroutines fail the
+// target.
+//
+// Usage:
+//
+//	goleakify [-dry-run] [-import path/to/goleak] path/to/tree
+//
+// Packages with a custom TestMain are reported as conflicts for manual
+// amendment; canonical `os.Exit(m.Run())` TestMains are rewritten in
+// place.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/instrument"
+)
+
+func main() {
+	dryRun := flag.Bool("dry-run", false, "report what would change without writing")
+	importPath := flag.String("import", "repro/goleak", "goleak import path to inject")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: goleakify [-dry-run] [-import path] <tree>")
+		os.Exit(2)
+	}
+	in := &instrument.Instrumenter{GoleakImport: *importPath, DryRun: *dryRun}
+	results, err := in.Tree(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "goleakify:", err)
+		os.Exit(1)
+	}
+	conflicts := 0
+	for _, r := range results {
+		switch r.Status {
+		case instrument.StatusNoTests:
+			continue
+		case instrument.StatusConflict:
+			conflicts++
+			fmt.Printf("%-22s %s: %s\n", r.Status, r.Dir, r.Detail)
+		default:
+			fmt.Printf("%-22s %s\n", r.Status, r.Dir)
+		}
+	}
+	if conflicts > 0 {
+		os.Exit(1)
+	}
+}

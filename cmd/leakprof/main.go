@@ -1,0 +1,100 @@
+// Command leakprof runs the production-side leak detector against a fleet
+// of goroutine-profile endpoints, or against saved profile files.
+//
+// Usage:
+//
+//	leakprof -endpoints svc1=http://h1:6060,svc1=http://h2:6060,...
+//	leakprof -dir /path/to/profiles    # files named <service>_<instance>.txt
+//
+// Flags tune the paper's knobs: -threshold (default 10000), -rank
+// (rms|mean|max|total), -top (alerts per sweep).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/gprofile"
+	"repro/internal/report"
+	"repro/leakprof"
+)
+
+func main() {
+	endpoints := flag.String("endpoints", "", "comma-separated service=url pairs of goroutine profile endpoints")
+	dir := flag.String("dir", "", "directory of saved debug=2 profiles named <service>_<instance>.txt")
+	threshold := flag.Int("threshold", leakprof.DefaultThreshold, "per-instance blocked-goroutine threshold")
+	rank := flag.String("rank", "rms", "impact ranking: rms, mean, max, total")
+	top := flag.Int("top", 10, "alerts per sweep")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-endpoint fetch timeout")
+	flag.Parse()
+
+	var snaps []*gprofile.Snapshot
+	switch {
+	case *endpoints != "":
+		var eps []leakprof.Endpoint
+		for i, pair := range strings.Split(*endpoints, ",") {
+			svc, url, ok := strings.Cut(strings.TrimSpace(pair), "=")
+			if !ok {
+				fatal(fmt.Errorf("malformed endpoint %q (want service=url)", pair))
+			}
+			eps = append(eps, leakprof.Endpoint{
+				Service: svc, Instance: fmt.Sprintf("i%03d", i), URL: url,
+			})
+		}
+		c := &leakprof.Collector{Timeout: *timeout}
+		results := c.Collect(context.Background(), eps)
+		for _, r := range results {
+			if r.Err != nil {
+				fmt.Fprintf(os.Stderr, "warn: %v\n", r.Err)
+			}
+		}
+		snaps = leakprof.Snapshots(results)
+	case *dir != "":
+		loaded, errs, err := gprofile.LoadDir(*dir, time.Now())
+		if err != nil {
+			fatal(err)
+		}
+		for _, e := range errs {
+			fmt.Fprintf(os.Stderr, "warn: %v\n", e)
+		}
+		snaps = loaded
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	fmt.Printf("collected %d profiles\n", len(snaps))
+
+	analyzer := &leakprof.Analyzer{Threshold: *threshold, Ranking: parseRank(*rank)}
+	findings := analyzer.Analyze(snaps)
+	reporter := &leakprof.Reporter{DB: report.NewDB(), TopN: *top}
+	alerts := reporter.Report(findings)
+	if len(alerts) == 0 {
+		fmt.Println("no suspicious blocking operations above threshold")
+		return
+	}
+	for _, a := range alerts {
+		fmt.Print(a.Render())
+	}
+}
+
+func parseRank(s string) leakprof.Ranking {
+	switch s {
+	case "mean":
+		return leakprof.RankMean
+	case "max":
+		return leakprof.RankMax
+	case "total":
+		return leakprof.RankTotal
+	default:
+		return leakprof.RankRMS
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "leakprof:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,62 @@
+// Command rangelint is the paper's Section-VIII future-work linter, built:
+// it reports local, lexically scoped channels used with the range
+// construct that may never be closed (the Listing-3 defect class), plus
+// the companion double-send check.
+//
+// Usage:
+//
+//	rangelint [-checks rangelint,doublesend] path/to/src [more paths...]
+//
+// Exit status 1 when findings exist.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/astcheck"
+)
+
+func main() {
+	checks := flag.String("checks", "rangelint,doublesend,timerloop", "comma-separated checks to run")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: rangelint [-checks ...] <path> [path...]")
+		os.Exit(2)
+	}
+	enabled := map[string]bool{}
+	for _, c := range strings.Split(*checks, ",") {
+		enabled[strings.TrimSpace(c)] = true
+	}
+
+	exit := 0
+	for _, root := range flag.Args() {
+		files, err := astcheck.ParseDir(root)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rangelint: %v\n", err)
+			os.Exit(2)
+		}
+		for _, f := range files {
+			var findings []astcheck.Finding
+			if enabled["rangelint"] {
+				findings = append(findings, astcheck.RangeLint(f)...)
+			}
+			if enabled["doublesend"] {
+				findings = append(findings, astcheck.DoubleSendLint(f)...)
+			}
+			if enabled["timerloop"] {
+				findings = append(findings, astcheck.TimerLoopLint(f)...)
+			}
+			if enabled["transient-select"] {
+				findings = append(findings, astcheck.TransientSelects(f)...)
+			}
+			for _, finding := range findings {
+				fmt.Println(finding)
+				exit = 1
+			}
+		}
+	}
+	os.Exit(exit)
+}

@@ -1,0 +1,99 @@
+// CICD: the Fig-3 development-side workflow.
+//
+// This program walks a stream of pull requests through the paper's CI
+// gate: each PR's unit tests run with GOLEAK instrumentation
+// (VerifyTestMain semantics); PRs introducing new goroutine leaks are
+// rejected; pre-existing leaks ride the suppression list, which owners
+// burn down over time.
+//
+// Run:
+//
+//	go run ./examples/cicd
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/goleak"
+	"repro/internal/patterns"
+)
+
+// pullRequest models one code change and the behaviour its tests exhibit.
+type pullRequest struct {
+	id      string
+	pattern *patterns.Pattern // nil: clean change
+	legacy  bool              // leak pre-exists (suppressed), not newly introduced
+}
+
+func main() {
+	// The suppression list seeded by the offline trial run (Section
+	// IV-A): the legacy billing worker is a known leaker.
+	suppressions := goleak.NewSuppressionList(goleak.Suppression{
+		Function: "repro/internal/patterns.worker.listen",
+		Reason:   "legacy billing worker — JIRA-4711",
+	})
+
+	prs := []pullRequest{
+		{id: "PR-101 (clean refactor)"},
+		{id: "PR-102 (adds timeout handling — leaks!)", pattern: patterns.TimeoutLeak},
+		{id: "PR-103 (touches legacy billing worker)", pattern: patterns.ContractDone, legacy: true},
+		{id: "PR-104 (new consumer pool — leaks!)", pattern: patterns.UnclosedRange},
+		{id: "PR-105 (clean feature)"},
+	}
+
+	for _, pr := range prs {
+		fmt.Printf("\n== %s ==\n", pr.id)
+		verdict := runCI(pr, suppressions)
+		fmt.Println(verdict)
+	}
+
+	// The owner of the legacy worker fixes it and removes the entry;
+	// from now on the gate protects that code path too.
+	fmt.Println("\n== owner fixes the legacy worker, removes suppression ==")
+	suppressions.Remove("repro/internal/patterns.worker.listen")
+	fmt.Println(runCI(pullRequest{id: "PR-106 (regresses billing worker)", pattern: patterns.ContractDone}, suppressions))
+}
+
+// runCI exercises the PR's tests and applies the GOLEAK gate.
+func runCI(pr pullRequest, suppressions *goleak.SuppressionList) string {
+	baseline := goleak.IgnoreCurrent()
+
+	// "Run the unit tests": a leaky PR's tests strand goroutines.
+	var inst *patterns.Instance
+	if pr.pattern != nil {
+		inst = pr.pattern.Trigger(2)
+		if err := patterns.AwaitKind(pr.pattern.Kind, 2, 5*time.Second); err != nil {
+			return "CI error: " + err.Error()
+		}
+		defer inst.Release()
+	}
+
+	// The instrumented TestMain: goleak sweeps the address space.
+	leaks, err := goleak.Find(baseline, goleak.MaxRetries(2),
+		goleak.RetryInterval(time.Millisecond),
+		goleak.WithSuppressions(suppressions))
+	if err != nil {
+		return "CI error: " + err.Error()
+	}
+	var ours []*goleak.Leak
+	for _, l := range leaks {
+		if strings.Contains(l.CodeContext().Function, "repro/internal/patterns") {
+			ours = append(ours, l)
+		}
+	}
+	if len(ours) == 0 {
+		if pr.legacy {
+			return "MERGED (lingering goroutines matched the suppression list)"
+		}
+		return "MERGED (no lingering goroutines)"
+	}
+	b := &strings.Builder{}
+	fmt.Fprintf(b, "REJECTED: %d new leaked goroutine(s):\n", len(ours))
+	for _, l := range ours {
+		fmt.Fprintf(b, "  [%s] %s\n", l.Kind, l.CodeContext().Function)
+	}
+	b.WriteString("fix the leak before merging")
+	return b.String()
+}

@@ -1,0 +1,90 @@
+// Fleetmonitor: the full LEAKPROF pipeline end to end, over real HTTP.
+//
+// The program stands up a small simulated fleet — three services, a few
+// instances each, one carrying a timeout-leak defect and one a congested-
+// but-healthy worker pool — and then runs the production pipeline exactly
+// as Section V describes: collect goroutine profiles from every instance
+// over the network, group blocked goroutines by operation and source
+// location, apply the concentration threshold, rank the survivors by RMS
+// impact across the fleet, and alert the routed code owners.
+//
+// Run:
+//
+//	go run ./examples/fleetmonitor
+package main
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/patterns"
+	"repro/internal/report"
+	"repro/leakprof"
+)
+
+func main() {
+	configs := []fleet.ServiceConfig{
+		{
+			// The defective service: a handler leaks senders when
+			// request contexts expire (Listing 8).
+			Name: "payments", Instances: 4,
+			Pattern:  patterns.TimeoutLeak,
+			LeakFile: "services/payments/handler.go", LeakLine: 58,
+			LeakPerDay: 900, LeakStartDay: 1, FixDay: -1,
+			DeployEveryDays: 1000, BenignGoroutines: 25, Seed: 1,
+		},
+		{
+			// A busy but healthy service: its blocked population stays
+			// under the threshold, so no alert fires.
+			Name: "search", Instances: 3,
+			Pattern:  patterns.ContractOutsideLoop,
+			LeakFile: "services/search/pool.go", LeakLine: 12,
+			LeakPerDay: 40, LeakStartDay: 1, FixDay: -1,
+			DeployEveryDays: 1000, BenignGoroutines: 25, Seed: 2,
+		},
+		{
+			// A clean service.
+			Name: "profiles", Instances: 3,
+			BenignGoroutines: 25, Seed: 3,
+		},
+	}
+	f := fleet.New(time.Now(), configs)
+	for day := 0; day < 3; day++ {
+		f.AdvanceDay()
+	}
+
+	endpoints, shutdown := f.Serve()
+	defer shutdown()
+	fmt.Printf("fleet live: %d instances across %d services\n", len(endpoints), len(configs))
+
+	// Stage 1 — collection (Section V-A: fetch a profile per instance).
+	collector := &leakprof.Collector{Parallelism: 8}
+	results := collector.Collect(context.Background(), endpoints)
+	snaps := leakprof.Snapshots(results)
+	fmt.Printf("collected %d goroutine profiles over HTTP\n", len(snaps))
+
+	// Stage 2 — detection: threshold tuned to the example's scale (the
+	// production default is 10K).
+	analyzer := &leakprof.Analyzer{Threshold: 2000}
+	findings := analyzer.Analyze(snaps)
+	fmt.Printf("suspicious blocked operations: %d\n", len(findings))
+
+	// Stage 3 — reporting with ownership routing and dedup.
+	owners := report.NewOwnership(map[string]string{
+		"services/payments/": "payments-oncall",
+		"services/search/":   "search-oncall",
+	})
+	reporter := &leakprof.Reporter{DB: report.NewDB(), Owners: owners, TopN: 5}
+	for _, alert := range reporter.Report(findings) {
+		fmt.Println()
+		fmt.Print(alert.Render())
+	}
+
+	// A second sweep the next day deduplicates against the bug DB.
+	f.AdvanceDay()
+	results = collector.Collect(context.Background(), endpoints)
+	again := reporter.Report(analyzer.Analyze(leakprof.Snapshots(results)))
+	fmt.Printf("\nnext-day sweep: %d new alerts (existing defect deduplicated)\n", len(again))
+}

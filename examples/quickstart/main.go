@@ -1,0 +1,82 @@
+// Quickstart: detect a goroutine leak with the goleak library.
+//
+// This program reproduces the paper's motivating example (Listing 1): a
+// cost computation that spawns a discount lookup on an unbuffered channel
+// and returns early on an error path, stranding the sender forever. It
+// then uses goleak.Find — the same API the CI instrumentation invokes at
+// the end of every test target — to surface the leak, and shows how the
+// buffered-channel fix makes the detector come back clean.
+//
+// Run:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/goleak"
+)
+
+type item struct{ name string }
+
+// computeCost is Listing 1: getDiscount runs concurrently; when
+// getBaseCost errors, the function returns without receiving, and the
+// discount goroutine blocks on its send forever.
+func computeCost(it *item, failBaseCost bool, buffered bool) (int, error) {
+	size := 0
+	if buffered {
+		size = 1 // the paper's simplest fix: a rescue buffer
+	}
+	ch := make(chan int, size)
+	go func() {
+		ch <- getDiscount(it)
+	}()
+	base, err := getBaseCost(it, failBaseCost)
+	if err != nil {
+		return 0, err // premature return: with size 0 the sender leaks
+	}
+	return base - <-ch, nil
+}
+
+func getDiscount(*item) int { return 5 }
+
+func getBaseCost(_ *item, fail bool) (int, error) {
+	if fail {
+		return 0, errors.New("base cost lookup failed")
+	}
+	return 100, nil
+}
+
+func main() {
+	fmt.Println("== leaky version ==")
+	if _, err := computeCost(&item{name: "widget"}, true, false); err != nil {
+		fmt.Println("computeCost returned error:", err)
+	}
+	time.Sleep(50 * time.Millisecond) // let the stranded goroutine park
+
+	leaks, err := goleak.Find(goleak.MaxRetries(0))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("goleak found %d leaked goroutine(s):\n", len(leaks))
+	for _, l := range leaks {
+		fmt.Print(l)
+	}
+
+	fmt.Println("\n== fixed version (buffered channel) ==")
+	snapshot := goleak.IgnoreCurrent() // ignore the leak we already made
+	if _, err := computeCost(&item{name: "widget"}, true, true); err != nil {
+		fmt.Println("computeCost returned error:", err)
+	}
+	leaks, err = goleak.Find(snapshot)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("goleak found %d new leaked goroutine(s)\n", len(leaks))
+	if len(leaks) == 0 {
+		fmt.Println("the buffered channel lets the sender complete: no leak")
+	}
+}

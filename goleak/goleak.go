@@ -1,0 +1,162 @@
+// Package goleak detects goroutine leaks (partial deadlocks) at the end of
+// test execution, reproducing the GOLEAK tool from "Unveiling and
+// Vanquishing Goroutine Leaks in Enterprise Microservices" (CGO 2024),
+// Section IV.
+//
+// The tool rests on the paper's Fact 1 and Corollary 1: a partially
+// deadlocked goroutine remains in the process address space until program
+// termination, so any goroutine still present when a test target finishes
+// may be a partial deadlock. Find captures all goroutines via the runtime
+// Stacks API, filters known-benign ones (the test runner itself, runtime
+// helpers), retries briefly to let straggling-but-healthy goroutines
+// finish, and reports the rest with their blocking classification, code
+// context (leaf frame), and creation context.
+//
+// Typical use in a test:
+//
+//	func TestMain(m *testing.M) {
+//		goleak.VerifyTestMain(m)
+//	}
+//
+// or per test:
+//
+//	defer goleak.VerifyNone(t)
+package goleak
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/stack"
+)
+
+// Leak is one lingering goroutine found at verification time.
+type Leak struct {
+	// Goroutine is the full parsed record.
+	Goroutine *stack.Goroutine
+	// Kind is the blocking classification (chan send, select, ...).
+	Kind stack.Kind
+}
+
+// CodeContext returns the leaf non-runtime function of the leaked
+// goroutine, the "code context" field of the paper's report format.
+func (l *Leak) CodeContext() stack.Frame { return l.Goroutine.Leaf() }
+
+// CreationContext returns where the leaked goroutine was created.
+func (l *Leak) CreationContext() stack.Frame { return l.Goroutine.CreatedBy }
+
+// String renders a single-leak report: classification, code context and
+// creation context, followed by the raw stack.
+func (l *Leak) String() string {
+	var b strings.Builder
+	leaf := l.CodeContext()
+	fmt.Fprintf(&b, "leaked goroutine %d [%s]\n", l.Goroutine.ID, l.Kind)
+	fmt.Fprintf(&b, "  code context: %s at %s\n", leaf.Function, leaf.SourceLocation())
+	if cb := l.CreationContext(); cb.Function != "" {
+		fmt.Fprintf(&b, "  created by:   %s at %s\n", cb.Function, cb.SourceLocation())
+	}
+	b.WriteString(indent(l.Goroutine.String(), "  | "))
+	return b.String()
+}
+
+func indent(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = prefix + l
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// Find returns all goroutines the detector considers leaked at the time of
+// the call. It snapshots the address space, filters benign goroutines, and
+// retries (options control the schedule) while the set is non-empty, so
+// goroutines that are merely slow to exit are not reported.
+func Find(options ...Option) ([]*Leak, error) {
+	opts := buildOpts(options)
+	var leaks []*Leak
+	for attempt := 0; ; attempt++ {
+		var err error
+		leaks, err = findOnce(opts)
+		if err != nil {
+			return nil, err
+		}
+		if len(leaks) == 0 || !opts.retry(attempt) {
+			return leaks, nil
+		}
+	}
+}
+
+func findOnce(opts *opts) ([]*Leak, error) {
+	gs, err := opts.capture()
+	if err != nil {
+		return nil, fmt.Errorf("goleak: capturing stacks: %w", err)
+	}
+	var leaks []*Leak
+	for _, g := range gs {
+		if opts.ignored(g) {
+			continue
+		}
+		leaks = append(leaks, &Leak{Goroutine: g, Kind: g.Kind()})
+	}
+	return leaks, nil
+}
+
+// TB is the subset of testing.TB that goleak needs; it is satisfied by
+// *testing.T and *testing.B and by the simulators' fake test handles.
+type TB interface {
+	Error(args ...any)
+	Helper()
+}
+
+// VerifyNone fails t if any leaked goroutines are found. Use it as the last
+// deferred call of a test.
+func VerifyNone(t TB, options ...Option) {
+	t.Helper()
+	leaks, err := Find(options...)
+	if err != nil {
+		t.Error(err)
+		return
+	}
+	for _, l := range leaks {
+		t.Error("found unexpected goroutine:\n" + l.String())
+	}
+}
+
+// Counts aggregates leaks by blocking kind; this is the measurement behind
+// Table IV of the paper.
+func Counts(leaks []*Leak) map[stack.Kind]int {
+	m := make(map[stack.Kind]int)
+	for _, l := range leaks {
+		m[l.Kind]++
+	}
+	return m
+}
+
+// DedupeBySource collapses leaks that block at the same source location,
+// keeping the first representative: the paper counts "unique leaks" by
+// unique source location (Section VI).
+func DedupeBySource(leaks []*Leak) []*Leak {
+	seen := make(map[string]bool, len(leaks))
+	var out []*Leak
+	for _, l := range leaks {
+		key := l.CodeContext().SourceLocation()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, l)
+	}
+	return out
+}
+
+// defaultRetrySchedule mirrors the production deployment: goroutines still
+// winding down after test completion get ~20 chances over ~500ms before
+// being declared leaked.
+func defaultRetrySchedule(attempt int) time.Duration {
+	d := time.Duration(1<<uint(attempt)) * time.Microsecond * 100
+	if d > 50*time.Millisecond {
+		d = 50 * time.Millisecond
+	}
+	return d
+}

@@ -1,0 +1,315 @@
+package goleak
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/stack"
+)
+
+// fakeTB records Error calls.
+type fakeTB struct {
+	errors []string
+}
+
+func (f *fakeTB) Error(args ...any) {
+	var parts []string
+	for _, a := range args {
+		switch v := a.(type) {
+		case string:
+			parts = append(parts, v)
+		case error:
+			parts = append(parts, v.Error())
+		}
+	}
+	f.errors = append(f.errors, strings.Join(parts, " "))
+}
+func (f *fakeTB) Helper() {}
+
+// leakSend blocks a goroutine on a channel send and returns a release
+// function that unblocks it.
+func leakSend(t testing.TB) (release func()) {
+	t.Helper()
+	ch := make(chan int)
+	done := make(chan struct{})
+	stop := make(chan struct{})
+	go func() {
+		defer close(done)
+		select {
+		case ch <- 1:
+		case <-stop:
+		}
+	}()
+	waitUntilBlocked(t, "select")
+	return func() {
+		close(stop)
+		<-done
+	}
+}
+
+func waitUntilBlocked(t testing.TB, state string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		gs, err := stack.Current()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, g := range gs {
+			if strings.HasPrefix(g.State, state) && !isStdLibGoroutine(g) {
+				return
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("no goroutine reached state %q", state)
+}
+
+func TestVerifyNoneCleanProcess(t *testing.T) {
+	tb := &fakeTB{}
+	VerifyNone(tb)
+	if len(tb.errors) != 0 {
+		t.Errorf("clean process reported leaks: %v", tb.errors)
+	}
+}
+
+func TestFindDetectsLiveLeak(t *testing.T) {
+	release := leakSend(t)
+	leaks, err := Find(MaxRetries(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found *Leak
+	for _, l := range leaks {
+		if strings.Contains(l.CreationContext().Function, "leakSend") {
+			found = l
+		}
+	}
+	if found == nil {
+		t.Fatalf("leak not found among %d candidates", len(leaks))
+	}
+	if found.Kind != stack.KindSelect {
+		t.Errorf("kind = %v, want select", found.Kind)
+	}
+	if !strings.Contains(found.String(), "created by") {
+		t.Errorf("report missing creation context:\n%s", found.String())
+	}
+	release()
+	// After release the leak disappears (with retries to let it exit).
+	leaks, err = Find()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range leaks {
+		if strings.Contains(l.CreationContext().Function, "leakSend") {
+			t.Errorf("released goroutine still reported: %s", l)
+		}
+	}
+}
+
+func TestRetryToleratesSlowExit(t *testing.T) {
+	// A goroutine that finishes shortly after the test body must not be
+	// reported thanks to the retry loop.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		time.Sleep(20 * time.Millisecond)
+	}()
+	leaks, err := Find() // default 20 retries, ample for 20ms
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range leaks {
+		if strings.Contains(l.CreationContext().Function, "TestRetryToleratesSlowExit") {
+			t.Errorf("slow-but-healthy goroutine reported as leak: %s", l)
+		}
+	}
+	<-done
+}
+
+func TestMaxRetriesZeroReportsImmediately(t *testing.T) {
+	var slept []time.Duration
+	dump := `goroutine 8 [chan send]:
+main.leaky()
+	/src/x.go:5 +0x1
+`
+	leaks, err := Find(WithDump(dump), MaxRetries(0),
+		withSleeper(func(d time.Duration) { slept = append(slept, d) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leaks) != 1 {
+		t.Fatalf("got %d leaks, want 1", len(leaks))
+	}
+	if len(slept) != 0 {
+		t.Errorf("MaxRetries(0) slept %v", slept)
+	}
+}
+
+func TestRetryScheduleIsBoundedAndExhausts(t *testing.T) {
+	var slept []time.Duration
+	dump := "goroutine 8 [chan receive]:\nmain.leaky()\n\t/src/x.go:5 +0x1\n"
+	leaks, err := Find(WithDump(dump), MaxRetries(5),
+		withSleeper(func(d time.Duration) { slept = append(slept, d) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leaks) != 1 {
+		t.Fatalf("got %d leaks, want 1", len(leaks))
+	}
+	if len(slept) != 5 {
+		t.Fatalf("retried %d times, want 5", len(slept))
+	}
+	for i := 1; i < len(slept); i++ {
+		if slept[i] < slept[i-1] {
+			t.Errorf("backoff not monotone: %v", slept)
+		}
+	}
+	for _, d := range slept {
+		if d > 50*time.Millisecond {
+			t.Errorf("backoff %v exceeds cap", d)
+		}
+	}
+}
+
+func TestIgnoreTopFunction(t *testing.T) {
+	dump := `goroutine 8 [chan send]:
+main.allowed()
+	/src/x.go:5 +0x1
+
+goroutine 9 [chan send]:
+main.notAllowed()
+	/src/x.go:9 +0x1
+`
+	leaks, err := Find(WithDump(dump), MaxRetries(0), IgnoreTopFunction("main.allowed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leaks) != 1 || leaks[0].CodeContext().Function != "main.notAllowed" {
+		t.Errorf("leaks = %v", leaks)
+	}
+}
+
+func TestIgnoreCreatedByAndAnyFunction(t *testing.T) {
+	dump := `goroutine 8 [select]:
+main.inner()
+	/src/x.go:5 +0x1
+main.middle()
+	/src/x.go:15 +0x1
+created by main.spawner
+	/src/x.go:3 +0x1
+
+goroutine 9 [select]:
+main.other()
+	/src/x.go:9 +0x1
+`
+	leaks, err := Find(WithDump(dump), MaxRetries(0), IgnoreCreatedBy("main.spawner"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leaks) != 1 || leaks[0].CodeContext().Function != "main.other" {
+		t.Errorf("IgnoreCreatedBy: leaks = %v", leaks)
+	}
+
+	leaks, err = Find(WithDump(dump), MaxRetries(0), IgnoreAnyFunction("main.middle"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leaks) != 1 || leaks[0].CodeContext().Function != "main.other" {
+		t.Errorf("IgnoreAnyFunction: leaks = %v", leaks)
+	}
+}
+
+func TestIgnoreCurrent(t *testing.T) {
+	release := leakSend(t)
+	defer release()
+	opt := IgnoreCurrent() // snapshots the leak as pre-existing
+	leaks, err := Find(opt, MaxRetries(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range leaks {
+		if strings.Contains(l.CreationContext().Function, "leakSend") {
+			t.Errorf("pre-existing goroutine reported: %s", l)
+		}
+	}
+}
+
+func TestFilterOption(t *testing.T) {
+	dump := "goroutine 3 [chan receive]:\npkg.f()\n\t/s.go:2 +0x1\n"
+	leaks, err := Find(WithDump(dump), MaxRetries(0),
+		Filter(func(g *stack.Goroutine) bool { return g.ID == 3 }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leaks) != 0 {
+		t.Errorf("filtered goroutine still reported: %v", leaks)
+	}
+}
+
+func TestStdlibGoroutinesIgnored(t *testing.T) {
+	dump := `goroutine 2 [force gc (idle)]:
+runtime.forcegchelper()
+	/go/src/runtime/proc.go:1 +0x1
+
+goroutine 3 [chan receive]:
+testing.(*T).Run()
+	/go/src/testing/testing.go:1 +0x1
+
+goroutine 4 [syscall]:
+os/signal.signal_recv()
+	/go/src/runtime/sigqueue.go:1 +0x1
+
+goroutine 5 [IO wait]:
+internal/poll.runtime_pollWait()
+	/go/src/runtime/netpoll.go:1 +0x1
+`
+	leaks, err := Find(WithDump(dump), MaxRetries(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leaks) != 0 {
+		t.Errorf("stdlib goroutines reported as leaks: %v", leaks)
+	}
+}
+
+func TestVerifyNoneReportsLeak(t *testing.T) {
+	release := leakSend(t)
+	tb := &fakeTB{}
+	VerifyNone(tb, MaxRetries(2), RetryInterval(time.Millisecond))
+	release()
+	if len(tb.errors) == 0 {
+		t.Fatal("VerifyNone missed a live leak")
+	}
+	if !strings.Contains(tb.errors[0], "found unexpected goroutine") {
+		t.Errorf("unexpected error text: %q", tb.errors[0])
+	}
+}
+
+func TestCountsAndDedupe(t *testing.T) {
+	dump := `goroutine 1 [chan send]:
+a.f()
+	/s.go:2 +0x1
+
+goroutine 2 [chan send]:
+a.f()
+	/s.go:2 +0x1
+
+goroutine 3 [select]:
+a.g()
+	/s.go:9 +0x1
+`
+	leaks, err := Find(WithDump(dump), MaxRetries(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := Counts(leaks)
+	if counts[stack.KindChanSend] != 2 || counts[stack.KindSelect] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+	uniq := DedupeBySource(leaks)
+	if len(uniq) != 2 {
+		t.Errorf("dedupe kept %d, want 2", len(uniq))
+	}
+}

@@ -1,0 +1,201 @@
+package goleak
+
+import (
+	"strings"
+	"time"
+
+	"repro/internal/stack"
+)
+
+// Option configures Find, VerifyNone and VerifyTestMain.
+type Option interface{ apply(*opts) }
+
+type optionFunc func(*opts)
+
+func (f optionFunc) apply(o *opts) { f(o) }
+
+type opts struct {
+	filters    []func(*stack.Goroutine) bool
+	maxRetries int
+	sleep      func(int) time.Duration
+	sleeper    func(time.Duration)
+	capture    func() ([]*stack.Goroutine, error)
+	cleanup    func(exitCode int)
+}
+
+func buildOpts(options []Option) *opts {
+	o := &opts{
+		maxRetries: 20,
+		sleep:      defaultRetrySchedule,
+		sleeper:    time.Sleep,
+		capture:    stack.Current,
+	}
+	o.filters = append(o.filters, isStdLibGoroutine)
+	for _, opt := range options {
+		opt.apply(o)
+	}
+	return o
+}
+
+// retry reports whether another attempt should be made after attempt, and
+// sleeps for the scheduled backoff if so.
+func (o *opts) retry(attempt int) bool {
+	if attempt >= o.maxRetries {
+		return false
+	}
+	o.sleeper(o.sleep(attempt))
+	return true
+}
+
+func (o *opts) ignored(g *stack.Goroutine) bool {
+	for _, f := range o.filters {
+		if f(g) {
+			return true
+		}
+	}
+	return false
+}
+
+// IgnoreTopFunction ignores goroutines whose leaf (innermost non-runtime)
+// function equals name. This is the primary knob behind the paper's
+// suppression list: pre-existing leaks are keyed by function name.
+func IgnoreTopFunction(name string) Option {
+	return optionFunc(func(o *opts) {
+		o.filters = append(o.filters, func(g *stack.Goroutine) bool {
+			return g.Leaf().Function == name
+		})
+	})
+}
+
+// IgnoreAnyFunction ignores goroutines with name anywhere on the stack.
+func IgnoreAnyFunction(name string) Option {
+	return optionFunc(func(o *opts) {
+		o.filters = append(o.filters, func(g *stack.Goroutine) bool {
+			for _, f := range g.Frames {
+				if f.Function == name {
+					return true
+				}
+			}
+			return false
+		})
+	})
+}
+
+// IgnoreCreatedBy ignores goroutines created by the named function.
+func IgnoreCreatedBy(name string) Option {
+	return optionFunc(func(o *opts) {
+		o.filters = append(o.filters, func(g *stack.Goroutine) bool {
+			return g.CreatedBy.Function == name
+		})
+	})
+}
+
+// IgnoreCurrent snapshots the goroutines alive at option-construction time
+// and ignores them in later verifications: the mechanism used when retro-
+// fitting GOLEAK onto test targets with long-lived package-level workers.
+func IgnoreCurrent() Option {
+	existing := map[int64]bool{}
+	if gs, err := stack.Current(); err == nil {
+		for _, g := range gs {
+			existing[g.ID] = true
+		}
+	}
+	return optionFunc(func(o *opts) {
+		o.filters = append(o.filters, func(g *stack.Goroutine) bool {
+			return existing[g.ID]
+		})
+	})
+}
+
+// Filter installs an arbitrary predicate; goroutines for which it returns
+// true are ignored.
+func Filter(pred func(*stack.Goroutine) bool) Option {
+	return optionFunc(func(o *opts) {
+		o.filters = append(o.filters, pred)
+	})
+}
+
+// WithSuppressions ignores goroutines matched by the suppression list
+// (Section IV-A: the deployment seeds a list from an offline trial run so
+// pre-existing leaks do not block unrelated PRs).
+func WithSuppressions(list *SuppressionList) Option {
+	return optionFunc(func(o *opts) {
+		o.filters = append(o.filters, func(g *stack.Goroutine) bool {
+			return list.Match(g) != nil
+		})
+	})
+}
+
+// MaxRetries bounds the retry loop; 0 disables retries entirely (used by
+// the overhead benchmarks to measure a single sweep).
+func MaxRetries(n int) Option {
+	return optionFunc(func(o *opts) { o.maxRetries = n })
+}
+
+// RetryInterval fixes a constant backoff instead of the default exponential
+// schedule.
+func RetryInterval(d time.Duration) Option {
+	return optionFunc(func(o *opts) {
+		o.sleep = func(int) time.Duration { return d }
+	})
+}
+
+// Cleanup registers a function to run with the exit code before
+// VerifyTestMain terminates the process.
+func Cleanup(f func(exitCode int)) Option {
+	return optionFunc(func(o *opts) { o.cleanup = f })
+}
+
+// withCapture substitutes the stack source; tests and the monorepo
+// simulator feed synthetic dumps through the production filtering and
+// classification path.
+func withCapture(f func() ([]*stack.Goroutine, error)) Option {
+	return optionFunc(func(o *opts) { o.capture = f })
+}
+
+// WithDump runs the detector against a pre-captured stack dump instead of
+// the live process: this is how the retroactive Fig-5 analysis replays
+// historical test runs.
+func WithDump(dump string) Option {
+	return withCapture(func() ([]*stack.Goroutine, error) {
+		return stack.Parse(dump)
+	})
+}
+
+// withSleeper substitutes the retry sleeper (tests avoid real delays).
+func withSleeper(f func(time.Duration)) Option {
+	return optionFunc(func(o *opts) { o.sleeper = f })
+}
+
+// isStdLibGoroutine recognises goroutines that belong to the Go runtime,
+// the testing framework, or other stdlib machinery that legitimately
+// outlives a test body. Reporting these would make every test fail, so
+// they form the tool's built-in allowlist.
+func isStdLibGoroutine(g *stack.Goroutine) bool {
+	leaf := g.Leaf()
+	switch {
+	case leaf.Function == "":
+		// Entirely runtime frames: GC workers, sysmon, etc.
+		return true
+	case strings.HasPrefix(leaf.Function, "testing."):
+		return true
+	case strings.HasPrefix(leaf.Function, "runtime."):
+		return true
+	case leaf.Function == "os/signal.signal_recv", leaf.Function == "os/signal.loop":
+		return true
+	case strings.HasPrefix(leaf.Function, "net/http.(*persistConn)"),
+		strings.HasPrefix(leaf.Function, "net/http.(*Transport)"),
+		strings.HasPrefix(leaf.Function, "internal/poll."):
+		// HTTP keep-alive connections owned by the default transport.
+		return true
+	}
+	switch g.Kind() {
+	case stack.KindGC, stack.KindFinalizer:
+		return true
+	}
+	if strings.HasPrefix(g.CreatedBy.Function, "testing.") && g.Kind() == stack.KindRunning {
+		// The testing framework's own runner goroutines.
+		return true
+	}
+	return false
+}

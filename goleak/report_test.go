@@ -1,0 +1,92 @@
+package goleak
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/stack"
+)
+
+func TestLeakStringFormat(t *testing.T) {
+	g := &stack.Goroutine{
+		ID:    42,
+		State: "chan send",
+		Frames: []stack.Frame{
+			{Function: "runtime.gopark", File: "/go/runtime/proc.go", Line: 1},
+			{Function: "svc.producer", File: "/svc/p.go", Line: 17},
+		},
+		CreatedBy: stack.Frame{Function: "svc.Start", File: "/svc/s.go", Line: 4},
+	}
+	l := &Leak{Goroutine: g, Kind: g.Kind()}
+	out := l.String()
+	for _, want := range []string{
+		"goroutine 42",
+		"chan send (non-nil chan)",
+		"code context: svc.producer at /svc/p.go:17",
+		"created by:   svc.Start at /svc/s.go:4",
+		"  | goroutine 42 [chan send]:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	if l.CodeContext().Function != "svc.producer" {
+		t.Errorf("code context skipped runtime frame incorrectly: %v", l.CodeContext())
+	}
+}
+
+func TestFindPropagatesCaptureError(t *testing.T) {
+	boom := errors.New("stacks unavailable")
+	_, err := Find(withCapture(func() ([]*stack.Goroutine, error) { return nil, boom }))
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	tb := &fakeTB{}
+	VerifyNone(tb, withCapture(func() ([]*stack.Goroutine, error) { return nil, boom }))
+	if len(tb.errors) != 1 || !strings.Contains(tb.errors[0], "stacks unavailable") {
+		t.Errorf("VerifyNone errors = %v", tb.errors)
+	}
+}
+
+func TestOptionsCompose(t *testing.T) {
+	dump := `goroutine 1 [chan send]:
+a.suppressed()
+	/a.go:1 +0x1
+
+goroutine 2 [chan send]:
+a.ignoredTop()
+	/a.go:2 +0x1
+
+goroutine 3 [chan send]:
+a.kept()
+	/a.go:3 +0x1
+created by a.ignoredCreator
+	/a.go:30 +0x1
+
+goroutine 4 [chan send]:
+a.survivor()
+	/a.go:4 +0x1
+`
+	list := NewSuppressionList(Suppression{Function: "a.suppressed"})
+	leaks, err := Find(WithDump(dump), MaxRetries(0),
+		WithSuppressions(list),
+		IgnoreTopFunction("a.ignoredTop"),
+		IgnoreCreatedBy("a.ignoredCreator"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leaks) != 1 || leaks[0].CodeContext().Function != "a.survivor" {
+		t.Fatalf("leaks = %v", leaks)
+	}
+}
+
+func TestCountsEmpty(t *testing.T) {
+	if m := Counts(nil); len(m) != 0 {
+		t.Errorf("Counts(nil) = %v", m)
+	}
+	if d := DedupeBySource(nil); d != nil {
+		t.Errorf("DedupeBySource(nil) = %v", d)
+	}
+}

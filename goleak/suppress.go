@@ -1,0 +1,150 @@
+package goleak
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/stack"
+)
+
+// Suppression is one entry of the deployment's suppression list: a leaking
+// goroutine location recorded during the offline trial run, keyed by
+// function name as Section IV-A describes, so that pre-existing leaks do
+// not block unrelated PRs while owners fix them gradually.
+type Suppression struct {
+	// Function is the fully qualified function name to suppress; a leak
+	// matches if this appears as its leaf function or creation function.
+	Function string
+	// Reason is free-form commentary (ticket id, owner, date).
+	Reason string
+}
+
+// SuppressionList is a concurrency-safe set of suppressions. The zero
+// value is empty and ready to use.
+type SuppressionList struct {
+	mu      sync.RWMutex
+	entries map[string]Suppression
+}
+
+// NewSuppressionList builds a list from initial entries.
+func NewSuppressionList(entries ...Suppression) *SuppressionList {
+	l := &SuppressionList{entries: make(map[string]Suppression, len(entries))}
+	for _, e := range entries {
+		l.entries[e.Function] = e
+	}
+	return l
+}
+
+// Add inserts or replaces an entry.
+func (l *SuppressionList) Add(s Suppression) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.entries == nil {
+		l.entries = make(map[string]Suppression)
+	}
+	l.entries[s.Function] = s
+}
+
+// Remove deletes the entry for function, reporting whether it was present.
+// Owners remove entries as they fix the underlying leaks.
+func (l *SuppressionList) Remove(function string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, ok := l.entries[function]
+	delete(l.entries, function)
+	return ok
+}
+
+// Len returns the number of entries (the paper tracks this over time:
+// initially 1040, later 1056).
+func (l *SuppressionList) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.entries)
+}
+
+// Match returns the suppression covering the goroutine, or nil. A
+// goroutine is covered when its leaf function or its creation function is
+// listed.
+func (l *SuppressionList) Match(g *stack.Goroutine) *Suppression {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if s, ok := l.entries[g.Leaf().Function]; ok {
+		return &s
+	}
+	if s, ok := l.entries[g.CreatedBy.Function]; ok {
+		return &s
+	}
+	return nil
+}
+
+// Functions returns the suppressed function names in sorted order.
+func (l *SuppressionList) Functions() []string {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make([]string, 0, len(l.entries))
+	for f := range l.entries {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Save writes the list in the text format accepted by LoadSuppressions:
+// one "function # reason" line per entry, sorted for stable diffs.
+func (l *SuppressionList) Save(w io.Writer) error {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	fns := make([]string, 0, len(l.entries))
+	for f := range l.entries {
+		fns = append(fns, f)
+	}
+	sort.Strings(fns)
+	for _, f := range fns {
+		e := l.entries[f]
+		if e.Reason != "" {
+			if _, err := fmt.Fprintf(w, "%s # %s\n", e.Function, e.Reason); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintln(w, e.Function); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadSuppressions parses the text format written by Save. Blank lines and
+// lines starting with '#' are skipped.
+func LoadSuppressions(r io.Reader) (*SuppressionList, error) {
+	l := NewSuppressionList()
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		var s Suppression
+		if i := strings.Index(text, "#"); i >= 0 {
+			s.Function = strings.TrimSpace(text[:i])
+			s.Reason = strings.TrimSpace(text[i+1:])
+		} else {
+			s.Function = text
+		}
+		if s.Function == "" {
+			return nil, fmt.Errorf("goleak: suppression line %d has no function", line)
+		}
+		l.Add(s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("goleak: reading suppressions: %w", err)
+	}
+	return l, nil
+}

@@ -1,0 +1,133 @@
+package goleak
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stack"
+)
+
+func TestSuppressionMatch(t *testing.T) {
+	list := NewSuppressionList(
+		Suppression{Function: "svc.leafLeak"},
+		Suppression{Function: "svc.Spawner"},
+	)
+	byLeaf := &stack.Goroutine{Frames: []stack.Frame{{Function: "svc.leafLeak"}}}
+	if list.Match(byLeaf) == nil {
+		t.Error("leaf-function match failed")
+	}
+	byCreator := &stack.Goroutine{
+		Frames:    []stack.Frame{{Function: "svc.worker"}},
+		CreatedBy: stack.Frame{Function: "svc.Spawner"},
+	}
+	if list.Match(byCreator) == nil {
+		t.Error("creator-function match failed")
+	}
+	miss := &stack.Goroutine{Frames: []stack.Frame{{Function: "svc.other"}}}
+	if list.Match(miss) != nil {
+		t.Error("unrelated goroutine matched")
+	}
+}
+
+func TestSuppressionAddRemoveLen(t *testing.T) {
+	var list SuppressionList // zero value usable
+	if list.Len() != 0 {
+		t.Fatalf("zero list len = %d", list.Len())
+	}
+	list.Add(Suppression{Function: "a"})
+	list.Add(Suppression{Function: "b"})
+	list.Add(Suppression{Function: "a", Reason: "updated"}) // replace
+	if list.Len() != 2 {
+		t.Errorf("len = %d, want 2", list.Len())
+	}
+	if !list.Remove("a") || list.Remove("a") {
+		t.Error("Remove semantics wrong")
+	}
+	if got := list.Functions(); !reflect.DeepEqual(got, []string{"b"}) {
+		t.Errorf("Functions = %v", got)
+	}
+}
+
+func TestSuppressionSaveLoadRoundTrip(t *testing.T) {
+	alphabet := []string{"pkg.F", "a/b.G", "x/y/z.(*T).M", "main.main.func1"}
+	reasons := []string{"", "JIRA-1", "owner: infra", "fixed in Q3"}
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := NewSuppressionList()
+		for i := 0; i < int(n)%len(alphabet)+1; i++ {
+			in.Add(Suppression{
+				Function: alphabet[r.Intn(len(alphabet))],
+				Reason:   reasons[r.Intn(len(reasons))],
+			})
+		}
+		var buf bytes.Buffer
+		if err := in.Save(&buf); err != nil {
+			return false
+		}
+		out, err := LoadSuppressions(&buf)
+		if err != nil {
+			return false
+		}
+		if !reflect.DeepEqual(in.Functions(), out.Functions()) {
+			return false
+		}
+		for _, fn := range in.Functions() {
+			a := in.entries[fn]
+			b := out.entries[fn]
+			if a != b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadSuppressionsFormat(t *testing.T) {
+	in := `
+# full-line comment
+
+svc.A
+svc.B # reason text
+  svc.C   #   padded
+`
+	list, err := LoadSuppressions(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if list.Len() != 3 {
+		t.Fatalf("len = %d, want 3", list.Len())
+	}
+	if got := list.entries["svc.B"].Reason; got != "reason text" {
+		t.Errorf("reason = %q", got)
+	}
+	if got := list.entries["svc.C"].Reason; got != "padded" {
+		t.Errorf("padded reason = %q", got)
+	}
+}
+
+func TestLoadSuppressionsConcurrentUse(t *testing.T) {
+	// The CI pipeline reads the list from many test shards while the
+	// trial-run tooling appends; exercise races under -race.
+	list := NewSuppressionList()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			list.Add(Suppression{Function: "f"})
+			list.Remove("f")
+		}
+	}()
+	g := &stack.Goroutine{Frames: []stack.Frame{{Function: "f"}}}
+	for i := 0; i < 1000; i++ {
+		list.Match(g)
+		list.Len()
+	}
+	<-done
+}

@@ -1,0 +1,53 @@
+package goleak
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// testMainRunner is the subset of *testing.M that VerifyTestMain needs.
+type testMainRunner interface {
+	Run() int
+}
+
+// exit is swapped out in tests.
+var exit = os.Exit
+
+// output is where VerifyTestMain writes leak reports; swapped in tests.
+var output io.Writer = os.Stderr
+
+// VerifyTestMain runs the test suite and then checks for leaked
+// goroutines, marking the whole target as failed when any are found. It is
+// the hook the paper's build-pipeline instrumentation injects into every
+// test target's TestMain (Section IV-A):
+//
+//	func TestMain(m *testing.M) {
+//		goleak.VerifyTestMain(m)
+//	}
+//
+// The process exits with the suite's exit code, or 1 if the suite passed
+// but leaks were detected.
+func VerifyTestMain(m testMainRunner, options ...Option) {
+	exitCode := m.Run()
+	opts := buildOpts(options)
+
+	if exitCode == 0 {
+		leaks, err := Find(options...)
+		switch {
+		case err != nil:
+			fmt.Fprintf(output, "goleak: error on successful test run: %v\n", err)
+			exitCode = 1
+		case len(leaks) > 0:
+			fmt.Fprintf(output, "goleak: tests passed but found %d leaked goroutine(s):\n", len(leaks))
+			for _, l := range leaks {
+				fmt.Fprint(output, l.String())
+			}
+			exitCode = 1
+		}
+	}
+	if opts.cleanup != nil {
+		opts.cleanup(exitCode)
+	}
+	exit(exitCode)
+}

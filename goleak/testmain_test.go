@@ -1,0 +1,98 @@
+package goleak
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+type fakeM struct{ code int }
+
+func (m fakeM) Run() int { return m.code }
+
+// withStubbedExit swaps the process-exit and output hooks for the duration
+// of f and returns the observed exit code and report text.
+func withStubbedExit(f func()) (code int, report string) {
+	var buf bytes.Buffer
+	oldExit, oldOut := exit, output
+	code = -1
+	exit = func(c int) { code = c }
+	output = &buf
+	defer func() { exit, output = oldExit, oldOut }()
+	f()
+	return code, buf.String()
+}
+
+func TestVerifyTestMainCleanSuite(t *testing.T) {
+	code, report := withStubbedExit(func() {
+		VerifyTestMain(fakeM{code: 0})
+	})
+	if code != 0 {
+		t.Errorf("exit code = %d, want 0; report: %s", code, report)
+	}
+}
+
+func TestVerifyTestMainPropagatesFailure(t *testing.T) {
+	code, _ := withStubbedExit(func() {
+		VerifyTestMain(fakeM{code: 3})
+	})
+	if code != 3 {
+		t.Errorf("exit code = %d, want 3", code)
+	}
+}
+
+func TestVerifyTestMainFlagsLeaks(t *testing.T) {
+	dump := "goroutine 5 [chan send]:\nsvc.leak()\n\t/svc/a.go:3 +0x1\n"
+	var cleanupCode = -1
+	code, report := withStubbedExit(func() {
+		VerifyTestMain(fakeM{code: 0},
+			WithDump(dump), MaxRetries(0),
+			Cleanup(func(c int) { cleanupCode = c }))
+	})
+	if code != 1 {
+		t.Errorf("exit code = %d, want 1", code)
+	}
+	if cleanupCode != 1 {
+		t.Errorf("cleanup saw code %d, want 1", cleanupCode)
+	}
+	if !strings.Contains(report, "svc.leak") {
+		t.Errorf("report does not name the leak:\n%s", report)
+	}
+}
+
+func TestVerifyTestMainSkipsLeakCheckOnFailure(t *testing.T) {
+	// A failing suite exits with its own code; the leak check (which
+	// would also fail here) must not mask the original failure.
+	dump := "goroutine 5 [chan send]:\nsvc.leak()\n\t/svc/a.go:3 +0x1\n"
+	code, report := withStubbedExit(func() {
+		VerifyTestMain(fakeM{code: 2}, WithDump(dump), MaxRetries(0))
+	})
+	if code != 2 {
+		t.Errorf("exit code = %d, want 2", code)
+	}
+	if report != "" {
+		t.Errorf("unexpected leak report on failing suite: %s", report)
+	}
+}
+
+func TestVerifyTestMainSuppressionWorkflow(t *testing.T) {
+	// The deployment flow: a pre-existing leak is suppressed, the PR
+	// passes; removing the suppression blocks it again.
+	dump := "goroutine 5 [chan send]:\nsvc.legacyLeak()\n\t/svc/a.go:3 +0x1\n"
+	list := NewSuppressionList(Suppression{Function: "svc.legacyLeak", Reason: "JIRA-123"})
+
+	code, _ := withStubbedExit(func() {
+		VerifyTestMain(fakeM{code: 0}, WithDump(dump), MaxRetries(0), WithSuppressions(list))
+	})
+	if code != 0 {
+		t.Errorf("suppressed leak should pass; exit = %d", code)
+	}
+
+	list.Remove("svc.legacyLeak")
+	code, _ = withStubbedExit(func() {
+		VerifyTestMain(fakeM{code: 0}, WithDump(dump), MaxRetries(0), WithSuppressions(list))
+	})
+	if code != 1 {
+		t.Errorf("unsuppressed leak should fail; exit = %d", code)
+	}
+}

@@ -1,0 +1,344 @@
+package astcheck
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *File {
+	t.Helper()
+	f, err := ParseSource("test.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func checkNames(fs []Finding) []string {
+	var out []string
+	for _, f := range fs {
+		out = append(out, f.Check)
+	}
+	return out
+}
+
+// ---- RangeLint ----
+
+func TestRangeLintFlagsUnclosedChannel(t *testing.T) {
+	src := `package p
+func producerConsumer(items []int, workers int) {
+	ch := make(chan int)
+	for i := 0; i < workers; i++ {
+		go func() {
+			for item := range ch {
+				_ = item
+			}
+		}()
+	}
+	for _, item := range items {
+		ch <- item
+	}
+}
+`
+	fs := RangeLint(mustParse(t, src))
+	if len(fs) != 1 {
+		t.Fatalf("findings = %v", fs)
+	}
+	if fs[0].Check != "rangelint" || !strings.Contains(fs[0].Message, "'ch'") {
+		t.Errorf("finding = %+v", fs[0])
+	}
+	if fs[0].Pos.Line != 6 {
+		t.Errorf("flagged line %d, want 6 (the range)", fs[0].Pos.Line)
+	}
+}
+
+func TestRangeLintAcceptsClosedChannel(t *testing.T) {
+	src := `package p
+func ok(items []int) {
+	ch := make(chan int)
+	go func() {
+		for item := range ch {
+			_ = item
+		}
+	}()
+	for _, item := range items {
+		ch <- item
+	}
+	close(ch)
+}
+`
+	if fs := RangeLint(mustParse(t, src)); len(fs) != 0 {
+		t.Errorf("closed channel flagged: %v", fs)
+	}
+}
+
+func TestRangeLintSkipsEscapingChannels(t *testing.T) {
+	cases := map[string]string{
+		"passed to call": `package p
+func f() {
+	ch := make(chan int)
+	go drain(ch)
+	for v := range ch { _ = v }
+}
+func drain(ch chan int) { close(ch) }
+`,
+		"returned": `package p
+func f() chan int {
+	ch := make(chan int)
+	go func() { for v := range ch { _ = v } }()
+	return ch
+}
+`,
+		"assigned away": `package p
+var global chan int
+func f() {
+	ch := make(chan int)
+	global = ch
+	for v := range ch { _ = v }
+}
+`,
+		"address taken": `package p
+func f() {
+	ch := make(chan int)
+	p := &ch
+	_ = p
+	for v := range ch { _ = v }
+}
+`,
+	}
+	for name, src := range cases {
+		if fs := RangeLint(mustParse(t, src)); len(fs) != 0 {
+			t.Errorf("%s: escaping channel flagged: %v", name, fs)
+		}
+	}
+}
+
+func TestRangeLintIgnoresNonChannelRanges(t *testing.T) {
+	src := `package p
+func f(items []int) {
+	m := make(map[int]int)
+	for k := range m { _ = k }
+	for _, v := range items { _ = v }
+}
+`
+	if fs := RangeLint(mustParse(t, src)); len(fs) != 0 {
+		t.Errorf("non-channel range flagged: %v", fs)
+	}
+}
+
+func TestRangeLintHandlesReassignment(t *testing.T) {
+	src := `package p
+func f() {
+	ch := make(chan int)
+	ch = make(chan int)
+	for v := range ch { _ = v }
+}
+`
+	if fs := RangeLint(mustParse(t, src)); len(fs) != 0 {
+		t.Errorf("reassigned channel flagged (identity unclear): %v", fs)
+	}
+}
+
+// ---- DoubleSendLint ----
+
+func TestDoubleSendFlagsListing5(t *testing.T) {
+	src := `package p
+func sender(ch chan interface{}) {
+	item, err := createItem()
+	if err != nil {
+		ch <- nil
+	}
+	ch <- item
+}
+func createItem() (interface{}, error) { return nil, nil }
+`
+	fs := DoubleSendLint(mustParse(t, src))
+	if len(fs) != 1 {
+		t.Fatalf("findings = %v", fs)
+	}
+	if fs[0].Pos.Line != 5 {
+		t.Errorf("flagged line %d, want 5 (the first send)", fs[0].Pos.Line)
+	}
+}
+
+func TestDoubleSendAcceptsReturnAfterErrorSend(t *testing.T) {
+	src := `package p
+func sender(ch chan interface{}) {
+	item, err := createItem()
+	if err != nil {
+		ch <- nil
+		return
+	}
+	ch <- item
+}
+func createItem() (interface{}, error) { return nil, nil }
+`
+	if fs := DoubleSendLint(mustParse(t, src)); len(fs) != 0 {
+		t.Errorf("correct code flagged: %v", fs)
+	}
+}
+
+func TestDoubleSendIgnoresDifferentChannels(t *testing.T) {
+	src := `package p
+func f(a, b chan int) {
+	if true {
+		a <- 1
+	}
+	b <- 2
+}
+`
+	if fs := DoubleSendLint(mustParse(t, src)); len(fs) != 0 {
+		t.Errorf("different channels flagged: %v", fs)
+	}
+}
+
+func TestDoubleSendIgnoresIfWithElse(t *testing.T) {
+	src := `package p
+func f(ch chan int) {
+	if true {
+		ch <- 1
+	} else {
+		return
+	}
+	ch <- 2
+}
+`
+	// With an else branch the flow is not a simple fall-through; the
+	// checker deliberately stays silent (precision over recall).
+	if fs := DoubleSendLint(mustParse(t, src)); len(fs) != 0 {
+		t.Errorf("if/else flagged: %v", fs)
+	}
+}
+
+func TestDoubleSendStopsAtFlowBreak(t *testing.T) {
+	src := `package p
+func f(ch chan int) {
+	if true {
+		ch <- 1
+	}
+	return
+	ch <- 2
+}
+`
+	if fs := DoubleSendLint(mustParse(t, src)); len(fs) != 0 {
+		t.Errorf("send after return flagged: %v", fs)
+	}
+}
+
+// ---- TransientSelects ----
+
+func TestTransientSelectDetection(t *testing.T) {
+	src := `package p
+import ("time"; "context")
+func worker(ctx context.Context, data chan int, t *time.Timer) {
+	// transient: both arms provably wake
+	select {
+	case <-time.After(time.Second):
+	case <-ctx.Done():
+	}
+	// transient: ticker channel and Done
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+	// NOT transient: one arm on an ordinary channel
+	select {
+	case <-data:
+	case <-ctx.Done():
+	}
+	// NOT transient: send arm
+	select {
+	case data <- 1:
+	case <-ctx.Done():
+	}
+}
+`
+	fs := TransientSelects(mustParse(t, src))
+	if len(fs) != 2 {
+		t.Fatalf("findings = %v", checkNames(fs))
+	}
+	if fs[0].Pos.Line != 5 || fs[1].Pos.Line != 10 {
+		t.Errorf("flagged lines %d, %d; want 5, 10", fs[0].Pos.Line, fs[1].Pos.Line)
+	}
+}
+
+func TestTransientSelectWithAssignArm(t *testing.T) {
+	src := `package p
+import "time"
+func f() {
+	select {
+	case now := <-time.After(time.Second):
+		_ = now
+	}
+}
+`
+	fs := TransientSelects(mustParse(t, src))
+	if len(fs) != 1 {
+		t.Errorf("assignment-form arm missed: %v", fs)
+	}
+}
+
+func TestTransientLocations(t *testing.T) {
+	src := `package p
+import "time"
+func f() {
+	select {
+	case <-time.Tick(time.Second):
+	}
+}
+`
+	f := mustParse(t, src)
+	locs := TransientLocations([]*File{f})
+	if !locs["test.go:4"] {
+		t.Errorf("locations = %v, want test.go:4", locs)
+	}
+}
+
+// ---- ParseDir / AnalyzeAll ----
+
+func TestParseDirAndAnalyzeAll(t *testing.T) {
+	dir := t.TempDir()
+	good := `package a
+func ok() {}
+`
+	leaky := `package a
+func leak(items []int) {
+	ch := make(chan int)
+	go func() { for v := range ch { _ = v } }()
+	for _, v := range items { ch <- v }
+}
+`
+	broken := `package a func (`
+	if err := os.WriteFile(filepath.Join(dir, "good.go"), []byte(good), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "leaky.go"), []byte(leaky), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "broken.go"), []byte(broken), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "testdata"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "testdata", "skip.go"), []byte(leaky), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	files, err := ParseDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 2 {
+		t.Fatalf("parsed %d files, want 2 (broken skipped, testdata skipped)", len(files))
+	}
+	findings := AnalyzeAll(files)
+	if len(findings) != 1 || findings[0].Check != "rangelint" {
+		t.Errorf("findings = %v", findings)
+	}
+	if !strings.Contains(findings[0].String(), "rangelint") {
+		t.Errorf("String() = %q", findings[0].String())
+	}
+}

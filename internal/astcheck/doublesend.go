@@ -1,0 +1,95 @@
+package astcheck
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// DoubleSendLint flags the Listing-5 defect: an if block whose body ends
+// with a send on a channel and no terminating statement (return, break,
+// continue, goto, panic), followed on the fall-through path by another
+// send to the same channel. When the receiver accepts only one message,
+// the second send partially deadlocks.
+func DoubleSendLint(f *File) []Finding {
+	var out []Finding
+	ast.Inspect(f.Ast, func(n ast.Node) bool {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for i, stmt := range block.List {
+			ifStmt, ok := stmt.(*ast.IfStmt)
+			if !ok || ifStmt.Else != nil {
+				continue
+			}
+			ch, sendPos, ok := trailingSend(ifStmt.Body)
+			if !ok {
+				continue
+			}
+			// Scan the fall-through path for another send to ch.
+			for _, later := range block.List[i+1:] {
+				if stopsFlow(later) {
+					break
+				}
+				if laterCh, _, ok := sendIn(later); ok && laterCh == ch {
+					out = append(out, Finding{
+						Check: "doublesend",
+						Pos:   f.Fset.Position(sendPos),
+						Message: "conditional send on '" + ch +
+							"' falls through to a second send; add a return after the first",
+					})
+					break
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// trailingSend reports the channel of a send statement that ends the
+// block with no terminator after it.
+func trailingSend(body *ast.BlockStmt) (ch string, pos token.Pos, ok bool) {
+	if len(body.List) == 0 {
+		return "", 0, false
+	}
+	last := body.List[len(body.List)-1]
+	send, ok := last.(*ast.SendStmt)
+	if !ok {
+		return "", 0, false
+	}
+	name, ok := identName(send.Chan)
+	if !ok {
+		return "", 0, false
+	}
+	return name, send.Pos(), true
+}
+
+// sendIn extracts a send statement's channel if stmt is a plain send.
+func sendIn(stmt ast.Stmt) (ch string, pos token.Pos, ok bool) {
+	send, isSend := stmt.(*ast.SendStmt)
+	if !isSend {
+		return "", 0, false
+	}
+	name, ok := identName(send.Chan)
+	if !ok {
+		return "", 0, false
+	}
+	return name, send.Pos(), true
+}
+
+// stopsFlow reports whether the statement unconditionally leaves the
+// enclosing block, ending the fall-through path the checker follows.
+func stopsFlow(stmt ast.Stmt) bool {
+	switch s := stmt.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if fun, ok := call.Fun.(*ast.Ident); ok && fun.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,159 @@
+package astcheck
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// RangeLint implements the range linter the paper's Section VIII
+// describes as already designed: it reports local, lexically scoped
+// channels used with the range construct that may never be closed — the
+// Listing-3 producer/consumer defect where the missing close(ch) blocks
+// every consumer forever.
+//
+// Scope discipline: the linter only reasons about channels that are (a)
+// created by a make(chan ...) assignment to a simple identifier inside a
+// function, and (b) never escape that function other than into goroutine
+// closures launched within it. Channels passed to calls or returned are
+// skipped — another function might close them.
+func RangeLint(f *File) []Finding {
+	var out []Finding
+	for _, decl := range f.Ast.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		out = append(out, rangeLintFunc(f, fn)...)
+	}
+	return out
+}
+
+type chanInfo struct {
+	makePos  token.Pos
+	ranged   []token.Pos
+	closed   bool
+	escapes  bool
+	reassign bool
+}
+
+func rangeLintFunc(f *File, fn *ast.FuncDecl) []Finding {
+	chans := map[string]*chanInfo{}
+
+	// Pass 1: find local channel creations: `ch := make(chan T[, n])`.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			if !isMakeChan(rhs) || i >= len(assign.Lhs) {
+				continue
+			}
+			ident, ok := assign.Lhs[i].(*ast.Ident)
+			if !ok || ident.Name == "_" {
+				continue
+			}
+			if assign.Tok == token.DEFINE {
+				chans[ident.Name] = &chanInfo{makePos: rhs.Pos()}
+			} else if info := chans[ident.Name]; info != nil {
+				// Reassignment muddies identity; drop the channel.
+				info.reassign = true
+			}
+		}
+		return true
+	})
+	if len(chans) == 0 {
+		return nil
+	}
+
+	// Pass 2: classify every use of each tracked identifier.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.RangeStmt:
+			if name, ok := identName(x.X); ok {
+				if info := chans[name]; info != nil {
+					info.ranged = append(info.ranged, x.Range)
+				}
+			}
+		case *ast.CallExpr:
+			if fun, ok := x.Fun.(*ast.Ident); ok && fun.Name == "close" && len(x.Args) == 1 {
+				if name, ok := identName(x.Args[0]); ok {
+					if info := chans[name]; info != nil {
+						info.closed = true
+					}
+				}
+				return true
+			}
+			// Any other call receiving the channel may close it.
+			for _, arg := range x.Args {
+				if name, ok := identName(arg); ok {
+					if info := chans[name]; info != nil {
+						info.escapes = true
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range x.Results {
+				if name, ok := identName(res); ok {
+					if info := chans[name]; info != nil {
+						info.escapes = true
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if name, ok := identName(x.X); ok {
+					if info := chans[name]; info != nil {
+						info.escapes = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			// Assigning the channel to another variable or a field
+			// lets it escape the lexical scope.
+			for _, rhs := range x.Rhs {
+				if name, ok := identName(rhs); ok {
+					if info := chans[name]; info != nil {
+						info.escapes = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	var out []Finding
+	for name, info := range chans {
+		if len(info.ranged) == 0 || info.closed || info.escapes || info.reassign {
+			continue
+		}
+		out = append(out, Finding{
+			Check: "rangelint",
+			Pos:   f.Fset.Position(info.ranged[0]),
+			Message: "range over lexically scoped channel '" + name +
+				"' that is never closed; consumers block forever after the last send",
+		})
+	}
+	return out
+}
+
+func isMakeChan(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fun, ok := call.Fun.(*ast.Ident)
+	if !ok || fun.Name != "make" || len(call.Args) == 0 {
+		return false
+	}
+	_, isChan := call.Args[0].(*ast.ChanType)
+	return isChan
+}
+
+func identName(e ast.Expr) (string, bool) {
+	ident, ok := e.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	return ident.Name, true
+}

@@ -1,0 +1,94 @@
+package astcheck
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// TimerLoopLint flags the Listing-4 anti-pattern: a for loop whose body
+// blocks on a bare timer receive (<-time.After(...), <-time.Tick(...),
+// <-t.C) with no select statement and no escape path, typically inside a
+// goroutine whose lifetime nothing controls. The paper classifies these
+// as 44% of all channel-receive leaks and recommends rewriting them as a
+// select with a termination arm.
+func TimerLoopLint(f *File) []Finding {
+	var out []Finding
+	ast.Inspect(f.Ast, func(n ast.Node) bool {
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Cond != nil || loop.Init != nil || loop.Post != nil {
+			return true // only bare `for { ... }` loops
+		}
+		if loopHasEscape(loop.Body) || loopHasSelect(loop.Body) {
+			return true
+		}
+		for _, stmt := range loop.Body.List {
+			if pos, ok := bareTimerRecv(stmt); ok {
+				out = append(out, Finding{
+					Check: "timerloop",
+					Pos:   f.Fset.Position(pos),
+					Message: "infinite loop blocks on a bare timer receive with no termination arm; " +
+						"use a select with a done/context case",
+				})
+				break
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// bareTimerRecv recognises `<-time.After(d)`, `<-time.Tick(d)` and
+// `<-t.C` as expression statements or assignments.
+func bareTimerRecv(stmt ast.Stmt) (pos token.Pos, ok bool) {
+	var expr ast.Expr
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		expr = s.X
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			expr = s.Rhs[0]
+		}
+	}
+	recv, isRecv := expr.(*ast.UnaryExpr)
+	if !isRecv {
+		return token.NoPos, false
+	}
+	if !transientChannelExpr(recv.X) {
+		return token.NoPos, false
+	}
+	return recv.Pos(), true
+}
+
+// loopHasEscape reports whether the loop body contains a statement that
+// can leave the loop (return, break, goto) outside nested functions.
+func loopHasEscape(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ReturnStmt, *ast.BranchStmt:
+			found = true
+			return false
+		case *ast.FuncLit:
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// loopHasSelect reports whether the loop body contains a select (which
+// TimerLoopLint leaves to the transient-select analysis).
+func loopHasSelect(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.SelectStmt:
+			found = true
+			return false
+		case *ast.FuncLit:
+			return false
+		}
+		return !found
+	})
+	return found
+}

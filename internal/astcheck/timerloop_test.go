@@ -1,0 +1,92 @@
+package astcheck
+
+import "testing"
+
+func TestTimerLoopFlagsListing4(t *testing.T) {
+	src := `package p
+import "time"
+func statsReporter() {
+	go func() {
+		for {
+			<-time.After(time.Minute)
+			logMetric()
+		}
+	}()
+}
+func logMetric() {}
+`
+	fs := TimerLoopLint(mustParse(t, src))
+	if len(fs) != 1 {
+		t.Fatalf("findings = %v", fs)
+	}
+	if fs[0].Check != "timerloop" || fs[0].Pos.Line != 6 {
+		t.Errorf("finding = %+v", fs[0])
+	}
+}
+
+func TestTimerLoopVariants(t *testing.T) {
+	flagged := map[string]string{
+		"tick": `package p
+import "time"
+func f() { for { <-time.Tick(time.Second) } }
+`,
+		"timer channel": `package p
+import "time"
+func f(t *time.Timer) { for { <-t.C; work() } }
+func work() {}
+`,
+		"assignment form": `package p
+import "time"
+func f() { for { now := <-time.After(time.Second); _ = now } }
+`,
+	}
+	for name, src := range flagged {
+		if fs := TimerLoopLint(mustParse(t, src)); len(fs) != 1 {
+			t.Errorf("%s: findings = %v, want 1", name, fs)
+		}
+	}
+
+	clean := map[string]string{
+		"select with done": `package p
+import "time"
+func f(done chan int) {
+	for {
+		select {
+		case <-time.After(time.Second):
+		case <-done:
+			return
+		}
+	}
+}
+`,
+		"loop with escape": `package p
+import "time"
+func f(n int) {
+	i := 0
+	for {
+		<-time.After(time.Second)
+		i++
+		if i > n {
+			return
+		}
+	}
+}
+`,
+		"bounded loop": `package p
+import "time"
+func f(n int) {
+	for i := 0; i < n; i++ {
+		<-time.After(time.Second)
+	}
+}
+`,
+		"ordinary channel": `package p
+func f(ch chan int) { for { <-ch } }
+`,
+	}
+	for name, src := range clean {
+		if fs := TimerLoopLint(mustParse(t, src)); len(fs) != 0 {
+			t.Errorf("%s: flagged clean code: %v", name, fs)
+		}
+	}
+}

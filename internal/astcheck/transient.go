@@ -1,0 +1,118 @@
+package astcheck
+
+import (
+	"go/ast"
+)
+
+// TransientSelects finds select statements whose every blocking arm
+// listens on a channel that is transiently blocking by construction:
+// time.Tick(...), time.After(...), timer/ticker .C fields, and
+// context Done() channels. A goroutine parked at such a select will
+// eventually wake, so LEAKPROF must not report it (criterion 2,
+// Section V-A).
+//
+// The analysis is deliberately conservative: one arm on an ordinary
+// channel disqualifies the select.
+func TransientSelects(f *File) []Finding {
+	var out []Finding
+	ast.Inspect(f.Ast, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		arms := 0
+		transient := true
+		for _, clause := range sel.Body.List {
+			comm, ok := clause.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			if comm.Comm == nil {
+				// A default arm makes the select non-blocking, hence
+				// trivially transient; it does not disqualify.
+				continue
+			}
+			arms++
+			if !transientComm(comm.Comm) {
+				transient = false
+			}
+		}
+		if arms > 0 && transient {
+			out = append(out, Finding{
+				Check:   "transient-select",
+				Pos:     f.Fset.Position(sel.Pos()),
+				Message: "select blocks only on transient channels (timers/context); never a leak",
+			})
+		}
+		return true
+	})
+	return out
+}
+
+// transientComm reports whether a select communication operation is on a
+// provably transient channel.
+func transientComm(stmt ast.Stmt) bool {
+	var ch ast.Expr
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if recv, ok := s.X.(*ast.UnaryExpr); ok {
+			ch = recv.X
+		}
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			if recv, ok := s.Rhs[0].(*ast.UnaryExpr); ok {
+				ch = recv.X
+			}
+		}
+	case *ast.SendStmt:
+		// A send arm can block indefinitely regardless of the channel's
+		// producer; never transient.
+		return false
+	}
+	if ch == nil {
+		return false
+	}
+	return transientChannelExpr(ch)
+}
+
+// transientChannelExpr recognises the channel expressions the paper's
+// filter lists: time.Tick(...), time.After(...), <timer>.C, ctx.Done().
+func transientChannelExpr(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.CallExpr:
+		sel, ok := x.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		switch sel.Sel.Name {
+		case "Done":
+			// ctx.Done(), stopper.Done(): a done channel is closed by
+			// the owner; the paper treats context.Done arms as the
+			// canonical transient case.
+			return true
+		case "Tick", "After":
+			if pkg, ok := sel.X.(*ast.Ident); ok && pkg.Name == "time" {
+				return true
+			}
+		}
+	case *ast.SelectorExpr:
+		// t.C on a time.Timer/time.Ticker. Without type information we
+		// accept any ".C" selector: a heuristic, but one biased toward
+		// false negatives only when a user names an ordinary channel
+		// field C.
+		return x.Sel.Name == "C"
+	}
+	return false
+}
+
+// TransientLocations returns the set of "file:line" locations of
+// transient selects, for joining against LEAKPROF profile groups.
+func TransientLocations(files []*File) map[string]bool {
+	out := map[string]bool{}
+	for _, f := range files {
+		for _, finding := range TransientSelects(f) {
+			out[finding.Location()] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,440 @@
+// Package features scans Go source for the concurrency-feature statistics
+// the paper reports about Uber's monorepo: the package-level paradigm
+// split of Table I and the per-construct counts of Table II (goroutine
+// creation, channel allocation buffer classes, channel operations, select
+// statements and their case-count percentiles).
+package features
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// SourceFile is one input file.
+type SourceFile struct {
+	// Path is the repo-relative path; its first segment is the package
+	// directory for Table I grouping.
+	Path string
+	// Content is the Go source.
+	Content string
+	// Test marks _test.go files.
+	Test bool
+}
+
+// FileStats are the Table II counters for a set of files.
+type FileStats struct {
+	Files int
+	ELoC  int
+
+	AnonymousFuncs      int
+	NamedFuncs          int
+	FuncsWithChanParam  int
+	FuncsWithChanReturn int
+
+	GoStmts            int // goroutine creation via the go keyword
+	WrapperGoroutines  int // goroutine creation via recognised wrappers
+	ChanUnbuffered     int
+	ChanSize1          int
+	ChanConstBuf       int // constant buffer > 1
+	ChanDynamicBuf     int // dynamically sized buffer
+	Sends              int
+	Receives           int
+	Closes             int
+	SelectBlocking     int
+	SelectNonBlocking  int
+	BlockingSelectArms []int // case-arm counts of blocking selects
+}
+
+// TotalGoroutineCreation sums both goroutine-creation forms.
+func (s *FileStats) TotalGoroutineCreation() int { return s.GoStmts + s.WrapperGoroutines }
+
+// TotalChanAllocs sums the four buffer classes.
+func (s *FileStats) TotalChanAllocs() int {
+	return s.ChanUnbuffered + s.ChanSize1 + s.ChanConstBuf + s.ChanDynamicBuf
+}
+
+// TotalSelects sums blocking and non-blocking selects.
+func (s *FileStats) TotalSelects() int { return s.SelectBlocking + s.SelectNonBlocking }
+
+// ArmPercentile returns the p-th percentile (0 < p <= 100) of blocking-
+// select case counts, or 0 when no blocking selects were seen.
+func (s *FileStats) ArmPercentile(p float64) int {
+	if len(s.BlockingSelectArms) == 0 {
+		return 0
+	}
+	arms := append([]int(nil), s.BlockingSelectArms...)
+	sort.Ints(arms)
+	idx := int(p/100*float64(len(arms))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(arms) {
+		idx = len(arms) - 1
+	}
+	return arms[idx]
+}
+
+// ArmMax returns the largest blocking-select case count.
+func (s *FileStats) ArmMax() int {
+	max := 0
+	for _, a := range s.BlockingSelectArms {
+		if a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// ArmMode returns the most common blocking-select case count.
+func (s *FileStats) ArmMode() int {
+	counts := map[int]int{}
+	best, bestN := 0, 0
+	for _, a := range s.BlockingSelectArms {
+		counts[a]++
+		if counts[a] > bestN || (counts[a] == bestN && a < best) {
+			best, bestN = a, counts[a]
+		}
+	}
+	return best
+}
+
+// TableII pairs source and test counters, mirroring the paper's columns.
+type TableII struct {
+	Source FileStats
+	Tests  FileStats
+}
+
+// PackageClass is a package's Table I classification.
+type PackageClass struct {
+	Name        string
+	MP          bool // uses message passing (channels/select)
+	SM          bool // uses shared memory (sync/atomic)
+	SourceFiles int
+	TestFiles   int
+	SourceELoC  int
+	TestELoC    int
+}
+
+// TableI is the paradigm distribution of Table I.
+type TableI struct {
+	Packages []PackageClass
+}
+
+// Row aggregates one Table I row.
+type Row struct {
+	Packages    int
+	SourceFiles int
+	TestFiles   int
+	SourceELoC  int
+	TestELoC    int
+}
+
+// RowMP, RowSM, RowBoth, RowAll compute the four Table I rows. Note that,
+// as in the paper, the MP and SM rows both include packages using both
+// paradigms; the Both row is their intersection.
+func (t *TableI) RowMP() Row   { return t.row(func(p PackageClass) bool { return p.MP }) }
+func (t *TableI) RowSM() Row   { return t.row(func(p PackageClass) bool { return p.SM }) }
+func (t *TableI) RowBoth() Row { return t.row(func(p PackageClass) bool { return p.MP && p.SM }) }
+func (t *TableI) RowAll() Row  { return t.row(func(PackageClass) bool { return true }) }
+
+func (t *TableI) row(pred func(PackageClass) bool) Row {
+	var r Row
+	for _, p := range t.Packages {
+		if !pred(p) {
+			continue
+		}
+		r.Packages++
+		r.SourceFiles += p.SourceFiles
+		r.TestFiles += p.TestFiles
+		r.SourceELoC += p.SourceELoC
+		r.TestELoC += p.TestELoC
+	}
+	return r
+}
+
+// Scanner configures feature scanning.
+type Scanner struct {
+	// Wrappers are function names recognised as goroutine-creation
+	// wrappers (Table II counts wrapper-based creation separately).
+	// Both bare names ("asyncRun") and qualified names ("pool.Go")
+	// match.
+	Wrappers []string
+}
+
+// Scan parses and scans all files, producing Table II counters and the
+// Table I package classification. Files that fail to parse are skipped.
+func (sc *Scanner) Scan(files []SourceFile) (*TableII, *TableI, error) {
+	t2 := &TableII{}
+	pkgs := map[string]*PackageClass{}
+	fset := token.NewFileSet()
+	for _, f := range files {
+		ast1, err := parser.ParseFile(fset, f.Path, f.Content, 0)
+		if err != nil {
+			continue
+		}
+		stats := &t2.Source
+		if f.Test {
+			stats = &t2.Tests
+		}
+		usesMP, usesSM := sc.scanFile(ast1, stats)
+		stats.Files++
+		eloc := countELoC(f.Content)
+		stats.ELoC += eloc
+
+		dir := packageDir(f.Path)
+		pc := pkgs[dir]
+		if pc == nil {
+			pc = &PackageClass{Name: dir}
+			pkgs[dir] = pc
+		}
+		pc.MP = pc.MP || usesMP
+		pc.SM = pc.SM || usesSM
+		if f.Test {
+			pc.TestFiles++
+			pc.TestELoC += eloc
+		} else {
+			pc.SourceFiles++
+			pc.SourceELoC += eloc
+		}
+	}
+	t1 := &TableI{}
+	names := make([]string, 0, len(pkgs))
+	for n := range pkgs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		t1.Packages = append(t1.Packages, *pkgs[n])
+	}
+	return t2, t1, nil
+}
+
+func packageDir(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[:i]
+	}
+	return "."
+}
+
+// scanFile walks one file, updating stats and reporting paradigm use.
+func (sc *Scanner) scanFile(f *ast.File, s *FileStats) (usesMP, usesSM bool) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncDecl:
+			s.NamedFuncs++
+			if x.Type != nil {
+				if hasChanParam(x.Type.Params) {
+					s.FuncsWithChanParam++
+					usesMP = true
+				}
+				if hasChanParam(x.Type.Results) {
+					s.FuncsWithChanReturn++
+					usesMP = true
+				}
+			}
+		case *ast.FuncLit:
+			s.AnonymousFuncs++
+		case *ast.GoStmt:
+			s.GoStmts++
+		case *ast.CallExpr:
+			if sc.isWrapperCall(x) {
+				s.WrapperGoroutines++
+			}
+			if fun, ok := x.Fun.(*ast.Ident); ok && fun.Name == "close" && len(x.Args) == 1 {
+				s.Closes++
+				usesMP = true
+			}
+			if cls, ok := classifyMakeChan(x); ok {
+				usesMP = true
+				switch cls {
+				case chanUnbuffered:
+					s.ChanUnbuffered++
+				case chanSize1:
+					s.ChanSize1++
+				case chanConst:
+					s.ChanConstBuf++
+				case chanDynamic:
+					s.ChanDynamicBuf++
+				}
+			}
+		case *ast.SendStmt:
+			s.Sends++
+			usesMP = true
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				s.Receives++
+				usesMP = true
+			}
+		case *ast.SelectStmt:
+			usesMP = true
+			arms, hasDefault := 0, false
+			for _, clause := range x.Body.List {
+				if comm, ok := clause.(*ast.CommClause); ok {
+					if comm.Comm == nil {
+						hasDefault = true
+					} else {
+						arms++
+					}
+				}
+			}
+			if hasDefault {
+				s.SelectNonBlocking++
+			} else {
+				s.SelectBlocking++
+				s.BlockingSelectArms = append(s.BlockingSelectArms, arms)
+			}
+		case *ast.SelectorExpr:
+			if pkg, ok := x.X.(*ast.Ident); ok {
+				if pkg.Name == "sync" || pkg.Name == "atomic" {
+					usesSM = true
+				}
+			}
+		case *ast.RangeStmt:
+			// range over a channel is a receive loop; counted via the
+			// paradigm only (Table II's receive count is syntactic <-).
+		}
+		return true
+	})
+	return usesMP, usesSM
+}
+
+// hasChanParam reports whether a field list contains a channel-typed
+// entry (directly, not nested inside composite types).
+func hasChanParam(fl *ast.FieldList) bool {
+	if fl == nil {
+		return false
+	}
+	for _, field := range fl.List {
+		if _, ok := field.Type.(*ast.ChanType); ok {
+			return true
+		}
+	}
+	return false
+}
+
+type chanClass int
+
+const (
+	chanUnbuffered chanClass = iota
+	chanSize1
+	chanConst
+	chanDynamic
+)
+
+// classifyMakeChan classifies make(chan T[, n]) calls into Table II's
+// buffer classes.
+func classifyMakeChan(call *ast.CallExpr) (chanClass, bool) {
+	fun, ok := call.Fun.(*ast.Ident)
+	if !ok || fun.Name != "make" || len(call.Args) == 0 {
+		return 0, false
+	}
+	if _, isChan := call.Args[0].(*ast.ChanType); !isChan {
+		return 0, false
+	}
+	if len(call.Args) == 1 {
+		return chanUnbuffered, true
+	}
+	if lit, ok := call.Args[1].(*ast.BasicLit); ok && lit.Kind == token.INT {
+		switch lit.Value {
+		case "0":
+			return chanUnbuffered, true
+		case "1":
+			return chanSize1, true
+		default:
+			return chanConst, true
+		}
+	}
+	return chanDynamic, true
+}
+
+func (sc *Scanner) isWrapperCall(call *ast.CallExpr) bool {
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		if pkg, ok := fun.X.(*ast.Ident); ok {
+			name = pkg.Name + "." + fun.Sel.Name
+		} else {
+			name = fun.Sel.Name
+		}
+	default:
+		return false
+	}
+	for _, w := range sc.Wrappers {
+		if name == w {
+			return true
+		}
+	}
+	return false
+}
+
+// countELoC counts non-blank, non-comment-only lines.
+func countELoC(src string) int {
+	n := 0
+	for _, line := range strings.Split(src, "\n") {
+		t := strings.TrimSpace(line)
+		if t == "" || strings.HasPrefix(t, "//") {
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+// FormatTableII renders the scan result in the paper's Table II layout.
+func FormatTableII(t *TableII) string {
+	var b strings.Builder
+	row := func(label string, src, tst int) {
+		fmt.Fprintf(&b, "%-36s %10d %10d\n", label, src, tst)
+	}
+	b.WriteString("Feature                                  Source      Tests\n")
+	b.WriteString("Functions\n")
+	row("  Anonymous", t.Source.AnonymousFuncs, t.Tests.AnonymousFuncs)
+	row("  Named", t.Source.NamedFuncs, t.Tests.NamedFuncs)
+	row("  With channel parameter(s)", t.Source.FuncsWithChanParam, t.Tests.FuncsWithChanParam)
+	row("  With channel return type(s)", t.Source.FuncsWithChanReturn, t.Tests.FuncsWithChanReturn)
+	b.WriteString("Goroutine creation\n")
+	row("  Via go keyword", t.Source.GoStmts, t.Tests.GoStmts)
+	row("  Via wrapper function", t.Source.WrapperGoroutines, t.Tests.WrapperGoroutines)
+	row("  Total", t.Source.TotalGoroutineCreation(), t.Tests.TotalGoroutineCreation())
+	b.WriteString("Channel allocations via make(chan)\n")
+	row("  Unbuffered", t.Source.ChanUnbuffered, t.Tests.ChanUnbuffered)
+	row("  Size-1 buffers", t.Source.ChanSize1, t.Tests.ChanSize1)
+	row("  Constant (>1) buffers", t.Source.ChanConstBuf, t.Tests.ChanConstBuf)
+	row("  Dynamically sized buffers", t.Source.ChanDynamicBuf, t.Tests.ChanDynamicBuf)
+	row("  Total", t.Source.TotalChanAllocs(), t.Tests.TotalChanAllocs())
+	b.WriteString("Channel operations\n")
+	row("  Sends: c<-", t.Source.Sends, t.Tests.Sends)
+	row("  Receives: <-c", t.Source.Receives, t.Tests.Receives)
+	row("  close", t.Source.Closes, t.Tests.Closes)
+	b.WriteString("select statements\n")
+	row("  Blocking", t.Source.SelectBlocking, t.Tests.SelectBlocking)
+	row("  Non-blocking", t.Source.SelectNonBlocking, t.Tests.SelectNonBlocking)
+	row("  Total", t.Source.TotalSelects(), t.Tests.TotalSelects())
+	b.WriteString("Overall cases in blocking select\n")
+	row("  P50", t.Source.ArmPercentile(50), t.Tests.ArmPercentile(50))
+	row("  P90", t.Source.ArmPercentile(90), t.Tests.ArmPercentile(90))
+	row("  Maximum", t.Source.ArmMax(), t.Tests.ArmMax())
+	row("  Mode", t.Source.ArmMode(), t.Tests.ArmMode())
+	return b.String()
+}
+
+// FormatTableI renders the Table I paradigm split.
+func FormatTableI(t *TableI) string {
+	var b strings.Builder
+	b.WriteString("Paradigm              Packages   SrcFiles  SrcELoC  TestFiles  TestELoC\n")
+	row := func(label string, r Row) {
+		fmt.Fprintf(&b, "%-20s %9d %10d %8d %10d %9d\n",
+			label, r.Packages, r.SourceFiles, r.SourceELoC, r.TestFiles, r.TestELoC)
+	}
+	row("Message passing", t.RowMP())
+	row("Shared memory", t.RowSM())
+	row("MP and SM", t.RowBoth())
+	row("Entire corpus", t.RowAll())
+	return b.String()
+}

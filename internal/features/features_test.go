@@ -1,0 +1,235 @@
+package features
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+const mpSrc = `package p
+
+import "sync"
+
+func asyncRun(f func()) { go f() }
+
+func producer(out chan int) chan int {
+	unbuf := make(chan int)
+	one := make(chan int, 1)
+	big := make(chan int, 16)
+	dyn := make(chan int, cap(out))
+	go func() {
+		unbuf <- 1
+		one <- 2
+		big <- 3
+		dyn <- 4
+	}()
+	asyncRun(func() {
+		<-unbuf
+	})
+	v := <-one
+	_ = v
+	close(big)
+	select {
+	case <-big:
+	case <-dyn:
+	case out <- 9:
+	}
+	select {
+	case <-one:
+	default:
+	}
+	var mu sync.Mutex
+	mu.Lock()
+	mu.Unlock()
+	return dyn
+}
+`
+
+func scanOne(t *testing.T, src string, test bool) (*TableII, *TableI) {
+	t.Helper()
+	sc := &Scanner{Wrappers: []string{"asyncRun"}}
+	path := "pkg/a.go"
+	if test {
+		path = "pkg/a_test.go"
+	}
+	t2, t1, err := sc.Scan([]SourceFile{{Path: path, Content: src, Test: test}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return t2, t1
+}
+
+func TestScanTableIICounters(t *testing.T) {
+	t2, _ := scanOne(t, mpSrc, false)
+	s := t2.Source
+	if s.NamedFuncs != 2 {
+		t.Errorf("named funcs = %d, want 2", s.NamedFuncs)
+	}
+	if s.AnonymousFuncs != 2 { // the go literal and the asyncRun argument
+		t.Errorf("anonymous funcs = %d, want 2", s.AnonymousFuncs)
+	}
+	if s.FuncsWithChanParam != 1 { // producer(out chan int)
+		t.Errorf("chan-param funcs = %d, want 1", s.FuncsWithChanParam)
+	}
+	if s.GoStmts != 2 { // go f() inside wrapper + go func(){}
+		t.Errorf("go stmts = %d, want 2", s.GoStmts)
+	}
+	if s.WrapperGoroutines != 1 {
+		t.Errorf("wrapper goroutines = %d, want 1", s.WrapperGoroutines)
+	}
+	if s.ChanUnbuffered != 1 || s.ChanSize1 != 1 || s.ChanConstBuf != 1 || s.ChanDynamicBuf != 1 {
+		t.Errorf("chan classes = %d/%d/%d/%d, want 1 each",
+			s.ChanUnbuffered, s.ChanSize1, s.ChanConstBuf, s.ChanDynamicBuf)
+	}
+	if s.TotalChanAllocs() != 4 {
+		t.Errorf("total allocs = %d", s.TotalChanAllocs())
+	}
+	if s.Sends != 5 { // 4 sends in goroutine + select send arm
+		t.Errorf("sends = %d, want 5", s.Sends)
+	}
+	if s.Closes != 1 {
+		t.Errorf("closes = %d, want 1", s.Closes)
+	}
+	if s.SelectBlocking != 1 || s.SelectNonBlocking != 1 {
+		t.Errorf("selects = %d blocking / %d non-blocking, want 1/1",
+			s.SelectBlocking, s.SelectNonBlocking)
+	}
+	if len(s.BlockingSelectArms) != 1 || s.BlockingSelectArms[0] != 3 {
+		t.Errorf("blocking select arms = %v, want [3]", s.BlockingSelectArms)
+	}
+}
+
+func TestScanSeparatesTests(t *testing.T) {
+	sc := &Scanner{}
+	t2, _, err := sc.Scan([]SourceFile{
+		{Path: "pkg/a.go", Content: "package p\nfunc f() { ch := make(chan int); close(ch) }\n"},
+		{Path: "pkg/a_test.go", Content: "package p\nfunc g() { ch := make(chan int, 1); close(ch) }\n", Test: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t2.Source.ChanUnbuffered != 1 || t2.Source.ChanSize1 != 0 {
+		t.Errorf("source chans = %+v", t2.Source)
+	}
+	if t2.Tests.ChanSize1 != 1 || t2.Tests.ChanUnbuffered != 0 {
+		t.Errorf("test chans = %+v", t2.Tests)
+	}
+}
+
+func TestTableIClassification(t *testing.T) {
+	sc := &Scanner{}
+	_, t1, err := sc.Scan([]SourceFile{
+		{Path: "mp/a.go", Content: "package mp\nfunc f() { ch := make(chan int); close(ch) }\n"},
+		{Path: "sm/a.go", Content: "package sm\nimport \"sync\"\nfunc f() { var mu sync.Mutex; mu.Lock() }\n"},
+		{Path: "both/a.go", Content: "package both\nimport \"sync\"\nfunc f() { var mu sync.Mutex; mu.Lock(); ch := make(chan int); close(ch) }\n"},
+		{Path: "plain/a.go", Content: "package plain\nfunc f() int { return 1 }\n"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := t1.RowAll().Packages; got != 4 {
+		t.Errorf("all packages = %d", got)
+	}
+	if got := t1.RowMP().Packages; got != 2 { // mp + both
+		t.Errorf("MP packages = %d, want 2", got)
+	}
+	if got := t1.RowSM().Packages; got != 2 { // sm + both
+		t.Errorf("SM packages = %d, want 2", got)
+	}
+	if got := t1.RowBoth().Packages; got != 1 {
+		t.Errorf("Both packages = %d, want 1", got)
+	}
+}
+
+func TestArmStatistics(t *testing.T) {
+	s := FileStats{BlockingSelectArms: []int{2, 2, 2, 3, 3, 4, 11}}
+	if got := s.ArmPercentile(50); got != 2 {
+		t.Errorf("P50 = %d, want 2", got)
+	}
+	if got := s.ArmPercentile(90); got != 4 {
+		t.Errorf("P90 = %d, want 4", got)
+	}
+	if got := s.ArmMax(); got != 11 {
+		t.Errorf("max = %d", got)
+	}
+	if got := s.ArmMode(); got != 2 {
+		t.Errorf("mode = %d", got)
+	}
+	var empty FileStats
+	if empty.ArmPercentile(50) != 0 || empty.ArmMax() != 0 || empty.ArmMode() != 0 {
+		t.Error("empty stats should report zeros")
+	}
+}
+
+// TestScanSyntheticCorpusShape verifies the generator and scanner agree:
+// scanning a generated corpus reproduces Table II's ratio shapes.
+func TestScanSyntheticCorpusShape(t *testing.T) {
+	cfg := synth.DefaultConfig()
+	cfg.Packages = 400
+	cfg.FracMP, cfg.FracSM, cfg.FracBoth = 0.2, 0.2, 0.1
+	corpus := synth.Generate(cfg)
+	var files []SourceFile
+	for _, f := range corpus.Files() {
+		files = append(files, SourceFile{Path: f.Path, Content: f.Content, Test: f.Test})
+	}
+	sc := &Scanner{Wrappers: []string{"asyncRun"}}
+	t2, t1, err := sc.Scan(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := t2.Source
+	if s.TotalChanAllocs() == 0 || s.TotalGoroutineCreation() == 0 {
+		t.Fatal("corpus has no concurrency features")
+	}
+	// Shape checks mirroring Table II:
+	// unbuffered is the largest alloc class (45% of allocs);
+	unb := float64(s.ChanUnbuffered) / float64(s.TotalChanAllocs())
+	if unb < 0.30 || unb > 0.60 {
+		t.Errorf("unbuffered fraction = %.2f, want ~0.45", unb)
+	}
+	// wrappers account for a meaningful minority of goroutine creation;
+	wfrac := float64(s.WrapperGoroutines) / float64(s.TotalGoroutineCreation())
+	if wfrac < 0.05 || wfrac > 0.5 {
+		t.Errorf("wrapper fraction = %.2f, want ~0.1-0.4", wfrac)
+	}
+	// blocking selects dominate (74%);
+	bfrac := float64(s.SelectBlocking) / float64(s.TotalSelects())
+	if bfrac < 0.55 {
+		t.Errorf("blocking-select fraction = %.2f, want >= 0.55", bfrac)
+	}
+	// select-arm stats: P50 = 2, mode = 2.
+	if got := s.ArmPercentile(50); got != 2 {
+		t.Errorf("P50 arms = %d, want 2", got)
+	}
+	if got := s.ArmMode(); got != 2 {
+		t.Errorf("mode arms = %d, want 2", got)
+	}
+	// Tests carry channel traffic of their own (Table II's test column).
+	if t2.Tests.Receives == 0 || t2.Tests.Sends == 0 || t2.Tests.TotalChanAllocs() == 0 {
+		t.Errorf("test column empty: %+v", t2.Tests)
+	}
+	// Table I: MP row must include the both-paradigm packages.
+	if t1.RowMP().Packages < t1.RowBoth().Packages {
+		t.Error("MP row excludes both-paradigm packages")
+	}
+	if t1.RowAll().Packages != cfg.Packages {
+		t.Errorf("total packages = %d, want %d", t1.RowAll().Packages, cfg.Packages)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	t2, t1 := scanOne(t, mpSrc, false)
+	out2 := FormatTableII(t2)
+	for _, want := range []string{"Goroutine creation", "Unbuffered", "P50", "Mode"} {
+		if !strings.Contains(out2, want) {
+			t.Errorf("Table II output missing %q", want)
+		}
+	}
+	out1 := FormatTableI(t1)
+	for _, want := range []string{"Message passing", "Entire corpus"} {
+		if !strings.Contains(out1, want) {
+			t.Errorf("Table I output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,256 @@
+// Package fleet simulates a microservice platform of the kind LEAKPROF
+// monitors in the paper: services with many instances, each exposing a
+// goroutine-profile endpoint, some carrying injected leak defects whose
+// blocked-goroutine populations grow over time.
+//
+// The simulator substitutes for Uber's ~2500 services / ~200K instances.
+// Fidelity matters at the interface LEAKPROF sees — goroutine profiles —
+// so instances synthesise dump records through the executable pattern
+// library (identical state strings and frame shapes to real leaks,
+// relocated to per-service source coordinates) rather than spawning
+// millions of real goroutines. For end-to-end runs over HTTP, Serve
+// stands up one real net/http server per instance with the same handler
+// the production services mount.
+//
+// Time is discrete (days, matching LEAKPROF's collection cadence) and all
+// randomness is seeded.
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"time"
+
+	"repro/internal/gprofile"
+	"repro/internal/patterns"
+	"repro/internal/stack"
+	"repro/leakprof"
+)
+
+// ServiceConfig describes one simulated service.
+type ServiceConfig struct {
+	// Name is the service name.
+	Name string
+	// Instances is the deployment size.
+	Instances int
+	// Pattern is the injected leak pattern; nil for a healthy service.
+	Pattern *patterns.Pattern
+	// LeakFile/LeakLine are the service-local source coordinates of the
+	// blocking operation (the LEAKPROF grouping key).
+	LeakFile string
+	LeakLine int
+	// LeakPerDay is the blocked-goroutine growth per affected instance
+	// per day.
+	LeakPerDay int
+	// HotInstances is how many instances leak at HotLeakPerDay instead
+	// (the paper's outage-activated concentration: a few instances show
+	// huge clusters).
+	HotInstances  int
+	HotLeakPerDay int
+	// LeakStartDay is the day the defect ships; FixDay is the day the
+	// fix deploys (negative: never). Fixing clears the backlog at the
+	// next deploy; deploys happen every DeployEveryDays (default 2).
+	LeakStartDay    int
+	FixDay          int
+	DeployEveryDays int
+	// BenignGoroutines is the healthy background population per
+	// instance.
+	BenignGoroutines int
+	// Seed drives per-instance randomness.
+	Seed int64
+}
+
+// Service is one simulated service.
+type Service struct {
+	Cfg       ServiceConfig
+	instances []*Instance
+}
+
+// Instance is one simulated program instance.
+type Instance struct {
+	Service string
+	Name    string
+	hot     bool
+	blocked int
+	benign  []*stack.Goroutine
+	cfg     *ServiceConfig
+}
+
+// Blocked returns the instance's current blocked-goroutine count at the
+// injected leak location.
+func (in *Instance) Blocked() int { return in.blocked }
+
+// Stacks synthesises the instance's current goroutine population: the
+// benign background plus the leaked cluster.
+func (in *Instance) Stacks() []*stack.Goroutine {
+	out := make([]*stack.Goroutine, 0, len(in.benign)+in.blocked)
+	out = append(out, in.benign...)
+	if in.blocked > 0 && in.cfg.Pattern != nil {
+		leaked := in.cfg.Pattern.Stacks(int64(1000+len(in.benign)), in.blocked)
+		patterns.Relocate(leaked, in.cfg.LeakFile, in.cfg.LeakLine)
+		out = append(out, leaked...)
+	}
+	return out
+}
+
+// Fleet is the whole simulated platform.
+type Fleet struct {
+	Services []*Service
+	Day      int
+	origin   time.Time
+}
+
+// New builds a fleet at day zero.
+func New(origin time.Time, configs []ServiceConfig) *Fleet {
+	f := &Fleet{origin: origin}
+	for _, cfg := range configs {
+		cfg := cfg
+		if cfg.DeployEveryDays == 0 {
+			cfg.DeployEveryDays = 2
+		}
+		svc := &Service{Cfg: cfg}
+		r := rand.New(rand.NewSource(cfg.Seed))
+		for i := 0; i < cfg.Instances; i++ {
+			inst := &Instance{
+				Service: cfg.Name,
+				Name:    fmt.Sprintf("%s-%04d", cfg.Name, i),
+				hot:     i < cfg.HotInstances,
+				cfg:     &svc.Cfg,
+			}
+			n := cfg.BenignGoroutines
+			if n == 0 {
+				n = 50
+			}
+			inst.benign = patterns.BenignStacks(r, 1, n)
+			svc.instances = append(svc.instances, inst)
+		}
+		f.Services = append(f.Services, svc)
+	}
+	return f
+}
+
+// Instances returns all instances of all services.
+func (f *Fleet) Instances() []*Instance {
+	var out []*Instance
+	for _, s := range f.Services {
+		out = append(out, s.instances...)
+	}
+	return out
+}
+
+// AdvanceDay moves the simulation forward one day, growing leaked
+// populations, applying deploy resets, and honouring fixes.
+func (f *Fleet) AdvanceDay() {
+	f.Day++
+	for _, s := range f.Services {
+		cfg := s.Cfg
+		for _, in := range s.instances {
+			// Deploy boundary: the backlog clears.
+			if f.Day%cfg.DeployEveryDays == 0 {
+				in.blocked = 0
+			}
+			leakLive := cfg.Pattern != nil &&
+				f.Day >= cfg.LeakStartDay &&
+				(cfg.FixDay < 0 || f.Day < cfg.FixDay)
+			if !leakLive {
+				continue
+			}
+			rate := cfg.LeakPerDay
+			if in.hot {
+				rate = cfg.HotLeakPerDay
+			}
+			in.blocked += rate
+		}
+	}
+}
+
+// Snapshots captures one collection sweep directly (no HTTP), with the
+// leaked cluster fully materialised — faithful but memory-proportional to
+// the blocked population. Use SnapshotsAggregated for platform-scale
+// sweeps.
+func (f *Fleet) Snapshots() []*gprofile.Snapshot {
+	at := f.origin.Add(time.Duration(f.Day) * 24 * time.Hour)
+	var out []*gprofile.Snapshot
+	for _, in := range f.Instances() {
+		out = append(out, &gprofile.Snapshot{
+			Service:    in.Service,
+			Instance:   in.Name,
+			TakenAt:    at,
+			Goroutines: in.Stacks(),
+		})
+	}
+	return out
+}
+
+// SnapshotsAggregated captures one sweep using the pre-aggregated fast
+// path: the benign population is materialised, while the leaked cluster —
+// thousands of goroutines with the identical stack, exactly what a leak
+// produces — is carried as a (operation, location) count. The analyzer
+// consumes both forms identically.
+func (f *Fleet) SnapshotsAggregated() []*gprofile.Snapshot {
+	at := f.origin.Add(time.Duration(f.Day) * 24 * time.Hour)
+	var out []*gprofile.Snapshot
+	for _, in := range f.Instances() {
+		snap := &gprofile.Snapshot{
+			Service:    in.Service,
+			Instance:   in.Name,
+			TakenAt:    at,
+			Goroutines: in.benign,
+		}
+		if in.blocked > 0 && in.cfg.Pattern != nil {
+			// One representative record determines the operation kind
+			// and location; the count rides alongside.
+			rep := in.cfg.Pattern.Stacks(1, 1)
+			patterns.Relocate(rep, in.cfg.LeakFile, in.cfg.LeakLine)
+			if op, ok := rep[0].BlockedChannelOp(); ok {
+				snap.PreAggregated = map[stack.BlockedOp]int{op: in.blocked}
+			}
+		}
+		out = append(out, snap)
+	}
+	return out
+}
+
+// Serve stands up a real HTTP profile endpoint per instance and returns
+// LEAKPROF endpoints plus a shutdown function. Intended for moderate
+// fleet sizes (examples, integration tests).
+func (f *Fleet) Serve() ([]leakprof.Endpoint, func()) {
+	var endpoints []leakprof.Endpoint
+	var servers []*httptest.Server
+	for _, in := range f.Instances() {
+		in := in
+		srv := httptest.NewServer(gprofile.Handler{Stacks: in.Stacks})
+		servers = append(servers, srv)
+		endpoints = append(endpoints, leakprof.Endpoint{
+			Service:  in.Service,
+			Instance: in.Name,
+			URL:      srv.URL + "/debug/pprof/goroutine?debug=2",
+		})
+	}
+	return endpoints, func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}
+}
+
+// TotalBlocked sums blocked goroutines across a service's instances.
+func (s *Service) TotalBlocked() int {
+	total := 0
+	for _, in := range s.instances {
+		total += in.blocked
+	}
+	return total
+}
+
+// MaxBlocked returns the largest single-instance cluster in the service.
+func (s *Service) MaxBlocked() (string, int) {
+	name, max := "", 0
+	for _, in := range s.instances {
+		if in.blocked > max {
+			name, max = in.Name, in.blocked
+		}
+	}
+	return name, max
+}

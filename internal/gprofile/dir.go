@@ -1,0 +1,92 @@
+package gprofile
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/stack"
+)
+
+// SaveDir writes snapshots as debug=2 profile files named
+// <service>_<instance>.txt, the on-disk layout LoadDir reads back. It is
+// how sweeps are archived for offline re-analysis.
+func SaveDir(dir string, snaps []*Snapshot) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("gprofile: creating %s: %w", dir, err)
+	}
+	for _, s := range snaps {
+		name := fmt.Sprintf("%s_%s.txt", sanitize(s.Service), sanitize(s.Instance))
+		body := formatSnapshot(s)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			return fmt.Errorf("gprofile: writing %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// formatSnapshot renders the snapshot's goroutines, expanding any
+// pre-aggregated clusters into representative records so the saved file
+// is a plain debug=2 dump.
+func formatSnapshot(s *Snapshot) string {
+	var b strings.Builder
+	b.WriteString(stack.Format(s.Goroutines))
+	id := int64(1 << 20)
+	for op, n := range s.PreAggregated {
+		state := "chan " + op.Op
+		if op.Op == "select" {
+			state = "select"
+		}
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(&b, "\ngoroutine %d [%s]:\n%s()\n\t%s +0x1\n",
+				id, state, op.Function, op.Location)
+			id++
+		}
+	}
+	return b.String()
+}
+
+// LoadDir reads every <service>_<instance>.txt profile in dir. Files
+// that fail to parse are skipped with their error reported in errs; a
+// sweep archive must tolerate a corrupt member.
+func LoadDir(dir string, takenAt time.Time) (snaps []*Snapshot, errs []error, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("gprofile: reading %s: %w", dir, err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".txt") {
+			continue
+		}
+		body, rerr := os.ReadFile(filepath.Join(dir, e.Name()))
+		if rerr != nil {
+			errs = append(errs, rerr)
+			continue
+		}
+		base := strings.TrimSuffix(e.Name(), ".txt")
+		service, instance, ok := strings.Cut(base, "_")
+		if !ok {
+			service, instance = base, base
+		}
+		snap, perr := ParseSnapshot(service, instance, takenAt, string(body))
+		if perr != nil {
+			errs = append(errs, perr)
+			continue
+		}
+		snaps = append(snaps, snap)
+	}
+	return snaps, errs, nil
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '.':
+			return r
+		default:
+			return '-'
+		}
+	}, s)
+}

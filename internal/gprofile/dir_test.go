@@ -1,0 +1,98 @@
+package gprofile
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/stack"
+)
+
+func TestSaveLoadDirRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	snaps := []*Snapshot{
+		{
+			Service: "pay", Instance: "i1",
+			Goroutines: []*stack.Goroutine{
+				mkGoroutine(1, "running", "pay.handler", "/pay/h.go", 4),
+			},
+			PreAggregated: map[stack.BlockedOp]int{
+				{Op: "send", Function: "pay.leak", Location: "/pay/l.go:9"}:      3,
+				{Op: "select", Function: "pay.worker", Location: "/pay/w.go:22"}: 2,
+			},
+		},
+		{
+			Service: "search", Instance: "host/02", // slash sanitised in filename
+			Goroutines: []*stack.Goroutine{
+				mkGoroutine(5, "IO wait", "search.read", "/s/r.go", 7),
+			},
+		},
+	}
+	if err := SaveDir(dir, snaps); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, errs, err := LoadDir(dir, time.Unix(50, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(errs) != 0 {
+		t.Fatalf("member errors: %v", errs)
+	}
+	if len(loaded) != 2 {
+		t.Fatalf("loaded %d snapshots", len(loaded))
+	}
+	byService := map[string]*Snapshot{}
+	for _, s := range loaded {
+		byService[s.Service] = s
+		if !s.TakenAt.Equal(time.Unix(50, 0)) {
+			t.Errorf("timestamp = %v", s.TakenAt)
+		}
+	}
+	pay := byService["pay"]
+	if pay == nil {
+		t.Fatal("pay snapshot missing")
+	}
+	// The pre-aggregated clusters were expanded into real records; the
+	// counts must survive through CountByLocation.
+	counts := pay.CountByLocation()
+	send := stack.BlockedOp{Op: "send", Function: "pay.leak", Location: "/pay/l.go:9"}
+	sel := stack.BlockedOp{Op: "select", Function: "pay.worker", Location: "/pay/w.go:22"}
+	if counts[send] != 3 || counts[sel] != 2 {
+		t.Errorf("counts = %v", counts)
+	}
+	if len(pay.Goroutines) != 1+3+2 {
+		t.Errorf("pay goroutines = %d", len(pay.Goroutines))
+	}
+}
+
+func TestLoadDirToleratesCorruptMember(t *testing.T) {
+	dir := t.TempDir()
+	good := "goroutine 1 [chan send]:\nsvc.f()\n\t/s/f.go:2 +0x1\n"
+	if err := os.WriteFile(filepath.Join(dir, "svc_i1.txt"), []byte(good), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A file the parser rejects outright is hard to construct (the
+	// parser is lenient); an unreadable file exercises the error path.
+	bad := filepath.Join(dir, "svc_i2.txt")
+	if err := os.WriteFile(bad, []byte(good), 0o000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.ReadFile(bad); err == nil {
+		t.Skip("running as a user that ignores file modes")
+	}
+	snaps, errs, err := LoadDir(dir, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 1 || len(errs) != 1 {
+		t.Errorf("snaps = %d, errs = %v", len(snaps), errs)
+	}
+}
+
+func TestLoadDirMissing(t *testing.T) {
+	if _, _, err := LoadDir("/does/not/exist", time.Now()); err == nil {
+		t.Error("missing directory should error")
+	}
+}

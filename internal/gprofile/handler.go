@@ -1,0 +1,56 @@
+package gprofile
+
+import (
+	"net/http"
+	"runtime"
+	"strconv"
+
+	"repro/internal/stack"
+)
+
+// Handler serves goroutine profiles for the current process in the pprof
+// text encodings. Mount it at /debug/pprof/goroutine:
+//
+//	mux.Handle("/debug/pprof/goroutine", gprofile.Handler{})
+//
+// ?debug=2 (the LEAKPROF input) returns the full stack dump; ?debug=1
+// returns the aggregated form. As the paper notes (Section V-A), merely
+// enabling the endpoint costs nothing: work happens only when a profile is
+// requested.
+type Handler struct {
+	// Stacks overrides the stack source; nil means the live process.
+	// The fleet simulator injects each simulated instance's synthetic
+	// goroutine population here.
+	Stacks func() []*stack.Goroutine
+}
+
+// ServeHTTP implements http.Handler.
+func (h Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	debug, _ := strconv.Atoi(r.URL.Query().Get("debug"))
+	gs, err := h.snapshot()
+	if err != nil {
+		http.Error(w, "capturing stacks: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	switch debug {
+	case 2:
+		_, _ = w.Write([]byte(stack.Format(gs)))
+	default:
+		_, _ = w.Write([]byte(Aggregate(gs).Format()))
+	}
+}
+
+func (h Handler) snapshot() ([]*stack.Goroutine, error) {
+	if h.Stacks != nil {
+		return h.Stacks(), nil
+	}
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			return stack.Parse(string(buf[:n]))
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+}

@@ -1,0 +1,334 @@
+// Package instrument implements the build-pipeline test instrumentation
+// of Section IV-A: transparently patching test targets so that GOLEAK is
+// invoked at the end of every test-suite execution.
+//
+// In Go, the hook is the special TestMain function. For a test package
+// without one, the instrumenter generates a companion _test.go file
+// declaring
+//
+//	func TestMain(m *testing.M) { goleak.VerifyTestMain(m) }
+//
+// For a package that already declares TestMain, indiscriminate injection
+// would produce a duplicate definition, so the instrumenter reports the
+// conflict and points at the existing declaration; the deployment amends
+// such files instead (a rewrite the Amend function performs when the
+// existing TestMain has the canonical m.Run-forwarding shape).
+package instrument
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// GeneratedFileName is the companion file the instrumenter writes.
+const GeneratedFileName = "zz_generated_goleak_test.go"
+
+// Status describes the instrumentation outcome for one package.
+type Status int
+
+const (
+	// StatusInjected means a TestMain companion file was (or would be)
+	// written.
+	StatusInjected Status = iota
+	// StatusAmended means an existing TestMain was rewritten to call
+	// VerifyTestMain.
+	StatusAmended
+	// StatusConflict means an existing TestMain could not be amended
+	// automatically.
+	StatusConflict
+	// StatusAlready means the package already invokes VerifyTestMain.
+	StatusAlready
+	// StatusNoTests means the directory has no test files.
+	StatusNoTests
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusInjected:
+		return "injected"
+	case StatusAmended:
+		return "amended"
+	case StatusConflict:
+		return "conflict"
+	case StatusAlready:
+		return "already-instrumented"
+	case StatusNoTests:
+		return "no-tests"
+	}
+	return "unknown"
+}
+
+// Result is one package's instrumentation outcome.
+type Result struct {
+	// Dir is the package directory.
+	Dir string
+	// Package is the test package name ("foo" or "foo_test").
+	Package string
+	// Status is the outcome.
+	Status Status
+	// File is the written or conflicting file, when applicable.
+	File string
+	// Detail carries the conflict explanation.
+	Detail string
+}
+
+// Instrumenter configures instrumentation.
+type Instrumenter struct {
+	// GoleakImport is the import path of the goleak package; defaults
+	// to "repro/goleak".
+	GoleakImport string
+	// DryRun computes results without writing files.
+	DryRun bool
+}
+
+func (in *Instrumenter) importPath() string {
+	if in.GoleakImport == "" {
+		return "repro/goleak"
+	}
+	return in.GoleakImport
+}
+
+// Package instruments a single package directory.
+func (in *Instrumenter) Package(dir string) (Result, error) {
+	res := Result{Dir: dir}
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return res, fmt.Errorf("instrument: reading %s: %w", dir, err)
+	}
+	var testFiles []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), "_test.go") {
+			testFiles = append(testFiles, e.Name())
+		}
+	}
+	sort.Strings(testFiles)
+	if len(testFiles) == 0 {
+		res.Status = StatusNoTests
+		return res, nil
+	}
+
+	// Scan existing test files for TestMain and VerifyTestMain use.
+	for _, name := range testFiles {
+		path := filepath.Join(dir, name)
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return res, fmt.Errorf("instrument: %w", err)
+		}
+		file, err := parser.ParseFile(fset, path, src, 0)
+		if err != nil {
+			continue // unparseable test files are the build's problem
+		}
+		if res.Package == "" {
+			res.Package = file.Name.Name
+		}
+		decl := findTestMain(file)
+		if decl == nil {
+			continue
+		}
+		res.File = path
+		if callsVerifyTestMain(decl) {
+			res.Status = StatusAlready
+			return res, nil
+		}
+		if body, ok := amendableTestMain(decl); ok {
+			res.Status = StatusAmended
+			if !in.DryRun {
+				if err := in.rewriteTestMain(path, string(src), fset, decl, body); err != nil {
+					return res, err
+				}
+			}
+			return res, nil
+		}
+		res.Status = StatusConflict
+		res.Detail = fmt.Sprintf("TestMain at %s has custom logic; amend manually",
+			fset.Position(decl.Pos()))
+		return res, nil
+	}
+
+	// No TestMain anywhere: inject the companion file.
+	res.Status = StatusInjected
+	res.File = filepath.Join(dir, GeneratedFileName)
+	if !in.DryRun {
+		content := in.generatedFile(res.Package)
+		if err := os.WriteFile(res.File, []byte(content), 0o644); err != nil {
+			return res, fmt.Errorf("instrument: writing %s: %w", res.File, err)
+		}
+	}
+	return res, nil
+}
+
+// Tree instruments every package under root (recursively); directories
+// named testdata or vendor are skipped.
+func (in *Instrumenter) Tree(root string) ([]Result, error) {
+	dirs := map[string]bool{}
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			switch info.Name() {
+			case "testdata", "vendor":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, "_test.go") {
+			dirs[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("instrument: walking %s: %w", root, err)
+	}
+	sorted := make([]string, 0, len(dirs))
+	for d := range dirs {
+		sorted = append(sorted, d)
+	}
+	sort.Strings(sorted)
+	var out []Result
+	for _, d := range sorted {
+		res, err := in.Package(d)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// generatedFile renders the companion TestMain file.
+func (in *Instrumenter) generatedFile(pkg string) string {
+	if pkg == "" {
+		pkg = "main"
+	}
+	return fmt.Sprintf(`// Code generated by goleakify; DO NOT EDIT.
+//
+// This file injects the GOLEAK verification hook into the test target:
+// after all tests run, any lingering goroutine fails the target.
+
+package %s
+
+import (
+	"testing"
+
+	"%s"
+)
+
+func TestMain(m *testing.M) {
+	goleak.VerifyTestMain(m)
+}
+`, pkg, in.importPath())
+}
+
+// findTestMain locates a func TestMain(m *testing.M) declaration.
+func findTestMain(file *ast.File) *ast.FuncDecl {
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Recv != nil || fn.Name.Name != "TestMain" {
+			continue
+		}
+		if fn.Type.Params == nil || len(fn.Type.Params.List) != 1 {
+			continue
+		}
+		return fn
+	}
+	return nil
+}
+
+// callsVerifyTestMain reports whether the declaration already invokes a
+// VerifyTestMain.
+func callsVerifyTestMain(fn *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "VerifyTestMain" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// amendableTestMain recognises the canonical forwarding TestMain:
+//
+//	func TestMain(m *testing.M) { os.Exit(m.Run()) }
+//
+// whose body can be rewritten mechanically. Anything else (setup,
+// teardown, flag handling) is a conflict for a human.
+func amendableTestMain(fn *ast.FuncDecl) (string, bool) {
+	if fn.Body == nil || len(fn.Body.List) != 1 {
+		return "", false
+	}
+	expr, ok := fn.Body.List[0].(*ast.ExprStmt)
+	if !ok {
+		return "", false
+	}
+	call, ok := expr.X.(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Exit" {
+		return "", false
+	}
+	inner, ok := call.Args[0].(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	innerSel, ok := inner.Fun.(*ast.SelectorExpr)
+	if !ok || innerSel.Sel.Name != "Run" {
+		return "", false
+	}
+	recv, ok := innerSel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	return recv.Name, true
+}
+
+// rewriteTestMain replaces the canonical forwarding body with the
+// VerifyTestMain call and ensures the goleak import is present.
+func (in *Instrumenter) rewriteTestMain(path, src string, fset *token.FileSet, fn *ast.FuncDecl, recv string) error {
+	start := fset.Position(fn.Body.Lbrace).Offset
+	end := fset.Position(fn.Body.Rbrace).Offset
+	newBody := fmt.Sprintf("{\n\tgoleak.VerifyTestMain(%s)\n}", recv)
+	out := src[:start] + newBody + src[end+1:]
+	if !strings.Contains(out, `"`+in.importPath()+`"`) {
+		out = addImport(out, in.importPath())
+	}
+	return os.WriteFile(path, []byte(out), 0o644)
+}
+
+// addImport inserts the import after the package clause; gofmt-correct
+// grouping is the formatter's job, compilability is ours.
+func addImport(src, path string) string {
+	lineStart := 0
+	for lineStart < len(src) {
+		lineEnd := strings.IndexByte(src[lineStart:], '\n')
+		if lineEnd < 0 {
+			lineEnd = len(src) - lineStart
+		}
+		line := src[lineStart : lineStart+lineEnd]
+		if strings.HasPrefix(strings.TrimSpace(line), "package ") {
+			insertAt := lineStart + lineEnd
+			if insertAt < len(src) {
+				insertAt++ // past the newline
+			}
+			return src[:insertAt] + "\nimport \"" + path + "\"\n" + src[insertAt:]
+		}
+		lineStart += lineEnd + 1
+	}
+	return src
+}

@@ -1,0 +1,223 @@
+package instrument
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFiles(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, content := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const plainTest = `package svc
+
+import "testing"
+
+func TestThing(t *testing.T) {}
+`
+
+func TestInjectCompanionFile(t *testing.T) {
+	dir := writeFiles(t, map[string]string{"a_test.go": plainTest})
+	in := &Instrumenter{}
+	res, err := in.Package(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusInjected {
+		t.Fatalf("status = %v", res.Status)
+	}
+	body, err := os.ReadFile(filepath.Join(dir, GeneratedFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := string(body)
+	for _, want := range []string{"package svc", "goleak.VerifyTestMain(m)", `"repro/goleak"`} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated file missing %q:\n%s", want, src)
+		}
+	}
+	// The generated file must parse.
+	fset := token.NewFileSet()
+	if _, err := parser.ParseFile(fset, "z.go", src, 0); err != nil {
+		t.Fatalf("generated file does not parse: %v", err)
+	}
+	// Re-instrumenting is idempotent: the companion file declares
+	// TestMain with VerifyTestMain, so status becomes already.
+	res, err = in.Package(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusAlready {
+		t.Errorf("second run status = %v, want already-instrumented", res.Status)
+	}
+}
+
+func TestAmendCanonicalTestMain(t *testing.T) {
+	existing := `package svc
+
+import (
+	"os"
+	"testing"
+)
+
+func TestMain(m *testing.M) {
+	os.Exit(m.Run())
+}
+
+func TestThing(t *testing.T) {}
+`
+	dir := writeFiles(t, map[string]string{"main_test.go": existing})
+	in := &Instrumenter{}
+	res, err := in.Package(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusAmended {
+		t.Fatalf("status = %v (%s)", res.Status, res.Detail)
+	}
+	body, _ := os.ReadFile(filepath.Join(dir, "main_test.go"))
+	src := string(body)
+	if !strings.Contains(src, "goleak.VerifyTestMain(m)") {
+		t.Errorf("amended file missing call:\n%s", src)
+	}
+	if !strings.Contains(src, `"repro/goleak"`) {
+		t.Errorf("amended file missing import:\n%s", src)
+	}
+	fset := token.NewFileSet()
+	if _, err := parser.ParseFile(fset, "m.go", src, 0); err != nil {
+		t.Fatalf("amended file does not parse: %v\n%s", err, src)
+	}
+}
+
+func TestConflictOnCustomTestMain(t *testing.T) {
+	custom := `package svc
+
+import (
+	"os"
+	"testing"
+)
+
+func TestMain(m *testing.M) {
+	setup()
+	code := m.Run()
+	teardown()
+	os.Exit(code)
+}
+
+func setup()    {}
+func teardown() {}
+`
+	dir := writeFiles(t, map[string]string{"main_test.go": custom})
+	in := &Instrumenter{}
+	res, err := in.Package(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusConflict {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if res.Detail == "" || res.File == "" {
+		t.Errorf("conflict lacks context: %+v", res)
+	}
+	// The custom file must be untouched.
+	body, _ := os.ReadFile(filepath.Join(dir, "main_test.go"))
+	if string(body) != custom {
+		t.Error("conflicting file was modified")
+	}
+}
+
+func TestNoTests(t *testing.T) {
+	dir := writeFiles(t, map[string]string{"code.go": "package svc\n"})
+	in := &Instrumenter{}
+	res, err := in.Package(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusNoTests {
+		t.Errorf("status = %v", res.Status)
+	}
+}
+
+func TestDryRunWritesNothing(t *testing.T) {
+	dir := writeFiles(t, map[string]string{"a_test.go": plainTest})
+	in := &Instrumenter{DryRun: true}
+	res, err := in.Package(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusInjected {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if _, err := os.Stat(filepath.Join(dir, GeneratedFileName)); !os.IsNotExist(err) {
+		t.Error("dry run wrote the companion file")
+	}
+}
+
+func TestTreeInstrumentsAllPackages(t *testing.T) {
+	dir := writeFiles(t, map[string]string{
+		"a/a_test.go":        plainTest,
+		"b/b_test.go":        strings.Replace(plainTest, "package svc", "package b", 1),
+		"c/code.go":          "package c\n",
+		"testdata/x_test.go": plainTest, // skipped
+	})
+	in := &Instrumenter{}
+	results, err := in.Tree(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %+v", results)
+	}
+	for _, r := range results {
+		if r.Status != StatusInjected {
+			t.Errorf("%s: status = %v", r.Dir, r.Status)
+		}
+	}
+}
+
+func TestExternalTestPackageName(t *testing.T) {
+	ext := `package svc_test
+
+import "testing"
+
+func TestExt(t *testing.T) {}
+`
+	dir := writeFiles(t, map[string]string{"ext_test.go": ext})
+	in := &Instrumenter{}
+	res, err := in.Package(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := os.ReadFile(filepath.Join(dir, GeneratedFileName))
+	if !strings.Contains(string(body), "package svc_test") {
+		t.Errorf("generated file has wrong package:\n%s", body)
+	}
+	_ = res
+}
+
+func TestCustomImportPath(t *testing.T) {
+	dir := writeFiles(t, map[string]string{"a_test.go": plainTest})
+	in := &Instrumenter{GoleakImport: "go.uber.org/goleak"}
+	if _, err := in.Package(dir); err != nil {
+		t.Fatal(err)
+	}
+	body, _ := os.ReadFile(filepath.Join(dir, GeneratedFileName))
+	if !strings.Contains(string(body), `"go.uber.org/goleak"`) {
+		t.Errorf("custom import missing:\n%s", body)
+	}
+}

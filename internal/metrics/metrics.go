@@ -1,0 +1,181 @@
+// Package metrics models the production resource telemetry the paper's
+// figures report: resident set size (Fig 1), CPU utilization (Fig 2),
+// blocked-goroutine footprints (Fig 6) and per-service memory impact
+// (Table V).
+//
+// The model is first-principles rather than curve-fitted: a partially
+// deadlocked goroutine pins its stack and every heap object reachable
+// from it (the paper's Section II), so
+//
+//	RSS(t) = base + leaked(t) × bytesPerGoroutine
+//
+// and the garbage collector must scan that pinned memory on every cycle,
+// so
+//
+//	CPU(t) = baseline(t) + gcFactor × leakedGiB(t)
+//
+// with a diurnal modulation on the baseline matching the crests and
+// troughs visible in the paper's plots. Deploys reset leaked goroutines
+// (services "get redeployed every few days ... eliding the leak"), which
+// produces the sawtooth ramps of Fig 6.
+//
+// All time is simulated; nothing here sleeps.
+package metrics
+
+import (
+	"math"
+	"time"
+)
+
+// Clock is a deterministic simulated clock.
+type Clock struct {
+	now time.Time
+}
+
+// NewClock starts a clock at the given origin.
+func NewClock(origin time.Time) *Clock { return &Clock{now: origin} }
+
+// Now returns the current simulated time.
+func (c *Clock) Now() time.Time { return c.now }
+
+// Advance moves the clock forward.
+func (c *Clock) Advance(d time.Duration) { c.now = c.now.Add(d) }
+
+// Point is one time-series sample.
+type Point struct {
+	T time.Time
+	V float64
+}
+
+// Series is an ordered time series.
+type Series []Point
+
+// Max returns the largest value, or 0 for an empty series.
+func (s Series) Max() float64 {
+	max := 0.0
+	for _, p := range s {
+		if p.V > max {
+			max = p.V
+		}
+	}
+	return max
+}
+
+// Mean returns the average value, or 0 for an empty series.
+func (s Series) Mean() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range s {
+		sum += p.V
+	}
+	return sum / float64(len(s))
+}
+
+// InstanceModel parameterises one service instance's resource behaviour.
+type InstanceModel struct {
+	// BaseRSSBytes is the healthy working set.
+	BaseRSSBytes float64
+	// BytesPerGoroutine is the stack plus reachable heap pinned by each
+	// leaked goroutine (the paper's Listing-1 discussion: stack, channel,
+	// and captured objects).
+	BytesPerGoroutine float64
+	// LeakPerHour is the rate at which goroutines leak while the defect
+	// is live.
+	LeakPerHour float64
+	// LeakActivationDelay models the paper's observation that "unusual
+	// circumstances, like outages, tend to activate partial deadlocks":
+	// within each deploy window the leak only starts flowing after this
+	// delay. Zero means the leak is active from deploy time.
+	LeakActivationDelay time.Duration
+	// RedeployEvery resets leaked goroutines (deploy cadence); zero
+	// means never.
+	RedeployEvery time.Duration
+
+	// BaseCPU is the healthy mean CPU utilization (fraction of a core).
+	BaseCPU float64
+	// DiurnalAmplitude modulates BaseCPU sinusoidally over 24h (0..1).
+	DiurnalAmplitude float64
+	// GCCPUPerGiB is the extra CPU fraction consumed per GiB of leaked,
+	// GC-scanned memory.
+	GCCPUPerGiB float64
+}
+
+// LeakedGoroutines returns the number of leaked goroutines at elapsed time
+// since the leak went live. fixAfter bounds leak growth: past that point
+// the defect is fixed and the next redeploy clears the backlog; a negative
+// fixAfter means the leak is never fixed.
+func (m *InstanceModel) LeakedGoroutines(elapsed time.Duration, fixAfter time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	fixed := fixAfter >= 0 && elapsed >= fixAfter
+	var sinceDeploy, leakWindow time.Duration
+	if m.RedeployEvery > 0 {
+		cycles := int64(elapsed / m.RedeployEvery)
+		sinceDeploy = elapsed - time.Duration(cycles)*m.RedeployEvery
+	} else {
+		sinceDeploy = elapsed
+	}
+	if fixed {
+		// After the fix, a deploy boundary clears the backlog; if the
+		// fix happened in the current deploy window, the pre-fix
+		// residue is still resident until the next deploy.
+		deployStart := elapsed - sinceDeploy
+		if deployStart >= fixAfter {
+			return 0
+		}
+		leakWindow = fixAfter - deployStart
+	} else {
+		leakWindow = sinceDeploy
+	}
+	leakWindow -= m.LeakActivationDelay
+	if leakWindow < 0 {
+		leakWindow = 0
+	}
+	return m.LeakPerHour * leakWindow.Hours()
+}
+
+// RSS returns resident set size in bytes at elapsed time.
+func (m *InstanceModel) RSS(elapsed, fixAfter time.Duration) float64 {
+	return m.BaseRSSBytes + m.LeakedGoroutines(elapsed, fixAfter)*m.BytesPerGoroutine
+}
+
+// CPU returns CPU utilization (fraction of a core) at elapsed time.
+func (m *InstanceModel) CPU(elapsed, fixAfter time.Duration) float64 {
+	diurnal := 1 + m.DiurnalAmplitude*math.Sin(2*math.Pi*elapsed.Hours()/24)
+	leakGiB := m.LeakedGoroutines(elapsed, fixAfter) * m.BytesPerGoroutine / (1 << 30)
+	return m.BaseCPU*diurnal + m.GCCPUPerGiB*leakGiB
+}
+
+// SampleRSS produces an RSS series over the window with the given step.
+func (m *InstanceModel) SampleRSS(window, step, fixAfter time.Duration, origin time.Time) Series {
+	return sample(window, step, origin, func(e time.Duration) float64 { return m.RSS(e, fixAfter) })
+}
+
+// SampleCPU produces a CPU series over the window with the given step.
+func (m *InstanceModel) SampleCPU(window, step, fixAfter time.Duration, origin time.Time) Series {
+	return sample(window, step, origin, func(e time.Duration) float64 { return m.CPU(e, fixAfter) })
+}
+
+// SampleLeaked produces a leaked-goroutine-count series.
+func (m *InstanceModel) SampleLeaked(window, step, fixAfter time.Duration, origin time.Time) Series {
+	return sample(window, step, origin, func(e time.Duration) float64 {
+		return m.LeakedGoroutines(e, fixAfter)
+	})
+}
+
+func sample(window, step time.Duration, origin time.Time, f func(time.Duration) float64) Series {
+	var s Series
+	for e := time.Duration(0); e <= window; e += step {
+		s = append(s, Point{T: origin.Add(e), V: f(e)})
+	}
+	return s
+}
+
+// GiB converts gibibytes to bytes.
+func GiB(g float64) float64 { return g * (1 << 30) }
+
+// MiB converts mebibytes to bytes.
+func MiB(mb float64) float64 { return mb * (1 << 20) }

@@ -1,0 +1,207 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var origin = time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestClock(t *testing.T) {
+	c := NewClock(origin)
+	if !c.Now().Equal(origin) {
+		t.Fatal("origin mismatch")
+	}
+	c.Advance(90 * time.Minute)
+	if got := c.Now().Sub(origin); got != 90*time.Minute {
+		t.Errorf("advanced %v", got)
+	}
+}
+
+func TestLeakAccumulationAndRedeploy(t *testing.T) {
+	m := InstanceModel{LeakPerHour: 100, RedeployEvery: 48 * time.Hour}
+	if got := m.LeakedGoroutines(0, -1); got != 0 {
+		t.Errorf("t=0 leaked = %f", got)
+	}
+	if got := m.LeakedGoroutines(10*time.Hour, -1); got != 1000 {
+		t.Errorf("10h leaked = %f, want 1000", got)
+	}
+	// Redeploy at 48h resets the backlog.
+	if got := m.LeakedGoroutines(49*time.Hour, -1); got != 100 {
+		t.Errorf("49h leaked = %f, want 100 (post-redeploy)", got)
+	}
+	// Without redeploys growth is unbounded.
+	m2 := InstanceModel{LeakPerHour: 100}
+	if got := m2.LeakedGoroutines(100*time.Hour, -1); got != 10000 {
+		t.Errorf("no-redeploy leaked = %f", got)
+	}
+}
+
+func TestFixClearsBacklogAtNextDeploy(t *testing.T) {
+	m := InstanceModel{LeakPerHour: 100, RedeployEvery: 48 * time.Hour}
+	fixAt := 24 * time.Hour
+	// Before the fix: growing.
+	if got := m.LeakedGoroutines(12*time.Hour, fixAt); got != 1200 {
+		t.Errorf("12h = %f", got)
+	}
+	// After the fix but before the next deploy: residue stays resident.
+	got := m.LeakedGoroutines(30*time.Hour, fixAt)
+	if got != 2400 { // leaked during [0, 24h) of this deploy window
+		t.Errorf("30h = %f, want 2400", got)
+	}
+	// After the next deploy: clean.
+	if got := m.LeakedGoroutines(50*time.Hour, fixAt); got != 0 {
+		t.Errorf("50h = %f, want 0", got)
+	}
+}
+
+func TestLeakMonotoneWithinDeployWindow(t *testing.T) {
+	m := InstanceModel{LeakPerHour: 50, RedeployEvery: 24 * time.Hour}
+	f := func(h1, h2 uint8) bool {
+		a := time.Duration(h1%24) * time.Hour
+		b := time.Duration(h2%24) * time.Hour
+		if a > b {
+			a, b = b, a
+		}
+		return m.LeakedGoroutines(a, -1) <= m.LeakedGoroutines(b, -1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRSSComposition(t *testing.T) {
+	m := InstanceModel{BaseRSSBytes: MiB(100), BytesPerGoroutine: 1 << 10, LeakPerHour: 1024}
+	want := MiB(100) + 1024*1024*10
+	if got := m.RSS(10*time.Hour, -1); math.Abs(got-want) > 1 {
+		t.Errorf("RSS = %f, want %f", got, want)
+	}
+}
+
+func TestCPUDiurnalAndGCLoad(t *testing.T) {
+	m := InstanceModel{BaseCPU: 0.1, DiurnalAmplitude: 0.5, GCCPUPerGiB: 0.02,
+		BytesPerGoroutine: GiB(1), LeakPerHour: 1}
+	// At 6h the sinusoid peaks: base*1.5 plus 6 GiB leaked * 0.02.
+	got := m.CPU(6*time.Hour, -1)
+	want := 0.1*1.5 + 6*0.02
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("CPU = %f, want %f", got, want)
+	}
+	// With the leak fixed at t=0, only the diurnal baseline remains.
+	if got := m.CPU(6*time.Hour, 0); math.Abs(got-0.15) > 1e-9 {
+		t.Errorf("fixed CPU = %f, want 0.15", got)
+	}
+}
+
+func TestSeriesStats(t *testing.T) {
+	s := Series{{V: 1}, {V: 5}, {V: 3}}
+	if s.Max() != 5 || s.Mean() != 3 {
+		t.Errorf("max=%f mean=%f", s.Max(), s.Mean())
+	}
+	var empty Series
+	if empty.Max() != 0 || empty.Mean() != 0 {
+		t.Error("empty series stats should be 0")
+	}
+}
+
+func TestFig1ReproducesReduction(t *testing.T) {
+	r := Fig1Reduction()
+	// The paper reports ≈9.2×; the model must land in that
+	// neighbourhood.
+	if r < 8 || r < 9 && r > 10 || r > 10.5 {
+		if r < 8 || r > 10.5 {
+			t.Errorf("Fig1 reduction = %.2fx, want ~9.2x", r)
+		}
+	}
+	before, after := Fig1Series(origin)
+	if len(before) != len(after) || len(before) == 0 {
+		t.Fatal("series malformed")
+	}
+	// After the fix the tail settles at the healthy baseline.
+	tail := after[len(after)-1].V
+	if math.Abs(tail-MiB(650)) > MiB(1) {
+		t.Errorf("post-fix steady state = %.0f MiB, want 650", tail/MiB(1))
+	}
+	// Before the fix, the peak is far above baseline.
+	if before.Max() < GiB(5) {
+		t.Errorf("pre-fix peak = %.2f GiB, want >= 5", before.Max()/GiB(1))
+	}
+}
+
+func TestFig2ReproducesCPUShape(t *testing.T) {
+	maxB, maxA, meanB, meanA := Fig2Impact(origin)
+	if maxA >= maxB || meanA >= meanB {
+		t.Fatalf("fix did not reduce CPU: max %f->%f mean %f->%f", maxB, maxA, meanB, meanA)
+	}
+	maxCut := 100 * (maxB - maxA) / maxB
+	meanCut := 100 * (meanB - meanA) / meanB
+	// Paper: max −34%, mean −16.5%. Accept the neighbourhood.
+	if maxCut < 20 || maxCut > 50 {
+		t.Errorf("max CPU cut = %.1f%%, want ~34%%", maxCut)
+	}
+	if meanCut < 8 || meanCut > 30 {
+		t.Errorf("mean CPU cut = %.1f%%, want ~16.5%%", meanCut)
+	}
+	if meanCut >= maxCut {
+		t.Errorf("mean cut %.1f%% should be below max cut %.1f%%", meanCut, maxCut)
+	}
+}
+
+func TestTableVSimulation(t *testing.T) {
+	horizon := 72 * time.Hour
+	rows := SimulateTableV(horizon)
+	if len(rows) != 13 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	cfg := TableVConfig()
+	for i, r := range rows {
+		if r.SavedPct() <= 0 {
+			t.Errorf("%s: no saving", r.Name)
+		}
+		// The simulated saving must match the paper's within a few
+		// points (the model is exact at the horizon by construction;
+		// this asserts the plumbing).
+		want := cfg[i].SavedPct()
+		if math.Abs(r.SavedPct()-want) > 3 {
+			t.Errorf("%s: saving %.1f%%, paper %.1f%%", r.Name, r.SavedPct(), want)
+		}
+	}
+	// S9 has the deepest service-wide saving (78%) among larger cuts.
+	var s9 ServiceImpact
+	for _, r := range rows {
+		if r.Name == "S9" {
+			s9 = r
+		}
+	}
+	if s9.SavedPct() < 70 {
+		t.Errorf("S9 saving = %.1f%%, want ~78%%", s9.SavedPct())
+	}
+	out := FormatTableV(rows)
+	if !contains(out, "S1") || !contains(out, "kept") {
+		t.Errorf("FormatTableV output:\n%s", out)
+	}
+}
+
+func TestCapSavedPct(t *testing.T) {
+	s := ServiceImpact{CapBeforeGB: 4, CapAfterGB: 3}
+	if got := s.CapSavedPct(); math.Abs(got-25) > 1e-9 {
+		t.Errorf("cap saved = %f", got)
+	}
+	s = ServiceImpact{CapBeforeGB: 4}
+	if s.CapSavedPct() != 0 {
+		t.Error("kept capacity should report 0%")
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	})()
+}

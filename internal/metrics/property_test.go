@@ -1,0 +1,71 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// Model invariants that must hold for any parameterisation the
+// simulators might construct.
+func TestModelInvariants(t *testing.T) {
+	f := func(leakRate uint16, hours uint8, redeployHrs uint8, fixHrs uint8) bool {
+		m := InstanceModel{
+			BaseRSSBytes:      MiB(100),
+			BytesPerGoroutine: 8 << 10,
+			LeakPerHour:       float64(leakRate % 5000),
+			BaseCPU:           0.1,
+			DiurnalAmplitude:  0.4,
+			GCCPUPerGiB:       0.02,
+		}
+		if redeployHrs > 0 {
+			m.RedeployEvery = time.Duration(redeployHrs) * time.Hour
+		}
+		elapsed := time.Duration(hours) * time.Hour
+		fixAfter := time.Duration(fixHrs) * time.Hour
+
+		leaked := m.LeakedGoroutines(elapsed, fixAfter)
+		leakedNoFix := m.LeakedGoroutines(elapsed, -1)
+		// Leaked counts are non-negative, and fixing never increases
+		// the backlog.
+		if leaked < 0 || leaked > leakedNoFix {
+			return false
+		}
+		// RSS never drops below the healthy baseline.
+		if m.RSS(elapsed, fixAfter) < m.BaseRSSBytes {
+			return false
+		}
+		// CPU stays positive (diurnal amplitude < 1).
+		if m.CPU(elapsed, fixAfter) <= 0 {
+			return false
+		}
+		// Within a deploy window the leak never exceeds rate × window.
+		if m.RedeployEvery > 0 && leakedNoFix > m.LeakPerHour*m.RedeployEvery.Hours() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleSeriesShape(t *testing.T) {
+	m := Fig1Model()
+	s := m.SampleRSS(48*time.Hour, time.Hour, -1, time.Unix(0, 0))
+	if len(s) != 49 {
+		t.Fatalf("samples = %d, want 49", len(s))
+	}
+	for i := 1; i < len(s); i++ {
+		if !s[i].T.After(s[i-1].T) {
+			t.Fatal("timestamps not strictly increasing")
+		}
+	}
+	leaked := m.SampleLeaked(10*time.Hour, time.Hour, -1, time.Unix(0, 0))
+	if leaked[0].V != 0 {
+		t.Errorf("leak at t=0 is %f", leaked[0].V)
+	}
+	if leaked[len(leaked)-1].V != m.LeakPerHour*10 {
+		t.Errorf("leak at 10h = %f", leaked[len(leaked)-1].V)
+	}
+}

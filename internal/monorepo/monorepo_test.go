@@ -1,0 +1,169 @@
+package monorepo
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stack"
+)
+
+func TestRunReproducesFig5Shape(t *testing.T) {
+	cfg := DefaultConfig()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Weeks) != cfg.Weeks {
+		t.Fatalf("weeks = %d", len(res.Weeks))
+	}
+
+	var preMerged, postMerged, postBlocked int
+	for _, w := range res.Weeks {
+		if w.Week < cfg.DeployWeek {
+			preMerged += w.Merged
+			if w.Blocked != 0 {
+				t.Errorf("week %d: blocked PRs before deployment", w.Week)
+			}
+		} else {
+			postMerged += w.Merged
+			postBlocked += w.Blocked
+		}
+	}
+	// Pre-deployment inflow is substantial (median 5/week + spike 47).
+	if preMerged < 60 {
+		t.Errorf("pre-deployment merged leaks = %d, want > 60", preMerged)
+	}
+	// The spike week dominates.
+	spike := res.Weeks[cfg.SpikeWeek-1]
+	if spike.Introduced != cfg.SpikeLeaks || spike.Merged != cfg.SpikeLeaks {
+		t.Errorf("spike week = %+v", spike)
+	}
+	// After deployment the inflow collapses to the exemption trickle
+	// (≈1/week for three weeks).
+	if postMerged > cfg.CriticalExemptionsPerWeek*cfg.ExemptionWeeks {
+		t.Errorf("post-deployment merged = %d, want <= %d", postMerged,
+			cfg.CriticalExemptionsPerWeek*cfg.ExemptionWeeks)
+	}
+	if postBlocked == 0 {
+		t.Error("GOLEAK blocked nothing after deployment")
+	}
+	// The yearly prevention estimate lands near the paper's ≈260.
+	if res.PreventedEstimate < 150 || res.PreventedEstimate > 400 {
+		t.Errorf("prevented estimate = %d, want ~260", res.PreventedEstimate)
+	}
+}
+
+func TestSuppressionListDynamics(t *testing.T) {
+	cfg := DefaultConfig()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := res.Weeks[0].SuppressionSize
+	if first != cfg.InitialSuppressions {
+		t.Errorf("initial suppressions = %d, want %d", first, cfg.InitialSuppressions)
+	}
+	last := res.Weeks[len(res.Weeks)-1].SuppressionSize
+	growth := last - first
+	maxGrowth := cfg.CriticalExemptionsPerWeek * cfg.ExemptionWeeks
+	if growth < 1 || growth > maxGrowth {
+		t.Errorf("suppression growth = %d, want 1..%d", growth, maxGrowth)
+	}
+}
+
+func TestDetectionIsRealNotAssumed(t *testing.T) {
+	// Every channel-blocking pattern the taxonomy samples must be
+	// detected by the real goleak path; a regression in parsing,
+	// filtering or classification shows up here.
+	cfg := DefaultConfig()
+	cfg.Weeks = 5
+	cfg.DeployWeek = 1 // gate from the start
+	cfg.CriticalExemptionsPerWeek = 0
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range res.Weeks {
+		if w.Introduced != w.Detected {
+			t.Errorf("week %d: introduced %d, detected %d", w.Week, w.Introduced, w.Detected)
+		}
+		if w.Merged != 0 {
+			t.Errorf("week %d: %d leaks merged past the gate", w.Week, w.Merged)
+		}
+	}
+	_ = res
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Weeks {
+		if a.Weeks[i] != b.Weeks[i] {
+			t.Fatalf("week %d differs across equal-seed runs", i+1)
+		}
+	}
+}
+
+func TestCensusReproducesTableIV(t *testing.T) {
+	c, err := RunCensus(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Total < 14000 {
+		t.Fatalf("census total = %d, want ~16.4K at scale 10", c.Total)
+	}
+	share := func(k stack.Kind) float64 {
+		return float64(c.Counts[k]) / float64(c.Total)
+	}
+	// Paper: select 51%, receive 32%, send 1.73%, IO 6.4%.
+	checks := []struct {
+		kind stack.Kind
+		want float64
+		tol  float64
+	}{
+		{stack.KindSelect, 0.51, 0.05},
+		{stack.KindChanReceive, 0.32, 0.05},
+		{stack.KindChanSend, 0.0173, 0.01},
+		{stack.KindIOWait, 0.064, 0.02},
+		{stack.KindSyscall, 0.044, 0.02},
+		{stack.KindSleep, 0.038, 0.02},
+	}
+	for _, chk := range checks {
+		if got := share(chk.kind); math.Abs(got-chk.want) > chk.tol {
+			t.Errorf("%v share = %.4f, want %.4f±%.3f", chk.kind, got, chk.want, chk.tol)
+		}
+	}
+	// Rare-but-guaranteed leak rows stay visible.
+	for _, k := range []stack.Kind{stack.KindChanSendNil, stack.KindChanReceiveNil, stack.KindSelectNoCases} {
+		if c.Counts[k] == 0 {
+			t.Errorf("%v missing from census", k)
+		}
+	}
+	// Message passing dominates (paper: >80%).
+	if mp := c.MessagePassingShare(); mp < 0.8 {
+		t.Errorf("message-passing share = %.2f, want > 0.8", mp)
+	}
+	out := c.Format()
+	if len(out) == 0 || c.Total == 0 {
+		t.Error("empty census output")
+	}
+}
+
+func TestCensusScaleOne(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale census")
+	}
+	c, err := RunCensus(100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Total < 1400 || c.Total > 1800 {
+		t.Errorf("scale-100 census total = %d", c.Total)
+	}
+}

@@ -1,0 +1,81 @@
+package patterns
+
+import "sync"
+
+// ComplexState models the §VI-B "other causes involving complex state
+// machine" bucket (29% of send leaks): a two-stage pipeline where stage
+// two aborts on a validation error, leaving stage one blocked sending into
+// the middle channel. The blocking operation is several calls away from
+// the broken state transition, which is what makes these leaks hard to
+// spot statically.
+
+func stageOne(in <-chan int, mid chan<- int, wg *sync.WaitGroup) {
+	defer wg.Done()
+	for v := range in {
+		mid <- v * 2 // leaks here once stage two has aborted
+	}
+}
+
+func stageTwo(mid <-chan int, out chan<- int, abortOn int, wg *sync.WaitGroup) {
+	defer wg.Done()
+	for v := range mid {
+		if v == abortOn {
+			return // state machine enters an error state and gives up
+		}
+		out <- v
+	}
+}
+
+// ComplexState is the pipeline leak with a multi-hop cause.
+var ComplexState = register(&Pattern{
+	Name:       "complex-state",
+	Doc:        "§VI-B: state-machine pipeline; downstream stage aborts, upstream send leaks",
+	Category:   CatSend,
+	Kind:       kindChanSend,
+	Releasable: true,
+	Trigger: func(n int) *Instance {
+		mids := make([]chan int, n)
+		ins := make([]chan int, n)
+		var wg sync.WaitGroup
+		for i := range mids {
+			in := make(chan int)
+			mid := make(chan int)
+			out := make(chan int, 8)
+			ins[i] = in
+			mids[i] = mid
+			wg.Add(2)
+			go stageOne(in, mid, &wg)
+			go stageTwo(mid, out, 2, &wg) // aborts on the first value (1*2)
+			in <- 1                       // consumed, triggers the abort
+			in <- 2                       // stage one picks it up and blocks on mid
+		}
+		return &Instance{
+			N: n, Releasable: true,
+			release: func() {
+				for i := range mids {
+					<-mids[i]     // unblock stage one's pending send
+					close(ins[i]) // let stage one's range loop end
+				}
+			},
+			wait: wg.Wait,
+		}
+	},
+	Fixed: func(n int) {
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			in := make(chan int)
+			mid := make(chan int, 8) // buffered: the abort cannot strand the sender
+			out := make(chan int, 8)
+			wg.Add(2)
+			go stageOne(in, mid, &wg)
+			go stageTwo(mid, out, 2, &wg)
+			in <- 1
+			in <- 2
+			close(in)
+		}
+		wg.Wait()
+	},
+	Stacks: stacksTemplate("chan send",
+		"repro/internal/patterns.stageOne", "internal/patterns/complexstate.go", 15,
+		"repro/internal/patterns.ComplexState.Trigger"),
+})

@@ -1,0 +1,107 @@
+package patterns
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// The paper's leak taxonomies as sampling distributions. Section VI gives
+// the category split among GOLEAK's 857 pre-existing leaks (send 15%,
+// receive 40%, select 45%) and sub-splits within each category; Section
+// VII gives the production mix among LEAKPROF's reports. These weights
+// drive the synthetic corpus and fleet so the reproduced taxonomy tables
+// inherit the paper's shape.
+
+// Weight pairs a pattern with a relative frequency.
+type Weight struct {
+	Pattern *Pattern
+	Weight  float64
+}
+
+// Distribution is a weighted set of patterns supporting reproducible
+// sampling.
+type Distribution struct {
+	weights []Weight
+	cum     []float64
+	total   float64
+}
+
+// NewDistribution builds a distribution; weights must be positive.
+func NewDistribution(weights []Weight) *Distribution {
+	d := &Distribution{weights: append([]Weight(nil), weights...)}
+	sort.SliceStable(d.weights, func(i, j int) bool {
+		return d.weights[i].Pattern.Name < d.weights[j].Pattern.Name
+	})
+	for _, w := range d.weights {
+		d.total += w.Weight
+		d.cum = append(d.cum, d.total)
+	}
+	return d
+}
+
+// Sample draws one pattern.
+func (d *Distribution) Sample(r *rand.Rand) *Pattern {
+	x := r.Float64() * d.total
+	i := sort.SearchFloat64s(d.cum, x)
+	if i >= len(d.weights) {
+		i = len(d.weights) - 1
+	}
+	return d.weights[i].Pattern
+}
+
+// Weights returns a copy of the weight table.
+func (d *Distribution) Weights() []Weight {
+	return append([]Weight(nil), d.weights...)
+}
+
+// GoleakTaxonomy reproduces the Section VI split of pre-existing leaks
+// found by GOLEAK, grouped by unique source location:
+//
+//	send 15%:    premature receiver return 57%, missing receiver 11%,
+//	             complex state machines 29% (folded into the two above),
+//	             double send 3%
+//	receive 40%: non-terminating timers 44%, unclosed range loops 42%,
+//	             other 14% (folded)
+//	select 45%:  contract violations 86.16% (done 58.47% / context
+//	             16.93% / outside-loop 10.76%), loops with no escape
+//	             7.7%, empty select 6.16%
+func GoleakTaxonomy() *Distribution {
+	return NewDistribution([]Weight{
+		// Send: 15 points split by §VI-B.
+		{PrematureReturn, 15 * 0.30}, // premature return (plain)
+		{TimeoutLeak, 15 * 0.27},     // premature return via timeout (57% combined)
+		{MissingReceiver, 15 * 0.11},
+		{ComplexState, 15 * 0.29},
+		{DoubleSend, 15 * 0.03},
+		// Receive: 40 points split by §VI-A.
+		{TimerLoop, 40 * 0.44},
+		{UnclosedRange, 40 * 0.42},
+		{NilReceive, 40 * 0.14}, // "other" receive causes
+		// Select: 45 points split by §VI-C.
+		{ContractDone, 45 * 0.5847},
+		{ContractContext, 45 * 0.1693},
+		{ContractOutsideLoop, 45 * 0.1076},
+		{LoopNoEscape, 45 * 0.077},
+		{EmptySelect, 45 * 0.0616},
+	})
+}
+
+// LeakprofTaxonomy reproduces the Section VII-A mix of production defects
+// reported by LEAKPROF: timeout 5, premature return 4, NCast 4, double
+// send 2, channel iteration without close 2, contract violation 1, and 6
+// others (spread over the remaining patterns).
+func LeakprofTaxonomy() *Distribution {
+	return NewDistribution([]Weight{
+		{TimeoutLeak, 5},
+		{PrematureReturn, 4},
+		{NCast, 4},
+		{DoubleSend, 2},
+		{UnclosedRange, 2},
+		{ContractDone, 1},
+		// The 6 uncategorised reports: spread across remaining shapes.
+		{MissingReceiver, 2},
+		{ComplexState, 2},
+		{LoopNoEscape, 1},
+		{ContractContext, 1},
+	})
+}

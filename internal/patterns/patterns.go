@@ -1,0 +1,158 @@
+// Package patterns implements, as executable Go code, every goroutine-leak
+// pattern the paper catalogues: the motivating example (Listing 1), the
+// test-time taxonomies of Section VI (unclosed range loops, timer receive
+// loops, double send, method contract violations, empty selects, nil
+// channels) and the production patterns of Section VII (premature function
+// return, the timeout leak, the NCast leak).
+//
+// Each Pattern supports three uses:
+//
+//   - Trigger leaks real goroutines, genuinely blocked on genuine channel
+//     operations, so GOLEAK's live detection path is exercised end to end.
+//     Where possible the Instance retains an escape hatch (a rescue
+//     receiver, a close, a timer reset) so harness code can unblock the
+//     goroutines afterwards; a few patterns (nil channels, empty select)
+//     are unreleasable by construction and are flagged as such.
+//   - Stacks synthesises the stack-dump records such a leak produces, for
+//     fleet-scale simulation where spawning millions of real goroutines
+//     would be impractical.
+//   - Fixed runs the corrected variant of the same protocol, which leaks
+//     nothing; before/after experiments diff the two.
+package patterns
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/stack"
+)
+
+// Category is the coarse leak classification of Section VI: which channel
+// operation the leaked goroutine blocks on.
+type Category int
+
+const (
+	// CatSend blocks on a channel send.
+	CatSend Category = iota
+	// CatReceive blocks on a channel receive.
+	CatReceive
+	// CatSelect blocks in a select statement.
+	CatSelect
+	// CatRunaway is a lingering-but-cycling goroutine (the timer loop of
+	// Listing 4): an anti-pattern GOLEAK reports even though it is not a
+	// partial deadlock in the strict sense.
+	CatRunaway
+)
+
+// String names the category as in Section VI.
+func (c Category) String() string {
+	switch c {
+	case CatSend:
+		return "send"
+	case CatReceive:
+		return "receive"
+	case CatSelect:
+		return "select"
+	case CatRunaway:
+		return "runaway"
+	}
+	return "unknown"
+}
+
+// Instance is one triggered leak: n goroutines blocked by a pattern.
+type Instance struct {
+	// N is the number of goroutines leaked.
+	N int
+	// Releasable reports whether Release can unblock them.
+	Releasable bool
+
+	release func()
+	wait    func()
+}
+
+// Release unblocks the leaked goroutines (no-op when !Releasable) and
+// waits for them to exit, so subsequent measurements see a clean address
+// space.
+func (in *Instance) Release() {
+	if in.release != nil {
+		in.release()
+	}
+	if in.wait != nil {
+		in.wait()
+	}
+}
+
+// Pattern is one leak pattern from the paper.
+type Pattern struct {
+	// Name is the registry key, e.g. "premature-return".
+	Name string
+	// Doc cites the paper construct this reproduces.
+	Doc string
+	// Category is the blocking family of the leaked goroutines.
+	Category Category
+	// Kind is the exact runtime blocking kind the leak exhibits.
+	Kind stack.Kind
+	// Releasable reports whether triggered instances can be unblocked.
+	Releasable bool
+
+	// Trigger leaks n real goroutines and returns the instance handle.
+	Trigger func(n int) *Instance
+	// Fixed runs the corrected protocol with n goroutines; it returns
+	// once all of them have finished (leaking none).
+	Fixed func(n int)
+	// Stacks synthesises the dump records of n goroutines leaked by this
+	// pattern, with ids starting at firstID. The records carry the same
+	// state strings and frame shapes the live leak produces.
+	Stacks func(firstID int64, n int) []*stack.Goroutine
+}
+
+var registry = map[string]*Pattern{}
+
+func register(p *Pattern) *Pattern {
+	if _, dup := registry[p.Name]; dup {
+		panic("patterns: duplicate registration of " + p.Name)
+	}
+	registry[p.Name] = p
+	return p
+}
+
+// Lookup returns the named pattern.
+func Lookup(name string) (*Pattern, error) {
+	p, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("patterns: unknown pattern %q", name)
+	}
+	return p, nil
+}
+
+// All returns every registered pattern sorted by name.
+func All() []*Pattern {
+	out := make([]*Pattern, 0, len(registry))
+	for _, p := range registry {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ByCategory returns the registered patterns in the given category, sorted
+// by name.
+func ByCategory(c Category) []*Pattern {
+	var out []*Pattern
+	for _, p := range All() {
+		if p.Category == c {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Kind aliases keep the pattern literals compact.
+const (
+	kindChanSend       = stack.KindChanSend
+	kindChanReceive    = stack.KindChanReceive
+	kindChanSendNil    = stack.KindChanSendNil
+	kindChanReceiveNil = stack.KindChanReceiveNil
+	kindSelect         = stack.KindSelect
+	kindSelectNoCases  = stack.KindSelectNoCases
+)

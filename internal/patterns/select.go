@@ -1,0 +1,366 @@
+package patterns
+
+import (
+	"context"
+	"sync"
+)
+
+// Select-statement leak patterns (§VI-C): method contract violations in
+// three variations, the loop with no escape hatch, and the empty select.
+
+// worker is the Listing-6 type: Start spawns a listener bounded by Stop.
+type worker struct {
+	ch   chan any
+	done chan any
+}
+
+func (w worker) listen(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		select {
+		case <-w.ch: // normal workflow
+		case <-w.done:
+			return // shut down
+		}
+	}
+}
+
+// Start launches the listener goroutine; the implicit contract is that
+// Stop is eventually invoked.
+func (w worker) Start(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go w.listen(wg)
+}
+
+// Stop closes done, releasing the listener.
+func (w worker) Stop() { close(w.done) }
+
+// ContractDone is the canonical method-contract violation: callers invoke
+// Start and forget Stop, so the done-channel select blocks forever.
+var ContractDone = register(&Pattern{
+	Name:       "contract-done",
+	Doc:        "Listing 6: Start without Stop; listener leaks in select on done channel",
+	Category:   CatSelect,
+	Kind:       kindSelect,
+	Releasable: true,
+	Trigger: func(n int) *Instance {
+		workers := make([]worker, n)
+		var wg sync.WaitGroup
+		for i := range workers {
+			w := worker{ch: make(chan any), done: make(chan any)}
+			workers[i] = w
+			w.Start(&wg)
+			// foo() exits without calling w.Stop().
+		}
+		return &Instance{
+			N: n, Releasable: true,
+			release: func() {
+				for _, w := range workers {
+					w.Stop()
+				}
+			},
+			wait: wg.Wait,
+		}
+	},
+	Fixed: func(n int) {
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			w := worker{ch: make(chan any), done: make(chan any)}
+			w.Start(&wg)
+			w.Stop() // the contract honoured
+		}
+		wg.Wait()
+	},
+	Stacks: stacksTemplate("select",
+		"repro/internal/patterns.worker.listen", "internal/patterns/select.go", 19,
+		"repro/internal/patterns.worker.Start"),
+})
+
+// ctxWorker replaces the done channel with context cancellation, the
+// 16.93% variation of the contract pattern.
+type ctxWorker struct {
+	ch  chan any
+	ctx context.Context
+}
+
+func (w ctxWorker) listen(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		select {
+		case <-w.ch:
+		case <-w.ctx.Done():
+			return
+		}
+	}
+}
+
+// ContractContext is the contract violation with context.Context instead
+// of a done channel: the caller never cancels.
+var ContractContext = register(&Pattern{
+	Name:       "contract-context",
+	Doc:        "§VI-C: contract violation with context.Context; caller never cancels",
+	Category:   CatSelect,
+	Kind:       kindSelect,
+	Releasable: true,
+	Trigger: func(n int) *Instance {
+		cancels := make([]context.CancelFunc, n)
+		var wg sync.WaitGroup
+		for i := range cancels {
+			ctx, cancel := context.WithCancel(context.Background())
+			cancels[i] = cancel
+			w := ctxWorker{ch: make(chan any), ctx: ctx}
+			wg.Add(1)
+			go w.listen(&wg)
+			// Caller drops the cancel func.
+		}
+		return &Instance{
+			N: n, Releasable: true,
+			release: func() {
+				for _, cancel := range cancels {
+					cancel()
+				}
+			},
+			wait: wg.Wait,
+		}
+	},
+	Fixed: func(n int) {
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			ctx, cancel := context.WithCancel(context.Background())
+			w := ctxWorker{ch: make(chan any), ctx: ctx}
+			wg.Add(1)
+			go w.listen(&wg)
+			cancel()
+		}
+		wg.Wait()
+	},
+	Stacks: stacksTemplate("select",
+		"repro/internal/patterns.ctxWorker.listen", "internal/patterns/select.go", 93,
+		"repro/internal/patterns.ContractContext.Trigger"),
+})
+
+func selectOnce(ch chan any, done chan any, wg *sync.WaitGroup) {
+	defer wg.Done()
+	select { // blocks at a select outside any loop
+	case <-ch:
+	case <-done:
+	}
+}
+
+// ContractOutsideLoop is the 27.7% variation: the worker blocks at a
+// select statement outside a for loop, waiting for a first message or a
+// shutdown that never arrives.
+var ContractOutsideLoop = register(&Pattern{
+	Name:       "contract-outside-loop",
+	Doc:        "§VI-C: blocking at a select outside a for loop; neither arm is ever ready",
+	Category:   CatSelect,
+	Kind:       kindSelect,
+	Releasable: true,
+	Trigger: func(n int) *Instance {
+		dones := make([]chan any, n)
+		var wg sync.WaitGroup
+		for i := range dones {
+			done := make(chan any)
+			dones[i] = done
+			wg.Add(1)
+			go selectOnce(make(chan any), done, &wg)
+		}
+		return &Instance{
+			N: n, Releasable: true,
+			release: func() {
+				for _, done := range dones {
+					close(done)
+				}
+			},
+			wait: wg.Wait,
+		}
+	},
+	Fixed: func(n int) {
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			done := make(chan any)
+			wg.Add(1)
+			go selectOnce(make(chan any), done, &wg)
+			close(done)
+		}
+		wg.Wait()
+	},
+	Stacks: stacksTemplate("select",
+		"repro/internal/patterns.selectOnce", "internal/patterns/select.go", 147,
+		"repro/internal/patterns.ContractOutsideLoop.Trigger"),
+})
+
+func loopNoEscape(data chan int, escape chan struct{}, wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		select {
+		case v := <-data:
+			_ = v // process and loop: no path leads to return or break
+		case <-escape:
+			return // harness-only escape hatch, never ready while leaked
+		}
+	}
+}
+
+// LoopNoEscape is the 7.7% select category: an infinite for/select whose
+// arms never lead to a return or break, so the goroutine can never
+// terminate even when arms fire.
+var LoopNoEscape = register(&Pattern{
+	Name:       "loop-no-escape",
+	Doc:        "§VI-C: infinite for/select with no execution path to return or break",
+	Category:   CatSelect,
+	Kind:       kindSelect,
+	Releasable: true,
+	Trigger: func(n int) *Instance {
+		escapes := make([]chan struct{}, n)
+		var wg sync.WaitGroup
+		for i := range escapes {
+			escape := make(chan struct{})
+			escapes[i] = escape
+			wg.Add(1)
+			go loopNoEscape(make(chan int), escape, &wg)
+		}
+		return &Instance{
+			N: n, Releasable: true,
+			release: func() {
+				for _, escape := range escapes {
+					close(escape)
+				}
+			},
+			wait: wg.Wait,
+		}
+	},
+	Fixed: func(n int) {
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			escape := make(chan struct{})
+			wg.Add(1)
+			go loopNoEscape(make(chan int), escape, &wg)
+			close(escape) // a termination path exists and is exercised
+		}
+		wg.Wait()
+	},
+	Stacks: stacksTemplate("select",
+		"repro/internal/patterns.loopNoEscape", "internal/patterns/select.go", 196,
+		"repro/internal/patterns.LoopNoEscape.Trigger"),
+})
+
+func emptySelect(wg *sync.WaitGroup) {
+	defer wg.Done()
+	select {} // blocks forever by construction
+}
+
+// EmptySelect is "select {}": a guaranteed partial deadlock with no
+// possible release. Triggered goroutines leak until process exit.
+var EmptySelect = register(&Pattern{
+	Name:       "empty-select",
+	Doc:        "§VI-C: select with no cases; 6.16% of select leaks; unreleasable",
+	Category:   CatSelect,
+	Kind:       kindSelectNoCases,
+	Releasable: false,
+	Trigger: func(n int) *Instance {
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go emptySelect(&wg)
+		}
+		return &Instance{N: n, Releasable: false}
+	},
+	Fixed: func(n int) {
+		// The only fix is not writing select{}; the corrected variant
+		// performs a select with a ready arm.
+		var wg sync.WaitGroup
+		done := make(chan struct{})
+		close(done)
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				select {
+				case <-done:
+				}
+			}()
+		}
+		wg.Wait()
+	},
+	Stacks: stacksTemplate("select (no cases)",
+		"repro/internal/patterns.emptySelect", "internal/patterns/select.go", 252,
+		"repro/internal/patterns.EmptySelect.Trigger"),
+})
+
+func nilSend(wg *sync.WaitGroup) {
+	defer wg.Done()
+	var ch chan int
+	ch <- 1 // send on nil channel: blocks forever
+}
+
+// NilSend sends on a nil channel: a guaranteed, unreleasable leak.
+var NilSend = register(&Pattern{
+	Name:       "nil-send",
+	Doc:        "Table IV: chan send (nil chan); guaranteed partial deadlock; unreleasable",
+	Category:   CatSend,
+	Kind:       kindChanSendNil,
+	Releasable: false,
+	Trigger: func(n int) *Instance {
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go nilSend(&wg)
+		}
+		return &Instance{N: n, Releasable: false}
+	},
+	Fixed: func(n int) {
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			ch := make(chan int, 1) // properly allocated channel
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ch <- 1
+			}()
+		}
+		wg.Wait()
+	},
+	Stacks: stacksTemplate("chan send (nil chan)",
+		"repro/internal/patterns.nilSend", "internal/patterns/select.go", 296,
+		"repro/internal/patterns.NilSend.Trigger"),
+})
+
+func nilReceive(wg *sync.WaitGroup) {
+	defer wg.Done()
+	var ch chan int
+	<-ch // receive on nil channel: blocks forever
+}
+
+// NilReceive receives from a nil channel: a guaranteed, unreleasable leak.
+var NilReceive = register(&Pattern{
+	Name:       "nil-receive",
+	Doc:        "Table IV: chan receive (nil chan); guaranteed partial deadlock; unreleasable",
+	Category:   CatReceive,
+	Kind:       kindChanReceiveNil,
+	Releasable: false,
+	Trigger: func(n int) *Instance {
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go nilReceive(&wg)
+		}
+		return &Instance{N: n, Releasable: false}
+	},
+	Fixed: func(n int) {
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			ch := make(chan int, 1)
+			ch <- 1
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-ch
+			}()
+		}
+		wg.Wait()
+	},
+	Stacks: stacksTemplate("chan receive (nil chan)",
+		"repro/internal/patterns.nilReceive", "internal/patterns/select.go", 332,
+		"repro/internal/patterns.NilReceive.Trigger"),
+})

@@ -1,0 +1,95 @@
+package patterns
+
+import (
+	"math/rand"
+
+	"repro/internal/stack"
+)
+
+// stacksTemplate returns a Stacks generator producing dump records with
+// the given runtime state, blocking function (leaf frame) and creator.
+// Line numbers are indicative of this package's sources; large-scale
+// simulations relabel File/Line via Relocate to model distinct services.
+func stacksTemplate(state, leafFn, file string, line int, createdBy string) func(int64, int) []*stack.Goroutine {
+	return func(firstID int64, n int) []*stack.Goroutine {
+		out := make([]*stack.Goroutine, n)
+		for i := range out {
+			out[i] = &stack.Goroutine{
+				ID:    firstID + int64(i),
+				State: state,
+				Frames: []stack.Frame{
+					{Function: leafFn, File: file, Line: line, Offset: 0x2b},
+				},
+				CreatedBy: stack.Frame{Function: createdBy, File: file, Line: line - 4, Offset: 0x5c},
+				CreatorID: 1,
+			}
+		}
+		return out
+	}
+}
+
+// Relocate rewrites the source coordinates of synthesised goroutines so a
+// simulated service exhibits the pattern at its own code location; the
+// function names keep the pattern recognisable while File/Line provide the
+// grouping key LEAKPROF aggregates on.
+func Relocate(gs []*stack.Goroutine, file string, line int) []*stack.Goroutine {
+	for _, g := range gs {
+		for i := range g.Frames {
+			g.Frames[i].File = file
+			g.Frames[i].Line = line
+		}
+		g.CreatedBy.File = file
+		g.CreatedBy.Line = line - 4
+	}
+	return gs
+}
+
+// BenignStacks synthesises the background population of a healthy service
+// instance: running handlers, IO waits, syscalls, sleeps, sync waits —
+// the non-channel rows of Table IV. The mix follows the table's relative
+// frequencies among non-channel states.
+func BenignStacks(r *rand.Rand, firstID int64, n int) []*stack.Goroutine {
+	type tmpl struct {
+		state  string
+		fn     string
+		file   string
+		line   int
+		weight int
+	}
+	// Weights are proportional to Table IV's non-channel rows:
+	// IO wait 9K, syscall 6.4K, sleep 5.5K, running 407, cond 46, sema 138.
+	templates := []tmpl{
+		{"IO wait", "net/http.(*conn).serve", "net/http/server.go", 1995, 9000},
+		{"syscall", "os/signal.signal_recv", "runtime/sigqueue.go", 152, 6400},
+		{"sleep", "svc/poller.tick", "svc/poller/tick.go", 33, 5500},
+		{"running", "svc/handler.Serve", "svc/handler/serve.go", 12, 407},
+		{"sync.Cond.Wait", "svc/queue.(*Q).Pop", "svc/queue/q.go", 61, 46},
+		{"semacquire", "svc/cache.(*C).Get", "svc/cache/c.go", 88, 138},
+	}
+	total := 0
+	for _, t := range templates {
+		total += t.weight
+	}
+	out := make([]*stack.Goroutine, n)
+	for i := range out {
+		pick := r.Intn(total)
+		var chosen tmpl
+		for _, t := range templates {
+			if pick < t.weight {
+				chosen = t
+				break
+			}
+			pick -= t.weight
+		}
+		out[i] = &stack.Goroutine{
+			ID:    firstID + int64(i),
+			State: chosen.state,
+			Frames: []stack.Frame{
+				{Function: chosen.fn, File: chosen.file, Line: chosen.line, Offset: 0x11},
+			},
+			CreatedBy: stack.Frame{Function: "svc/server.Start", File: "svc/server/start.go", Line: 20},
+			CreatorID: 1,
+		}
+	}
+	return out
+}

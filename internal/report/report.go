@@ -1,0 +1,223 @@
+// Package report implements the reporting tail of the LEAKPROF pipeline
+// (Fig 3 of the paper): deduplication of findings against a bug database,
+// code-ownership routing, and rendering of the alert payload that reaches
+// service owners.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Status tracks the lifecycle of a filed defect; the paper reports 33
+// filed, 24 acknowledged, 21 fixed over one year.
+type Status int
+
+const (
+	// StatusFiled is a newly created report.
+	StatusFiled Status = iota
+	// StatusAcknowledged means the owners confirmed a real defect.
+	StatusAcknowledged
+	// StatusFixed means a fix was deployed.
+	StatusFixed
+	// StatusRejected means the owners triaged it as a false positive.
+	StatusRejected
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusFiled:
+		return "filed"
+	case StatusAcknowledged:
+		return "acknowledged"
+	case StatusFixed:
+		return "fixed"
+	case StatusRejected:
+		return "rejected"
+	}
+	return "unknown"
+}
+
+// Bug is one filed defect.
+type Bug struct {
+	// Key is the dedup key (service+operation+location).
+	Key string
+	// Service, Op, Location, Function describe the offending operation.
+	Service  string
+	Op       string
+	Location string
+	Function string
+	// Owner is the routed code owner.
+	Owner string
+	// BlockedGoroutines is the fleet-wide count at filing time.
+	BlockedGoroutines int
+	// Impact is the ranking statistic at filing time.
+	Impact float64
+	// FiledAt is the filing timestamp.
+	FiledAt time.Time
+	// Status is the current lifecycle state.
+	Status Status
+	// Sightings counts how many sweeps re-observed the defect.
+	Sightings int
+}
+
+// DB is an in-memory bug database with dedup semantics: filing an already
+// known key updates the sighting count instead of creating a duplicate.
+// It is safe for concurrent use.
+type DB struct {
+	mu   sync.Mutex
+	bugs map[string]*Bug
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB { return &DB{bugs: make(map[string]*Bug)} }
+
+// File records a defect. It returns the stored bug and whether it was
+// newly created (false means the finding deduplicated onto an existing
+// report, whose counters are refreshed).
+func (db *DB) File(b Bug) (*Bug, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if existing, ok := db.bugs[b.Key]; ok {
+		existing.Sightings++
+		if b.BlockedGoroutines > existing.BlockedGoroutines {
+			existing.BlockedGoroutines = b.BlockedGoroutines
+		}
+		if b.Impact > existing.Impact {
+			existing.Impact = b.Impact
+		}
+		return existing, false
+	}
+	stored := b
+	stored.Sightings = 1
+	db.bugs[b.Key] = &stored
+	return &stored, true
+}
+
+// SetStatus transitions a bug's lifecycle state.
+func (db *DB) SetStatus(key string, s Status) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	b, ok := db.bugs[key]
+	if !ok {
+		return false
+	}
+	b.Status = s
+	return true
+}
+
+// Get returns a copy of the bug for key.
+func (db *DB) Get(key string) (Bug, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	b, ok := db.bugs[key]
+	if !ok {
+		return Bug{}, false
+	}
+	return *b, true
+}
+
+// All returns copies of all bugs sorted by filing time then key.
+func (db *DB) All() []Bug {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]Bug, 0, len(db.bugs))
+	for _, b := range db.bugs {
+		out = append(out, *b)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].FiledAt.Equal(out[j].FiledAt) {
+			return out[i].FiledAt.Before(out[j].FiledAt)
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// CountByStatus tallies bugs per lifecycle state (the §VII headline
+// numbers).
+func (db *DB) CountByStatus() map[Status]int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	m := make(map[Status]int)
+	for _, b := range db.bugs {
+		m[b.Status]++
+	}
+	return m
+}
+
+// Ownership maps source paths to owning teams, the way a CODEOWNERS file
+// does: the longest registered path prefix wins.
+type Ownership struct {
+	mu       sync.RWMutex
+	prefixes map[string]string
+}
+
+// NewOwnership builds an ownership map from prefix→owner pairs.
+func NewOwnership(prefixes map[string]string) *Ownership {
+	o := &Ownership{prefixes: make(map[string]string, len(prefixes))}
+	for p, owner := range prefixes {
+		o.prefixes[p] = owner
+	}
+	return o
+}
+
+// Register adds or replaces a prefix rule.
+func (o *Ownership) Register(prefix, owner string) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.prefixes == nil {
+		o.prefixes = make(map[string]string)
+	}
+	o.prefixes[prefix] = owner
+}
+
+// OwnerOf resolves the owner for a source location ("path/file.go:12").
+// The longest matching prefix wins; unmatched locations return "unowned".
+func (o *Ownership) OwnerOf(location string) string {
+	path := location
+	if i := strings.LastIndexByte(path, ':'); i > 0 {
+		path = path[:i]
+	}
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	best, bestLen := "unowned", -1
+	for prefix, owner := range o.prefixes {
+		if strings.HasPrefix(path, prefix) && len(prefix) > bestLen {
+			best, bestLen = owner, len(prefix)
+		}
+	}
+	return best
+}
+
+// Alert is the rendered payload sent to a code owner, carrying the fields
+// Section V-A lists: the offending operation with source location and
+// blocked-goroutine count, the representative profile, and the memory
+// footprint.
+type Alert struct {
+	Bug Bug
+	// RepresentativeInstance is the instance with the largest cluster.
+	RepresentativeInstance string
+	// RepresentativeCount is that instance's blocked count.
+	RepresentativeCount int
+	// MemoryFootprint describes the leak's memory trend, when available.
+	MemoryFootprint string
+}
+
+// Render formats the alert as the multi-line report text.
+func (a *Alert) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[leakprof] suspected goroutine leak in %s (owner: %s)\n", a.Bug.Service, a.Bug.Owner)
+	fmt.Fprintf(&b, "  operation:      chan %s at %s (%s)\n", a.Bug.Op, a.Bug.Location, a.Bug.Function)
+	fmt.Fprintf(&b, "  blocked:        %d goroutines fleet-wide (impact %.1f)\n", a.Bug.BlockedGoroutines, a.Bug.Impact)
+	fmt.Fprintf(&b, "  representative: %s with %d blocked goroutines\n", a.RepresentativeInstance, a.RepresentativeCount)
+	if a.MemoryFootprint != "" {
+		fmt.Fprintf(&b, "  memory:         %s\n", a.MemoryFootprint)
+	}
+	fmt.Fprintf(&b, "  status:         %s (sightings: %d)\n", a.Bug.Status, a.Bug.Sightings)
+	return b.String()
+}

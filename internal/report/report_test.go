@@ -1,0 +1,123 @@
+package report
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDBFileAndDedup(t *testing.T) {
+	db := NewDB()
+	b1, isNew := db.File(Bug{Key: "k1", Service: "s", BlockedGoroutines: 100, Impact: 10})
+	if !isNew || b1.Sightings != 1 {
+		t.Fatalf("first file: new=%v sightings=%d", isNew, b1.Sightings)
+	}
+	b2, isNew := db.File(Bug{Key: "k1", BlockedGoroutines: 500, Impact: 5})
+	if isNew {
+		t.Fatal("dedup failed")
+	}
+	if b2.Sightings != 2 {
+		t.Errorf("sightings = %d", b2.Sightings)
+	}
+	if b2.BlockedGoroutines != 500 {
+		t.Errorf("blocked count should track the max: %d", b2.BlockedGoroutines)
+	}
+	if b2.Impact != 10 {
+		t.Errorf("impact should track the max: %f", b2.Impact)
+	}
+}
+
+func TestDBStatusLifecycle(t *testing.T) {
+	db := NewDB()
+	db.File(Bug{Key: "a"})
+	db.File(Bug{Key: "b"})
+	db.File(Bug{Key: "c"})
+	if !db.SetStatus("a", StatusAcknowledged) {
+		t.Fatal("SetStatus on existing key failed")
+	}
+	db.SetStatus("a", StatusFixed)
+	db.SetStatus("b", StatusRejected)
+	if db.SetStatus("zzz", StatusFixed) {
+		t.Error("SetStatus on missing key succeeded")
+	}
+	counts := db.CountByStatus()
+	if counts[StatusFixed] != 1 || counts[StatusRejected] != 1 || counts[StatusFiled] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+	bug, ok := db.Get("a")
+	if !ok || bug.Status != StatusFixed {
+		t.Errorf("get(a) = %+v, %v", bug, ok)
+	}
+}
+
+func TestDBAllSorted(t *testing.T) {
+	db := NewDB()
+	t0 := time.Unix(100, 0)
+	db.File(Bug{Key: "later", FiledAt: t0.Add(time.Hour)})
+	db.File(Bug{Key: "earlier", FiledAt: t0})
+	db.File(Bug{Key: "also-early", FiledAt: t0})
+	all := db.All()
+	if len(all) != 3 {
+		t.Fatalf("len = %d", len(all))
+	}
+	if all[0].Key != "also-early" || all[1].Key != "earlier" || all[2].Key != "later" {
+		t.Errorf("order = %s, %s, %s", all[0].Key, all[1].Key, all[2].Key)
+	}
+}
+
+func TestDBConcurrentUse(t *testing.T) {
+	db := NewDB()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				db.File(Bug{Key: "shared"})
+				db.SetStatus("shared", StatusAcknowledged)
+				db.Get("shared")
+				db.All()
+				db.CountByStatus()
+			}
+		}()
+	}
+	wg.Wait()
+	bug, _ := db.Get("shared")
+	if bug.Sightings != 1600 {
+		t.Errorf("sightings = %d, want 1600", bug.Sightings)
+	}
+}
+
+func TestOwnershipLongestPrefix(t *testing.T) {
+	o := NewOwnership(map[string]string{
+		"/repo/":          "root-team",
+		"/repo/pay/":      "pay-team",
+		"/repo/pay/risk/": "risk-team",
+	})
+	cases := map[string]string{
+		"/repo/pay/risk/eval.go:10": "risk-team",
+		"/repo/pay/ledger.go:5":     "pay-team",
+		"/repo/infra/log.go:1":      "root-team",
+		"/elsewhere/x.go:1":         "unowned",
+	}
+	for loc, want := range cases {
+		if got := o.OwnerOf(loc); got != want {
+			t.Errorf("OwnerOf(%q) = %q, want %q", loc, got, want)
+		}
+	}
+	o.Register("/elsewhere/", "new-team")
+	if got := o.OwnerOf("/elsewhere/x.go:1"); got != "new-team" {
+		t.Errorf("after Register: %q", got)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for s, want := range map[Status]string{
+		StatusFiled: "filed", StatusAcknowledged: "acknowledged",
+		StatusFixed: "fixed", StatusRejected: "rejected", Status(9): "unknown",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("Status(%d) = %q, want %q", s, got, want)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package stack
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func g(state string, frames ...Frame) *Goroutine {
+	return &Goroutine{ID: 1, State: state, Frames: frames}
+}
+
+func TestKindFromState(t *testing.T) {
+	cases := []struct {
+		state string
+		want  Kind
+	}{
+		{"running", KindRunning},
+		{"runnable", KindRunning},
+		{"chan send", KindChanSend},
+		{"chan send (nil chan)", KindChanSendNil},
+		{"chan receive", KindChanReceive},
+		{"chan receive (nil chan)", KindChanReceiveNil},
+		{"select", KindSelect},
+		{"select (no cases)", KindSelectNoCases},
+		{"IO wait", KindIOWait},
+		{"syscall", KindSyscall},
+		{"sleep", KindSleep},
+		{"sync.Cond.Wait", KindCondWait},
+		{"semacquire", KindSemacquire},
+		{"sync.Mutex.Lock", KindSemacquire},
+		{"sync.WaitGroup.Wait", KindSemacquire},
+		{"GC assist wait", KindGC},
+		{"force gc", KindGC},
+		{"finalizer wait", KindFinalizer},
+		{"some novel state", KindUnknown},
+	}
+	for _, c := range cases {
+		if got := g(c.state).Kind(); got != c.want {
+			t.Errorf("Kind(%q) = %v, want %v", c.state, got, c.want)
+		}
+	}
+}
+
+func TestKindFallsBackToFrames(t *testing.T) {
+	cases := []struct {
+		fn   string
+		want Kind
+	}{
+		{"runtime.chansend1", KindChanSend},
+		{"runtime.chanrecv2", KindChanReceive},
+		{"runtime.selectgo", KindSelect},
+		{"runtime.block", KindSelectNoCases},
+		{"runtime.netpollblock", KindIOWait},
+		{"runtime.semacquire1", KindSemacquire},
+	}
+	for _, c := range cases {
+		gr := g("waiting",
+			Frame{Function: "runtime.gopark"},
+			Frame{Function: c.fn},
+			Frame{Function: "main.user"},
+		)
+		if got := gr.Kind(); got != c.want {
+			t.Errorf("frame %q: Kind = %v, want %v", c.fn, got, c.want)
+		}
+	}
+	// Non-runtime frame ends the scan.
+	gr := g("waiting", Frame{Function: "main.user"}, Frame{Function: "runtime.chansend1"})
+	if got := gr.Kind(); got != KindUnknown {
+		t.Errorf("scan should stop at user frame; got %v", got)
+	}
+}
+
+func TestChannelOpAndGuaranteedLeak(t *testing.T) {
+	if op := KindChanSend.ChannelOp(); op != "send" {
+		t.Errorf("send op = %q", op)
+	}
+	if op := KindChanReceiveNil.ChannelOp(); op != "receive" {
+		t.Errorf("recv-nil op = %q", op)
+	}
+	if op := KindSelectNoCases.ChannelOp(); op != "select" {
+		t.Errorf("empty select op = %q", op)
+	}
+	if op := KindIOWait.ChannelOp(); op != "" {
+		t.Errorf("IO wait op = %q, want empty", op)
+	}
+	for _, k := range []Kind{KindChanSendNil, KindChanReceiveNil, KindSelectNoCases} {
+		if !k.GuaranteedLeak() {
+			t.Errorf("%v should be a guaranteed leak", k)
+		}
+	}
+	for _, k := range []Kind{KindChanSend, KindSelect, KindRunning, KindIOWait} {
+		if k.GuaranteedLeak() {
+			t.Errorf("%v should not be a guaranteed leak", k)
+		}
+	}
+}
+
+func TestBlockedChannelOp(t *testing.T) {
+	gr := g("chan send",
+		Frame{Function: "runtime.gopark", File: "/go/runtime/proc.go", Line: 1},
+		Frame{Function: "runtime.chansend", File: "/go/runtime/chan.go", Line: 2},
+		Frame{Function: "main.producer", File: "/src/p.go", Line: 42},
+	)
+	op, ok := gr.BlockedChannelOp()
+	if !ok {
+		t.Fatal("expected a blocked channel op")
+	}
+	if op.Op != "send" || op.Location != "/src/p.go:42" || op.Function != "main.producer" {
+		t.Errorf("op = %+v", op)
+	}
+	if op.NilChannel {
+		t.Error("non-nil chan misreported as nil")
+	}
+
+	if _, ok := g("IO wait").BlockedChannelOp(); ok {
+		t.Error("IO wait should not yield a channel op")
+	}
+
+	nilOp, ok := g("chan receive (nil chan)", Frame{Function: "main.r", File: "/s.go", Line: 7}).BlockedChannelOp()
+	if !ok || !nilOp.NilChannel {
+		t.Errorf("nil-chan receive: ok=%v op=%+v", ok, nilOp)
+	}
+}
+
+func TestBlockedOnChannel(t *testing.T) {
+	if !g("select").BlockedOnChannel() {
+		t.Error("select should count as channel-blocked")
+	}
+	if g("sleep").BlockedOnChannel() {
+		t.Error("sleep should not count as channel-blocked")
+	}
+}
+
+func TestKindStringTotal(t *testing.T) {
+	// Property: every kind has a distinct, non-empty, non-"invalid" label.
+	seen := map[string]Kind{}
+	for _, k := range Kinds() {
+		s := k.String()
+		if s == "" || s == "invalid" {
+			t.Errorf("kind %d has bad label %q", k, s)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("kinds %v and %v share label %q", prev, k, s)
+		}
+		seen[s] = k
+	}
+	if Kind(-1).String() != "invalid" || Kind(999).String() != "invalid" {
+		t.Error("out-of-range kinds must stringify as invalid")
+	}
+}
+
+func TestClassifierTotalOnRandomStates(t *testing.T) {
+	// Property: Kind never panics and ChannelOp is consistent with
+	// BlockedOnChannel for arbitrary state strings.
+	f := func(state string) bool {
+		gr := g(state)
+		k := gr.Kind()
+		if gr.BlockedOnChannel() != (k.ChannelOp() != "") {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,65 @@
+package stack
+
+// Diff computes the goroutine-set difference between two captures of the
+// same process: which goroutines appeared, which disappeared, and which
+// persisted (matched by goroutine id). GOLEAK's IgnoreCurrent option and
+// leak-trend analyses are both set-difference problems over captures.
+type Diff struct {
+	// Added are goroutines present only in the newer capture.
+	Added []*Goroutine
+	// Removed are goroutines present only in the older capture.
+	Removed []*Goroutine
+	// Persisted are goroutines present in both, from the newer capture.
+	// For a leak, these are the interesting ones: a goroutine blocked at
+	// the same operation across two distant captures is almost certainly
+	// stuck (Fact 1 of the paper: a partially deadlocked goroutine stays
+	// until process death).
+	Persisted []*Goroutine
+}
+
+// Compare diffs two captures by goroutine id.
+func Compare(before, after []*Goroutine) Diff {
+	old := make(map[int64]*Goroutine, len(before))
+	for _, g := range before {
+		old[g.ID] = g
+	}
+	var d Diff
+	seen := make(map[int64]bool, len(after))
+	for _, g := range after {
+		seen[g.ID] = true
+		if _, ok := old[g.ID]; ok {
+			d.Persisted = append(d.Persisted, g)
+		} else {
+			d.Added = append(d.Added, g)
+		}
+	}
+	for _, g := range before {
+		if !seen[g.ID] {
+			d.Removed = append(d.Removed, g)
+		}
+	}
+	return d
+}
+
+// StuckCandidates returns the persisted goroutines that are blocked on a
+// channel operation at the same source location in both captures: the
+// strongest dynamic leak signal two samples can give.
+func StuckCandidates(before, after []*Goroutine) []*Goroutine {
+	old := make(map[int64]*Goroutine, len(before))
+	for _, g := range before {
+		old[g.ID] = g
+	}
+	var out []*Goroutine
+	for _, g := range after {
+		prev, ok := old[g.ID]
+		if !ok {
+			continue
+		}
+		opNow, ok1 := g.BlockedChannelOp()
+		opThen, ok2 := prev.BlockedChannelOp()
+		if ok1 && ok2 && opNow.Location == opThen.Location && opNow.Op == opThen.Op {
+			out = append(out, g)
+		}
+	}
+	return out
+}

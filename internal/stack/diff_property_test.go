@@ -1,0 +1,61 @@
+package stack
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestComparePartitionProperty: for any two captures, Compare partitions
+// the inputs exactly — |Persisted| + |Added| = |after| and
+// |Persisted| + |Removed| = |before| when ids are unique.
+func TestComparePartitionProperty(t *testing.T) {
+	gen := func(r *rand.Rand, ids []int64) []*Goroutine {
+		out := make([]*Goroutine, len(ids))
+		for i, id := range ids {
+			out[i] = mk(id, "chan send", "f", "/f.go", 1+r.Intn(9))
+		}
+		return out
+	}
+	f := func(seed int64, nBefore, nAfter uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		// Unique id pools with deliberate overlap.
+		pool := r.Perm(64)
+		before := gen(r, toIDs(pool[:int(nBefore)%32]))
+		after := gen(r, toIDs(pool[16:16+int(nAfter)%32]))
+		d := Compare(before, after)
+		if len(d.Persisted)+len(d.Added) != len(after) {
+			return false
+		}
+		if len(d.Persisted)+len(d.Removed) != len(before) {
+			return false
+		}
+		// Every persisted goroutine must exist in both inputs.
+		beforeIDs := map[int64]bool{}
+		for _, g := range before {
+			beforeIDs[g.ID] = true
+		}
+		for _, g := range d.Persisted {
+			if !beforeIDs[g.ID] {
+				return false
+			}
+		}
+		// Stuck candidates are a subset of persisted.
+		stuck := StuckCandidates(before, after)
+		if len(stuck) > len(d.Persisted) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func toIDs(xs []int) []int64 {
+	out := make([]int64, len(xs))
+	for i, x := range xs {
+		out[i] = int64(x)
+	}
+	return out
+}

@@ -1,0 +1,54 @@
+package stack
+
+import "testing"
+
+func mk(id int64, state, fn, file string, line int) *Goroutine {
+	return &Goroutine{ID: id, State: state,
+		Frames: []Frame{{Function: fn, File: file, Line: line}}}
+}
+
+func TestCompare(t *testing.T) {
+	before := []*Goroutine{
+		mk(1, "running", "main.main", "/m.go", 1),
+		mk(2, "chan send", "a.leak", "/a.go", 5),
+		mk(3, "sleep", "b.tick", "/b.go", 9),
+	}
+	after := []*Goroutine{
+		mk(2, "chan send", "a.leak", "/a.go", 5),
+		mk(4, "select", "c.worker", "/c.go", 2),
+	}
+	d := Compare(before, after)
+	if len(d.Added) != 1 || d.Added[0].ID != 4 {
+		t.Errorf("added = %+v", d.Added)
+	}
+	if len(d.Removed) != 2 {
+		t.Errorf("removed = %+v", d.Removed)
+	}
+	if len(d.Persisted) != 1 || d.Persisted[0].ID != 2 {
+		t.Errorf("persisted = %+v", d.Persisted)
+	}
+}
+
+func TestCompareEmpty(t *testing.T) {
+	d := Compare(nil, nil)
+	if len(d.Added)+len(d.Removed)+len(d.Persisted) != 0 {
+		t.Errorf("diff of nothing = %+v", d)
+	}
+}
+
+func TestStuckCandidates(t *testing.T) {
+	before := []*Goroutine{
+		mk(1, "chan send", "a.leak", "/a.go", 5),    // stuck at same spot
+		mk(2, "chan receive", "b.poll", "/b.go", 9), // moves on
+		mk(3, "running", "c.fn", "/c.go", 1),        // never blocked
+	}
+	after := []*Goroutine{
+		mk(1, "chan send", "a.leak", "/a.go", 5),
+		mk(2, "chan receive", "b.other", "/b2.go", 14), // different location
+		mk(3, "running", "c.fn", "/c.go", 2),
+	}
+	stuck := StuckCandidates(before, after)
+	if len(stuck) != 1 || stuck[0].ID != 1 {
+		t.Errorf("stuck = %+v", stuck)
+	}
+}

@@ -1,0 +1,312 @@
+package stack
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Parse decodes a full stack dump (the output of runtime.Stack(buf, true) or
+// a pprof goroutine profile at debug=2) into structured goroutine records.
+// Unrecognised lines inside a block are skipped rather than rejected: the
+// runtime occasionally adds annotations (frame pointers, register dumps on
+// fatal errors) that a robust consumer must tolerate.
+func Parse(dump string) ([]*Goroutine, error) {
+	lines := strings.Split(dump, "\n")
+	var (
+		out []*Goroutine
+		cur *Goroutine
+		i   int
+	)
+	flush := func() {
+		if cur != nil {
+			out = append(out, cur)
+			cur = nil
+		}
+	}
+	for i < len(lines) {
+		line := strings.TrimRight(lines[i], "\r")
+		switch {
+		case strings.HasPrefix(line, "goroutine ") && isHeader(line):
+			flush()
+			g, err := parseHeader(line)
+			if err != nil {
+				return nil, fmt.Errorf("stack: line %d: %w", i+1, err)
+			}
+			cur = g
+			i++
+		case line == "":
+			flush()
+			i++
+		case cur == nil:
+			// Preamble outside any goroutine block (e.g. pprof's
+			// "goroutine profile: total N" header handled by caller).
+			i++
+		case strings.HasPrefix(line, "created by "):
+			frame, creator, consumed := parseCreatedBy(lines, i)
+			cur.CreatedBy = frame
+			cur.CreatorID = creator
+			i += consumed
+		default:
+			frame, consumed, ok := parseFrame(lines, i)
+			if ok {
+				cur.Frames = append(cur.Frames, frame)
+			}
+			i += consumed
+		}
+	}
+	flush()
+	return out, nil
+}
+
+// isHeader distinguishes a real goroutine block header ("goroutine 18 [...]")
+// from preamble lines that merely start with the word, such as pprof's
+// "goroutine profile: total 3".
+func isHeader(line string) bool {
+	rest := strings.TrimPrefix(line, "goroutine ")
+	sp := strings.IndexByte(rest, ' ')
+	if sp <= 0 {
+		return false
+	}
+	if _, err := strconv.ParseInt(rest[:sp], 10, 64); err != nil {
+		return false
+	}
+	return strings.Contains(rest[sp:], "[")
+}
+
+// parseHeader parses "goroutine 18 [chan send, 5 minutes, locked to thread]:".
+func parseHeader(line string) (*Goroutine, error) {
+	rest := strings.TrimPrefix(line, "goroutine ")
+	sp := strings.IndexByte(rest, ' ')
+	if sp < 0 {
+		return nil, fmt.Errorf("malformed goroutine header %q", line)
+	}
+	id, err := strconv.ParseInt(rest[:sp], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("malformed goroutine id in %q: %w", line, err)
+	}
+	rest = rest[sp+1:]
+	open := strings.IndexByte(rest, '[')
+	close := strings.LastIndexByte(rest, ']')
+	if open < 0 || close < open {
+		return nil, fmt.Errorf("missing state brackets in %q", line)
+	}
+	g := &Goroutine{ID: id}
+	state := rest[open+1 : close]
+	// The bracketed region is "state[, wait duration][, locked to thread]".
+	// The state itself may contain a comma-free parenthetical such as
+	// "chan receive (nil chan)" or "select (no cases)".
+	parts := strings.Split(state, ", ")
+	g.State = parts[0]
+	for _, p := range parts[1:] {
+		switch {
+		case p == "locked to thread":
+			g.Locked = true
+		case isWaitDuration(p):
+			g.WaitTime = parseWaitDuration(p)
+		default:
+			// Unknown annotation: fold it back into the state so we
+			// never silently drop information.
+			g.State += ", " + p
+		}
+	}
+	return g, nil
+}
+
+func isWaitDuration(s string) bool {
+	return strings.HasSuffix(s, " minutes") || strings.HasSuffix(s, " minute") ||
+		strings.HasSuffix(s, " hours") || strings.HasSuffix(s, " hour") ||
+		strings.HasSuffix(s, " seconds") || strings.HasSuffix(s, " second") ||
+		strings.HasSuffix(s, " days") || strings.HasSuffix(s, " day")
+}
+
+func parseWaitDuration(s string) time.Duration {
+	fields := strings.Fields(s)
+	if len(fields) != 2 {
+		return 0
+	}
+	n, err := strconv.Atoi(fields[0])
+	if err != nil {
+		return 0
+	}
+	switch strings.TrimSuffix(fields[1], "s") {
+	case "second":
+		return time.Duration(n) * time.Second
+	case "minute":
+		return time.Duration(n) * time.Minute
+	case "hour":
+		return time.Duration(n) * time.Hour
+	case "day":
+		return time.Duration(n) * 24 * time.Hour
+	}
+	return 0
+}
+
+// parseFrame parses a two-line frame entry:
+//
+//	repro/internal/patterns.NCast.func1()
+//		/root/repo/internal/patterns/ncast.go:17 +0x2b
+//
+// It returns the number of lines consumed (1 or 2) and whether a frame was
+// recognised.
+func parseFrame(lines []string, i int) (Frame, int, bool) {
+	fn := strings.TrimRight(lines[i], "\r")
+	// A function line ends with an argument list; strip it. Arguments may
+	// contain nested parens only in rare cases (method values); find the
+	// last '(' to be safe.
+	p := strings.LastIndexByte(fn, '(')
+	if p <= 0 {
+		return Frame{}, 1, false
+	}
+	frame := Frame{Function: fn[:p]}
+	if i+1 < len(lines) {
+		loc := strings.TrimSpace(strings.TrimRight(lines[i+1], "\r"))
+		if file, line, off, ok := parseLocation(loc); ok {
+			frame.File, frame.Line, frame.Offset = file, line, off
+			return frame, 2, true
+		}
+	}
+	return frame, 1, true
+}
+
+// parseCreatedBy parses the trailing creation record:
+//
+//	created by repro/internal/patterns.NCast in goroutine 1
+//		/root/repo/internal/patterns/ncast.go:15 +0x5c
+func parseCreatedBy(lines []string, i int) (Frame, int64, int) {
+	rest := strings.TrimPrefix(strings.TrimRight(lines[i], "\r"), "created by ")
+	var creator int64
+	if j := strings.Index(rest, " in goroutine "); j >= 0 {
+		id, err := strconv.ParseInt(rest[j+len(" in goroutine "):], 10, 64)
+		if err == nil {
+			creator = id
+		}
+		rest = rest[:j]
+	}
+	frame := Frame{Function: rest}
+	consumed := 1
+	if i+1 < len(lines) {
+		loc := strings.TrimSpace(strings.TrimRight(lines[i+1], "\r"))
+		if file, line, off, ok := parseLocation(loc); ok {
+			frame.File, frame.Line, frame.Offset = file, line, off
+			consumed = 2
+		}
+	}
+	return frame, creator, consumed
+}
+
+// parseLocation parses "/path/file.go:123 +0x4f" (offset optional).
+func parseLocation(s string) (file string, line int, off uint64, ok bool) {
+	if s == "" {
+		return "", 0, 0, false
+	}
+	loc := s
+	if sp := strings.IndexByte(s, ' '); sp >= 0 {
+		loc = s[:sp]
+		offStr := strings.TrimSpace(s[sp+1:])
+		if strings.HasPrefix(offStr, "+0x") {
+			v, err := strconv.ParseUint(offStr[3:], 16, 64)
+			if err == nil {
+				off = v
+			}
+		}
+	}
+	colon := strings.LastIndexByte(loc, ':')
+	if colon <= 0 {
+		return "", 0, 0, false
+	}
+	n, err := strconv.Atoi(loc[colon+1:])
+	if err != nil {
+		return "", 0, 0, false
+	}
+	if !strings.HasSuffix(loc[:colon], ".go") && !strings.Contains(loc[:colon], "/") {
+		return "", 0, 0, false
+	}
+	return loc[:colon], n, off, true
+}
+
+// Format renders goroutines back into the runtime dump format. Parse(Format(gs))
+// is the identity on the structured fields (a property the test suite checks
+// with testing/quick).
+func Format(gs []*Goroutine) string {
+	var b strings.Builder
+	for i, g := range gs {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		writeGoroutine(&b, g)
+	}
+	return b.String()
+}
+
+func writeGoroutine(b *strings.Builder, g *Goroutine) {
+	b.WriteString("goroutine ")
+	b.WriteString(strconv.FormatInt(g.ID, 10))
+	b.WriteString(" [")
+	b.WriteString(g.State)
+	if g.WaitTime != 0 {
+		fmt.Fprintf(b, ", %s", formatWait(g.WaitTime))
+	}
+	if g.Locked {
+		b.WriteString(", locked to thread")
+	}
+	b.WriteString("]:\n")
+	for _, f := range g.Frames {
+		writeFrame(b, f)
+	}
+	if g.CreatedBy.Function != "" {
+		b.WriteString("created by ")
+		b.WriteString(g.CreatedBy.Function)
+		if g.CreatorID != 0 {
+			b.WriteString(" in goroutine ")
+			b.WriteString(strconv.FormatInt(g.CreatorID, 10))
+		}
+		b.WriteByte('\n')
+		if g.CreatedBy.File != "" {
+			writeLocation(b, g.CreatedBy)
+		}
+	}
+}
+
+func writeFrame(b *strings.Builder, f Frame) {
+	b.WriteString(f.Function)
+	b.WriteString("()\n")
+	if f.File != "" {
+		writeLocation(b, f)
+	}
+}
+
+func writeLocation(b *strings.Builder, f Frame) {
+	b.WriteByte('\t')
+	b.WriteString(f.File)
+	b.WriteByte(':')
+	b.WriteString(strconv.Itoa(f.Line))
+	if f.Offset != 0 {
+		fmt.Fprintf(b, " +0x%x", f.Offset)
+	}
+	b.WriteByte('\n')
+}
+
+// formatWait renders a wait duration in the runtime's coarse style
+// ("5 minutes"). The largest unit that divides the duration evenly is used
+// so that parseWaitDuration(formatWait(d)) == d for whole-second values.
+func formatWait(d time.Duration) string {
+	switch {
+	case d >= 24*time.Hour && d%(24*time.Hour) == 0:
+		return plural(int(d/(24*time.Hour)), "day")
+	case d >= time.Hour && d%time.Hour == 0:
+		return plural(int(d/time.Hour), "hour")
+	case d >= time.Minute && d%time.Minute == 0:
+		return plural(int(d/time.Minute), "minute")
+	default:
+		return plural(int(d/time.Second), "second")
+	}
+}
+
+func plural(n int, unit string) string {
+	if n == 1 {
+		return "1 " + unit
+	}
+	return strconv.Itoa(n) + " " + unit + "s"
+}

@@ -1,0 +1,247 @@
+package stack
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const sampleDump = `goroutine 1 [running]:
+main.main()
+	/src/app/main.go:10 +0x1a
+
+goroutine 18 [chan send, 5 minutes]:
+repro/internal/patterns.PrematureReturn.func1()
+	/src/app/patterns/premature.go:21 +0x2b
+created by repro/internal/patterns.PrematureReturn in goroutine 1
+	/src/app/patterns/premature.go:20 +0x5c
+
+goroutine 19 [chan receive (nil chan)]:
+main.recvNil()
+	/src/app/main.go:30 +0x11
+main.main()
+	/src/app/main.go:12 +0x40
+
+goroutine 20 [select, 2 hours, locked to thread]:
+main.worker()
+	/src/app/worker.go:44 +0x99
+created by main.Start
+	/src/app/worker.go:12 +0x31
+`
+
+func TestParseSampleDump(t *testing.T) {
+	gs, err := Parse(sampleDump)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(gs) != 4 {
+		t.Fatalf("got %d goroutines, want 4", len(gs))
+	}
+
+	g := gs[0]
+	if g.ID != 1 || g.State != "running" {
+		t.Errorf("g0 = id %d state %q, want 1 running", g.ID, g.State)
+	}
+	if len(g.Frames) != 1 || g.Frames[0].Function != "main.main" {
+		t.Errorf("g0 frames = %+v", g.Frames)
+	}
+	if g.Frames[0].File != "/src/app/main.go" || g.Frames[0].Line != 10 {
+		t.Errorf("g0 frame location = %s:%d", g.Frames[0].File, g.Frames[0].Line)
+	}
+	if g.Frames[0].Offset != 0x1a {
+		t.Errorf("g0 frame offset = %#x, want 0x1a", g.Frames[0].Offset)
+	}
+
+	g = gs[1]
+	if g.ID != 18 || g.State != "chan send" {
+		t.Errorf("g1 = id %d state %q", g.ID, g.State)
+	}
+	if g.WaitTime != 5*time.Minute {
+		t.Errorf("g1 wait = %v, want 5m", g.WaitTime)
+	}
+	if g.CreatedBy.Function != "repro/internal/patterns.PrematureReturn" {
+		t.Errorf("g1 created by %q", g.CreatedBy.Function)
+	}
+	if g.CreatorID != 1 {
+		t.Errorf("g1 creator id = %d, want 1", g.CreatorID)
+	}
+	if g.CreatedBy.Line != 20 {
+		t.Errorf("g1 created-by line = %d, want 20", g.CreatedBy.Line)
+	}
+
+	g = gs[2]
+	if g.State != "chan receive (nil chan)" {
+		t.Errorf("g2 state = %q", g.State)
+	}
+	if len(g.Frames) != 2 {
+		t.Errorf("g2 has %d frames, want 2", len(g.Frames))
+	}
+
+	g = gs[3]
+	if !g.Locked {
+		t.Error("g3 should be locked to thread")
+	}
+	if g.WaitTime != 2*time.Hour {
+		t.Errorf("g3 wait = %v, want 2h", g.WaitTime)
+	}
+	if g.CreatorID != 0 {
+		t.Errorf("g3 creator id = %d, want 0 (absent)", g.CreatorID)
+	}
+}
+
+func TestParseEmptyAndGarbage(t *testing.T) {
+	gs, err := Parse("")
+	if err != nil || len(gs) != 0 {
+		t.Fatalf("empty: %v, %d goroutines", err, len(gs))
+	}
+	// Preamble lines outside a block are skipped.
+	gs, err = Parse("goroutine profile: total 3\n\ngoroutine 7 [running]:\nmain.main()\n\t/a/b.go:1 +0x1\n")
+	if err != nil {
+		t.Fatalf("preamble: %v", err)
+	}
+	if len(gs) != 1 || gs[0].ID != 7 {
+		t.Fatalf("preamble: got %+v", gs)
+	}
+}
+
+func TestParseMalformedHeader(t *testing.T) {
+	// Lines that merely resemble headers are preamble and skipped; a
+	// robust consumer of live runtime output must not reject the dump.
+	for _, bad := range []string{
+		"goroutine x [running]:\n",
+		"goroutine 5\n",
+		"goroutine 5 running:\n",
+		"goroutine profile: total 99\n",
+	} {
+		gs, err := Parse(bad)
+		if err != nil {
+			t.Errorf("Parse(%q) errored: %v", bad, err)
+		}
+		if len(gs) != 0 {
+			t.Errorf("Parse(%q) produced %d goroutines, want 0", bad, len(gs))
+		}
+	}
+}
+
+func TestParseFrameWithoutLocation(t *testing.T) {
+	dump := "goroutine 3 [select]:\nsome.pkg.fn()\nother.pkg.fn2()\n\t/x/y.go:9\n"
+	gs, err := Parse(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs) != 1 || len(gs[0].Frames) != 2 {
+		t.Fatalf("got %+v", gs)
+	}
+	if gs[0].Frames[0].File != "" {
+		t.Errorf("frame 0 should have no file, got %q", gs[0].Frames[0].File)
+	}
+	if gs[0].Frames[1].Line != 9 {
+		t.Errorf("frame 1 line = %d", gs[0].Frames[1].Line)
+	}
+}
+
+func TestLeafSkipsRuntimeFrames(t *testing.T) {
+	dump := `goroutine 9 [chan send]:
+runtime.gopark()
+	/go/src/runtime/proc.go:382 +0xc6
+runtime.chansend()
+	/go/src/runtime/chan.go:259 +0x42e
+runtime.chansend1()
+	/go/src/runtime/chan.go:145 +0x1d
+main.sender()
+	/src/app/send.go:8 +0x2e
+`
+	gs, err := Parse(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf := gs[0].Leaf()
+	if leaf.Function != "main.sender" {
+		t.Errorf("leaf = %q, want main.sender", leaf.Function)
+	}
+	if leaf.SourceLocation() != "/src/app/send.go:8" {
+		t.Errorf("leaf location = %q", leaf.SourceLocation())
+	}
+	if top := gs[0].Top(); top.Function != "runtime.gopark" {
+		t.Errorf("top = %q", top.Function)
+	}
+}
+
+func TestCurrentCapturesBlockedGoroutine(t *testing.T) {
+	ch := make(chan int)
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() { // blocks on send until released
+		defer close(done)
+		select {
+		case ch <- 1:
+		case <-release:
+		}
+	}()
+	// Wait for the goroutine to park.
+	waitForState(t, "select")
+
+	gs, err := Current()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, g := range gs {
+		if g.Kind() == KindSelect && strings.Contains(g.CreatedBy.Function, "TestCurrentCapturesBlockedGoroutine") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no select-blocked goroutine created by this test found among %d goroutines", len(gs))
+	}
+	close(release)
+	<-done
+}
+
+func TestCurrentExcludesSelf(t *testing.T) {
+	gs, self, err := CurrentWithSelf()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if self == 0 {
+		t.Fatal("self id is 0")
+	}
+	var sawSelf bool
+	for _, g := range gs {
+		if g.ID == self {
+			sawSelf = true
+		}
+	}
+	if !sawSelf {
+		t.Error("CurrentWithSelf should include the caller")
+	}
+	excl, err := Current()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range excl {
+		if g.ID == self {
+			t.Error("Current should exclude the caller")
+		}
+	}
+}
+
+// waitForState polls the live dump until some goroutine created by the
+// calling test reaches the given state, or the test times out.
+func waitForState(t *testing.T, state string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		gs, err := Current()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, g := range gs {
+			if strings.HasPrefix(g.State, state) {
+				return
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("no goroutine reached state %q", state)
+}

@@ -1,0 +1,155 @@
+package stack
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// genGoroutine builds a random but well-formed Goroutine for the round-trip
+// property. Fields are drawn from alphabets that the dump format can carry
+// (function names without parentheses or newlines, files with slashes).
+func genGoroutine(r *rand.Rand) *Goroutine {
+	states := []string{
+		"running", "runnable", "chan send", "chan receive",
+		"chan send (nil chan)", "chan receive (nil chan)",
+		"select", "select (no cases)", "IO wait", "syscall", "sleep",
+		"sync.Cond.Wait", "semacquire", "GC assist wait", "finalizer wait",
+	}
+	idents := []string{"main.main", "pkg/sub.Fn", "a/b/c.Type.Method",
+		"repro/internal/patterns.NCast.func1", "x.y"}
+	files := []string{"/src/a.go", "/src/pkg/b.go", "/root/repo/c.go"}
+
+	g := &Goroutine{
+		ID:    r.Int63n(1 << 40),
+		State: states[r.Intn(len(states))],
+	}
+	// The runtime reports waits at whole-minute granularity and only for
+	// waits >= 1 minute; mirror that so formatting is lossless.
+	if r.Intn(2) == 0 {
+		g.WaitTime = time.Duration(1+r.Intn(500)) * time.Minute
+	}
+	g.Locked = r.Intn(4) == 0
+	n := 1 + r.Intn(5)
+	for i := 0; i < n; i++ {
+		g.Frames = append(g.Frames, Frame{
+			Function: idents[r.Intn(len(idents))],
+			File:     files[r.Intn(len(files))],
+			Line:     1 + r.Intn(9999),
+			Offset:   uint64(r.Intn(1 << 16)),
+		})
+	}
+	if r.Intn(3) > 0 {
+		g.CreatedBy = Frame{
+			Function: idents[r.Intn(len(idents))],
+			File:     files[r.Intn(len(files))],
+			Line:     1 + r.Intn(9999),
+			Offset:   uint64(r.Intn(1 << 16)),
+		}
+		if r.Intn(2) == 0 {
+			g.CreatorID = 1 + r.Int63n(1000)
+		}
+	}
+	return g
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	f := func(seed int64, count uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + int(count)%8
+		in := make([]*Goroutine, n)
+		for i := range in {
+			in[i] = genGoroutine(r)
+		}
+		out, err := Parse(Format(in))
+		if err != nil {
+			t.Logf("parse error: %v", err)
+			return false
+		}
+		if len(out) != len(in) {
+			t.Logf("got %d goroutines, want %d", len(out), len(in))
+			return false
+		}
+		for i := range in {
+			if !reflect.DeepEqual(in[i], out[i]) {
+				t.Logf("mismatch at %d:\n in: %+v\nout: %+v", i, in[i], out[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleGoroutineStringRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 50; i++ {
+		g := genGoroutine(r)
+		out, err := Parse(g.String())
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if len(out) != 1 || !reflect.DeepEqual(out[0], g) {
+			t.Fatalf("iteration %d: round trip failed:\n in: %+v\nout: %+v", i, g, out)
+		}
+	}
+}
+
+func TestParseIsTotalOnRandomText(t *testing.T) {
+	// Parse must never panic regardless of input; errors are acceptable,
+	// crashes are not.
+	f := func(s string) bool {
+		defer func() {
+			if p := recover(); p != nil {
+				t.Fatalf("Parse panicked on %q: %v", s, p)
+			}
+		}()
+		_, _ = Parse(s)
+		_, _ = Parse("goroutine 1 [running]:\n" + s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatWait(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{time.Second, "1 second"},
+		{30 * time.Second, "30 seconds"},
+		{time.Minute, "1 minute"},
+		{5 * time.Minute, "5 minutes"},
+		{2 * time.Hour, "2 hours"},
+		{48 * time.Hour, "2 days"},
+		{25 * time.Hour, "25 hours"},
+		{250 * time.Minute, "250 minutes"},
+		{90 * time.Second, "90 seconds"},
+	}
+	for _, c := range cases {
+		if got := formatWait(c.d); got != c.want {
+			t.Errorf("formatWait(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}
+
+func TestWaitDurationParsing(t *testing.T) {
+	hdr := "goroutine 4 [chan receive, 3 days]:\n"
+	gs, err := Parse(hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gs[0].WaitTime != 72*time.Hour {
+		t.Errorf("wait = %v, want 72h", gs[0].WaitTime)
+	}
+	if !strings.Contains(gs[0].String(), "3 days") {
+		t.Errorf("String() lost the wait: %q", gs[0].String())
+	}
+}

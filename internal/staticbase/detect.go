@@ -1,0 +1,510 @@
+package staticbase
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// chanCap classifies a local channel's capacity as the analyzers model it.
+type chanCap int
+
+const (
+	capZero chanCap = iota
+	capConst1
+	capConstN
+	capDynamic
+)
+
+// chanSummary is the analyzer-facing protocol summary of one local channel.
+type chanSummary struct {
+	name    string
+	makePos token.Pos
+	cap     chanCap
+
+	escapes bool // passed to calls, returned, address taken, reassigned
+
+	sendsParent     int
+	sendsSpawned    int
+	sendInLoopSpawn bool // sent from goroutines spawned inside a loop
+	firstSendPos    token.Pos
+
+	recvSites      int
+	recvInLoop     bool
+	recvInSelect   bool // receive appears only under a multi-arm select
+	recvPlain      bool // at least one unconditional, non-select receive
+	firstRecvPos   token.Pos
+	rangedByParent bool
+	rangedBySpawn  bool
+	rangePos       token.Pos
+
+	closedDirect    bool
+	closedFuncValue bool // close reached through a local function value
+
+	sendInRangeBody bool // parent sends on this chan inside a range over another chan
+	guardBeforeRecv bool // an if{...return} guard precedes the first receive
+}
+
+// selectInfo records one blocking select.
+type selectInfo struct {
+	pos  token.Pos
+	arms int
+}
+
+// startCall records a `<var>.Start()` invocation and how Stop is handled.
+type startCall struct {
+	pos             token.Pos
+	recv            string
+	stopDirect      bool
+	stopMethodValue bool
+}
+
+type funcSummary struct {
+	chans       map[string]*chanSummary
+	selects     []selectInfo
+	starts      []startCall
+	doubleSends []token.Pos
+}
+
+// fileInfo carries cross-declaration facts within one file.
+type fileInfo struct {
+	// spawningMethods holds method names whose bodies contain a go
+	// statement (e.g. the contract pattern's Start).
+	spawningMethods map[string]bool
+}
+
+func collectFileInfo(file *ast.File) *fileInfo {
+	info := &fileInfo{spawningMethods: map[string]bool{}}
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Recv == nil || fn.Body == nil {
+			continue
+		}
+		spawns := false
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.GoStmt); ok {
+				spawns = true
+			}
+			return true
+		})
+		if spawns {
+			info.spawningMethods[fn.Name.Name] = true
+		}
+	}
+	return info
+}
+
+// summarize extracts the channel-protocol summary for one function under
+// the analyzer's visibility rules (wrapper awareness etc.).
+func summarize(fn *ast.FuncDecl, cfg Config) *funcSummary {
+	s := &funcSummary{chans: map[string]*chanSummary{}}
+	// funcValues maps local identifiers bound to function literals, for
+	// close-through-alias detection.
+	funcValues := map[string]*ast.FuncLit{}
+	stopValues := map[string]bool{} // idents bound to .Stop method values
+
+	var walk func(n ast.Node, inSpawn bool, loopDepth int, rangeChan string, selectArms int)
+	walk = func(n ast.Node, inSpawn bool, loopDepth int, rangeChan string, selectArms int) {
+		switch x := n.(type) {
+		case nil:
+			return
+		case *ast.AssignStmt:
+			s.scanAssign(x, funcValues, stopValues)
+			for _, rhs := range x.Rhs {
+				if _, isLit := rhs.(*ast.FuncLit); isLit {
+					// A stored closure runs only when invoked; its body
+					// is analyzed at the call site (and only by
+					// points-to-capable configurations).
+					continue
+				}
+				walk(rhs, inSpawn, loopDepth, rangeChan, selectArms)
+			}
+			return
+		case *ast.GoStmt:
+			if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {
+				walk(lit.Body, true, loopDepth, rangeChan, selectArms)
+			}
+			// go someFn(ch): the channel escapes into the callee.
+			for _, arg := range x.Call.Args {
+				s.markEscape(arg)
+			}
+			return
+		case *ast.CallExpr:
+			s.scanCall(x, cfg, funcValues, stopValues, inSpawn, loopDepth, rangeChan, selectArms, walk)
+			return
+		case *ast.SendStmt:
+			s.scanSend(x, inSpawn, loopDepth, rangeChan)
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				s.scanRecv(x, loopDepth, selectArms)
+			} else if x.Op == token.AND {
+				s.markEscape(x.X)
+			}
+		case *ast.RangeStmt:
+			if name, ok := identName(x.X); ok {
+				if c := s.chans[name]; c != nil {
+					if inSpawn {
+						c.rangedBySpawn = true
+					} else {
+						c.rangedByParent = true
+					}
+					if c.rangePos == 0 {
+						c.rangePos = x.Range
+					}
+					c.recvSites++
+					c.recvInLoop = true
+					c.recvPlain = true
+					walk(x.Body, inSpawn, loopDepth+1, name, selectArms)
+					return
+				}
+			}
+			walk(x.X, inSpawn, loopDepth, rangeChan, selectArms)
+			walk(x.Body, inSpawn, loopDepth+1, rangeChan, selectArms)
+			return
+		case *ast.ForStmt:
+			walk(x.Body, inSpawn, loopDepth+1, rangeChan, selectArms)
+			return
+		case *ast.SelectStmt:
+			arms, hasDefault := 0, false
+			for _, cl := range x.Body.List {
+				if comm, ok := cl.(*ast.CommClause); ok {
+					if comm.Comm == nil {
+						hasDefault = true
+					} else {
+						arms++
+					}
+				}
+			}
+			if !hasDefault {
+				s.selects = append(s.selects, selectInfo{pos: x.Pos(), arms: arms})
+			}
+			for _, cl := range x.Body.List {
+				comm, ok := cl.(*ast.CommClause)
+				if !ok {
+					continue
+				}
+				armCount := arms
+				if hasDefault {
+					armCount = 0 // non-blocking: treated as conditional anyway
+				}
+				if comm.Comm != nil {
+					walk(comm.Comm, inSpawn, loopDepth, rangeChan, max(armCount, 2))
+				}
+				for _, stmt := range comm.Body {
+					walk(stmt, inSpawn, loopDepth, rangeChan, selectArms)
+				}
+			}
+			return
+		case *ast.ReturnStmt:
+			for _, res := range x.Results {
+				s.markEscape(res)
+				walk(res, inSpawn, loopDepth, rangeChan, selectArms)
+			}
+			return
+		case *ast.IfStmt:
+			if containsReturn(x.Body) {
+				s.markGuard(x.Pos())
+			}
+		case *ast.BlockStmt:
+			s.scanDoubleSend(x)
+		}
+		// Generic descent.
+		children(n, func(c ast.Node) {
+			walk(c, inSpawn, loopDepth, rangeChan, selectArms)
+		})
+	}
+	walk(fn.Body, false, 0, "", 0)
+	s.resolveStops(stopValues)
+	return s
+}
+
+// scanAssign records channel creations, function values and method values.
+func (s *funcSummary) scanAssign(x *ast.AssignStmt, funcValues map[string]*ast.FuncLit, stopValues map[string]bool) {
+	for i, rhs := range x.Rhs {
+		if i >= len(x.Lhs) {
+			break
+		}
+		lhsName, lhsOK := identName(x.Lhs[i])
+		switch rv := rhs.(type) {
+		case *ast.CallExpr:
+			if cls, ok := classifyMakeChan(rv); ok && lhsOK {
+				if x.Tok == token.DEFINE {
+					s.chans[lhsName] = &chanSummary{name: lhsName, makePos: rv.Pos(), cap: cls}
+				} else if c := s.chans[lhsName]; c != nil {
+					c.escapes = true // reassignment muddies identity
+				}
+				continue
+			}
+		case *ast.FuncLit:
+			if lhsOK {
+				funcValues[lhsName] = rv
+			}
+			continue
+		case *ast.SelectorExpr:
+			if lhsOK && rv.Sel.Name == "Stop" {
+				stopValues[lhsName] = true
+				continue
+			}
+		}
+		// The channel flowing into another variable escapes.
+		if name, ok := identName(rhs); ok {
+			if c := s.chans[name]; c != nil && x.Tok != token.DEFINE {
+				c.escapes = true
+			} else if c != nil {
+				c.escapes = true
+			}
+		}
+	}
+}
+
+// scanCall handles close(), wrappers, function-value invocations, method
+// calls and escape marking.
+func (s *funcSummary) scanCall(x *ast.CallExpr, cfg Config, funcValues map[string]*ast.FuncLit,
+	stopValues map[string]bool, inSpawn bool, loopDepth int, rangeChan string, selectArms int,
+	walk func(ast.Node, bool, int, string, int)) {
+
+	switch fun := x.Fun.(type) {
+	case *ast.Ident:
+		switch {
+		case fun.Name == "close" && len(x.Args) == 1:
+			if name, ok := identName(x.Args[0]); ok {
+				if c := s.chans[name]; c != nil {
+					c.closedDirect = true
+				}
+			}
+			return
+		case fun.Name == "asyncRun" && len(x.Args) == 1:
+			// The package goroutine wrapper. Visible only to
+			// wrapper-aware analyzers; others skip the closure, so
+			// its operations are invisible to them.
+			if lit, ok := x.Args[0].(*ast.FuncLit); ok {
+				if cfg.WrapperAware {
+					walk(lit.Body, true, loopDepth, rangeChan, selectArms)
+				}
+				return
+			}
+		case funcValues[fun.Name] != nil:
+			// Invocation of a local function value: follow the body
+			// but attribute closes to the alias channel only for
+			// points-to-capable analyzers.
+			lit := funcValues[fun.Name]
+			if cfg.FuncValueCloseAware {
+				walk(lit.Body, inSpawn, loopDepth, rangeChan, selectArms)
+			}
+			return
+		case stopValues[fun.Name]:
+			// Handled by resolveStops.
+			return
+		}
+	case *ast.SelectorExpr:
+		if recv, ok := identName(fun.X); ok {
+			switch fun.Sel.Name {
+			case "Start":
+				s.starts = append(s.starts, startCall{pos: x.Pos(), recv: recv})
+				return
+			case "Stop":
+				s.markStop(recv, false)
+				return
+			}
+		}
+	}
+	// Channels passed as arguments escape; other arguments descend.
+	for _, arg := range x.Args {
+		if name, ok := identName(arg); ok {
+			if c := s.chans[name]; c != nil {
+				c.escapes = true
+				continue
+			}
+		}
+		walk(arg, inSpawn, loopDepth, rangeChan, selectArms)
+	}
+}
+
+func (s *funcSummary) scanSend(x *ast.SendStmt, inSpawn bool, loopDepth int, rangeChan string) {
+	name, ok := identName(x.Chan)
+	if !ok {
+		return
+	}
+	c := s.chans[name]
+	if c == nil {
+		return
+	}
+	if c.firstSendPos == 0 {
+		c.firstSendPos = x.Pos()
+	}
+	if inSpawn {
+		c.sendsSpawned++
+		if loopDepth > 0 {
+			c.sendInLoopSpawn = true
+		}
+	} else {
+		c.sendsParent++
+		if rangeChan != "" && rangeChan != name {
+			c.sendInRangeBody = true
+		}
+	}
+}
+
+func (s *funcSummary) scanRecv(x *ast.UnaryExpr, loopDepth int, selectArms int) {
+	name, ok := identName(x.X)
+	if !ok {
+		return
+	}
+	c := s.chans[name]
+	if c == nil {
+		return
+	}
+	c.recvSites++
+	if c.firstRecvPos == 0 {
+		c.firstRecvPos = x.Pos()
+	}
+	if loopDepth > 0 {
+		c.recvInLoop = true
+	}
+	if selectArms >= 2 {
+		c.recvInSelect = true
+	} else {
+		c.recvPlain = true
+	}
+}
+
+func (s *funcSummary) markEscape(e ast.Expr) {
+	if name, ok := identName(e); ok {
+		if c := s.chans[name]; c != nil {
+			c.escapes = true
+		}
+	}
+}
+
+// markGuard records an if{...return} guard; channels whose first receive
+// comes after the guard are conditionally received.
+func (s *funcSummary) markGuard(pos token.Pos) {
+	for _, c := range s.chans {
+		if c.makePos < pos && (c.firstRecvPos == 0 || c.firstRecvPos > pos) {
+			c.guardBeforeRecv = true
+		}
+	}
+}
+
+// markStop marks direct or method-value Stop on a receiver.
+func (s *funcSummary) markStop(recv string, viaValue bool) {
+	for i := range s.starts {
+		if s.starts[i].recv == recv {
+			if viaValue {
+				s.starts[i].stopMethodValue = true
+			} else {
+				s.starts[i].stopDirect = true
+			}
+		}
+	}
+}
+
+// resolveStops credits method-value stops: any `x := w.Stop` binding in a
+// function containing `w.Start()` counts as a (method-value) stop.
+func (s *funcSummary) resolveStops(stopValues map[string]bool) {
+	if len(stopValues) == 0 {
+		return
+	}
+	for i := range s.starts {
+		s.starts[i].stopMethodValue = true
+	}
+}
+
+// scanDoubleSend flags the Listing-5 shape inside a block.
+func (s *funcSummary) scanDoubleSend(block *ast.BlockStmt) {
+	for i, stmt := range block.List {
+		ifStmt, ok := stmt.(*ast.IfStmt)
+		if !ok || ifStmt.Else != nil || len(ifStmt.Body.List) == 0 {
+			continue
+		}
+		send, ok := ifStmt.Body.List[len(ifStmt.Body.List)-1].(*ast.SendStmt)
+		if !ok {
+			continue
+		}
+		chName, ok := identName(send.Chan)
+		if !ok {
+			continue
+		}
+		for _, later := range block.List[i+1:] {
+			if _, isRet := later.(*ast.ReturnStmt); isRet {
+				break
+			}
+			if s2, ok := later.(*ast.SendStmt); ok {
+				if n2, ok := identName(s2.Chan); ok && n2 == chName {
+					s.doubleSends = append(s.doubleSends, send.Pos())
+				}
+				break
+			}
+		}
+	}
+}
+
+func identName(e ast.Expr) (string, bool) {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	return id.Name, true
+}
+
+func classifyMakeChan(call *ast.CallExpr) (chanCap, bool) {
+	fun, ok := call.Fun.(*ast.Ident)
+	if !ok || fun.Name != "make" || len(call.Args) == 0 {
+		return 0, false
+	}
+	if _, isChan := call.Args[0].(*ast.ChanType); !isChan {
+		return 0, false
+	}
+	if len(call.Args) == 1 {
+		return capZero, true
+	}
+	if lit, ok := call.Args[1].(*ast.BasicLit); ok && lit.Kind == token.INT {
+		switch lit.Value {
+		case "0":
+			return capZero, true
+		case "1":
+			return capConst1, true
+		default:
+			return capConstN, true
+		}
+	}
+	return capDynamic, true
+}
+
+func containsReturn(b *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(b, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ReturnStmt:
+			found = true
+			return false
+		case *ast.FuncLit:
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// children invokes f on the direct AST children of n; a minimal generic
+// descent for node kinds the walker has no special case for.
+func children(n ast.Node, f func(ast.Node)) {
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c == nil {
+			return false
+		}
+		f(c)
+		return false // f recurses via walk
+	})
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,113 @@
+package staticbase
+
+import "go/token"
+
+// detect runs the detector suite over one function summary. The returned
+// findings carry only pos and Reason; the caller decorates them with tool,
+// file and function.
+func (a *Analyzer) detect(s *funcSummary, file *fileInfo) []Finding {
+	cfg := a.Cfg
+	var out []Finding
+	report := func(pos token.Pos, reason string) {
+		out = append(out, Finding{pos: pos, Reason: reason})
+	}
+
+	for _, c := range sortedChans(s) {
+		if c.escapes {
+			// The LCA heuristic both real tools use: channels leaving
+			// the function are out of scope.
+			continue
+		}
+		switch {
+		// D2 — NCast: loop-spawned senders against a single receive.
+		case c.sendInLoopSpawn && !c.rangedByParent && !c.rangedBySpawn &&
+			c.recvSites > 0 && !c.recvInLoop && !capSafe(c, cfg):
+			report(c.firstSendPos, "more sends than receives: loop-spawned senders with a single receive")
+
+		// D1 — orphan/premature send from a spawned goroutine.
+		case c.sendsSpawned > 0 && !c.sendInLoopSpawn && !capSafe(c, cfg):
+			switch {
+			case c.recvSites == 0:
+				report(c.firstSendPos, "spawned sender with no receive in scope")
+			case !c.recvPlain && c.recvInSelect:
+				report(c.firstSendPos, "spawned sender; receive only under a multi-arm select (timeout shape)")
+			case c.guardBeforeRecv:
+				report(c.firstSendPos, "spawned sender; an early-return guard precedes the receive")
+			}
+		}
+
+		// D3 — range over a never-closed local channel.
+		if (c.rangedByParent || c.rangedBySpawn) && !c.closedDirect {
+			report(c.rangePos, "range over local channel with no reachable close")
+		}
+
+		// D5 — ping-pong over-approximation: a send interleaved inside a
+		// channel-consumption loop cannot be proven to pair under the
+		// loop abstraction any of the three designs uses.
+		if c.sendInRangeBody && !capSafe(c, cfg) {
+			report(c.firstSendPos, "send inside channel-consumption loop: pairing not provable under loop abstraction")
+		}
+	}
+
+	// D4 — Start/Stop contract violation (needs dynamic-dispatch vision).
+	if cfg.DynamicDispatch {
+		for _, st := range s.starts {
+			if !file.spawningMethods["Start"] {
+				continue
+			}
+			if st.stopDirect {
+				continue
+			}
+			if st.stopMethodValue && cfg.MethodValueAware {
+				continue
+			}
+			report(st.pos, "Start spawns a listener; no Stop on any path")
+		}
+	}
+
+	// D6 — double send (Listing 5), visible to all three designs.
+	for _, pos := range s.doubleSends {
+		report(pos, "conditional send falls through to a second send on the same channel")
+	}
+
+	// D7 — bounded-model blowup: selects too large to model precisely
+	// are conservatively reported.
+	if cfg.SelectBound > 0 {
+		for _, sel := range s.selects {
+			if sel.arms > cfg.SelectBound {
+				report(sel.pos, "blocking select exceeds model bound; conservatively reported")
+			}
+		}
+	}
+	return out
+}
+
+// capSafe reports whether the channel's capacity provably absorbs the
+// sends under the analyzer's value reasoning. No analyzer evaluates
+// dynamically sized capacities (len(items)), faithfully reproducing the
+// shared blind spot.
+func capSafe(c *chanSummary, cfg Config) bool {
+	switch c.cap {
+	case capConst1:
+		return cfg.ConstCapAware && c.sendsParent+c.sendsSpawned <= 1 && !c.sendInLoopSpawn
+	case capConstN:
+		return cfg.ConstCapAware && !c.sendInLoopSpawn
+	default:
+		return false
+	}
+}
+
+// sortedChans returns the function's channels in source order for
+// deterministic reports.
+func sortedChans(s *funcSummary) []*chanSummary {
+	out := make([]*chanSummary, 0, len(s.chans))
+	for _, c := range s.chans {
+		out = append(out, c)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].makePos < out[j-1].makePos; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package staticbase
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/synth"
+)
+
+// Outcome is one analyzer's Table III row measured on a labelled corpus.
+type Outcome struct {
+	// Tool names the analyzer.
+	Tool string
+	// Reports is the total number of findings (deduplicated per
+	// function, matching the paper's unique-location counting).
+	Reports int
+	// TP are reports on functions with a planted leak.
+	TP int
+	// FP are reports on safe functions (hard negatives or ordinary
+	// corpus code, which is leak-free by construction).
+	FP int
+	// FN are planted leaks with no report.
+	FN int
+}
+
+// Precision is TP/(TP+FP); zero when no reports.
+func (o Outcome) Precision() float64 {
+	if o.TP+o.FP == 0 {
+		return 0
+	}
+	return float64(o.TP) / float64(o.TP+o.FP)
+}
+
+// Recall is TP/(TP+FN); zero when no leaks.
+func (o Outcome) Recall() float64 {
+	if o.TP+o.FN == 0 {
+		return 0
+	}
+	return float64(o.TP) / float64(o.TP+o.FN)
+}
+
+// String renders the outcome as a Table III row.
+func (o Outcome) String() string {
+	return fmt.Sprintf("%-14s reports=%4d precision=%5.1f%% recall=%5.1f%% (TP=%d FP=%d FN=%d)",
+		o.Tool, o.Reports, 100*o.Precision(), 100*o.Recall(), o.TP, o.FP, o.FN)
+}
+
+// Evaluate runs the configured analyzer over the corpus and scores it
+// against the generator's ground truth. A finding counts once per
+// (file, function); any finding on a function without a planted leak is a
+// false positive, since generated non-seed code is leak-free by
+// construction.
+func Evaluate(corpus *synth.Corpus, cfg Config) Outcome {
+	a := &Analyzer{Cfg: cfg}
+	files := map[string]string{}
+	for _, f := range corpus.Files() {
+		if !f.Test {
+			files[f.Path] = f.Content
+		}
+	}
+	findings := a.AnalyzeFiles(files)
+
+	leaky := map[string]bool{}
+	for _, s := range corpus.Seeds() {
+		if s.IsLeak {
+			leaky[s.File+"\x00"+seedOwner(s)] = true
+		}
+	}
+
+	reported := map[string]bool{}
+	var o Outcome
+	o.Tool = cfg.Name
+	for _, f := range findings {
+		key := f.File + "\x00" + f.Function
+		if reported[key] {
+			continue
+		}
+		reported[key] = true
+		o.Reports++
+		if leaky[key] {
+			o.TP++
+		} else {
+			o.FP++
+		}
+	}
+	for key := range leaky {
+		if !reported[key] {
+			o.FN++
+		}
+	}
+	return o
+}
+
+// seedOwner maps a seed to the function name the analyzers attribute
+// findings to. Contract seeds plant a type plus methods plus a caller; the
+// caller carries the leak.
+func seedOwner(s synth.Seed) string { return s.Function }
+
+// PatternRecall breaks recall down by planted pattern: which leak
+// classes each analyzer catches and which blindside it. The paper makes
+// this point qualitatively (wrappers and dynamic dispatch "blindside"
+// GOMELA-style tools); the breakdown quantifies it on the corpus.
+func PatternRecall(corpus *synth.Corpus, cfg Config) map[string][2]int {
+	a := &Analyzer{Cfg: cfg}
+	files := map[string]string{}
+	for _, f := range corpus.Files() {
+		if !f.Test {
+			files[f.Path] = f.Content
+		}
+	}
+	reported := map[string]bool{}
+	for _, f := range a.AnalyzeFiles(files) {
+		reported[f.File+"\x00"+f.Function] = true
+	}
+	// out[pattern] = {caught, total}
+	out := map[string][2]int{}
+	for _, s := range corpus.Seeds() {
+		if !s.IsLeak {
+			continue
+		}
+		entry := out[s.Pattern]
+		entry[1]++
+		if reported[s.File+"\x00"+s.Function] {
+			entry[0]++
+		}
+		out[s.Pattern] = entry
+	}
+	return out
+}
+
+// EvaluateAll scores the three baseline configurations on one corpus.
+func EvaluateAll(corpus *synth.Corpus) []Outcome {
+	return []Outcome{
+		Evaluate(corpus, GCatchLike()),
+		Evaluate(corpus, GoatLike()),
+		Evaluate(corpus, GomelaLike()),
+	}
+}
+
+// FormatTable renders outcomes in the paper's Table III layout, with the
+// dynamic-tool rows appended by the caller.
+func FormatTable(outcomes []Outcome) string {
+	var b strings.Builder
+	b.WriteString("Tool            Reports   Precision   Recall\n")
+	for _, o := range outcomes {
+		fmt.Fprintf(&b, "%-15s %7d   %8.1f%%  %6.1f%%\n", o.Tool, o.Reports, 100*o.Precision(), 100*o.Recall())
+	}
+	return b.String()
+}

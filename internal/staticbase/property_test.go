@@ -1,0 +1,67 @@
+package staticbase
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/synth"
+)
+
+// TestEvaluateInvariants: on any generated corpus, every analyzer's
+// outcome satisfies the confusion-matrix identities — TP + FN equals the
+// number of planted leaks, reports = TP + FP, and precision/recall stay
+// in [0, 1].
+func TestEvaluateInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg := synth.DefaultConfig()
+		cfg.Packages = 40
+		cfg.FracMP, cfg.FracSM, cfg.FracBoth = 0.3, 0.1, 0.1
+		cfg.Seed = seed
+		corpus := synth.Generate(cfg)
+		leaks := 0
+		for _, s := range corpus.Seeds() {
+			if s.IsLeak {
+				leaks++
+			}
+		}
+		for _, o := range EvaluateAll(corpus) {
+			if o.TP+o.FN != leaks {
+				t.Logf("seed %d %s: TP %d + FN %d != leaks %d", seed, o.Tool, o.TP, o.FN, leaks)
+				return false
+			}
+			if o.Reports != o.TP+o.FP {
+				t.Logf("seed %d %s: reports %d != TP+FP %d", seed, o.Tool, o.Reports, o.TP+o.FP)
+				return false
+			}
+			for _, v := range []float64{o.Precision(), o.Recall()} {
+				if v < 0 || v > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAnalyzersTotalOnArbitrarySource: the analyzers must never panic on
+// arbitrary (even non-Go) input; parse errors are reported, crashes are
+// not acceptable for a CI tool.
+func TestAnalyzersTotalOnArbitrarySource(t *testing.T) {
+	a := &Analyzer{Cfg: GCatchLike()}
+	f := func(src string) bool {
+		defer func() {
+			if p := recover(); p != nil {
+				t.Fatalf("panic on %q: %v", src, p)
+			}
+		}()
+		_, _ = a.AnalyzeSource("x.go", src)
+		_, _ = a.AnalyzeSource("x.go", "package p\nfunc f() {\n"+src+"\n}\n")
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,57 @@
+package staticbase
+
+import (
+	"testing"
+
+	"repro/internal/patterns"
+	"repro/internal/synth"
+)
+
+func TestPatternRecallBreakdown(t *testing.T) {
+	cfg := synth.DefaultConfig()
+	cfg.Packages = 300
+	cfg.FracMP, cfg.FracSM, cfg.FracBoth = 0.3, 0.1, 0.1
+	corpus := synth.Generate(cfg)
+
+	gc := PatternRecall(corpus, GCatchLike())
+	gm := PatternRecall(corpus, GomelaLike())
+
+	recall := func(m map[string][2]int, pattern string) (float64, int) {
+		e := m[pattern]
+		if e[1] == 0 {
+			return -1, 0
+		}
+		return float64(e[0]) / float64(e[1]), e[1]
+	}
+
+	// Contract-violation leaks: caught by the dynamic-dispatch-capable
+	// analyzer, invisible to the model extractor.
+	if r, n := recall(gc, patterns.ContractDone.Name); n > 0 && r < 0.9 {
+		t.Errorf("gcatch-like contract recall = %.2f over %d", r, n)
+	}
+	if r, n := recall(gm, patterns.ContractDone.Name); n > 0 && r > 0 {
+		t.Errorf("gomela-like should miss all contract leaks; recall = %.2f over %d", r, n)
+	}
+	// Timer loops: no local channel, invisible to all static designs.
+	if r, n := recall(gc, patterns.TimerLoop.Name); n > 0 && r > 0 {
+		t.Errorf("timer loops should blindside static analysis; recall = %.2f over %d", r, n)
+	}
+	// Unclosed ranges: everyone sees the missing close.
+	if r, n := recall(gc, patterns.UnclosedRange.Name); n > 0 && r < 0.9 {
+		t.Errorf("gcatch-like unclosed-range recall = %.2f over %d", r, n)
+	}
+	if r, n := recall(gm, patterns.UnclosedRange.Name); n > 0 && r < 0.9 {
+		t.Errorf("gomela-like unclosed-range recall = %.2f over %d", r, n)
+	}
+	// Totals must be consistent with Evaluate's confusion matrix.
+	o := Evaluate(corpus, GCatchLike())
+	caught, total := 0, 0
+	for _, e := range gc {
+		caught += e[0]
+		total += e[1]
+	}
+	if caught != o.TP || total != o.TP+o.FN {
+		t.Errorf("breakdown (%d/%d) disagrees with outcome (TP %d, TP+FN %d)",
+			caught, total, o.TP, o.TP+o.FN)
+	}
+}

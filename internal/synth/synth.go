@@ -1,0 +1,243 @@
+// Package synth generates a synthetic Go monorepo: real, parseable Go
+// source organised into packages whose concurrency-feature mix matches the
+// distributions Uber reports for its monorepo (Tables I and II of the
+// paper), with labelled goroutine-leak seeds drawn from the paper's
+// taxonomy (Section VI).
+//
+// The generator substitutes for the proprietary 75-MLoC monorepo: every
+// consumer of the corpus — the feature scanner (Table I/II), the static
+// baseline analyzers (Table III), the retroactive GOLEAK study (Fig 5) —
+// operates on syntax or on executed leak patterns, so a corpus with the
+// same feature distributions and genuine leaky/non-leaky channel protocols
+// exercises identical code paths.
+//
+// Generation is deterministic under a seed.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/patterns"
+)
+
+// Paradigm classifies a package's concurrency style (Table I).
+type Paradigm int
+
+const (
+	// ParadigmNone uses no concurrency.
+	ParadigmNone Paradigm = iota
+	// ParadigmMP uses message passing only.
+	ParadigmMP
+	// ParadigmSM uses shared memory only.
+	ParadigmSM
+	// ParadigmBoth uses both.
+	ParadigmBoth
+)
+
+// String names the paradigm.
+func (p Paradigm) String() string {
+	switch p {
+	case ParadigmNone:
+		return "none"
+	case ParadigmMP:
+		return "message-passing"
+	case ParadigmSM:
+		return "shared-memory"
+	case ParadigmBoth:
+		return "both"
+	}
+	return "unknown"
+}
+
+// File is one generated source file.
+type File struct {
+	// Path is the repo-relative path, e.g. "svc/pay042/worker.go".
+	Path string
+	// Content is the complete Go source.
+	Content string
+	// Test marks _test.go files.
+	Test bool
+}
+
+// Seed is one planted defect (or hard negative) with ground truth.
+type Seed struct {
+	// Pattern is the planted pattern's registry name.
+	Pattern string
+	// File is the repo-relative path of the planted function.
+	File string
+	// Function is the planted function's name.
+	Function string
+	// IsLeak is the ground truth: true for a real leak, false for a
+	// "hard negative" — code that resembles the leak but is safe, the
+	// fodder on which imprecise static analyses produce false positives.
+	IsLeak bool
+}
+
+// Package is one generated package with its metadata.
+type Package struct {
+	// Name is the package name (also its directory).
+	Name string
+	// Paradigm is the concurrency classification.
+	Paradigm Paradigm
+	// Files are the sources.
+	Files []File
+	// Seeds are the planted defects and hard negatives.
+	Seeds []Seed
+	// ELoC is the effective (non-blank, non-comment) line count.
+	ELoC int
+}
+
+// Corpus is a generated monorepo.
+type Corpus struct {
+	// Packages in generation order.
+	Packages []Package
+}
+
+// Seeds returns all planted seeds across the corpus.
+func (c *Corpus) Seeds() []Seed {
+	var out []Seed
+	for _, p := range c.Packages {
+		out = append(out, p.Seeds...)
+	}
+	return out
+}
+
+// Files returns all files across the corpus.
+func (c *Corpus) Files() []File {
+	var out []File
+	for _, p := range c.Packages {
+		out = append(out, p.Files...)
+	}
+	return out
+}
+
+// Config controls generation. The zero value is unusable; use
+// DefaultConfig and override.
+type Config struct {
+	// Packages is the total number of packages. Uber has 119,816; the
+	// default scales 1:600 to ~200.
+	Packages int
+	// Paradigm fractions (Table I): of all packages, which fraction is
+	// MP-only, SM-only, both. The remainder has no concurrency.
+	FracMP, FracSM, FracBoth float64
+	// LeakSeedsPerMPPackage is the expected number of planted leaks per
+	// message-passing package.
+	LeakSeedsPerMPPackage float64
+	// HardNegativesPerMPPackage is the expected number of planted safe
+	// look-alikes per message-passing package.
+	HardNegativesPerMPPackage float64
+	// Seed is the PRNG seed.
+	Seed int64
+}
+
+// DefaultConfig mirrors Table I's package-paradigm fractions:
+// MP-only (4,699-2,416)/119,816 ≈ 1.9%, SM-only (6,627-2,416)/119,816 ≈
+// 3.5%, both 2,416/119,816 ≈ 2.0%.
+func DefaultConfig() Config {
+	return Config{
+		Packages:                  200,
+		FracMP:                    0.019,
+		FracSM:                    0.035,
+		FracBoth:                  0.020,
+		LeakSeedsPerMPPackage:     1.2,
+		HardNegativesPerMPPackage: 1.0,
+		Seed:                      1,
+	}
+}
+
+// Generate builds the corpus.
+func Generate(cfg Config) *Corpus {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	leakDist := patterns.GoleakTaxonomy()
+	c := &Corpus{}
+	for i := 0; i < cfg.Packages; i++ {
+		name := fmt.Sprintf("svc%03d", i)
+		paradigm := pickParadigm(r, cfg)
+		pkg := genPackage(r, name, paradigm, cfg, leakDist)
+		c.Packages = append(c.Packages, pkg)
+	}
+	return c
+}
+
+func pickParadigm(r *rand.Rand, cfg Config) Paradigm {
+	x := r.Float64()
+	switch {
+	case x < cfg.FracMP:
+		return ParadigmMP
+	case x < cfg.FracMP+cfg.FracSM:
+		return ParadigmSM
+	case x < cfg.FracMP+cfg.FracSM+cfg.FracBoth:
+		return ParadigmBoth
+	default:
+		return ParadigmNone
+	}
+}
+
+func genPackage(r *rand.Rand, name string, paradigm Paradigm, cfg Config, leakDist *patterns.Distribution) Package {
+	pkg := Package{Name: name, Paradigm: paradigm}
+	g := &fileGen{r: r, pkg: name}
+
+	nSource := 1 + r.Intn(3)
+	for fi := 0; fi < nSource; fi++ {
+		var b strings.Builder
+		fmt.Fprintf(&b, "// Code generated by repro/internal/synth; package %s.\npackage %s\n\n", name, name)
+		g.writeImports(&b, paradigm)
+		// Plain business-logic functions pad every package.
+		for fn := 0; fn < 2+r.Intn(4); fn++ {
+			g.plainFunc(&b)
+		}
+		switch paradigm {
+		case ParadigmMP, ParadigmBoth:
+			g.mpFuncs(&b, 2+r.Intn(3))
+			if paradigm == ParadigmBoth {
+				g.smFuncs(&b, 1+r.Intn(2))
+			}
+		case ParadigmSM:
+			g.smFuncs(&b, 2+r.Intn(3))
+		}
+		path := fmt.Sprintf("%s/file%d.go", name, fi)
+		// Plant seeds only in MP-capable packages, on the last file.
+		if fi == nSource-1 && (paradigm == ParadigmMP || paradigm == ParadigmBoth) {
+			for _, s := range g.plantSeeds(&b, path, cfg, leakDist) {
+				pkg.Seeds = append(pkg.Seeds, s)
+			}
+		}
+		pkg.Files = append(pkg.Files, File{Path: path, Content: b.String()})
+	}
+	// A test file per package, probabilistically (142K test files vs 260K
+	// source files in Table I ≈ 0.55 per source file). Table II shows
+	// tests use channels heavily themselves (sends 3,440; receives
+	// 6,586; selects 1,395), so MP-package tests exercise channel
+	// fixtures, not just plain assertions.
+	if r.Float64() < 0.55 {
+		var b strings.Builder
+		fmt.Fprintf(&b, "package %s\n\nimport \"testing\"\n\n", name)
+		for ti := 0; ti < 1+r.Intn(3); ti++ {
+			fmt.Fprintf(&b, "func Test%s%d(t *testing.T) {\n\tif compute%d(%d) < 0 {\n\t\tt.Fatal(\"negative\")\n\t}\n}\n\n",
+				strings.Title(name), ti, ti%2, ti)
+		}
+		if paradigm == ParadigmMP || paradigm == ParadigmBoth {
+			g.testChannelFixtures(&b, name, 1+r.Intn(2))
+		}
+		pkg.Files = append(pkg.Files, File{Path: fmt.Sprintf("%s/file0_test.go", name), Content: b.String(), Test: true})
+	}
+	for i := range pkg.Files {
+		pkg.ELoC += countELoC(pkg.Files[i].Content)
+	}
+	return pkg
+}
+
+// countELoC counts effective lines: non-blank, non-comment-only.
+func countELoC(src string) int {
+	n := 0
+	for _, line := range strings.Split(src, "\n") {
+		t := strings.TrimSpace(line)
+		if t == "" || strings.HasPrefix(t, "//") {
+			continue
+		}
+		n++
+	}
+	return n
+}

@@ -1,0 +1,181 @@
+package synth
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func smallConfig(seed int64) Config {
+	cfg := DefaultConfig()
+	cfg.Packages = 60
+	// Inflate concurrency fractions so a small corpus still contains
+	// every paradigm.
+	cfg.FracMP, cfg.FracSM, cfg.FracBoth = 0.25, 0.25, 0.15
+	cfg.Seed = seed
+	return cfg
+}
+
+func TestGeneratedSourceParses(t *testing.T) {
+	c := Generate(smallConfig(1))
+	fset := token.NewFileSet()
+	files := c.Files()
+	if len(files) == 0 {
+		t.Fatal("no files generated")
+	}
+	for _, f := range files {
+		if _, err := parser.ParseFile(fset, f.Path, f.Content, 0); err != nil {
+			t.Fatalf("generated file %s does not parse: %v\n%s", f.Path, err, f.Content)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(smallConfig(7))
+	b := Generate(smallConfig(7))
+	fa, fb := a.Files(), b.Files()
+	if len(fa) != len(fb) {
+		t.Fatalf("file counts differ: %d vs %d", len(fa), len(fb))
+	}
+	for i := range fa {
+		if fa[i] != fb[i] {
+			t.Fatalf("file %d differs between equal-seed runs", i)
+		}
+	}
+	c := Generate(smallConfig(8))
+	if len(c.Files()) == len(fa) && c.Files()[0].Content == fa[0].Content {
+		t.Error("different seeds produced identical output")
+	}
+}
+
+func TestParadigmMix(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Packages = 3000
+	c := Generate(cfg)
+	counts := map[Paradigm]int{}
+	for _, p := range c.Packages {
+		counts[p.Paradigm]++
+	}
+	total := float64(cfg.Packages)
+	approx := func(got int, want float64) bool {
+		f := float64(got) / total
+		return f > want*0.5 && f < want*1.8
+	}
+	if !approx(counts[ParadigmMP], cfg.FracMP) {
+		t.Errorf("MP fraction = %d/%d, want ~%f", counts[ParadigmMP], cfg.Packages, cfg.FracMP)
+	}
+	if !approx(counts[ParadigmSM], cfg.FracSM) {
+		t.Errorf("SM fraction = %d/%d, want ~%f", counts[ParadigmSM], cfg.Packages, cfg.FracSM)
+	}
+	if !approx(counts[ParadigmBoth], cfg.FracBoth) {
+		t.Errorf("Both fraction = %d/%d, want ~%f", counts[ParadigmBoth], cfg.Packages, cfg.FracBoth)
+	}
+	if counts[ParadigmNone] == 0 {
+		t.Error("no concurrency-free packages")
+	}
+}
+
+func TestSeedsOnlyInMessagePassingPackages(t *testing.T) {
+	c := Generate(smallConfig(3))
+	seen := 0
+	for _, p := range c.Packages {
+		if len(p.Seeds) == 0 {
+			continue
+		}
+		seen += len(p.Seeds)
+		if p.Paradigm != ParadigmMP && p.Paradigm != ParadigmBoth {
+			t.Errorf("package %s (%v) has seeds", p.Name, p.Paradigm)
+		}
+		for _, s := range p.Seeds {
+			if s.Pattern == "" || s.Function == "" || s.File == "" {
+				t.Errorf("incomplete seed %+v", s)
+			}
+			// The planted function must exist in the named file.
+			var found bool
+			for _, f := range p.Files {
+				if f.Path == s.File && strings.Contains(f.Content, s.Function+"(") {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("seed %s/%s not present in source", s.File, s.Function)
+			}
+		}
+	}
+	if seen == 0 {
+		t.Fatal("no seeds generated")
+	}
+	if got := len(c.Seeds()); got != seen {
+		t.Errorf("Corpus.Seeds() = %d, want %d", got, seen)
+	}
+}
+
+func TestSeedGroundTruthMix(t *testing.T) {
+	cfg := smallConfig(5)
+	cfg.Packages = 300
+	c := Generate(cfg)
+	var leaks, safes int
+	for _, s := range c.Seeds() {
+		if s.IsLeak {
+			leaks++
+		} else {
+			safes++
+		}
+	}
+	if leaks == 0 || safes == 0 {
+		t.Fatalf("degenerate ground truth: %d leaks, %d safes", leaks, safes)
+	}
+	// Config asks for ~1.2 leaks and ~1.0 negatives per MP package.
+	if ratio := float64(leaks) / float64(safes); ratio < 0.8 || ratio > 2.0 {
+		t.Errorf("leak/safe ratio = %.2f, expected near 1.2", ratio)
+	}
+}
+
+func TestELoCCounted(t *testing.T) {
+	c := Generate(smallConfig(2))
+	for _, p := range c.Packages {
+		if p.ELoC <= 0 {
+			t.Errorf("package %s has ELoC %d", p.Name, p.ELoC)
+		}
+	}
+	if countELoC("\n// only a comment\n\n") != 0 {
+		t.Error("comments counted as effective lines")
+	}
+	if countELoC("a := 1 // trailing comment\n") != 1 {
+		t.Error("code line with trailing comment not counted")
+	}
+}
+
+func TestTestFilesMarked(t *testing.T) {
+	c := Generate(smallConfig(4))
+	var tests, sources int
+	for _, f := range c.Files() {
+		if f.Test {
+			tests++
+			if !strings.HasSuffix(f.Path, "_test.go") {
+				t.Errorf("test file with wrong suffix: %s", f.Path)
+			}
+		} else {
+			sources++
+		}
+	}
+	if tests == 0 {
+		t.Error("no test files generated")
+	}
+	if sources == 0 {
+		t.Error("no source files generated")
+	}
+}
+
+func TestParadigmString(t *testing.T) {
+	for p, want := range map[Paradigm]string{
+		ParadigmNone: "none", ParadigmMP: "message-passing",
+		ParadigmSM: "shared-memory", ParadigmBoth: "both",
+		Paradigm(9): "unknown",
+	} {
+		if got := p.String(); got != want {
+			t.Errorf("Paradigm(%d) = %q, want %q", p, got, want)
+		}
+	}
+}

@@ -1,0 +1,623 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/patterns"
+)
+
+// fileGen accumulates per-package generation state.
+type fileGen struct {
+	r       *rand.Rand
+	pkg     string
+	fnCount int
+	wrapper bool // whether the asyncRun wrapper was emitted yet
+}
+
+func (g *fileGen) nextFn(prefix string) string {
+	g.fnCount++
+	return fmt.Sprintf("%s%d", prefix, g.fnCount)
+}
+
+func (g *fileGen) writeImports(b *strings.Builder, p Paradigm) {
+	switch p {
+	case ParadigmMP:
+		b.WriteString("import (\n\t\"context\"\n\t\"time\"\n)\n\n")
+	case ParadigmSM:
+		b.WriteString("import \"sync\"\n\n")
+	case ParadigmBoth:
+		b.WriteString("import (\n\t\"context\"\n\t\"sync\"\n\t\"time\"\n)\n\n")
+	}
+	// Silence unused-import issues in sparse packages with anchor uses.
+	switch p {
+	case ParadigmMP:
+		b.WriteString("var _ = context.Background\nvar _ = time.Now\n\n")
+	case ParadigmSM:
+		b.WriteString("var _ sync.Mutex\n\n")
+	case ParadigmBoth:
+		b.WriteString("var _ = context.Background\nvar _ = time.Now\nvar _ sync.Mutex\n\n")
+	}
+}
+
+// plainFunc emits concurrency-free business logic.
+func (g *fileGen) plainFunc(b *strings.Builder) {
+	name := g.nextFn("compute")
+	fmt.Fprintf(b, `func %s(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i * %d
+	}
+	return total
+}
+
+`, name, 1+g.r.Intn(9))
+}
+
+// chanAlloc emits a channel allocation drawn from Table II's buffer-class
+// mix: unbuffered 45%%, size-1 19%%, constant >1 5%%, dynamic 30%%.
+func (g *fileGen) chanAlloc(varName string) string {
+	switch x := g.r.Float64(); {
+	case x < 0.45:
+		return fmt.Sprintf("%s := make(chan int)", varName)
+	case x < 0.64:
+		return fmt.Sprintf("%s := make(chan int, 1)", varName)
+	case x < 0.69:
+		return fmt.Sprintf("%s := make(chan int, %d)", varName, 2+g.r.Intn(14))
+	default:
+		return fmt.Sprintf("%s := make(chan int, n)", varName)
+	}
+}
+
+// selectCases samples a blocking-select case count with Table II's shape:
+// P50 = 2, P90 = 3, mode = 2, max 11.
+func (g *fileGen) selectCases() int {
+	switch x := g.r.Float64(); {
+	case x < 0.62:
+		return 2
+	case x < 0.92:
+		return 3
+	case x < 0.97:
+		return 4
+	default:
+		return 5 + g.r.Intn(7) // 5..11
+	}
+}
+
+// mpFuncs emits message-passing functions carrying Table II's feature mix.
+func (g *fileGen) mpFuncs(b *strings.Builder, n int) {
+	if !g.wrapper {
+		// The package-local goroutine wrapper: Table II shows ~32% of
+		// goroutine creation goes through wrappers rather than bare go.
+		fmt.Fprintf(b, "// asyncRun is this package's goroutine wrapper.\nfunc asyncRun(f func()) {\n\tgo f()\n}\n\n")
+		g.wrapper = true
+	}
+	for i := 0; i < n; i++ {
+		switch g.r.Intn(5) {
+		case 0:
+			g.pipelineFunc(b)
+		case 1:
+			g.fanInFunc(b)
+		case 2:
+			g.selectWorker(b)
+		case 3:
+			g.chanSignatureFunc(b)
+		case 4:
+			// Ping-pong protocols are realistic but rarer than plain
+			// pipelines; the emission rate calibrates the static
+			// analyzers' false-positive mass to Table III's band.
+			if g.r.Float64() < 0.5 {
+				g.pingPongFunc(b)
+			} else {
+				g.pipelineFunc(b)
+			}
+		}
+	}
+}
+
+// pingPongFunc: a correct lock-step protocol (producer waits for an ack
+// after every item). Safe, but its pairing depends on loop-carried
+// induction that none of the paper's static designs can establish — the
+// canonical false-positive generator for Table III.
+func (g *fileGen) pingPongFunc(b *strings.Builder) {
+	name := g.nextFn("relay")
+	fmt.Fprintf(b, `func %s(n int) int {
+	ch := make(chan int)
+	ack := make(chan int)
+	go func() {
+		for i := 0; i < n; i++ {
+			ch <- i
+			<-ack
+		}
+		close(ch)
+	}()
+	total := 0
+	for v := range ch {
+		total += v
+		ack <- 1
+	}
+	return total
+}
+
+`, name)
+}
+
+// pipelineFunc: producer/consumer with a correctly closed channel.
+func (g *fileGen) pipelineFunc(b *strings.Builder) {
+	name := g.nextFn("pipeline")
+	spawn := "go func() {"
+	endSpawn := "}()"
+	if g.r.Float64() < 0.32 {
+		spawn = "asyncRun(func() {"
+		endSpawn = "})"
+	}
+	fmt.Fprintf(b, `func %s(n int) int {
+	%s
+	%s
+		for i := 0; i < n; i++ {
+			ch <- i
+		}
+		close(ch)
+	%s
+	total := 0
+	for v := range ch {
+		total += v
+	}
+	return total
+}
+
+`, name, g.chanAlloc("ch"), spawn, endSpawn)
+}
+
+// fanInFunc: multiple producers, a counting receiver, channel closed.
+func (g *fileGen) fanInFunc(b *strings.Builder) {
+	name := g.nextFn("fanIn")
+	fmt.Fprintf(b, `func %s(n int) int {
+	%s
+	done := make(chan int)
+	for i := 0; i < n; i++ {
+		go func(v int) {
+			ch <- v
+		}(i)
+	}
+	go func() {
+		total := 0
+		for i := 0; i < n; i++ {
+			total += <-ch
+		}
+		done <- total
+	}()
+	return <-done
+}
+
+`, name, "ch := make(chan int, n)")
+}
+
+// selectWorker: a worker with a blocking select (Table II's dominant
+// select form) and sometimes a non-blocking one.
+func (g *fileGen) selectWorker(b *strings.Builder) {
+	name := g.nextFn("worker")
+	cases := g.selectCases()
+	var chans, decls, arms []string
+	for c := 0; c < cases-1; c++ {
+		cn := fmt.Sprintf("c%d", c)
+		chans = append(chans, cn)
+		decls = append(decls, fmt.Sprintf("\t%s := make(chan int, 1)", cn))
+		arms = append(arms, fmt.Sprintf("\t\tcase v := <-%s:\n\t\t\ttotal += v", cn))
+	}
+	nonBlocking := ""
+	if g.r.Float64() < 0.26 { // Table II: ~26% of selects are non-blocking
+		nonBlocking = "\n\t\tdefault:\n\t\t\treturn total"
+	}
+	fmt.Fprintf(b, `func %s(done chan int) int {
+%s
+	for _, c := range []chan int{%s} {
+		c <- 1
+	}
+	total := 0
+	for i := 0; i < %d; i++ {
+		select {
+%s
+		case v := <-done:
+			return total + v%s
+		}
+	}
+	return total
+}
+
+`, name, strings.Join(decls, "\n"), strings.Join(chans, ", "), cases, strings.Join(arms, "\n"), nonBlocking)
+}
+
+// chanSignatureFunc: functions with channel parameters/returns (Table II
+// counts 2,410 / 1,387 of these).
+func (g *fileGen) chanSignatureFunc(b *strings.Builder) {
+	name := g.nextFn("stream")
+	spawn, endSpawn := "go func() {", "}()"
+	if g.r.Float64() < 0.5 {
+		spawn, endSpawn = "asyncRun(func() {", "})"
+	}
+	fmt.Fprintf(b, `func %s(in chan int) chan int {
+	out := make(chan int, 1)
+	%s
+		v, ok := <-in
+		if ok {
+			out <- v * 2
+		}
+		close(out)
+	%s
+	return out
+}
+
+`, name, spawn, endSpawn)
+}
+
+// smFuncs emits shared-memory functions (mutexes, wait groups).
+func (g *fileGen) smFuncs(b *strings.Builder, n int) {
+	for i := 0; i < n; i++ {
+		name := g.nextFn("locked")
+		fmt.Fprintf(b, `type state%s struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *state%s) %s(delta int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n += delta
+	return s.n
+}
+
+`, name, name, name)
+	}
+}
+
+// testChannelFixtures emits channel-driven test helpers: tests
+// synchronise with the code under test over channels and timeouts, which
+// is where Table II's test-column channel traffic comes from.
+func (g *fileGen) testChannelFixtures(b *strings.Builder, pkg string, n int) {
+	for i := 0; i < n; i++ {
+		name := g.nextFn("TestAsync" + strings.Title(pkg))
+		alloc := "done := make(chan int)"
+		if g.r.Float64() < 0.45 {
+			alloc = "done := make(chan int, 1)"
+		}
+		nonBlocking := ""
+		if g.r.Float64() < 0.3 {
+			nonBlocking = "\n\tselect {\n\tcase extra := <-done:\n\t\tt.Fatalf(\"unexpected extra result %d\", extra)\n\tdefault:\n\t}"
+		}
+		fmt.Fprintf(b, `func %s(t *testing.T) {
+	%s
+	go func() {
+		done <- compute0(%d)
+	}()
+	got := <-done
+	if got < 0 {
+		t.Fatalf("got %%d", got)
+	}%s
+}
+
+`, name, alloc, 2+i, nonBlocking)
+	}
+}
+
+// ---- Seed templates: leaky and safe variants of the paper's patterns ----
+
+// seedTemplate renders the source of a planted function; safe variants
+// are the "hard negatives" that trip imprecise static analyses.
+type seedTemplate struct {
+	pattern string
+	leaky   func(fn string) string
+	safe    func(fn string) string
+}
+
+var seedTemplates = []seedTemplate{
+	{
+		pattern: patterns.PrematureReturn.Name,
+		leaky: func(fn string) string {
+			return fmt.Sprintf(`func %s(fail bool) int {
+	ch := make(chan int)
+	go func() {
+		ch <- 42
+	}()
+	if fail {
+		return -1 // premature return: sender leaks
+	}
+	return <-ch
+}
+
+`, fn)
+		},
+		safe: func(fn string) string {
+			// Buffered channel: the send can never block. Analyzers
+			// that ignore capacity flag this (false positive).
+			return fmt.Sprintf(`func %s(fail bool) int {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- 42
+	}()
+	if fail {
+		return -1
+	}
+	return <-ch
+}
+
+`, fn)
+		},
+	},
+	{
+		pattern: patterns.TimeoutLeak.Name,
+		leaky: func(fn string) string {
+			return fmt.Sprintf(`func %s(ctx context.Context) int {
+	ch := make(chan int)
+	go func() {
+		ch <- 1
+	}()
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0 // handler returns; sender leaks
+	}
+}
+
+`, fn)
+		},
+		safe: func(fn string) string {
+			return fmt.Sprintf(`func %s(ctx context.Context) int {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- 1
+	}()
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+`, fn)
+		},
+	},
+	{
+		pattern: patterns.NCast.Name,
+		leaky: func(fn string) string {
+			return fmt.Sprintf(`func %s(items []int) int {
+	ch := make(chan int)
+	for _, item := range items {
+		go func(v int) {
+			ch <- v
+		}(item)
+	}
+	return <-ch // n-1 senders leak
+}
+
+`, fn)
+		},
+		safe: func(fn string) string {
+			// Capacity len(items): every send unblocks. Requires
+			// evaluating a dynamic buffer size to prove safe.
+			return fmt.Sprintf(`func %s(items []int) int {
+	ch := make(chan int, len(items))
+	for _, item := range items {
+		go func(v int) {
+			ch <- v
+		}(item)
+	}
+	return <-ch
+}
+
+`, fn)
+		},
+	},
+	{
+		pattern: patterns.DoubleSend.Name,
+		leaky: func(fn string) string {
+			return fmt.Sprintf(`func %s(bad bool, ch chan int) {
+	if bad {
+		ch <- -1 // missing return: falls through to the second send
+	}
+	ch <- 1
+}
+
+`, fn)
+		},
+		safe: func(fn string) string {
+			return fmt.Sprintf(`func %s(bad bool, ch chan int) {
+	if bad {
+		ch <- -1
+		return
+	}
+	ch <- 1
+}
+
+`, fn)
+		},
+	},
+	{
+		pattern: patterns.UnclosedRange.Name,
+		leaky: func(fn string) string {
+			return fmt.Sprintf(`func %s(items []int, workers int) {
+	ch := make(chan int)
+	for i := 0; i < workers; i++ {
+		go func() {
+			for item := range ch {
+				_ = item
+			}
+		}()
+	}
+	for _, item := range items {
+		ch <- item
+	}
+} // missing close(ch): consumers leak
+
+`, fn)
+		},
+		safe: func(fn string) string {
+			// The close happens inside a helper invoked through a
+			// function value: aliasing-blind analyzers miss it.
+			return fmt.Sprintf(`func %s(items []int, workers int) {
+	ch := make(chan int)
+	finish := func() { close(ch) }
+	for i := 0; i < workers; i++ {
+		go func() {
+			for item := range ch {
+				_ = item
+			}
+		}()
+	}
+	for _, item := range items {
+		ch <- item
+	}
+	finish()
+}
+
+`, fn)
+		},
+	},
+	{
+		pattern: patterns.TimerLoop.Name,
+		leaky: func(fn string) string {
+			return fmt.Sprintf(`func %s() {
+	go func() {
+		for {
+			<-time.After(time.Minute)
+		}
+	}()
+}
+
+`, fn)
+		},
+		safe: func(fn string) string {
+			return fmt.Sprintf(`func %s(done chan int) {
+	go func() {
+		for {
+			select {
+			case <-time.After(time.Minute):
+			case <-done:
+				return
+			}
+		}
+	}()
+}
+
+`, fn)
+		},
+	},
+	{
+		pattern: patterns.ContractDone.Name,
+		leaky: func(fn string) string {
+			return fmt.Sprintf(`type worker%s struct {
+	ch   chan int
+	done chan int
+}
+
+func (w worker%s) Start() {
+	go func() {
+		for {
+			select {
+			case <-w.ch:
+			case <-w.done:
+				return
+			}
+		}
+	}()
+}
+
+func (w worker%s) Stop() { close(w.done) }
+
+func %s() {
+	w := worker%s{ch: make(chan int), done: make(chan int)}
+	w.Start()
+	// returns without calling Stop: listener leaks
+}
+
+`, fn, fn, fn, fn, fn)
+		},
+		safe: func(fn string) string {
+			// Stop is invoked, but through a deferred method value:
+			// analyzers without dynamic-dispatch reasoning miss it.
+			return fmt.Sprintf(`type worker%s struct {
+	ch   chan int
+	done chan int
+}
+
+func (w worker%s) Start() {
+	go func() {
+		for {
+			select {
+			case <-w.ch:
+			case <-w.done:
+				return
+			}
+		}
+	}()
+}
+
+func (w worker%s) Stop() { close(w.done) }
+
+func %s() {
+	w := worker%s{ch: make(chan int), done: make(chan int)}
+	stop := w.Stop
+	defer stop()
+	w.Start()
+}
+
+`, fn, fn, fn, fn, fn)
+		},
+	},
+}
+
+// plantSeeds appends leak seeds and hard negatives to the file body and
+// records their ground truth.
+func (g *fileGen) plantSeeds(b *strings.Builder, path string, cfg Config, dist *patterns.Distribution) []Seed {
+	var out []Seed
+	nLeaks := poissonish(g.r, cfg.LeakSeedsPerMPPackage)
+	nSafe := poissonish(g.r, cfg.HardNegativesPerMPPackage)
+	for i := 0; i < nLeaks; i++ {
+		tmpl := g.templateFor(dist.Sample(g.r))
+		fn := g.nextFn("leaky")
+		b.WriteString(tmpl.leaky(fn))
+		out = append(out, Seed{Pattern: tmpl.pattern, File: path, Function: fn, IsLeak: true})
+	}
+	for i := 0; i < nSafe; i++ {
+		tmpl := seedTemplates[g.r.Intn(len(seedTemplates))]
+		fn := g.nextFn("tricky")
+		b.WriteString(tmpl.safe(fn))
+		out = append(out, Seed{Pattern: tmpl.pattern, File: path, Function: fn, IsLeak: false})
+	}
+	return out
+}
+
+// templateFor maps a sampled runtime pattern onto the closest source
+// template (a few runtime-only patterns share a source shape).
+func (g *fileGen) templateFor(p *patterns.Pattern) seedTemplate {
+	name := p.Name
+	switch name {
+	case patterns.MissingReceiver.Name, patterns.ComplexState.Name, patterns.NilSend.Name:
+		name = patterns.PrematureReturn.Name
+	case patterns.NilReceive.Name:
+		name = patterns.UnclosedRange.Name
+	case patterns.ContractContext.Name, patterns.ContractOutsideLoop.Name,
+		patterns.LoopNoEscape.Name, patterns.EmptySelect.Name:
+		name = patterns.ContractDone.Name
+	}
+	for _, t := range seedTemplates {
+		if t.pattern == name {
+			return t
+		}
+	}
+	return seedTemplates[0]
+}
+
+// poissonish draws a small non-negative count with the given mean using a
+// geometric-ish scheme adequate for seeding.
+func poissonish(r *rand.Rand, mean float64) int {
+	n := int(mean)
+	frac := mean - float64(n)
+	if r.Float64() < frac {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,27 @@
+package synth
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteTree materialises the corpus on disk under root, one directory
+// per package: the layout cmd/gofeatures, cmd/rangelint and external
+// tools consume. Returns the number of files written.
+func (c *Corpus) WriteTree(root string) (int, error) {
+	n := 0
+	for _, pkg := range c.Packages {
+		for _, f := range pkg.Files {
+			path := filepath.Join(root, filepath.FromSlash(f.Path))
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				return n, fmt.Errorf("synth: creating %s: %w", filepath.Dir(path), err)
+			}
+			if err := os.WriteFile(path, []byte(f.Content), 0o644); err != nil {
+				return n, fmt.Errorf("synth: writing %s: %w", path, err)
+			}
+			n++
+		}
+	}
+	return n, nil
+}

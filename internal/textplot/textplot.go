@@ -1,0 +1,136 @@
+// Package textplot renders time series as ASCII charts for the
+// experiment harness's figure output: the paper's figures are plots, and
+// a terminal rendering makes the reproduced shape inspectable without
+// leaving the shell.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one labelled line of a chart.
+type Series struct {
+	Label  string
+	Values []float64
+}
+
+// Chart renders one or more series into a rows×cols character grid with
+// a y-axis scale. Series are drawn with distinct glyphs in order:
+// '*', 'o', '+', 'x'.
+type Chart struct {
+	// Rows is the plot height in lines; default 12.
+	Rows int
+	// Cols is the plot width in characters; default 64.
+	Cols int
+	// YLabel annotates the axis (e.g. "GiB").
+	YLabel string
+}
+
+var glyphs = []byte{'*', 'o', '+', 'x'}
+
+// Render draws the chart.
+func (c Chart) Render(series ...Series) string {
+	rows, cols := c.Rows, c.Cols
+	if rows <= 0 {
+		rows = 12
+	}
+	if cols <= 0 {
+		cols = 64
+	}
+	maxV, maxN := 0.0, 0
+	for _, s := range series {
+		if len(s.Values) > maxN {
+			maxN = len(s.Values)
+		}
+		for _, v := range s.Values {
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if maxN == 0 {
+		return "(empty chart)\n"
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+
+	grid := make([][]byte, rows)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", cols))
+	}
+	for si, s := range series {
+		glyph := glyphs[si%len(glyphs)]
+		for i, v := range s.Values {
+			col := 0
+			if maxN > 1 {
+				col = i * (cols - 1) / (maxN - 1)
+			}
+			row := rows - 1 - int(math.Round(v/maxV*float64(rows-1)))
+			if row < 0 {
+				row = 0
+			}
+			if row >= rows {
+				row = rows - 1
+			}
+			grid[row][col] = glyph
+		}
+	}
+
+	var b strings.Builder
+	for i, line := range grid {
+		yVal := maxV * float64(rows-1-i) / float64(rows-1)
+		fmt.Fprintf(&b, "%10s |%s\n", formatTick(yVal), string(line))
+	}
+	fmt.Fprintf(&b, "%10s +%s\n", "", strings.Repeat("-", cols))
+	if c.YLabel != "" || len(series) > 0 {
+		var legend []string
+		for si, s := range series {
+			legend = append(legend, fmt.Sprintf("%c %s", glyphs[si%len(glyphs)], s.Label))
+		}
+		fmt.Fprintf(&b, "%10s  y: %s   %s\n", "", c.YLabel, strings.Join(legend, "   "))
+	}
+	return b.String()
+}
+
+// formatTick renders a y-axis value compactly.
+func formatTick(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.1fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	case v == math.Trunc(v):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// Bars renders labelled integer quantities as a horizontal bar chart
+// (used for Fig 5's weekly histogram).
+func Bars(labels []string, values []int, width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	max := 1
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for i, v := range values {
+		label := ""
+		if i < len(labels) {
+			label = labels[i]
+		}
+		n := v * width / max
+		fmt.Fprintf(&b, "%8s |%s %d\n", label, strings.Repeat("#", n), v)
+	}
+	return b.String()
+}

@@ -1,0 +1,85 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRenderBasicShape(t *testing.T) {
+	out := Chart{Rows: 5, Cols: 20, YLabel: "GiB"}.Render(
+		Series{Label: "leaking", Values: []float64{0, 1, 2, 3, 4}},
+		Series{Label: "fixed", Values: []float64{0, 1, 0, 1, 0}},
+	)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5+2 { // rows + axis + legend
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "leaking") || !strings.Contains(out, "fixed") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "GiB") {
+		t.Errorf("y label missing:\n%s", out)
+	}
+	// The max value appears on the top row, the min on the bottom.
+	if !strings.Contains(lines[0], "*") {
+		t.Errorf("peak not on top row:\n%s", out)
+	}
+	// Both series hit zero at column 0; overlapping points take the
+	// later series' glyph, so the bottom row shows 'o'.
+	if !strings.ContainsAny(lines[4], "*o") {
+		t.Errorf("zero not on bottom row:\n%s", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	if out := (Chart{}).Render(); !strings.Contains(out, "empty") {
+		t.Errorf("empty chart = %q", out)
+	}
+	if out := (Chart{}).Render(Series{Label: "flat", Values: []float64{0, 0}}); out == "" {
+		t.Error("all-zero series should still render")
+	}
+}
+
+func TestRenderNeverPanics(t *testing.T) {
+	f := func(vals []float64, rows, cols uint8) bool {
+		defer func() {
+			if p := recover(); p != nil {
+				t.Fatalf("panic: %v (vals=%v rows=%d cols=%d)", p, vals, rows, cols)
+			}
+		}()
+		for i, v := range vals {
+			// Sanitize NaN/Inf from quick's float generator: the chart
+			// contract is finite inputs, but panics are never OK.
+			if v != v || v > 1e300 || v < -1e300 {
+				vals[i] = 0
+			}
+			if vals[i] < 0 {
+				vals[i] = -vals[i]
+			}
+		}
+		c := Chart{Rows: int(rows % 40), Cols: int(cols % 100)}
+		_ = c.Render(Series{Label: "s", Values: vals})
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars([]string{"w1", "w2", "w3"}, []int{5, 47, 0}, 40)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[1], strings.Repeat("#", 40)) {
+		t.Errorf("max bar not full width: %q", lines[1])
+	}
+	if strings.Contains(lines[2], "#") {
+		t.Errorf("zero bar should be empty: %q", lines[2])
+	}
+	if !strings.Contains(lines[0], " 5") || !strings.Contains(lines[1], " 47") {
+		t.Errorf("values missing:\n%s", out)
+	}
+}

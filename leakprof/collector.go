@@ -1,0 +1,115 @@
+package leakprof
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/gprofile"
+)
+
+// Endpoint identifies one profiled service instance.
+type Endpoint struct {
+	// Service is the owning service name.
+	Service string
+	// Instance is a unique instance identifier (host/task id).
+	Instance string
+	// URL is the full goroutine-profile URL, e.g.
+	// "http://host:port/debug/pprof/goroutine?debug=2".
+	URL string
+}
+
+// Collector fetches goroutine profiles from a fleet of instances. The
+// production deployment sweeps ~200K instances once per day; most of the
+// wall time is network transfer, so fetches run with bounded parallelism.
+type Collector struct {
+	// Client is the HTTP client; nil means a client with Timeout.
+	Client *http.Client
+	// Timeout bounds each fetch; zero means 30 seconds.
+	Timeout time.Duration
+	// Parallelism bounds concurrent fetches; zero means 32.
+	Parallelism int
+	// Now supplies timestamps; nil means time.Now (simulations inject a
+	// fake clock).
+	Now func() time.Time
+}
+
+// CollectResult pairs a snapshot with its per-endpoint error; a fleet
+// sweep must tolerate unreachable instances (deploys, crashes) without
+// aborting.
+type CollectResult struct {
+	Endpoint Endpoint
+	Snapshot *gprofile.Snapshot
+	Err      error
+}
+
+// Collect sweeps all endpoints and returns one result per endpoint, in
+// input order.
+func (c *Collector) Collect(ctx context.Context, endpoints []Endpoint) []CollectResult {
+	client := c.Client
+	if client == nil {
+		timeout := c.Timeout
+		if timeout == 0 {
+			timeout = 30 * time.Second
+		}
+		client = &http.Client{Timeout: timeout}
+	}
+	par := c.Parallelism
+	if par <= 0 {
+		par = 32
+	}
+	now := c.Now
+	if now == nil {
+		now = time.Now
+	}
+
+	results := make([]CollectResult, len(endpoints))
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for i, ep := range endpoints {
+		wg.Add(1)
+		go func(i int, ep Endpoint) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			snap, err := c.fetchOne(ctx, client, ep, now())
+			results[i] = CollectResult{Endpoint: ep, Snapshot: snap, Err: err}
+		}(i, ep)
+	}
+	wg.Wait()
+	return results
+}
+
+func (c *Collector) fetchOne(ctx context.Context, client *http.Client, ep Endpoint, at time.Time) (*gprofile.Snapshot, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ep.URL, nil)
+	if err != nil {
+		return nil, fmt.Errorf("leakprof: building request for %s/%s: %w", ep.Service, ep.Instance, err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("leakprof: fetching %s/%s: %w", ep.Service, ep.Instance, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("leakprof: %s/%s returned %s", ep.Service, ep.Instance, resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	if err != nil {
+		return nil, fmt.Errorf("leakprof: reading %s/%s: %w", ep.Service, ep.Instance, err)
+	}
+	return gprofile.ParseSnapshot(ep.Service, ep.Instance, at, string(body))
+}
+
+// Snapshots extracts the successful snapshots from a sweep.
+func Snapshots(results []CollectResult) []*gprofile.Snapshot {
+	out := make([]*gprofile.Snapshot, 0, len(results))
+	for _, r := range results {
+		if r.Err == nil && r.Snapshot != nil {
+			out = append(out, r.Snapshot)
+		}
+	}
+	return out
+}

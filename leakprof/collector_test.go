@@ -1,0 +1,118 @@
+package leakprof
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/gprofile"
+	"repro/internal/stack"
+)
+
+func profileServer(gs []*stack.Goroutine) *httptest.Server {
+	return httptest.NewServer(gprofile.Handler{Stacks: func() []*stack.Goroutine { return gs }})
+}
+
+func TestCollectFetchesAndParses(t *testing.T) {
+	gs := []*stack.Goroutine{
+		{ID: 1, State: "chan send", Frames: []stack.Frame{{Function: "svc.leak", File: "/svc/l.go", Line: 5}}},
+	}
+	srv := profileServer(gs)
+	defer srv.Close()
+
+	c := &Collector{Now: func() time.Time { return time.Unix(42, 0) }}
+	results := c.Collect(context.Background(), []Endpoint{
+		{Service: "svc", Instance: "i1", URL: srv.URL + "?debug=2"},
+	})
+	if len(results) != 1 {
+		t.Fatalf("got %d results", len(results))
+	}
+	r := results[0]
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if r.Snapshot.Service != "svc" || r.Snapshot.Instance != "i1" {
+		t.Errorf("snapshot meta = %+v", r.Snapshot)
+	}
+	if !r.Snapshot.TakenAt.Equal(time.Unix(42, 0)) {
+		t.Errorf("timestamp = %v", r.Snapshot.TakenAt)
+	}
+	if len(r.Snapshot.Goroutines) != 1 || r.Snapshot.Goroutines[0].State != "chan send" {
+		t.Errorf("goroutines = %+v", r.Snapshot.Goroutines)
+	}
+}
+
+func TestCollectToleratesFailures(t *testing.T) {
+	good := profileServer(nil)
+	defer good.Close()
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer bad.Close()
+
+	c := &Collector{}
+	results := c.Collect(context.Background(), []Endpoint{
+		{Service: "a", Instance: "a1", URL: good.URL + "?debug=2"},
+		{Service: "b", Instance: "b1", URL: bad.URL},
+		{Service: "c", Instance: "c1", URL: "http://127.0.0.1:1/unreachable"},
+	})
+	if results[0].Err != nil {
+		t.Errorf("good endpoint failed: %v", results[0].Err)
+	}
+	if results[1].Err == nil || results[2].Err == nil {
+		t.Error("failing endpoints did not error")
+	}
+	snaps := Snapshots(results)
+	if len(snaps) != 1 || snaps[0].Service != "a" {
+		t.Errorf("Snapshots = %+v", snaps)
+	}
+}
+
+func TestCollectBoundedParallelism(t *testing.T) {
+	var inFlight, maxInFlight atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		cur := inFlight.Add(1)
+		defer inFlight.Add(-1)
+		for {
+			old := maxInFlight.Load()
+			if cur <= old || maxInFlight.CompareAndSwap(old, cur) {
+				break
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+		_, _ = w.Write([]byte("goroutine 1 [running]:\nmain.main()\n\t/a.go:1 +0x1\n"))
+	}))
+	defer srv.Close()
+
+	c := &Collector{Parallelism: 3}
+	endpoints := make([]Endpoint, 12)
+	for i := range endpoints {
+		endpoints[i] = Endpoint{Service: "s", Instance: string(rune('a' + i)), URL: srv.URL}
+	}
+	results := c.Collect(context.Background(), endpoints)
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	if got := maxInFlight.Load(); got > 3 {
+		t.Errorf("max in-flight = %d, want <= 3", got)
+	}
+}
+
+func TestCollectHonoursContext(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+	}))
+	defer srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	c := &Collector{}
+	results := c.Collect(ctx, []Endpoint{{Service: "s", Instance: "i", URL: srv.URL}})
+	if results[0].Err == nil {
+		t.Error("cancelled fetch should error")
+	}
+}

@@ -1,0 +1,92 @@
+package leakprof
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/report"
+)
+
+func mkFinding(service, fn, loc string, impact float64) *Finding {
+	return &Finding{
+		Service: service, Op: "send", Location: loc, Function: fn,
+		TotalBlocked: int(impact), MaxInstance: "i1", MaxCount: int(impact),
+		Impact: impact,
+	}
+}
+
+func TestReporterFilesTopNOnly(t *testing.T) {
+	db := report.NewDB()
+	r := &Reporter{DB: db, TopN: 2, Now: func() time.Time { return time.Unix(7, 0) }}
+	findings := []*Finding{
+		mkFinding("s", "a.f", "/a.go:1", 300),
+		mkFinding("s", "b.f", "/b.go:2", 200),
+		mkFinding("s", "c.f", "/c.go:3", 100),
+	}
+	alerts := r.Report(findings)
+	if len(alerts) != 2 {
+		t.Fatalf("got %d alerts, want 2", len(alerts))
+	}
+	if alerts[0].Bug.Function != "a.f" || alerts[1].Bug.Function != "b.f" {
+		t.Errorf("alert order: %s, %s", alerts[0].Bug.Function, alerts[1].Bug.Function)
+	}
+	if len(db.All()) != 2 {
+		t.Errorf("db has %d bugs, want 2", len(db.All()))
+	}
+}
+
+func TestReporterDeduplicatesAcrossSweeps(t *testing.T) {
+	db := report.NewDB()
+	r := &Reporter{DB: db, TopN: 10}
+	f := mkFinding("s", "a.f", "/a.go:1", 300)
+
+	if alerts := r.Report([]*Finding{f}); len(alerts) != 1 {
+		t.Fatalf("first sweep: %d alerts", len(alerts))
+	}
+	// Second daily sweep re-observes the same defect: no new alert, but
+	// the sighting counter advances.
+	if alerts := r.Report([]*Finding{f}); len(alerts) != 0 {
+		t.Fatalf("second sweep re-alerted")
+	}
+	bug, ok := db.Get(f.Key())
+	if !ok || bug.Sightings != 2 {
+		t.Errorf("bug = %+v, ok = %v", bug, ok)
+	}
+}
+
+func TestReporterRoutesOwnership(t *testing.T) {
+	db := report.NewDB()
+	owners := report.NewOwnership(map[string]string{
+		"/svc/payments/": "payments-team",
+		"/svc/":          "platform-team",
+	})
+	r := &Reporter{DB: db, Owners: owners}
+	alerts := r.Report([]*Finding{
+		mkFinding("pay", "p.f", "/svc/payments/x.go:9", 100),
+		mkFinding("gen", "g.f", "/svc/other/y.go:3", 90),
+		mkFinding("ext", "e.f", "/vendor/z.go:1", 80),
+	})
+	if alerts[0].Bug.Owner != "payments-team" {
+		t.Errorf("longest prefix lost: %s", alerts[0].Bug.Owner)
+	}
+	if alerts[1].Bug.Owner != "platform-team" {
+		t.Errorf("fallback prefix: %s", alerts[1].Bug.Owner)
+	}
+	if alerts[2].Bug.Owner != "unowned" {
+		t.Errorf("unmatched path: %s", alerts[2].Bug.Owner)
+	}
+}
+
+func TestAlertRenderCarriesPaperFields(t *testing.T) {
+	db := report.NewDB()
+	r := &Reporter{DB: db}
+	f := mkFinding("svc", "svc.leak", "/svc/l.go:5", 16000)
+	alerts := r.Report([]*Finding{f})
+	text := alerts[0].Render()
+	for _, want := range []string{"chan send", "/svc/l.go:5", "16000", "i1"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("alert missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package leakprof
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/report"
+)
+
+// Scheduler drives the periodic sweep the paper runs daily: collect a
+// profile from every instance, analyze, and report, forever. It is the
+// operational shell around Collector/Analyzer/Reporter.
+type Scheduler struct {
+	// Collector fetches profiles; required.
+	Collector *Collector
+	// Analyzer detects suspicious operations; required.
+	Analyzer *Analyzer
+	// Reporter files and routes alerts; required.
+	Reporter *Reporter
+	// Endpoints enumerates the fleet at each sweep; required. It is a
+	// function because deployments churn between sweeps.
+	Endpoints func() []Endpoint
+	// Interval between sweeps; default 24h.
+	Interval time.Duration
+	// Trend optionally classifies cross-sweep behaviour; alerts for
+	// locations it calls oscillating are annotated, not suppressed
+	// (precision work stays with the human, as in the paper).
+	Trend *TrendTracker
+	// OnSweep observes each sweep's outcome (metrics, logging).
+	OnSweep func(SweepStats)
+	// now overrides the clock in tests.
+	now func() time.Time
+}
+
+// SweepStats summarises one sweep.
+type SweepStats struct {
+	At        time.Time
+	Endpoints int
+	Profiles  int
+	Errors    int
+	Findings  int
+	NewAlerts []*report.Alert
+}
+
+// Run sweeps until the context is cancelled. The first sweep happens
+// immediately; subsequent sweeps follow the interval.
+func (s *Scheduler) Run(ctx context.Context) error {
+	interval := s.Interval
+	if interval <= 0 {
+		interval = 24 * time.Hour
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		s.Sweep(ctx)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}
+
+// Sweep performs one collection/analysis/reporting pass.
+func (s *Scheduler) Sweep(ctx context.Context) SweepStats {
+	now := s.now
+	if now == nil {
+		now = time.Now
+	}
+	stats := SweepStats{At: now()}
+	endpoints := s.Endpoints()
+	stats.Endpoints = len(endpoints)
+
+	results := s.Collector.Collect(ctx, endpoints)
+	for _, r := range results {
+		if r.Err != nil {
+			stats.Errors++
+		}
+	}
+	snaps := Snapshots(results)
+	stats.Profiles = len(snaps)
+
+	findings := s.Analyzer.Analyze(snaps)
+	stats.Findings = len(findings)
+	if s.Trend != nil {
+		s.Trend.Observe(stats.At, findings)
+	}
+	stats.NewAlerts = s.Reporter.Report(findings)
+	if s.OnSweep != nil {
+		s.OnSweep(stats)
+	}
+	return stats
+}

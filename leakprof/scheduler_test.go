@@ -1,0 +1,89 @@
+package leakprof
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/report"
+	"repro/internal/stack"
+)
+
+// leakEndpoint serves a debug=2 profile with n goroutines blocked at one
+// location.
+func leakEndpoint(t *testing.T, n int) *httptest.Server {
+	t.Helper()
+	gs := make([]*stack.Goroutine, n)
+	for i := range gs {
+		gs[i] = &stack.Goroutine{
+			ID: int64(i + 1), State: "chan send",
+			Frames: []stack.Frame{{Function: "svc.leak", File: "/svc/l.go", Line: 5}},
+		}
+	}
+	body := stack.Format(gs)
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte(body))
+	}))
+}
+
+func TestSchedulerSweep(t *testing.T) {
+	srv := leakEndpoint(t, 500)
+	defer srv.Close()
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusBadGateway)
+	}))
+	defer bad.Close()
+
+	var observed []SweepStats
+	sched := &Scheduler{
+		Collector: &Collector{},
+		Analyzer:  &Analyzer{Threshold: 100},
+		Reporter:  &Reporter{DB: report.NewDB(), TopN: 5},
+		Trend:     &TrendTracker{},
+		Endpoints: func() []Endpoint {
+			return []Endpoint{
+				{Service: "svc", Instance: "i1", URL: srv.URL},
+				{Service: "svc", Instance: "i2", URL: bad.URL},
+			}
+		},
+		OnSweep: func(s SweepStats) { observed = append(observed, s) },
+		now:     func() time.Time { return time.Unix(77, 0) },
+	}
+	stats := sched.Sweep(context.Background())
+	if stats.Endpoints != 2 || stats.Profiles != 1 || stats.Errors != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.Findings != 1 || len(stats.NewAlerts) != 1 {
+		t.Fatalf("findings/alerts = %d/%d", stats.Findings, len(stats.NewAlerts))
+	}
+	if len(observed) != 1 {
+		t.Errorf("OnSweep called %d times", len(observed))
+	}
+	// Second sweep: same defect, deduplicated, trend accumulates.
+	stats = sched.Sweep(context.Background())
+	if len(stats.NewAlerts) != 0 {
+		t.Errorf("re-alerted on sweep 2: %+v", stats.NewAlerts)
+	}
+}
+
+func TestSchedulerRunHonoursContext(t *testing.T) {
+	srv := leakEndpoint(t, 1)
+	defer srv.Close()
+	sched := &Scheduler{
+		Collector: &Collector{},
+		Analyzer:  &Analyzer{},
+		Reporter:  &Reporter{DB: report.NewDB()},
+		Endpoints: func() []Endpoint {
+			return []Endpoint{{Service: "s", Instance: "i", URL: srv.URL}}
+		},
+		Interval: time.Millisecond,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	err := sched.Run(ctx)
+	if err != context.DeadlineExceeded {
+		t.Errorf("Run returned %v", err)
+	}
+}

@@ -1,0 +1,58 @@
+package leakprof
+
+import (
+	"testing"
+	"time"
+)
+
+func observeSeries(t *testing.T, tr *TrendTracker, key string, counts []int) {
+	t.Helper()
+	at := time.Unix(0, 0)
+	for _, c := range counts {
+		tr.Observe(at, []*Finding{{Service: "s", Op: "send", Location: key, TotalBlocked: c}})
+		at = at.Add(24 * time.Hour)
+	}
+}
+
+func keyFor(loc string) string {
+	return (&Finding{Service: "s", Op: "send", Location: loc}).Key()
+}
+
+func TestTrendVerdicts(t *testing.T) {
+	tr := &TrendTracker{}
+	observeSeries(t, tr, "/leak.go:1", []int{100, 250, 600, 1400})
+	observeSeries(t, tr, "/busy.go:2", []int{900, 300, 1100, 200})
+	observeSeries(t, tr, "/pool.go:3", []int{500, 520, 490, 505})
+	observeSeries(t, tr, "/new.go:4", []int{100})
+
+	cases := map[string]TrendVerdict{
+		"/leak.go:1": TrendGrowing,
+		"/busy.go:2": TrendOscillating,
+		"/pool.go:3": TrendStable,
+		"/new.go:4":  TrendUnknown,
+	}
+	for loc, want := range cases {
+		if got := tr.Verdict(keyFor(loc)); got != want {
+			t.Errorf("%s: verdict = %v, want %v", loc, got, want)
+		}
+	}
+	growing := tr.Growing()
+	if len(growing) != 1 || growing[0] != keyFor("/leak.go:1") {
+		t.Errorf("growing = %v", growing)
+	}
+}
+
+func TestTrendVerdictStrings(t *testing.T) {
+	for v, want := range map[TrendVerdict]string{
+		TrendUnknown: "unknown", TrendGrowing: "growing",
+		TrendOscillating: "oscillating", TrendStable: "stable",
+	} {
+		if got := v.String(); got != want {
+			t.Errorf("verdict %d = %q, want %q", v, got, want)
+		}
+	}
+}
+
+// The fleet-driven trend test lives in integration_test.go at the module
+// root (importing internal/fleet here would create an import cycle in
+// the test binary).

@@ -1,0 +1,206 @@
+// Package leakwatch is an in-process goroutine-leak watchdog: the
+// "runtime monitoring systems" direction the paper's conclusions call
+// for, embedded in the service itself rather than run platform-side.
+//
+// A Watcher periodically samples the process's goroutines (the same
+// capture primitive GOLEAK uses), tracks blocked-channel-operation
+// concentrations per source location across samples, and invokes a
+// callback when a location both exceeds a count threshold and persists
+// across consecutive samples — the two signals that together separate
+// leaks from transient congestion (Sections V-A and Fig 6).
+//
+//	w := leakwatch.New(leakwatch.Config{
+//		Interval:  time.Minute,
+//		Threshold: 1000,
+//		OnLeak: func(r leakwatch.Report) { log.Printf("leak: %v", r) },
+//	})
+//	defer w.Stop()
+package leakwatch
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/stack"
+)
+
+// Report is one suspected leak surfaced by the watchdog.
+type Report struct {
+	// Op is "send", "receive", or "select".
+	Op string
+	// Location is the blocked operation's file:line.
+	Location string
+	// Function is the blocking function.
+	Function string
+	// Count is the blocked-goroutine count in the triggering sample.
+	Count int
+	// ConsecutiveSamples is how many samples in a row the location
+	// exceeded the threshold.
+	ConsecutiveSamples int
+	// At is the sample time.
+	At time.Time
+}
+
+// String renders the report.
+func (r Report) String() string {
+	return fmt.Sprintf("%d goroutines blocked on chan %s at %s (%s) for %d consecutive samples",
+		r.Count, r.Op, r.Location, r.Function, r.ConsecutiveSamples)
+}
+
+// Config parameterises a Watcher.
+type Config struct {
+	// Interval between samples; default one minute.
+	Interval time.Duration
+	// Threshold is the per-location blocked count considered
+	// suspicious; default 1000 (in-process populations are far smaller
+	// than the fleet-wide 10K of LEAKPROF).
+	Threshold int
+	// Persistence is how many consecutive suspicious samples trigger a
+	// report; default 2.
+	Persistence int
+	// OnLeak receives reports; required to observe anything. Reports
+	// for a location repeat while it stays suspicious, with
+	// ConsecutiveSamples growing.
+	OnLeak func(Report)
+	// capture overrides the stack source in tests.
+	capture func() ([]*stack.Goroutine, error)
+	// now overrides the clock in tests.
+	now func() time.Time
+}
+
+// Watcher is a running watchdog.
+type Watcher struct {
+	cfg    Config
+	stop   chan struct{}
+	done   chan struct{}
+	mu     sync.Mutex
+	streak map[string]int // location key -> consecutive suspicious samples
+}
+
+// New starts a watchdog goroutine. Stop must be called to release it —
+// the watchdog practices what it preaches.
+func New(cfg Config) *Watcher {
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Minute
+	}
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 1000
+	}
+	if cfg.Persistence <= 0 {
+		cfg.Persistence = 2
+	}
+	if cfg.capture == nil {
+		cfg.capture = stack.Current
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	w := &Watcher{
+		cfg:    cfg,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+		streak: map[string]int{},
+	}
+	go w.loop()
+	return w
+}
+
+// Stop terminates the watchdog and waits for its goroutine to exit.
+func (w *Watcher) Stop() {
+	select {
+	case <-w.stop:
+	default:
+		close(w.stop)
+	}
+	<-w.done
+}
+
+// SampleNow takes one sample synchronously (outside the timer loop) and
+// returns the reports it produced; useful for tests and for wiring the
+// watchdog to external triggers (deploy hooks, alert probes).
+func (w *Watcher) SampleNow() ([]Report, error) {
+	return w.sample()
+}
+
+func (w *Watcher) loop() {
+	defer close(w.done)
+	ticker := time.NewTicker(w.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			reports, err := w.sample()
+			if err != nil {
+				continue
+			}
+			if w.cfg.OnLeak != nil {
+				for _, r := range reports {
+					w.cfg.OnLeak(r)
+				}
+			}
+		case <-w.stop:
+			return
+		}
+	}
+}
+
+func (w *Watcher) sample() ([]Report, error) {
+	gs, err := w.cfg.capture()
+	if err != nil {
+		return nil, err
+	}
+	type locInfo struct {
+		op    stack.BlockedOp
+		count int
+	}
+	counts := map[string]*locInfo{}
+	for _, g := range gs {
+		op, ok := g.BlockedChannelOp()
+		if !ok {
+			continue
+		}
+		op.WaitTime = 0
+		key := op.Op + "\x00" + op.Location
+		if li := counts[key]; li != nil {
+			li.count++
+		} else {
+			counts[key] = &locInfo{op: op, count: 1}
+		}
+	}
+
+	at := w.cfg.now()
+	var reports []Report
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	// Reset streaks for locations that dropped below threshold.
+	for key := range w.streak {
+		if li := counts[key]; li == nil || li.count < w.cfg.Threshold {
+			delete(w.streak, key)
+		}
+	}
+	keys := make([]string, 0, len(counts))
+	for key := range counts {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		li := counts[key]
+		if li.count < w.cfg.Threshold {
+			continue
+		}
+		w.streak[key]++
+		if w.streak[key] >= w.cfg.Persistence {
+			reports = append(reports, Report{
+				Op:                 li.op.Op,
+				Location:           li.op.Location,
+				Function:           li.op.Function,
+				Count:              li.count,
+				ConsecutiveSamples: w.streak[key],
+				At:                 at,
+			})
+		}
+	}
+	return reports, nil
+}

@@ -1,0 +1,173 @@
+package leakwatch
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/patterns"
+	"repro/internal/stack"
+)
+
+// fakeCapture returns canned goroutine populations, one per call.
+func fakeCapture(samples ...[]*stack.Goroutine) func() ([]*stack.Goroutine, error) {
+	i := 0
+	return func() ([]*stack.Goroutine, error) {
+		if i >= len(samples) {
+			return samples[len(samples)-1], nil
+		}
+		s := samples[i]
+		i++
+		return s, nil
+	}
+}
+
+func blocked(n int, op, fn, loc string) []*stack.Goroutine {
+	state := map[string]string{"send": "chan send", "receive": "chan receive", "select": "select"}[op]
+	file, _, _ := strings.Cut(loc, ":")
+	out := make([]*stack.Goroutine, n)
+	for i := range out {
+		out[i] = &stack.Goroutine{
+			ID: int64(i + 1), State: state,
+			Frames: []stack.Frame{{Function: fn, File: file, Line: 9}},
+		}
+	}
+	return out
+}
+
+func TestPersistenceGate(t *testing.T) {
+	pop := blocked(50, "send", "svc.leak", "/svc/l.go")
+	w := New(Config{
+		Interval:    time.Hour, // the test drives sampling manually
+		Threshold:   10,
+		Persistence: 3,
+		capture:     fakeCapture(pop, pop, pop, pop),
+		now:         func() time.Time { return time.Unix(9, 0) },
+	})
+	defer w.Stop()
+
+	for i := 1; i <= 2; i++ {
+		reports, err := w.SampleNow()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(reports) != 0 {
+			t.Fatalf("sample %d reported before persistence satisfied: %v", i, reports)
+		}
+	}
+	reports, err := w.SampleNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 1 {
+		t.Fatalf("third sample reports = %v", reports)
+	}
+	r := reports[0]
+	if r.Count != 50 || r.Op != "send" || r.Location != "/svc/l.go:9" || r.ConsecutiveSamples != 3 {
+		t.Errorf("report = %+v", r)
+	}
+	if !strings.Contains(r.String(), "chan send") {
+		t.Errorf("String() = %q", r.String())
+	}
+}
+
+func TestStreakResetsWhenCongestionClears(t *testing.T) {
+	hot := blocked(50, "receive", "svc.pool", "/svc/p.go")
+	cold := blocked(2, "receive", "svc.pool", "/svc/p.go")
+	w := New(Config{
+		Interval: time.Hour, Threshold: 10, Persistence: 2,
+		capture: fakeCapture(hot, cold, hot, hot),
+	})
+	defer w.Stop()
+
+	if r, _ := w.SampleNow(); len(r) != 0 { // hot #1: streak 1
+		t.Fatalf("sample 1: %v", r)
+	}
+	if r, _ := w.SampleNow(); len(r) != 0 { // cold: streak resets
+		t.Fatalf("sample 2: %v", r)
+	}
+	if r, _ := w.SampleNow(); len(r) != 0 { // hot #1 again
+		t.Fatalf("sample 3: %v", r)
+	}
+	r, _ := w.SampleNow() // hot #2: persistence reached
+	if len(r) != 1 || r[0].ConsecutiveSamples != 2 {
+		t.Fatalf("sample 4: %v", r)
+	}
+}
+
+func TestCaptureErrorsAreNotFatal(t *testing.T) {
+	w := New(Config{
+		Interval: time.Hour, Threshold: 1, Persistence: 1,
+		capture: func() ([]*stack.Goroutine, error) { return nil, errors.New("boom") },
+	})
+	defer w.Stop()
+	if _, err := w.SampleNow(); err == nil {
+		t.Error("SampleNow should surface capture errors")
+	}
+}
+
+func TestWatcherAgainstLivePatternLeak(t *testing.T) {
+	// End to end on the real process: a live leak crosses the
+	// threshold in two consecutive samples and is reported via OnLeak.
+	var mu sync.Mutex
+	var got []Report
+	w := New(Config{
+		Interval:    5 * time.Millisecond,
+		Threshold:   8,
+		Persistence: 2,
+		OnLeak: func(r Report) {
+			mu.Lock()
+			defer mu.Unlock()
+			got = append(got, r)
+		},
+	})
+	defer w.Stop()
+
+	inst := patterns.MissingReceiver.Trigger(10)
+	defer inst.Release()
+	if err := patterns.AwaitKind(stack.KindChanSend, 10, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("watchdog never reported the live leak")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	r := got[0]
+	if r.Op != "send" || r.Count < 10 {
+		t.Errorf("report = %+v", r)
+	}
+	if !strings.Contains(r.Function, "orphanSender") {
+		t.Errorf("report function = %q", r.Function)
+	}
+}
+
+func TestStopIsIdempotentAndReleasesGoroutine(t *testing.T) {
+	w := New(Config{Interval: time.Millisecond, Threshold: 1})
+	w.Stop()
+	w.Stop() // second stop must not panic
+	// After Stop, the watchdog goroutine is gone; goleak-style sweep.
+	gs, err := stack.Current()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range gs {
+		for _, f := range g.Frames {
+			if strings.Contains(f.Function, "leakwatch.(*Watcher).loop") {
+				t.Error("watchdog goroutine still running after Stop")
+			}
+		}
+	}
+}
