@@ -8,6 +8,8 @@ package repro
 
 import (
 	"fmt"
+	"io"
+	"strings"
 	"testing"
 	"time"
 
@@ -335,6 +337,101 @@ func BenchmarkStackParse(b *testing.B) {
 		if err != nil || len(parsed) != 200 {
 			b.Fatalf("parse: %v (%d)", err, len(parsed))
 		}
+	}
+}
+
+// BenchmarkScanDump measures the streaming scanner against the
+// materialize-then-parse baseline (the old collector flow: buffer the
+// body, Parse, walk the slice) on a production-shaped synthetic dump of
+// >=10K goroutines. The headline is allocs/op: streaming must stay
+// strictly below the Parse baseline (the PR-1 acceptance bound).
+func BenchmarkScanDump(b *testing.B) {
+	cfg := synth.DumpConfig{Benign: 250, LeakClusters: 4, ClusterSize: 2500, Seed: 1}
+	dump := synth.Dump(cfg)
+	want := cfg.Goroutines()
+	countBlocked := func(gs ...*stack.Goroutine) int {
+		n := 0
+		for _, g := range gs {
+			if _, ok := g.BlockedChannelOp(); ok {
+				n++
+			}
+		}
+		return n
+	}
+	b.Run("scanner-stream", func(b *testing.B) {
+		b.SetBytes(int64(len(dump)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sc := stack.NewScanner(strings.NewReader(dump))
+			total, blocked := 0, 0
+			for sc.Scan() {
+				total++
+				blocked += countBlocked(sc.Goroutine())
+			}
+			if sc.Err() != nil || total != want || blocked != 4*2500 {
+				b.Fatalf("scan: %v (%d/%d)", sc.Err(), total, blocked)
+			}
+		}
+	})
+	b.Run("parse-baseline", func(b *testing.B) {
+		b.SetBytes(int64(len(dump)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			body, err := io.ReadAll(strings.NewReader(dump)) // the old fetch path buffers the body
+			if err != nil {
+				b.Fatal(err)
+			}
+			gs, err := stack.Parse(string(body))
+			if err != nil || len(gs) != want {
+				b.Fatalf("parse: %v (%d)", err, len(gs))
+			}
+			if blocked := countBlocked(gs...); blocked != 4*2500 {
+				b.Fatalf("blocked = %d", blocked)
+			}
+		}
+	})
+}
+
+// BenchmarkAggregateFleet measures the sharded streaming aggregation over
+// a platform-scale sweep: 5K instances folded one at a time, findings
+// ranked at the end, peak state O(locations) instead of O(fleet).
+func BenchmarkAggregateFleet(b *testing.B) {
+	configs := []fleet.ServiceConfig{}
+	for s := 0; s < 50; s++ {
+		cfg := fleet.ServiceConfig{
+			Name:             fmt.Sprintf("svc%02d", s),
+			Instances:        100,
+			BenignGoroutines: 30,
+			Seed:             int64(s),
+		}
+		if s%5 == 0 {
+			cfg.Pattern = patterns.TimeoutLeak
+			cfg.LeakFile = fmt.Sprintf("services/svc%02d/h.go", s)
+			cfg.LeakLine = 10
+			cfg.LeakPerDay = 15000
+			cfg.LeakStartDay = 1
+			cfg.FixDay = -1
+		}
+		configs = append(configs, cfg)
+	}
+	f := fleet.New(time.Unix(0, 0).UTC(), configs)
+	f.AdvanceDay()
+	analyzer := &leakprof.Analyzer{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var swept, found int
+	for i := 0; i < b.N; i++ {
+		agg := analyzer.NewAggregator()
+		swept = f.SweepInto(agg)
+		found = len(agg.Findings(analyzer.Ranking))
+	}
+	b.StopTimer()
+	if swept != 5000 || found != 10 {
+		b.Fatalf("swept %d instances, %d findings; want 5000, 10", swept, found)
+	}
+	perOp := b.Elapsed() / time.Duration(b.N)
+	if perOp > 0 {
+		b.ReportMetric(float64(swept)/perOp.Seconds(), "profiles/sec")
 	}
 }
 

@@ -5,19 +5,25 @@
 //	fleetsim -services 3 -instances 4 -days 3
 //
 // prints one service=url pair per instance (paste into leakprof
-// -endpoints) and blocks until interrupted.
+// -endpoints) and blocks until interrupted. With -sweep it instead runs
+// one in-process collection sweep over its own endpoints — HTTP fetch,
+// streaming scan, sharded aggregation — prints the findings, and exits:
+// a self-contained end-to-end exercise of the streaming pipeline.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/fleet"
 	"repro/internal/patterns"
+	"repro/leakprof"
 )
 
 func main() {
@@ -25,6 +31,7 @@ func main() {
 	instances := flag.Int("instances", 4, "instances per service")
 	days := flag.Int("days", 3, "leak growth days to simulate before serving")
 	leakRate := flag.Int("rate", 6000, "blocked goroutines per affected instance per day")
+	sweep := flag.Bool("sweep", false, "run one in-process leakprof sweep over the fleet, print findings, and exit")
 	flag.Parse()
 
 	pats := []*patterns.Pattern{
@@ -58,6 +65,11 @@ func main() {
 	endpoints, shutdown := f.Serve()
 	defer shutdown()
 
+	if *sweep {
+		runSweep(endpoints, *leakRate/2)
+		return
+	}
+
 	var pairs []string
 	for _, ep := range endpoints {
 		pairs = append(pairs, ep.Service+"="+ep.URL)
@@ -66,7 +78,28 @@ func main() {
 	fmt.Printf("  leakprof -threshold %d -endpoints %s\n", *leakRate/2, strings.Join(pairs, ","))
 	fmt.Println("press Ctrl-C to stop")
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	<-sig
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+}
+
+// runSweep drives the streaming pipeline over the fleet's own endpoints:
+// bodies stream from HTTP through the scanner into the aggregator.
+func runSweep(endpoints []leakprof.Endpoint, threshold int) {
+	analyzer := &leakprof.Analyzer{Threshold: threshold}
+	agg := analyzer.NewAggregator()
+	c := &leakprof.Collector{Parallelism: 8}
+	for _, err := range c.CollectInto(context.Background(), endpoints, agg) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "warn: %v\n", err)
+		}
+	}
+	findings := agg.Findings(analyzer.Ranking)
+	fmt.Printf("swept %d instances, %d suspicious locations (threshold %d)\n",
+		agg.Profiles(), len(findings), threshold)
+	for _, f := range findings {
+		fmt.Printf("  %-8s %-7s %-32s blocked=%-8d instances=%d/%d max=%d@%s impact=%.1f\n",
+			f.Service, f.Op, f.Location, f.TotalBlocked,
+			f.SuspiciousInstances, f.Instances, f.MaxCount, f.MaxInstance, f.Impact)
+	}
 }

@@ -7,7 +7,11 @@
 //	leakprof -dir /path/to/profiles    # files named <service>_<instance>.txt
 //
 // Flags tune the paper's knobs: -threshold (default 10000), -rank
-// (rms|mean|max|total), -top (alerts per sweep).
+// (rms|mean|max|total), -top (alerts per sweep), -parallelism (concurrent
+// fetches). Endpoint sweeps stream: each profile body flows through the
+// stack scanner into a sharded fleet aggregator as its fetch completes,
+// so memory stays flat regardless of fleet and profile size. SIGINT
+// cancels an in-flight sweep cleanly.
 package main
 
 import (
@@ -15,7 +19,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/gprofile"
@@ -30,9 +36,14 @@ func main() {
 	rank := flag.String("rank", "rms", "impact ranking: rms, mean, max, total")
 	top := flag.Int("top", 10, "alerts per sweep")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-endpoint fetch timeout")
+	parallelism := flag.Int("parallelism", 32, "concurrent profile fetches")
 	flag.Parse()
 
-	var snaps []*gprofile.Snapshot
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	analyzer := &leakprof.Analyzer{Threshold: *threshold, Ranking: parseRank(*rank)}
+	var findings []*leakprof.Finding
 	switch {
 	case *endpoints != "":
 		var eps []leakprof.Endpoint
@@ -45,14 +56,18 @@ func main() {
 				Service: svc, Instance: fmt.Sprintf("i%03d", i), URL: url,
 			})
 		}
-		c := &leakprof.Collector{Timeout: *timeout}
-		results := c.Collect(context.Background(), eps)
-		for _, r := range results {
-			if r.Err != nil {
-				fmt.Fprintf(os.Stderr, "warn: %v\n", r.Err)
+		c := &leakprof.Collector{Timeout: *timeout, Parallelism: *parallelism}
+		agg := analyzer.NewAggregator()
+		for _, err := range c.CollectInto(ctx, eps, agg) {
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "warn: %v\n", err)
 			}
 		}
-		snaps = leakprof.Snapshots(results)
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "leakprof: sweep interrupted")
+		}
+		fmt.Printf("collected %d profiles\n", agg.Profiles())
+		findings = agg.Findings(analyzer.Ranking)
 	case *dir != "":
 		loaded, errs, err := gprofile.LoadDir(*dir, time.Now())
 		if err != nil {
@@ -61,15 +76,13 @@ func main() {
 		for _, e := range errs {
 			fmt.Fprintf(os.Stderr, "warn: %v\n", e)
 		}
-		snaps = loaded
+		fmt.Printf("collected %d profiles\n", len(loaded))
+		findings = analyzer.Analyze(loaded)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
-	fmt.Printf("collected %d profiles\n", len(snaps))
 
-	analyzer := &leakprof.Analyzer{Threshold: *threshold, Ranking: parseRank(*rank)}
-	findings := analyzer.Analyze(snaps)
 	reporter := &leakprof.Reporter{DB: report.NewDB(), TopN: *top}
 	alerts := reporter.Report(findings)
 	if len(alerts) == 0 {

@@ -183,33 +183,56 @@ func (f *Fleet) Snapshots() []*gprofile.Snapshot {
 	return out
 }
 
-// SnapshotsAggregated captures one sweep using the pre-aggregated fast
-// path: the benign population is materialised, while the leaked cluster —
+// snapshotAggregated captures this instance in the pre-aggregated form:
+// the benign population is materialised, while the leaked cluster —
 // thousands of goroutines with the identical stack, exactly what a leak
 // produces — is carried as a (operation, location) count. The analyzer
 // consumes both forms identically.
+func (in *Instance) snapshotAggregated(at time.Time) *gprofile.Snapshot {
+	snap := &gprofile.Snapshot{
+		Service:    in.Service,
+		Instance:   in.Name,
+		TakenAt:    at,
+		Goroutines: in.benign,
+	}
+	if in.blocked > 0 && in.cfg.Pattern != nil {
+		// One representative record determines the operation kind
+		// and location; the count rides alongside.
+		rep := in.cfg.Pattern.Stacks(1, 1)
+		patterns.Relocate(rep, in.cfg.LeakFile, in.cfg.LeakLine)
+		if op, ok := rep[0].BlockedChannelOp(); ok {
+			snap.PreAggregated = map[stack.BlockedOp]int{op: in.blocked}
+		}
+	}
+	return snap
+}
+
+// SnapshotsAggregated captures one sweep in the pre-aggregated form,
+// materialising the per-instance slice. Platform-scale sweeps should use
+// SweepInto, which streams instances into an aggregator instead.
 func (f *Fleet) SnapshotsAggregated() []*gprofile.Snapshot {
 	at := f.origin.Add(time.Duration(f.Day) * 24 * time.Hour)
 	var out []*gprofile.Snapshot
 	for _, in := range f.Instances() {
-		snap := &gprofile.Snapshot{
-			Service:    in.Service,
-			Instance:   in.Name,
-			TakenAt:    at,
-			Goroutines: in.benign,
-		}
-		if in.blocked > 0 && in.cfg.Pattern != nil {
-			// One representative record determines the operation kind
-			// and location; the count rides alongside.
-			rep := in.cfg.Pattern.Stacks(1, 1)
-			patterns.Relocate(rep, in.cfg.LeakFile, in.cfg.LeakLine)
-			if op, ok := rep[0].BlockedChannelOp(); ok {
-				snap.PreAggregated = map[stack.BlockedOp]int{op: in.blocked}
-			}
-		}
-		out = append(out, snap)
+		out = append(out, in.snapshotAggregated(at))
 	}
 	return out
+}
+
+// SweepInto folds one collection sweep directly into agg, instance by
+// instance, without materialising the sweep as a snapshot slice — the
+// simulator twin of Collector.CollectInto. It returns the number of
+// instances swept.
+func (f *Fleet) SweepInto(agg *leakprof.Aggregator) int {
+	at := f.origin.Add(time.Duration(f.Day) * 24 * time.Hour)
+	n := 0
+	for _, s := range f.Services {
+		for _, in := range s.instances {
+			agg.Add(in.snapshotAggregated(at))
+			n++
+		}
+	}
+	return n
 }
 
 // Serve stands up a real HTTP profile endpoint per instance and returns

@@ -50,7 +50,9 @@ func RunFig6(days int) []Fig6Point {
 		f.AdvanceDay()
 		svc := f.Services[0]
 		_, max := svc.MaxBlocked()
-		findings := analyzer.Analyze(f.SnapshotsAggregated())
+		agg := analyzer.NewAggregator()
+		f.SweepInto(agg)
+		findings := agg.Findings(analyzer.Ranking)
 		series = append(series, Fig6Point{
 			Day:            f.Day,
 			Representative: max,
@@ -153,8 +155,9 @@ func RunYear(seed int64) YearOutcome {
 		if day%7 != 0 {
 			continue // weekly sweeps keep the simulation fast
 		}
-		findings := analyzer.Analyze(f.SnapshotsAggregated())
-		alerts := reporter.Report(findings)
+		agg := analyzer.NewAggregator()
+		f.SweepInto(agg)
+		alerts := reporter.Report(agg.Findings(analyzer.Ranking))
 		for _, a := range alerts {
 			if pat, isReal := patternOf[a.Bug.Service]; isReal {
 				db.SetStatus(a.Bug.Key, report.StatusAcknowledged)

@@ -19,6 +19,7 @@ package gprofile
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"strconv"
 	"strings"
@@ -44,8 +45,11 @@ type Profile struct {
 	Records []Record
 }
 
-// Snapshot is one instance's goroutine profile as LEAKPROF consumes it: the
-// fully parsed goroutines (from a debug=2 body) plus collection metadata.
+// Snapshot is one instance's goroutine profile as LEAKPROF consumes it:
+// collection metadata plus the goroutine population in one of two forms —
+// fully parsed records (Goroutines) or compact blocked-operation counts
+// (PreAggregated). ScanSnapshot, the streaming collection path, produces
+// only the compact form.
 type Snapshot struct {
 	// Service is the owning service name.
 	Service string
@@ -54,13 +58,34 @@ type Snapshot struct {
 	// TakenAt is the collection timestamp.
 	TakenAt time.Time
 	// Goroutines are all goroutines in the instance at collection time.
+	// Empty for snapshots built by ScanSnapshot, which aggregates while
+	// scanning instead of retaining records.
 	Goroutines []*stack.Goroutine
-	// PreAggregated optionally carries blocked-operation counts that
-	// were aggregated at the source. Large-scale simulators use this
-	// fast path instead of materialising millions of identical records;
-	// profiles collected over HTTP never populate it. CountByLocation
-	// merges both representations.
+	// PreAggregated carries blocked-operation counts aggregated at the
+	// source: ScanSnapshot builds them while streaming the profile body,
+	// and large-scale simulators use them instead of materialising
+	// millions of identical records. Wait durations are preserved in the
+	// key so duration-sensitive filters still apply; CountByLocation and
+	// the analyzer fold them away when grouping. Both representations
+	// may coexist and are merged by every consumer.
 	PreAggregated map[stack.BlockedOp]int
+	// TotalGoroutines is the number of goroutines scanned, including
+	// unblocked ones, when the snapshot was built by ScanSnapshot; zero
+	// for snapshots carrying full records (use len(Goroutines)).
+	TotalGoroutines int
+}
+
+// NumGoroutines returns the instance's goroutine population size in
+// either representation.
+func (s *Snapshot) NumGoroutines() int {
+	if s.TotalGoroutines > 0 {
+		return s.TotalGoroutines
+	}
+	n := len(s.Goroutines)
+	for _, c := range s.PreAggregated {
+		n += c
+	}
+	return n
 }
 
 // Aggregate folds full goroutine records into debug=1 form, grouping by
@@ -220,13 +245,44 @@ func parseFrameLine(line string) (stack.Frame, error) {
 	return f, nil
 }
 
-// ParseSnapshot decodes a debug=2 profile body into a Snapshot.
+// ParseSnapshot decodes a debug=2 profile body into a Snapshot with fully
+// parsed goroutine records. Collection paths that only need blocked-count
+// aggregates should use ScanSnapshot, which streams the body instead of
+// materialising it.
 func ParseSnapshot(service, instance string, takenAt time.Time, body string) (*Snapshot, error) {
 	gs, err := stack.Parse(body)
 	if err != nil {
 		return nil, fmt.Errorf("gprofile: parsing %s/%s: %w", service, instance, err)
 	}
 	return &Snapshot{Service: service, Instance: instance, TakenAt: takenAt, Goroutines: gs}, nil
+}
+
+// ScanSnapshot streams a debug=2 profile body and returns a compact
+// snapshot: per-(operation, location) blocked counts plus the total
+// goroutine count, built one goroutine at a time without ever holding the
+// body or the parsed records in memory. Wait durations stay in the
+// aggregation key (they are coarse, so cardinality is low) so criterion-2
+// filters that inspect blocking durations behave exactly as on full
+// records. This is the LEAKPROF collection path: peak memory per profile
+// is O(distinct blocked locations), not O(goroutines).
+func ScanSnapshot(service, instance string, takenAt time.Time, r io.Reader) (*Snapshot, error) {
+	sc := stack.NewScanner(r)
+	snap := &Snapshot{Service: service, Instance: instance, TakenAt: takenAt}
+	for sc.Scan() {
+		snap.TotalGoroutines++
+		op, ok := sc.Goroutine().BlockedChannelOp()
+		if !ok {
+			continue
+		}
+		if snap.PreAggregated == nil {
+			snap.PreAggregated = make(map[stack.BlockedOp]int)
+		}
+		snap.PreAggregated[op]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("gprofile: scanning %s/%s: %w", service, instance, err)
+	}
+	return snap, nil
 }
 
 // CountByLocation groups the snapshot's channel-blocked goroutines by

@@ -1,0 +1,98 @@
+package gprofile
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/stack"
+)
+
+func clusterDump(t *testing.T) (string, int) {
+	t.Helper()
+	var gs []*stack.Goroutine
+	id := int64(1)
+	add := func(state, fn, file string, line int, wait time.Duration, n int) {
+		for i := 0; i < n; i++ {
+			gs = append(gs, &stack.Goroutine{
+				ID: id, State: state, WaitTime: wait,
+				Frames: []stack.Frame{{Function: fn, File: file, Line: line, Offset: 0x2b}},
+			})
+			id++
+		}
+	}
+	add("chan send", "svc.leak", "/svc/l.go", 5, 5*time.Minute, 40)
+	add("chan receive (nil chan)", "svc.dead", "/svc/d.go", 9, 0, 7)
+	add("select", "svc.fan", "/svc/f.go", 12, 2*time.Hour, 13)
+	add("IO wait", "net.poll", "/net/fd.go", 100, 0, 25) // not channel-blocked
+	add("running", "svc.h", "/svc/h.go", 1, 0, 5)
+	return stack.Format(gs), len(gs)
+}
+
+// TestScanSnapshotMatchesParsePath asserts the streaming aggregation is
+// observationally identical to parse-then-count: same CountByLocation,
+// same per-op pre-aggregates including wait durations.
+func TestScanSnapshotMatchesParsePath(t *testing.T) {
+	dump, total := clusterDump(t)
+	at := time.Unix(7, 0)
+
+	parsed, err := ParseSnapshot("svc", "i1", at, dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scanned, err := ScanSnapshot("svc", "i1", at, strings.NewReader(dump))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if scanned.Service != "svc" || scanned.Instance != "i1" || !scanned.TakenAt.Equal(at) {
+		t.Errorf("metadata = %+v", scanned)
+	}
+	if len(scanned.Goroutines) != 0 {
+		t.Errorf("ScanSnapshot retained %d goroutine records", len(scanned.Goroutines))
+	}
+	if scanned.TotalGoroutines != total || scanned.NumGoroutines() != total {
+		t.Errorf("total = %d (NumGoroutines %d), want %d",
+			scanned.TotalGoroutines, scanned.NumGoroutines(), total)
+	}
+
+	if got, want := scanned.CountByLocation(), parsed.CountByLocation(); !reflect.DeepEqual(got, want) {
+		t.Errorf("CountByLocation diverges:\nscan:  %+v\nparse: %+v", got, want)
+	}
+
+	// Wait durations must be preserved in the pre-aggregated keys so
+	// duration filters see them.
+	var sawWait bool
+	for op := range scanned.PreAggregated {
+		if op.WaitTime == int64(5*time.Minute) && op.Location == "/svc/l.go:5" {
+			sawWait = true
+		}
+	}
+	if !sawWait {
+		t.Errorf("wait durations lost in pre-aggregates: %+v", scanned.PreAggregated)
+	}
+}
+
+func TestScanSnapshotEmptyBody(t *testing.T) {
+	snap, err := ScanSnapshot("svc", "i1", time.Unix(0, 0), strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.TotalGoroutines != 0 || len(snap.PreAggregated) != 0 {
+		t.Errorf("empty body produced %+v", snap)
+	}
+}
+
+func TestScanSnapshotPropagatesScanError(t *testing.T) {
+	// A header with brackets missing the closing ']' is the one malformed
+	// shape the parser rejects.
+	_, err := ScanSnapshot("svc", "i1", time.Unix(0, 0),
+		strings.NewReader("goroutine 8 [chan send:\nmain.f()\n"))
+	if err == nil {
+		t.Fatal("malformed dump did not error")
+	}
+	if !strings.Contains(err.Error(), "svc/i1") {
+		t.Errorf("error lacks instance context: %v", err)
+	}
+}

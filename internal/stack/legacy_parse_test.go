@@ -1,0 +1,163 @@
+package stack
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file preserves the original batch parser verbatim (modulo the
+// shared parseStateAnnotations helper) as the reference implementation
+// the streaming Scanner is checked against: the parity and property tests
+// assert the two produce identical records and identical errors on every
+// input, and the allocation test asserts the scanner stays strictly
+// cheaper.
+
+// parseLegacy is the pre-streaming Parse: split the whole dump into
+// lines, walk them with one-line lookahead for frame locations.
+func parseLegacy(dump string) ([]*Goroutine, error) {
+	lines := strings.Split(dump, "\n")
+	var (
+		out []*Goroutine
+		cur *Goroutine
+		i   int
+	)
+	flush := func() {
+		if cur != nil {
+			out = append(out, cur)
+			cur = nil
+		}
+	}
+	for i < len(lines) {
+		line := strings.TrimRight(lines[i], "\r")
+		switch {
+		case strings.HasPrefix(line, "goroutine ") && isHeaderLegacy(line):
+			flush()
+			g, err := parseHeaderLegacy(line)
+			if err != nil {
+				return nil, fmt.Errorf("stack: line %d: %w", i+1, err)
+			}
+			cur = g
+			i++
+		case line == "":
+			flush()
+			i++
+		case cur == nil:
+			i++
+		case strings.HasPrefix(line, "created by "):
+			frame, creator, consumed := parseCreatedByLegacy(lines, i)
+			cur.CreatedBy = frame
+			cur.CreatorID = creator
+			i += consumed
+		default:
+			frame, consumed, ok := parseFrameLegacy(lines, i)
+			if ok {
+				cur.Frames = append(cur.Frames, frame)
+			}
+			i += consumed
+		}
+	}
+	flush()
+	return out, nil
+}
+
+func isHeaderLegacy(line string) bool {
+	rest := strings.TrimPrefix(line, "goroutine ")
+	sp := strings.IndexByte(rest, ' ')
+	if sp <= 0 {
+		return false
+	}
+	if _, err := strconv.ParseInt(rest[:sp], 10, 64); err != nil {
+		return false
+	}
+	return strings.Contains(rest[sp:], "[")
+}
+
+func parseHeaderLegacy(line string) (*Goroutine, error) {
+	rest := strings.TrimPrefix(line, "goroutine ")
+	sp := strings.IndexByte(rest, ' ')
+	if sp < 0 {
+		return nil, fmt.Errorf("malformed goroutine header %q", line)
+	}
+	id, err := strconv.ParseInt(rest[:sp], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("malformed goroutine id in %q: %w", line, err)
+	}
+	rest = rest[sp+1:]
+	open := strings.IndexByte(rest, '[')
+	close := strings.LastIndexByte(rest, ']')
+	if open < 0 || close < open {
+		return nil, fmt.Errorf("missing state brackets in %q", line)
+	}
+	g := &Goroutine{ID: id}
+	g.State, g.WaitTime, g.Locked = parseStateAnnotations(rest[open+1 : close])
+	return g, nil
+}
+
+func parseFrameLegacy(lines []string, i int) (Frame, int, bool) {
+	fn := strings.TrimRight(lines[i], "\r")
+	p := strings.LastIndexByte(fn, '(')
+	if p <= 0 {
+		return Frame{}, 1, false
+	}
+	frame := Frame{Function: fn[:p]}
+	if i+1 < len(lines) {
+		loc := strings.TrimSpace(strings.TrimRight(lines[i+1], "\r"))
+		if file, line, off, ok := parseLocationLegacy(loc); ok {
+			frame.File, frame.Line, frame.Offset = file, line, off
+			return frame, 2, true
+		}
+	}
+	return frame, 1, true
+}
+
+func parseCreatedByLegacy(lines []string, i int) (Frame, int64, int) {
+	rest := strings.TrimPrefix(strings.TrimRight(lines[i], "\r"), "created by ")
+	var creator int64
+	if j := strings.Index(rest, " in goroutine "); j >= 0 {
+		id, err := strconv.ParseInt(rest[j+len(" in goroutine "):], 10, 64)
+		if err == nil {
+			creator = id
+		}
+		rest = rest[:j]
+	}
+	frame := Frame{Function: rest}
+	consumed := 1
+	if i+1 < len(lines) {
+		loc := strings.TrimSpace(strings.TrimRight(lines[i+1], "\r"))
+		if file, line, off, ok := parseLocationLegacy(loc); ok {
+			frame.File, frame.Line, frame.Offset = file, line, off
+			consumed = 2
+		}
+	}
+	return frame, creator, consumed
+}
+
+func parseLocationLegacy(s string) (file string, line int, off uint64, ok bool) {
+	if s == "" {
+		return "", 0, 0, false
+	}
+	loc := s
+	if sp := strings.IndexByte(s, ' '); sp >= 0 {
+		loc = s[:sp]
+		offStr := strings.TrimSpace(s[sp+1:])
+		if strings.HasPrefix(offStr, "+0x") {
+			v, err := strconv.ParseUint(offStr[3:], 16, 64)
+			if err == nil {
+				off = v
+			}
+		}
+	}
+	colon := strings.LastIndexByte(loc, ':')
+	if colon <= 0 {
+		return "", 0, 0, false
+	}
+	n, err := strconv.Atoi(loc[colon+1:])
+	if err != nil {
+		return "", 0, 0, false
+	}
+	if !strings.HasSuffix(loc[:colon], ".go") && !strings.Contains(loc[:colon], "/") {
+		return "", 0, 0, false
+	}
+	return loc[:colon], n, off, true
+}

@@ -12,106 +12,42 @@ import (
 // Unrecognised lines inside a block are skipped rather than rejected: the
 // runtime occasionally adds annotations (frame pointers, register dumps on
 // fatal errors) that a robust consumer must tolerate.
+//
+// Parse is a thin compatibility wrapper over Scanner, which callers on the
+// collection hot path should prefer: the scanner consumes an io.Reader
+// incrementally and never requires the dump to be materialised as one
+// string.
 func Parse(dump string) ([]*Goroutine, error) {
-	lines := strings.Split(dump, "\n")
-	var (
-		out []*Goroutine
-		cur *Goroutine
-		i   int
-	)
-	flush := func() {
-		if cur != nil {
-			out = append(out, cur)
-			cur = nil
-		}
+	sc := NewScanner(strings.NewReader(dump))
+	var out []*Goroutine
+	for sc.Scan() {
+		out = append(out, sc.Goroutine())
 	}
-	for i < len(lines) {
-		line := strings.TrimRight(lines[i], "\r")
-		switch {
-		case strings.HasPrefix(line, "goroutine ") && isHeader(line):
-			flush()
-			g, err := parseHeader(line)
-			if err != nil {
-				return nil, fmt.Errorf("stack: line %d: %w", i+1, err)
-			}
-			cur = g
-			i++
-		case line == "":
-			flush()
-			i++
-		case cur == nil:
-			// Preamble outside any goroutine block (e.g. pprof's
-			// "goroutine profile: total N" header handled by caller).
-			i++
-		case strings.HasPrefix(line, "created by "):
-			frame, creator, consumed := parseCreatedBy(lines, i)
-			cur.CreatedBy = frame
-			cur.CreatorID = creator
-			i += consumed
-		default:
-			frame, consumed, ok := parseFrame(lines, i)
-			if ok {
-				cur.Frames = append(cur.Frames, frame)
-			}
-			i += consumed
-		}
+	if err := sc.Err(); err != nil {
+		return nil, err
 	}
-	flush()
 	return out, nil
 }
 
-// isHeader distinguishes a real goroutine block header ("goroutine 18 [...]")
-// from preamble lines that merely start with the word, such as pprof's
-// "goroutine profile: total 3".
-func isHeader(line string) bool {
-	rest := strings.TrimPrefix(line, "goroutine ")
-	sp := strings.IndexByte(rest, ' ')
-	if sp <= 0 {
-		return false
-	}
-	if _, err := strconv.ParseInt(rest[:sp], 10, 64); err != nil {
-		return false
-	}
-	return strings.Contains(rest[sp:], "[")
-}
-
-// parseHeader parses "goroutine 18 [chan send, 5 minutes, locked to thread]:".
-func parseHeader(line string) (*Goroutine, error) {
-	rest := strings.TrimPrefix(line, "goroutine ")
-	sp := strings.IndexByte(rest, ' ')
-	if sp < 0 {
-		return nil, fmt.Errorf("malformed goroutine header %q", line)
-	}
-	id, err := strconv.ParseInt(rest[:sp], 10, 64)
-	if err != nil {
-		return nil, fmt.Errorf("malformed goroutine id in %q: %w", line, err)
-	}
-	rest = rest[sp+1:]
-	open := strings.IndexByte(rest, '[')
-	close := strings.LastIndexByte(rest, ']')
-	if open < 0 || close < open {
-		return nil, fmt.Errorf("missing state brackets in %q", line)
-	}
-	g := &Goroutine{ID: id}
-	state := rest[open+1 : close]
-	// The bracketed region is "state[, wait duration][, locked to thread]".
-	// The state itself may contain a comma-free parenthetical such as
-	// "chan receive (nil chan)" or "select (no cases)".
-	parts := strings.Split(state, ", ")
-	g.State = parts[0]
+// parseStateAnnotations splits the bracket region of a goroutine header —
+// "state[, wait duration][, locked to thread]" — into its parts. The state
+// itself may contain a comma-free parenthetical such as "chan receive
+// (nil chan)" or "select (no cases)"; unknown annotations are folded back
+// into the state so information is never silently dropped.
+func parseStateAnnotations(content string) (state string, wait time.Duration, locked bool) {
+	parts := strings.Split(content, ", ")
+	state = parts[0]
 	for _, p := range parts[1:] {
 		switch {
 		case p == "locked to thread":
-			g.Locked = true
+			locked = true
 		case isWaitDuration(p):
-			g.WaitTime = parseWaitDuration(p)
+			wait = parseWaitDuration(p)
 		default:
-			// Unknown annotation: fold it back into the state so we
-			// never silently drop information.
-			g.State += ", " + p
+			state += ", " + p
 		}
 	}
-	return g, nil
+	return state, wait, locked
 }
 
 func isWaitDuration(s string) bool {
@@ -141,89 +77,6 @@ func parseWaitDuration(s string) time.Duration {
 		return time.Duration(n) * 24 * time.Hour
 	}
 	return 0
-}
-
-// parseFrame parses a two-line frame entry:
-//
-//	repro/internal/patterns.NCast.func1()
-//		/root/repo/internal/patterns/ncast.go:17 +0x2b
-//
-// It returns the number of lines consumed (1 or 2) and whether a frame was
-// recognised.
-func parseFrame(lines []string, i int) (Frame, int, bool) {
-	fn := strings.TrimRight(lines[i], "\r")
-	// A function line ends with an argument list; strip it. Arguments may
-	// contain nested parens only in rare cases (method values); find the
-	// last '(' to be safe.
-	p := strings.LastIndexByte(fn, '(')
-	if p <= 0 {
-		return Frame{}, 1, false
-	}
-	frame := Frame{Function: fn[:p]}
-	if i+1 < len(lines) {
-		loc := strings.TrimSpace(strings.TrimRight(lines[i+1], "\r"))
-		if file, line, off, ok := parseLocation(loc); ok {
-			frame.File, frame.Line, frame.Offset = file, line, off
-			return frame, 2, true
-		}
-	}
-	return frame, 1, true
-}
-
-// parseCreatedBy parses the trailing creation record:
-//
-//	created by repro/internal/patterns.NCast in goroutine 1
-//		/root/repo/internal/patterns/ncast.go:15 +0x5c
-func parseCreatedBy(lines []string, i int) (Frame, int64, int) {
-	rest := strings.TrimPrefix(strings.TrimRight(lines[i], "\r"), "created by ")
-	var creator int64
-	if j := strings.Index(rest, " in goroutine "); j >= 0 {
-		id, err := strconv.ParseInt(rest[j+len(" in goroutine "):], 10, 64)
-		if err == nil {
-			creator = id
-		}
-		rest = rest[:j]
-	}
-	frame := Frame{Function: rest}
-	consumed := 1
-	if i+1 < len(lines) {
-		loc := strings.TrimSpace(strings.TrimRight(lines[i+1], "\r"))
-		if file, line, off, ok := parseLocation(loc); ok {
-			frame.File, frame.Line, frame.Offset = file, line, off
-			consumed = 2
-		}
-	}
-	return frame, creator, consumed
-}
-
-// parseLocation parses "/path/file.go:123 +0x4f" (offset optional).
-func parseLocation(s string) (file string, line int, off uint64, ok bool) {
-	if s == "" {
-		return "", 0, 0, false
-	}
-	loc := s
-	if sp := strings.IndexByte(s, ' '); sp >= 0 {
-		loc = s[:sp]
-		offStr := strings.TrimSpace(s[sp+1:])
-		if strings.HasPrefix(offStr, "+0x") {
-			v, err := strconv.ParseUint(offStr[3:], 16, 64)
-			if err == nil {
-				off = v
-			}
-		}
-	}
-	colon := strings.LastIndexByte(loc, ':')
-	if colon <= 0 {
-		return "", 0, 0, false
-	}
-	n, err := strconv.Atoi(loc[colon+1:])
-	if err != nil {
-		return "", 0, 0, false
-	}
-	if !strings.HasSuffix(loc[:colon], ".go") && !strings.Contains(loc[:colon], "/") {
-		return "", 0, 0, false
-	}
-	return loc[:colon], n, off, true
 }
 
 // Format renders goroutines back into the runtime dump format. Parse(Format(gs))

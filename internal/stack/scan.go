@@ -1,0 +1,353 @@
+package stack
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Scanner decodes a stack dump incrementally from an io.Reader, yielding
+// one goroutine at a time:
+//
+//	sc := stack.NewScanner(r)
+//	for sc.Scan() {
+//		g := sc.Goroutine()
+//		...
+//	}
+//	if err := sc.Err(); err != nil { ... }
+//
+// It accepts exactly the format Parse accepts (runtime.Stack output /
+// pprof goroutine profiles at debug=2) and produces identical records,
+// but never materialises the whole dump: the line buffer is reused across
+// lines, and strings that repeat across goroutines — function names, file
+// paths, state annotations — are interned so a profile with thousands of
+// identical leaked stacks costs a handful of allocations per goroutine
+// instead of a copy of the body. This is the collection hot path LEAKPROF
+// pays per instance per sweep, where a single profile can run to hundreds
+// of megabytes.
+//
+// Each call to Scan invalidates nothing: yielded Goroutines are freshly
+// allocated and owned by the caller (their strings are shared via the
+// intern table, which is immutable once published).
+type Scanner struct {
+	lines *bufio.Scanner
+	line  int // 1-based number of the last line read
+
+	cur        *Goroutine // block being accumulated
+	g          *Goroutine // last yielded goroutine
+	pendingLoc *Frame     // frame awaiting a possible location line
+	err        error
+	done       bool
+
+	// intern maps string content to its single shared copy.
+	intern map[string]string
+	// headers caches parsed bracket regions ("chan send, 5 minutes") —
+	// the per-goroutine text that repeats across a leaked cluster.
+	headers map[string]headerInfo
+	// locs caches parsed location lines ("/src/a.go:12 +0x2b").
+	locs map[string]Frame
+}
+
+type headerInfo struct {
+	state  string
+	wait   time.Duration
+	locked bool
+}
+
+// maxLineBytes bounds a single dump line. Real dump lines are far
+// shorter; the limit only guards against unbounded buffering on
+// pathological input.
+const maxLineBytes = 16 << 20
+
+// NewScanner returns a Scanner reading a dump from r.
+func NewScanner(r io.Reader) *Scanner {
+	lines := bufio.NewScanner(r)
+	lines.Buffer(make([]byte, 64<<10), maxLineBytes)
+	return &Scanner{
+		lines:   lines,
+		intern:  make(map[string]string),
+		headers: make(map[string]headerInfo),
+		locs:    make(map[string]Frame),
+	}
+}
+
+// Scan advances to the next goroutine block. It returns false at the end
+// of the dump or on a malformed header; Err distinguishes the two.
+func (s *Scanner) Scan() bool {
+	if s.err != nil || s.done {
+		return false
+	}
+	for s.lines.Scan() {
+		s.line++
+		line := s.lines.Bytes()
+		for len(line) > 0 && line[len(line)-1] == '\r' {
+			line = line[:len(line)-1]
+		}
+		if s.process(line) {
+			return true
+		}
+		if s.err != nil {
+			return false
+		}
+	}
+	s.done = true
+	if err := s.lines.Err(); err != nil {
+		s.err = fmt.Errorf("stack: line %d: %w", s.line+1, err)
+		return false
+	}
+	if s.cur != nil {
+		s.g, s.cur = s.cur, nil
+		return true
+	}
+	return false
+}
+
+// Goroutine returns the goroutine yielded by the last successful Scan.
+func (s *Scanner) Goroutine() *Goroutine { return s.g }
+
+// Err returns the first error encountered, if any. io.EOF is not an
+// error: a dump simply ends.
+func (s *Scanner) Err() error { return s.err }
+
+var createdByPrefix = []byte("created by ")
+
+// process consumes one line and reports whether a goroutine was yielded
+// into s.g.
+func (s *Scanner) process(line []byte) bool {
+	// A frame or created-by line may be followed by its source location;
+	// anything else falls through to normal classification, exactly as
+	// the batch parser's one-line lookahead behaves.
+	if target := s.pendingLoc; target != nil {
+		s.pendingLoc = nil
+		if s.attachLocation(line, target) {
+			return false
+		}
+	}
+	switch {
+	case s.isHeader(line):
+		g, err := s.parseHeader(line)
+		if err != nil {
+			s.err = fmt.Errorf("stack: line %d: %w", s.line, err)
+			return false
+		}
+		prev := s.cur
+		s.cur = g
+		if prev != nil {
+			s.g = prev
+			return true
+		}
+		return false
+	case len(line) == 0:
+		if s.cur != nil {
+			s.g, s.cur = s.cur, nil
+			return true
+		}
+		return false
+	case s.cur == nil:
+		// Preamble outside any goroutine block (e.g. pprof's
+		// "goroutine profile: total N" header).
+		return false
+	case bytes.HasPrefix(line, createdByPrefix):
+		s.parseCreatedBy(line)
+		return false
+	default:
+		s.parseFrameLine(line)
+		return false
+	}
+}
+
+// isHeader reports whether the line opens a goroutine block: the byte
+// twin of isHeader in parse.go.
+func (s *Scanner) isHeader(line []byte) bool {
+	rest, ok := bytes.CutPrefix(line, []byte("goroutine "))
+	if !ok {
+		return false
+	}
+	sp := bytes.IndexByte(rest, ' ')
+	if sp <= 0 {
+		return false
+	}
+	if _, ok := parseInt64Bytes(rest[:sp]); !ok {
+		return false
+	}
+	return bytes.IndexByte(rest[sp:], '[') >= 0
+}
+
+// parseHeader parses "goroutine 18 [chan send, 5 minutes, locked to
+// thread]:". The bracket region is cached: a leaked cluster repeats the
+// identical state text thousands of times.
+func (s *Scanner) parseHeader(line []byte) (*Goroutine, error) {
+	rest := line[len("goroutine "):]
+	sp := bytes.IndexByte(rest, ' ')
+	id, _ := parseInt64Bytes(rest[:sp]) // isHeader verified it parses
+	rest = rest[sp+1:]
+	open := bytes.IndexByte(rest, '[')
+	close := bytes.LastIndexByte(rest, ']')
+	if open < 0 || close < open {
+		return nil, fmt.Errorf("missing state brackets in %q", string(line))
+	}
+	content := rest[open+1 : close]
+	info, ok := s.headers[string(content)]
+	if !ok {
+		state, wait, locked := parseStateAnnotations(string(content))
+		info = headerInfo{state: s.internString(state), wait: wait, locked: locked}
+		s.headers[string(content)] = info
+	}
+	return &Goroutine{ID: id, State: info.state, WaitTime: info.wait, Locked: info.locked}, nil
+}
+
+// parseFrameLine parses a function line ("svc.leak(0x12, 0x34)") and arms
+// the location lookahead for the next line.
+func (s *Scanner) parseFrameLine(line []byte) {
+	p := bytes.LastIndexByte(line, '(')
+	if p <= 0 {
+		return
+	}
+	s.cur.Frames = append(s.cur.Frames, Frame{Function: s.internBytes(line[:p])})
+	s.pendingLoc = &s.cur.Frames[len(s.cur.Frames)-1]
+}
+
+// parseCreatedBy parses "created by pkg.Fn in goroutine 7" and arms the
+// location lookahead for the creation site.
+func (s *Scanner) parseCreatedBy(line []byte) {
+	rest := line[len("created by "):]
+	var creator int64
+	if j := bytes.Index(rest, []byte(" in goroutine ")); j >= 0 {
+		if id, ok := parseInt64Bytes(rest[j+len(" in goroutine "):]); ok {
+			creator = id
+		}
+		rest = rest[:j]
+	}
+	s.cur.CreatedBy = Frame{Function: s.internBytes(rest)}
+	s.cur.CreatorID = creator
+	s.pendingLoc = &s.cur.CreatedBy
+}
+
+// attachLocation parses a location line ("\t/src/a.go:12 +0x2b") into
+// target, reporting whether the line was a location. Parsed locations are
+// cached by content; repeats across a leaked cluster hit the cache.
+func (s *Scanner) attachLocation(line []byte, target *Frame) bool {
+	trimmed := bytes.TrimSpace(line)
+	if f, ok := s.locs[string(trimmed)]; ok {
+		target.File, target.Line, target.Offset = f.File, f.Line, f.Offset
+		return true
+	}
+	file, ln, off, ok := parseLocationBytes(trimmed)
+	if !ok {
+		return false
+	}
+	f := Frame{File: s.internBytes(file), Line: ln, Offset: off}
+	s.locs[string(trimmed)] = f
+	target.File, target.Line, target.Offset = f.File, f.Line, f.Offset
+	return true
+}
+
+// parseLocationBytes is the byte twin of parseLocation in parse.go.
+func parseLocationBytes(s []byte) (file []byte, line int, off uint64, ok bool) {
+	if len(s) == 0 {
+		return nil, 0, 0, false
+	}
+	loc := s
+	if sp := bytes.IndexByte(s, ' '); sp >= 0 {
+		loc = s[:sp]
+		offStr := bytes.TrimSpace(s[sp+1:])
+		if bytes.HasPrefix(offStr, []byte("+0x")) {
+			if v, ok := parseHexBytes(offStr[3:]); ok {
+				off = v
+			}
+		}
+	}
+	colon := bytes.LastIndexByte(loc, ':')
+	if colon <= 0 {
+		return nil, 0, 0, false
+	}
+	n, numOK := parseInt64Bytes(loc[colon+1:])
+	if !numOK {
+		return nil, 0, 0, false
+	}
+	if !bytes.HasSuffix(loc[:colon], []byte(".go")) && bytes.IndexByte(loc[:colon], '/') < 0 {
+		return nil, 0, 0, false
+	}
+	return loc[:colon], int(n), off, true
+}
+
+// internBytes returns the shared string for the byte content, allocating
+// only on first sight.
+func (s *Scanner) internBytes(b []byte) string {
+	if v, ok := s.intern[string(b)]; ok {
+		return v
+	}
+	v := string(b)
+	s.intern[v] = v
+	return v
+}
+
+func (s *Scanner) internString(v string) string {
+	if got, ok := s.intern[v]; ok {
+		return got
+	}
+	s.intern[v] = v
+	return v
+}
+
+// parseInt64Bytes mirrors strconv.ParseInt(string(b), 10, 64): optional
+// sign, decimal digits only, overflow rejected.
+func parseInt64Bytes(b []byte) (int64, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	neg := false
+	if b[0] == '+' || b[0] == '-' {
+		neg = b[0] == '-'
+		b = b[1:]
+		if len(b) == 0 {
+			return 0, false
+		}
+	}
+	var n uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		d := uint64(c - '0')
+		if n > (1<<63-1)/10 {
+			return 0, false
+		}
+		n = n*10 + d
+		if !neg && n > 1<<63-1 || neg && n > 1<<63 {
+			return 0, false
+		}
+	}
+	if neg {
+		return -int64(n), true
+	}
+	return int64(n), true
+}
+
+// parseHexBytes mirrors strconv.ParseUint(string(b), 16, 64).
+func parseHexBytes(b []byte) (uint64, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	var n uint64
+	for _, c := range b {
+		var d uint64
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = uint64(c-'A') + 10
+		default:
+			return 0, false
+		}
+		if n > (1<<64-1)/16 {
+			return 0, false
+		}
+		n = n*16 + d
+	}
+	return n, true
+}

@@ -1,0 +1,58 @@
+package synth
+
+import (
+	"math/rand"
+	"strings"
+
+	"repro/internal/patterns"
+	"repro/internal/stack"
+)
+
+// DumpConfig sizes a synthetic debug=2 goroutine dump: the profile a
+// large leaking production instance would serve. The shape mirrors what
+// LEAKPROF collects — a benign background population drawn from the
+// Table-IV state mix plus a few massive clusters of identical blocked
+// stacks, one per injected leak site.
+type DumpConfig struct {
+	// Benign is the healthy background goroutine count.
+	Benign int
+	// LeakClusters is the number of distinct leak sites.
+	LeakClusters int
+	// ClusterSize is the blocked-goroutine count per site.
+	ClusterSize int
+	// Seed drives the benign-state mix.
+	Seed int64
+}
+
+// Goroutines returns the total goroutine count the dump will contain.
+func (c DumpConfig) Goroutines() int {
+	return c.Benign + c.LeakClusters*c.ClusterSize
+}
+
+// Dump renders the synthetic profile in the runtime's debug=2 text
+// encoding, for exercising the parse/scan/aggregate pipeline on
+// production-shaped input.
+func Dump(cfg DumpConfig) string {
+	pats := []*patterns.Pattern{
+		patterns.TimeoutLeak, patterns.NCast, patterns.PrematureReturn,
+		patterns.ContractDone, patterns.UnclosedRange,
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	var b strings.Builder
+	b.WriteString(stack.Format(patterns.BenignStacks(r, 1, cfg.Benign)))
+	id := int64(cfg.Benign + 1)
+	for c := 0; c < cfg.LeakClusters; c++ {
+		gs := pats[c%len(pats)].Stacks(id, cfg.ClusterSize)
+		patterns.Relocate(gs, dumpLeakFile(c), 40+c)
+		id += int64(cfg.ClusterSize)
+		b.WriteByte('\n')
+		b.WriteString(stack.Format(gs))
+	}
+	return b.String()
+}
+
+// dumpLeakFile names cluster c's source file, the location LEAKPROF
+// groups on.
+func dumpLeakFile(c int) string {
+	return "services/svc" + string(rune('a'+c%26)) + "/handler.go"
+}

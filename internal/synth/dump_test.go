@@ -1,0 +1,44 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stack"
+)
+
+func TestDumpRoundTripsThroughScanner(t *testing.T) {
+	cfg := DumpConfig{Benign: 37, LeakClusters: 3, ClusterSize: 50, Seed: 7}
+	dump := Dump(cfg)
+
+	sc := stack.NewScanner(strings.NewReader(dump))
+	blockedByLoc := map[string]int{}
+	total := 0
+	for sc.Scan() {
+		total++
+		if op, ok := sc.Goroutine().BlockedChannelOp(); ok {
+			blockedByLoc[op.Location]++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if total != cfg.Goroutines() {
+		t.Fatalf("scanned %d goroutines, want %d", total, cfg.Goroutines())
+	}
+	if len(blockedByLoc) != cfg.LeakClusters {
+		t.Fatalf("blocked locations = %v, want %d clusters", blockedByLoc, cfg.LeakClusters)
+	}
+	for loc, n := range blockedByLoc {
+		if n != cfg.ClusterSize {
+			t.Errorf("cluster at %s has %d goroutines, want %d", loc, n, cfg.ClusterSize)
+		}
+	}
+}
+
+func TestDumpDeterministic(t *testing.T) {
+	cfg := DumpConfig{Benign: 10, LeakClusters: 2, ClusterSize: 5, Seed: 3}
+	if Dump(cfg) != Dump(cfg) {
+		t.Error("Dump is not deterministic under a fixed seed")
+	}
+}

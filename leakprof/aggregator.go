@@ -1,0 +1,247 @@
+package leakprof
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/gprofile"
+	"repro/internal/stack"
+)
+
+// defaultShards stripes the fleet-wide aggregation state. Locations hash
+// across shards, so concurrent fetch workers folding different locations
+// rarely contend; 32 comfortably exceeds the collector's default
+// parallelism while keeping idle-shard overhead negligible.
+const defaultShards = 32
+
+// Aggregator folds per-instance blocked-operation counts into fleet-wide
+// per-location statistics online, as profiles arrive. It is the streaming
+// replacement for buffering a whole sweep as []*gprofile.Snapshot: peak
+// state is O(services x suspicious locations), independent of fleet size
+// and profile size, and Add is safe to call from every fetch goroutine
+// concurrently.
+//
+// For each (service, operation, location) group it maintains exactly the
+// moments the impact statistics need — total, instance count, count of
+// instances at or above the threshold, sum of squared counts, and the
+// max-count representative instance — so Findings can produce the same
+// ranked output Analyzer.Analyze produces from materialised snapshots.
+type Aggregator struct {
+	threshold int
+	filters   []OpFilter
+	shards    []aggShard
+
+	mu       sync.Mutex
+	services map[string]int // profiled instances per service (RMS/mean denominator)
+	profiles int
+}
+
+type aggShard struct {
+	mu     sync.Mutex
+	groups map[locKey]*locStats
+}
+
+// locKey identifies one fleet-wide aggregation group. The embedded op has
+// its wait time folded away: grouping is by operation and location only.
+type locKey struct {
+	service string
+	op      stack.BlockedOp
+}
+
+// locStats are the streaming moments for one group.
+type locStats struct {
+	total       int
+	instances   int
+	suspicious  int
+	sumSquares  float64
+	maxCount    int
+	maxInstance string
+}
+
+// NewAggregator returns an empty aggregator. A non-positive threshold
+// means DefaultThreshold. Filters are applied to each instance's
+// operations — before wait times are folded away, so duration-sensitive
+// filters see them — exactly as Analyzer applies them.
+func NewAggregator(threshold int, filters ...OpFilter) *Aggregator {
+	if threshold <= 0 {
+		threshold = DefaultThreshold
+	}
+	a := &Aggregator{
+		threshold: threshold,
+		filters:   filters,
+		shards:    make([]aggShard, defaultShards),
+		services:  make(map[string]int),
+	}
+	for i := range a.shards {
+		a.shards[i].groups = make(map[locKey]*locStats)
+	}
+	return a
+}
+
+// Add folds one instance's profile into the fleet statistics. Each
+// profiled instance must be added exactly once per sweep (instances with
+// no blocked goroutines still count toward their service's denominator).
+// Add is safe for concurrent use.
+func (a *Aggregator) Add(snap *gprofile.Snapshot) {
+	counts := filteredCounts(a.filters, snap)
+	a.mu.Lock()
+	a.services[snap.Service]++
+	a.profiles++
+	a.mu.Unlock()
+	for op, n := range counts {
+		a.addCount(snap.Service, snap.Instance, op, n)
+	}
+}
+
+func (a *Aggregator) addCount(service, instance string, op stack.BlockedOp, n int) {
+	k := locKey{service: service, op: op}
+	sh := &a.shards[shardOf(k, len(a.shards))]
+	sh.mu.Lock()
+	g := sh.groups[k]
+	if g == nil {
+		g = &locStats{}
+		sh.groups[k] = g
+	}
+	g.total += n
+	g.instances++
+	if n >= a.threshold {
+		g.suspicious++
+	}
+	g.sumSquares += float64(n) * float64(n)
+	if n > g.maxCount || (n == g.maxCount && instance < g.maxInstance) {
+		g.maxCount, g.maxInstance = n, instance
+	}
+	sh.mu.Unlock()
+}
+
+// Profiles returns the number of instance profiles folded in so far.
+func (a *Aggregator) Profiles() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.profiles
+}
+
+// Findings materialises the detection result: every group with at least
+// one instance at or above the threshold (criterion 1), ranked by the
+// given impact statistic in descending order. It may be called while
+// adds are still in flight (a monitoring peek), but the canonical sweep
+// result is the call after collection completes.
+func (a *Aggregator) Findings(r Ranking) []*Finding {
+	a.mu.Lock()
+	services := make(map[string]int, len(a.services))
+	for s, n := range a.services {
+		services[s] = n
+	}
+	a.mu.Unlock()
+
+	var findings []*Finding
+	for i := range a.shards {
+		sh := &a.shards[i]
+		sh.mu.Lock()
+		for k, g := range sh.groups {
+			if g.suspicious == 0 {
+				continue // criterion 1: below threshold everywhere
+			}
+			findings = append(findings, &Finding{
+				Service:             k.service,
+				Op:                  k.op.Op,
+				Location:            k.op.Location,
+				Function:            k.op.Function,
+				NilChannel:          k.op.NilChannel,
+				TotalBlocked:        g.total,
+				Instances:           g.instances,
+				SuspiciousInstances: g.suspicious,
+				MaxCount:            g.maxCount,
+				MaxInstance:         g.maxInstance,
+				Impact:              impactFromStats(r, g, services[k.service]),
+			})
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].Impact != findings[j].Impact {
+			return findings[i].Impact > findings[j].Impact
+		}
+		return findings[i].Key() < findings[j].Key()
+	})
+	return findings
+}
+
+// impactFromStats computes the ranking statistic from streaming moments.
+// The denominator for RMS and mean is the number of profiled instances of
+// the service (instances with zero blocked goroutines at this location
+// contribute zeros), which is what makes RMS highlight concentrated
+// clusters: a single instance with 16K blocked goroutines outranks 800
+// instances with 20 each.
+func impactFromStats(r Ranking, g *locStats, serviceInstances int) float64 {
+	if serviceInstances <= 0 {
+		serviceInstances = g.instances
+	}
+	switch r {
+	case RankMean:
+		return float64(g.total) / float64(serviceInstances)
+	case RankMax:
+		return float64(g.maxCount)
+	case RankTotal:
+		return float64(g.total)
+	default: // RankRMS
+		return math.Sqrt(g.sumSquares / float64(serviceInstances))
+	}
+}
+
+// filteredCounts groups one snapshot's channel-blocked goroutines by
+// (operation, location), applying criterion-2 filters per operation —
+// before aggregation folds wait durations away, so filters can see them.
+// Full goroutine records and pre-aggregated counts (the streaming
+// collector and large-scale simulator paths) pass through the same
+// filters and merge.
+func filteredCounts(filters []OpFilter, snap *gprofile.Snapshot) map[stack.BlockedOp]int {
+	dropped := func(op stack.BlockedOp) bool {
+		for _, f := range filters {
+			if f(op) {
+				return true
+			}
+		}
+		return false
+	}
+	counts := make(map[stack.BlockedOp]int, len(snap.PreAggregated))
+	for op, n := range snap.PreAggregated {
+		if dropped(op) {
+			continue
+		}
+		op.WaitTime = 0
+		counts[op] += n
+	}
+	for _, g := range snap.Goroutines {
+		op, ok := g.BlockedChannelOp()
+		if !ok || dropped(op) {
+			continue
+		}
+		op.WaitTime = 0
+		counts[op]++
+	}
+	return counts
+}
+
+// shardOf hashes the group key (FNV-1a) onto a shard.
+func shardOf(k locKey, shards int) int {
+	h := uint32(2166136261)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint32(s[i])
+			h *= 16777619
+		}
+		h ^= 0xff // separator so ("ab","c") and ("a","bc") differ
+		h *= 16777619
+	}
+	mix(k.service)
+	mix(k.op.Op)
+	mix(k.op.Location)
+	mix(k.op.Function)
+	if k.op.NilChannel {
+		h ^= 1
+		h *= 16777619
+	}
+	return int(h % uint32(shards))
+}

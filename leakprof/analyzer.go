@@ -3,23 +3,35 @@
 // tool from "Unveiling and Vanquishing Goroutine Leaks in Enterprise
 // Microservices" (CGO 2024), Section V.
 //
-// The pipeline has three stages mirroring the paper:
+// The pipeline has three stages mirroring the paper, and they stream: no
+// stage ever holds a whole profile body, a parsed goroutine slice, or a
+// full sweep of snapshots in memory.
 //
 //  1. Collection: fetch a goroutine profile (pprof debug=2) from every
-//     instance of every service (Collector).
-//  2. Detection: within each profile, group goroutines blocked on channel
-//     operations by (operation, source location); locations where the
-//     blocked count reaches a threshold (10K in the paper) are suspicious,
-//     unless a lightweight static analysis proves the operation trivially
-//     non-blocking (Analyzer).
+//     instance of every service (Collector). Each response body flows
+//     straight through the incremental stack scanner into compact
+//     per-(operation, location) blocked counts — a fetch's footprint is
+//     one line buffer plus a small count map, independent of profile
+//     size.
+//  2. Detection: per-instance counts fold into a sharded fleet-wide
+//     Aggregator as fetches complete (Collector.CollectInto), keyed by
+//     (service, operation, source location); locations where any
+//     instance's blocked count reaches a threshold (10K in the paper)
+//     are suspicious, unless a lightweight static analysis proves the
+//     operation trivially non-blocking (Analyzer, OpFilter). Peak sweep
+//     state is O(shards x locations), not O(fleet x profile).
 //  3. Reporting: rank suspicious locations fleet-wide by the root mean
-//     square of per-instance blocked counts, and alert the owners of the
+//     square of per-instance blocked counts — computed from streaming
+//     moments the aggregator maintains — and alert the owners of the
 //     top N (Reporter, package internal/report).
+//
+// Analyzer.Analyze remains as the batch entry point over materialised
+// snapshots (archived sweeps, simulations); it folds them through the
+// same aggregator.
 package leakprof
 
 import (
 	"math"
-	"sort"
 
 	"repro/internal/gprofile"
 	"repro/internal/stack"
@@ -115,111 +127,27 @@ func (f *Finding) Key() string {
 	return f.Service + "\x00" + f.Op + "\x00" + f.Location
 }
 
-// Analyze runs detection over one collection sweep. Snapshots from the
-// same Service are aggregated together; the returned findings are ordered
-// by descending impact.
+// NewAggregator returns an empty streaming Aggregator configured with
+// this analyzer's threshold and filters. Feed it per-instance snapshots
+// (from any goroutine) as they are collected, then call Findings: the
+// streaming pipeline's equivalent of buffering a sweep and calling
+// Analyze.
+func (a *Analyzer) NewAggregator() *Aggregator {
+	return NewAggregator(a.Threshold, a.Filters...)
+}
+
+// Analyze runs detection over one fully collected sweep. Snapshots from
+// the same Service are aggregated together; the returned findings are
+// ordered by descending impact. It is a convenience wrapper folding the
+// snapshots through a streaming Aggregator — collection paths that can
+// feed the aggregator as fetches complete should do so directly and skip
+// materialising the slice.
 func (a *Analyzer) Analyze(snaps []*gprofile.Snapshot) []*Finding {
-	threshold := a.Threshold
-	if threshold == 0 {
-		threshold = DefaultThreshold
-	}
-
-	// Per service: instance count and per-location per-instance counts.
-	type agg struct {
-		op        stack.BlockedOp
-		service   string
-		perInst   map[string]int
-		suspicous int
-	}
-	serviceInstances := map[string]int{}
-	groups := map[string]map[stack.BlockedOp]*agg{}
-
+	agg := a.NewAggregator()
 	for _, snap := range snaps {
-		serviceInstances[snap.Service]++
-		byLoc := a.countFiltered(snap)
-		svcGroups := groups[snap.Service]
-		if svcGroups == nil {
-			svcGroups = map[stack.BlockedOp]*agg{}
-			groups[snap.Service] = svcGroups
-		}
-		for op, n := range byLoc {
-			g := svcGroups[op]
-			if g == nil {
-				g = &agg{op: op, service: snap.Service, perInst: map[string]int{}}
-				svcGroups[op] = g
-			}
-			g.perInst[snap.Instance] += n
-		}
+		agg.Add(snap)
 	}
-
-	var findings []*Finding
-	for service, svcGroups := range groups {
-		for _, g := range svcGroups {
-			f := &Finding{
-				Service:    service,
-				Op:         g.op.Op,
-				Location:   g.op.Location,
-				Function:   g.op.Function,
-				NilChannel: g.op.NilChannel,
-			}
-			for inst, n := range g.perInst {
-				f.TotalBlocked += n
-				f.Instances++
-				if n >= threshold {
-					f.SuspiciousInstances++
-				}
-				if n > f.MaxCount || (n == f.MaxCount && inst < f.MaxInstance) {
-					f.MaxCount, f.MaxInstance = n, inst
-				}
-			}
-			if f.SuspiciousInstances == 0 {
-				continue // criterion 1: below threshold everywhere
-			}
-			f.Impact = impact(a.Ranking, g.perInst, serviceInstances[service])
-			findings = append(findings, f)
-		}
-	}
-	sort.Slice(findings, func(i, j int) bool {
-		if findings[i].Impact != findings[j].Impact {
-			return findings[i].Impact > findings[j].Impact
-		}
-		return findings[i].Key() < findings[j].Key()
-	})
-	return findings
-}
-
-func (a *Analyzer) filtered(op stack.BlockedOp) bool {
-	for _, f := range a.Filters {
-		if f(op) {
-			return true
-		}
-	}
-	return false
-}
-
-// countFiltered groups one snapshot's channel-blocked goroutines by
-// (operation, location), applying criterion-2 filters per goroutine —
-// before aggregation, so filters can see wait durations — and folding
-// wait times away for the grouping key. Pre-aggregated counts (the
-// large-scale simulator fast path) pass through the same filters.
-func (a *Analyzer) countFiltered(snap *gprofile.Snapshot) map[stack.BlockedOp]int {
-	counts := make(map[stack.BlockedOp]int, len(snap.PreAggregated))
-	for op, n := range snap.PreAggregated {
-		if a.filtered(op) {
-			continue
-		}
-		op.WaitTime = 0
-		counts[op] += n
-	}
-	for _, g := range snap.Goroutines {
-		op, ok := g.BlockedChannelOp()
-		if !ok || a.filtered(op) {
-			continue
-		}
-		op.WaitTime = 0
-		counts[op]++
-	}
-	return counts
+	return agg.Findings(a.Ranking)
 }
 
 // impact computes the ranking statistic over per-instance counts. The

@@ -22,9 +22,18 @@ type Endpoint struct {
 	URL string
 }
 
+// DefaultMaxProfileBytes bounds one profile body. The limit exists to cap
+// a misbehaving endpoint, not memory: bodies stream through the scanner
+// and are never buffered. A body exceeding the limit fails the fetch —
+// a truncated profile would silently undercount exactly the instances
+// LEAKPROF most needs to see.
+const DefaultMaxProfileBytes = 256 << 20
+
 // Collector fetches goroutine profiles from a fleet of instances. The
 // production deployment sweeps ~200K instances once per day; most of the
 // wall time is network transfer, so fetches run with bounded parallelism.
+// Each response body streams directly into the stack scanner — a fetch
+// holds one line buffer and a per-location count map, never the body.
 type Collector struct {
 	// Client is the HTTP client; nil means a client with Timeout.
 	Client *http.Client
@@ -35,6 +44,9 @@ type Collector struct {
 	// Now supplies timestamps; nil means time.Now (simulations inject a
 	// fake clock).
 	Now func() time.Time
+	// MaxProfileBytes bounds one profile body; a larger body fails the
+	// fetch rather than truncating. Zero means DefaultMaxProfileBytes.
+	MaxProfileBytes int64
 }
 
 // CollectResult pairs a snapshot with its per-endpoint error; a fleet
@@ -46,10 +58,9 @@ type CollectResult struct {
 	Err      error
 }
 
-// Collect sweeps all endpoints and returns one result per endpoint, in
-// input order.
-func (c *Collector) Collect(ctx context.Context, endpoints []Endpoint) []CollectResult {
-	client := c.Client
+// setup resolves the collector's defaults.
+func (c *Collector) setup() (client *http.Client, parallelism int, now func() time.Time) {
+	client = c.Client
 	if client == nil {
 		timeout := c.Timeout
 		if timeout == 0 {
@@ -57,17 +68,22 @@ func (c *Collector) Collect(ctx context.Context, endpoints []Endpoint) []Collect
 		}
 		client = &http.Client{Timeout: timeout}
 	}
-	par := c.Parallelism
-	if par <= 0 {
-		par = 32
+	parallelism = c.Parallelism
+	if parallelism <= 0 {
+		parallelism = 32
 	}
-	now := c.Now
+	now = c.Now
 	if now == nil {
 		now = time.Now
 	}
+	return client, parallelism, now
+}
 
-	results := make([]CollectResult, len(endpoints))
-	sem := make(chan struct{}, par)
+// sweep fans fetches out over the endpoints with bounded parallelism,
+// delivering each outcome to sink (called concurrently).
+func (c *Collector) sweep(ctx context.Context, endpoints []Endpoint, sink func(i int, snap *gprofile.Snapshot, err error)) {
+	client, parallelism, now := c.setup()
+	sem := make(chan struct{}, parallelism)
 	var wg sync.WaitGroup
 	for i, ep := range endpoints {
 		wg.Add(1)
@@ -76,13 +92,42 @@ func (c *Collector) Collect(ctx context.Context, endpoints []Endpoint) []Collect
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			snap, err := c.fetchOne(ctx, client, ep, now())
-			results[i] = CollectResult{Endpoint: ep, Snapshot: snap, Err: err}
+			sink(i, snap, err)
 		}(i, ep)
 	}
 	wg.Wait()
+}
+
+// Collect sweeps all endpoints and returns one result per endpoint, in
+// input order. Snapshots are compact (per-location aggregates); sweeps
+// that fold results into an Aggregator should prefer CollectInto, which
+// retains nothing per endpoint but the error.
+func (c *Collector) Collect(ctx context.Context, endpoints []Endpoint) []CollectResult {
+	results := make([]CollectResult, len(endpoints))
+	c.sweep(ctx, endpoints, func(i int, snap *gprofile.Snapshot, err error) {
+		results[i] = CollectResult{Endpoint: endpoints[i], Snapshot: snap, Err: err}
+	})
 	return results
 }
 
+// CollectInto sweeps all endpoints, folding each instance's profile into
+// agg as its fetch completes — collection and aggregation overlap, and no
+// per-instance state survives the fetch. It returns one error slot per
+// endpoint, nil for successes.
+func (c *Collector) CollectInto(ctx context.Context, endpoints []Endpoint, agg *Aggregator) []error {
+	errs := make([]error, len(endpoints))
+	c.sweep(ctx, endpoints, func(i int, snap *gprofile.Snapshot, err error) {
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		agg.Add(snap)
+	})
+	return errs
+}
+
+// fetchOne streams one instance's profile body straight into the scanner;
+// the body is never materialised.
 func (c *Collector) fetchOne(ctx context.Context, client *http.Client, ep Endpoint, at time.Time) (*gprofile.Snapshot, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ep.URL, nil)
 	if err != nil {
@@ -96,11 +141,21 @@ func (c *Collector) fetchOne(ctx context.Context, client *http.Client, ep Endpoi
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("leakprof: %s/%s returned %s", ep.Service, ep.Instance, resp.Status)
 	}
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
-	if err != nil {
-		return nil, fmt.Errorf("leakprof: reading %s/%s: %w", ep.Service, ep.Instance, err)
+	max := c.MaxProfileBytes
+	if max <= 0 {
+		max = DefaultMaxProfileBytes
 	}
-	return gprofile.ParseSnapshot(ep.Service, ep.Instance, at, string(body))
+	// Read one byte past the limit: if it arrives, the profile is over
+	// budget and must error rather than pass truncated counts downstream.
+	lr := &io.LimitedReader{R: resp.Body, N: max + 1}
+	snap, err := gprofile.ScanSnapshot(ep.Service, ep.Instance, at, lr)
+	if err != nil {
+		return nil, err
+	}
+	if lr.N <= 0 {
+		return nil, fmt.Errorf("leakprof: %s/%s profile exceeds %d bytes", ep.Service, ep.Instance, max)
+	}
+	return snap, nil
 }
 
 // Snapshots extracts the successful snapshots from a sweep.

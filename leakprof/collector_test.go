@@ -4,6 +4,7 @@ import (
 	"context"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -16,9 +17,10 @@ func profileServer(gs []*stack.Goroutine) *httptest.Server {
 	return httptest.NewServer(gprofile.Handler{Stacks: func() []*stack.Goroutine { return gs }})
 }
 
-func TestCollectFetchesAndParses(t *testing.T) {
+func TestCollectFetchesAndScans(t *testing.T) {
 	gs := []*stack.Goroutine{
 		{ID: 1, State: "chan send", Frames: []stack.Frame{{Function: "svc.leak", File: "/svc/l.go", Line: 5}}},
+		{ID: 2, State: "IO wait", Frames: []stack.Frame{{Function: "svc.read", File: "/svc/r.go", Line: 9}}},
 	}
 	srv := profileServer(gs)
 	defer srv.Close()
@@ -40,8 +42,59 @@ func TestCollectFetchesAndParses(t *testing.T) {
 	if !r.Snapshot.TakenAt.Equal(time.Unix(42, 0)) {
 		t.Errorf("timestamp = %v", r.Snapshot.TakenAt)
 	}
-	if len(r.Snapshot.Goroutines) != 1 || r.Snapshot.Goroutines[0].State != "chan send" {
-		t.Errorf("goroutines = %+v", r.Snapshot.Goroutines)
+	// The body streamed through the scanner: the snapshot is compact,
+	// carrying aggregates rather than goroutine records.
+	if len(r.Snapshot.Goroutines) != 0 {
+		t.Errorf("snapshot retained %d goroutine records", len(r.Snapshot.Goroutines))
+	}
+	if r.Snapshot.NumGoroutines() != 2 {
+		t.Errorf("total goroutines = %d, want 2", r.Snapshot.NumGoroutines())
+	}
+	want := stack.BlockedOp{Op: "send", Location: "/svc/l.go:5", Function: "svc.leak"}
+	if n := r.Snapshot.PreAggregated[want]; n != 1 {
+		t.Errorf("aggregates = %+v, want %+v -> 1", r.Snapshot.PreAggregated, want)
+	}
+}
+
+func TestCollectIntoStreamsAggregates(t *testing.T) {
+	gs := make([]*stack.Goroutine, 300)
+	for i := range gs {
+		gs[i] = &stack.Goroutine{
+			ID: int64(i + 1), State: "chan send",
+			Frames: []stack.Frame{{Function: "svc.leak", File: "/svc/l.go", Line: 5}},
+		}
+	}
+	srv := profileServer(gs)
+	defer srv.Close()
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer bad.Close()
+
+	analyzer := &Analyzer{Threshold: 100}
+	agg := analyzer.NewAggregator()
+	c := &Collector{}
+	errs := c.CollectInto(context.Background(), []Endpoint{
+		{Service: "svc", Instance: "i1", URL: srv.URL + "?debug=2"},
+		{Service: "svc", Instance: "i2", URL: srv.URL + "?debug=2"},
+		{Service: "svc", Instance: "down", URL: bad.URL},
+	}, agg)
+	if errs[0] != nil || errs[1] != nil {
+		t.Fatalf("good endpoints errored: %v, %v", errs[0], errs[1])
+	}
+	if errs[2] == nil {
+		t.Error("failing endpoint did not error")
+	}
+	if agg.Profiles() != 2 {
+		t.Errorf("profiles = %d, want 2", agg.Profiles())
+	}
+	findings := agg.Findings(RankRMS)
+	if len(findings) != 1 {
+		t.Fatalf("findings = %+v", findings)
+	}
+	f := findings[0]
+	if f.Location != "/svc/l.go:5" || f.TotalBlocked != 600 || f.Instances != 2 || f.SuspiciousInstances != 2 {
+		t.Errorf("finding = %+v", f)
 	}
 }
 
@@ -100,6 +153,42 @@ func TestCollectBoundedParallelism(t *testing.T) {
 	}
 	if got := maxInFlight.Load(); got > 3 {
 		t.Errorf("max in-flight = %d, want <= 3", got)
+	}
+}
+
+func TestCollectRejectsOversizedProfile(t *testing.T) {
+	gs := make([]*stack.Goroutine, 50)
+	for i := range gs {
+		gs[i] = &stack.Goroutine{
+			ID: int64(i + 1), State: "chan send",
+			Frames: []stack.Frame{{Function: "svc.leak", File: "/svc/l.go", Line: 5}},
+		}
+	}
+	body := stack.Format(gs)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte(body))
+	}))
+	defer srv.Close()
+
+	// A body over the cap must fail the fetch — truncating would
+	// silently undercount the leakiest instances.
+	c := &Collector{MaxProfileBytes: int64(len(body) - 1)}
+	results := c.Collect(context.Background(), []Endpoint{{Service: "s", Instance: "i", URL: srv.URL}})
+	if results[0].Err == nil {
+		t.Fatal("oversized profile did not error")
+	}
+	if !strings.Contains(results[0].Err.Error(), "exceeds") {
+		t.Errorf("error = %v, want size-limit error", results[0].Err)
+	}
+
+	// At exactly the cap the profile is complete and must succeed.
+	c = &Collector{MaxProfileBytes: int64(len(body))}
+	results = c.Collect(context.Background(), []Endpoint{{Service: "s", Instance: "i", URL: srv.URL}})
+	if results[0].Err != nil {
+		t.Fatalf("at-limit profile errored: %v", results[0].Err)
+	}
+	if results[0].Snapshot.NumGoroutines() != 50 {
+		t.Errorf("goroutines = %d, want 50", results[0].Snapshot.NumGoroutines())
 	}
 }
 

@@ -61,7 +61,10 @@ func (s *Scheduler) Run(ctx context.Context) error {
 	}
 }
 
-// Sweep performs one collection/analysis/reporting pass.
+// Sweep performs one collection/analysis/reporting pass. Profiles stream
+// from the fetch workers straight into a sharded aggregator; the sweep
+// never holds per-instance snapshots, so its memory footprint is set by
+// the number of distinct blocked locations, not the fleet size.
 func (s *Scheduler) Sweep(ctx context.Context) SweepStats {
 	now := s.now
 	if now == nil {
@@ -71,16 +74,15 @@ func (s *Scheduler) Sweep(ctx context.Context) SweepStats {
 	endpoints := s.Endpoints()
 	stats.Endpoints = len(endpoints)
 
-	results := s.Collector.Collect(ctx, endpoints)
-	for _, r := range results {
-		if r.Err != nil {
+	agg := s.Analyzer.NewAggregator()
+	for _, err := range s.Collector.CollectInto(ctx, endpoints, agg) {
+		if err != nil {
 			stats.Errors++
 		}
 	}
-	snaps := Snapshots(results)
-	stats.Profiles = len(snaps)
+	stats.Profiles = agg.Profiles()
 
-	findings := s.Analyzer.Analyze(snaps)
+	findings := agg.Findings(s.Analyzer.Ranking)
 	stats.Findings = len(findings)
 	if s.Trend != nil {
 		s.Trend.Observe(stats.At, findings)
