@@ -7,8 +7,10 @@
 // prints one service=url pair per instance (paste into leakprof
 // -endpoints) and blocks until interrupted. With -sweep it instead runs
 // one in-process collection sweep over its own endpoints — HTTP fetch,
-// streaming scan, sharded aggregation — prints the findings, and exits:
-// a self-contained end-to-end exercise of the streaming pipeline.
+// streaming scan, sharded aggregation, all through the unified leakprof
+// Pipeline — prints the findings, and exits. With -sweep -direct the
+// same pipeline pulls from the fleet simulator source directly (no
+// HTTP), demonstrating that both origins drive the identical engine.
 package main
 
 import (
@@ -32,6 +34,7 @@ func main() {
 	days := flag.Int("days", 3, "leak growth days to simulate before serving")
 	leakRate := flag.Int("rate", 6000, "blocked goroutines per affected instance per day")
 	sweep := flag.Bool("sweep", false, "run one in-process leakprof sweep over the fleet, print findings, and exit")
+	direct := flag.Bool("direct", false, "with -sweep: pull from the simulator directly instead of over HTTP")
 	flag.Parse()
 
 	pats := []*patterns.Pattern{
@@ -62,11 +65,17 @@ func main() {
 	for d := 0; d < *days; d++ {
 		f.AdvanceDay()
 	}
+
+	if *sweep && *direct {
+		runSweep(f.Source(), *leakRate/2)
+		return
+	}
+
 	endpoints, shutdown := f.Serve()
 	defer shutdown()
 
 	if *sweep {
-		runSweep(endpoints, *leakRate/2)
+		runSweep(leakprof.StaticEndpoints(endpoints...), *leakRate/2)
 		return
 	}
 
@@ -83,21 +92,28 @@ func main() {
 	<-ctx.Done()
 }
 
-// runSweep drives the streaming pipeline over the fleet's own endpoints:
-// bodies stream from HTTP through the scanner into the aggregator.
-func runSweep(endpoints []leakprof.Endpoint, threshold int) {
-	analyzer := &leakprof.Analyzer{Threshold: threshold}
-	agg := analyzer.NewAggregator()
-	c := &leakprof.Collector{Parallelism: 8}
-	for _, err := range c.CollectInto(context.Background(), endpoints, agg) {
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "warn: %v\n", err)
-		}
+// runSweep drives the unified pipeline over the given profile origin:
+// snapshots stream through the scanner into the sharded aggregator, and
+// a metrics sink tallies the pass.
+func runSweep(src leakprof.Source, threshold int) {
+	metrics := &leakprof.MetricsSink{}
+	pipe := leakprof.New(
+		leakprof.WithThreshold(threshold),
+		leakprof.WithParallelism(8),
+		leakprof.WithRetry(leakprof.DefaultRetryPolicy),
+		leakprof.WithSharedIntern(0),
+	).AddSinks(metrics)
+	sweep, err := pipe.Sweep(context.Background(), src)
+	for _, f := range sweep.Failures {
+		fmt.Fprintf(os.Stderr, "warn: %s/%s: %v\n", f.Service, f.Instance, f.Err)
 	}
-	findings := agg.Findings(analyzer.Ranking)
-	fmt.Printf("swept %d instances, %d suspicious locations (threshold %d)\n",
-		agg.Profiles(), len(findings), threshold)
-	for _, f := range findings {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "warn: %v\n", err)
+	}
+	totals := metrics.Totals()
+	fmt.Printf("swept %d instances via %s (%d goroutines scanned), %d suspicious locations (threshold %d)\n",
+		sweep.Profiles, sweep.Source, totals.Goroutines, len(sweep.Findings), threshold)
+	for _, f := range sweep.Findings {
 		fmt.Printf("  %-8s %-7s %-32s blocked=%-8d instances=%d/%d max=%d@%s impact=%.1f\n",
 			f.Service, f.Op, f.Location, f.TotalBlocked,
 			f.SuspiciousInstances, f.Instances, f.MaxCount, f.MaxInstance, f.Impact)

@@ -8,10 +8,15 @@
 //
 // Flags tune the paper's knobs: -threshold (default 10000), -rank
 // (rms|mean|max|total), -top (alerts per sweep), -parallelism (concurrent
-// fetches). Endpoint sweeps stream: each profile body flows through the
-// stack scanner into a sharded fleet aggregator as its fetch completes,
-// so memory stays flat regardless of fleet and profile size. SIGINT
-// cancels an in-flight sweep cleanly.
+// fetches). Production-collection knobs ride the Pipeline engine:
+// -retries enables bounded per-endpoint retry with jittered backoff,
+// -error-budget short-circuits a service's remaining instances once that
+// many of its instances failed, and -archive records the sweep
+// write-through to a directory replayable with -dir. Both input kinds
+// drive the same streaming pipeline: each profile flows through the
+// stack scanner into a sharded fleet aggregator as it arrives, so memory
+// stays flat regardless of fleet and profile size. SIGINT cancels an
+// in-flight sweep cleanly.
 package main
 
 import (
@@ -24,7 +29,6 @@ import (
 	"syscall"
 	"time"
 
-	"repro/internal/gprofile"
 	"repro/internal/report"
 	"repro/leakprof"
 )
@@ -37,54 +41,58 @@ func main() {
 	top := flag.Int("top", 10, "alerts per sweep")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-endpoint fetch timeout")
 	parallelism := flag.Int("parallelism", 32, "concurrent profile fetches")
+	retries := flag.Int("retries", 1, "fetch attempts per endpoint (1 = no retry)")
+	errorBudget := flag.Int("error-budget", 0, "failed instances per service before skipping the rest (0 = unlimited)")
+	archive := flag.String("archive", "", "directory to archive collected profiles into, write-through")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	analyzer := &leakprof.Analyzer{Threshold: *threshold, Ranking: parseRank(*rank)}
-	var findings []*leakprof.Finding
-	switch {
-	case *endpoints != "":
-		var eps []leakprof.Endpoint
-		for i, pair := range strings.Split(*endpoints, ",") {
-			svc, url, ok := strings.Cut(strings.TrimSpace(pair), "=")
-			if !ok {
-				fatal(fmt.Errorf("malformed endpoint %q (want service=url)", pair))
-			}
-			eps = append(eps, leakprof.Endpoint{
-				Service: svc, Instance: fmt.Sprintf("i%03d", i), URL: url,
-			})
-		}
-		c := &leakprof.Collector{Timeout: *timeout, Parallelism: *parallelism}
-		agg := analyzer.NewAggregator()
-		for _, err := range c.CollectInto(ctx, eps, agg) {
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "warn: %v\n", err)
-			}
-		}
-		if ctx.Err() != nil {
-			fmt.Fprintln(os.Stderr, "leakprof: sweep interrupted")
-		}
-		fmt.Printf("collected %d profiles\n", agg.Profiles())
-		findings = agg.Findings(analyzer.Ranking)
-	case *dir != "":
-		loaded, errs, err := gprofile.LoadDir(*dir, time.Now())
+	pipe := leakprof.New(
+		leakprof.WithThreshold(*threshold),
+		leakprof.WithRanking(parseRank(*rank)),
+		leakprof.WithTimeout(*timeout),
+		leakprof.WithParallelism(*parallelism),
+		leakprof.WithRetry(leakprof.RetryPolicy{MaxAttempts: *retries}),
+		leakprof.WithErrorBudget(*errorBudget),
+		leakprof.WithSharedIntern(0),
+	)
+	reportSink := &leakprof.ReportSink{Reporter: &leakprof.Reporter{DB: report.NewDB(), TopN: *top}}
+	pipe.AddSinks(reportSink)
+	if *archive != "" {
+		archiveSink, err := leakprof.NewArchiveSink(*archive)
 		if err != nil {
 			fatal(err)
 		}
-		for _, e := range errs {
-			fmt.Fprintf(os.Stderr, "warn: %v\n", e)
-		}
-		fmt.Printf("collected %d profiles\n", len(loaded))
-		findings = analyzer.Analyze(loaded)
+		pipe.AddSinks(archiveSink)
+	}
+
+	var src leakprof.Source
+	switch {
+	case *endpoints != "":
+		src = leakprof.StaticEndpoints(parseEndpoints(*endpoints)...)
+	case *dir != "":
+		src = leakprof.Archive(*dir)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	reporter := &leakprof.Reporter{DB: report.NewDB(), TopN: *top}
-	alerts := reporter.Report(findings)
+	sweep, err := pipe.Sweep(ctx, src)
+	for _, f := range sweep.Failures {
+		fmt.Fprintf(os.Stderr, "warn: %s/%s: %v\n", f.Service, f.Instance, f.Err)
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "leakprof: sweep interrupted")
+	} else if err != nil {
+		// Source- or sink-level failure (unreadable archive, failed
+		// write-through) — distinct from the per-endpoint warnings above.
+		fmt.Fprintf(os.Stderr, "warn: %v\n", err)
+	}
+	fmt.Printf("collected %d profiles\n", sweep.Profiles)
+
+	alerts := reportSink.LastAlerts()
 	if len(alerts) == 0 {
 		fmt.Println("no suspicious blocking operations above threshold")
 		return
@@ -92,6 +100,21 @@ func main() {
 	for _, a := range alerts {
 		fmt.Print(a.Render())
 	}
+}
+
+// parseEndpoints decodes the -endpoints flag.
+func parseEndpoints(s string) []leakprof.Endpoint {
+	var eps []leakprof.Endpoint
+	for i, pair := range strings.Split(s, ",") {
+		svc, url, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			fatal(fmt.Errorf("malformed endpoint %q (want service=url)", pair))
+		}
+		eps = append(eps, leakprof.Endpoint{
+			Service: svc, Instance: fmt.Sprintf("i%03d", i), URL: url,
+		})
+	}
+	return eps
 }
 
 func parseRank(s string) leakprof.Ranking {

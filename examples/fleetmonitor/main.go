@@ -3,10 +3,12 @@
 // The program stands up a small simulated fleet — three services, a few
 // instances each, one carrying a timeout-leak defect and one a congested-
 // but-healthy worker pool — and then runs the production pipeline exactly
-// as Section V describes: collect goroutine profiles from every instance
-// over the network, group blocked goroutines by operation and source
-// location, apply the concentration threshold, rank the survivors by RMS
-// impact across the fleet, and alert the routed code owners.
+// as Section V describes, through the unified Pipeline API: collect
+// goroutine profiles from every instance over the network (with bounded
+// retry), group blocked goroutines by operation and source location,
+// apply the concentration threshold, rank the survivors by RMS impact
+// across the fleet, and fan the sweep out to two concurrent sinks — the
+// alerting reporter and the cross-sweep trend tracker.
 //
 // Run:
 //
@@ -59,32 +61,46 @@ func main() {
 	defer shutdown()
 	fmt.Printf("fleet live: %d instances across %d services\n", len(endpoints), len(configs))
 
-	// Stage 1 — collection (Section V-A: fetch a profile per instance).
-	collector := &leakprof.Collector{Parallelism: 8}
-	results := collector.Collect(context.Background(), endpoints)
-	snaps := leakprof.Snapshots(results)
-	fmt.Printf("collected %d goroutine profiles over HTTP\n", len(snaps))
-
-	// Stage 2 — detection: threshold tuned to the example's scale (the
-	// production default is 10K).
-	analyzer := &leakprof.Analyzer{Threshold: 2000}
-	findings := analyzer.Analyze(snaps)
-	fmt.Printf("suspicious blocked operations: %d\n", len(findings))
-
-	// Stage 3 — reporting with ownership routing and dedup.
+	// One pipeline, two concurrent sinks: reporting with ownership
+	// routing and dedup, plus cross-sweep trend tracking fed by the
+	// aggregator's streaming moments. Threshold tuned to the example's
+	// scale (the production default is 10K).
 	owners := report.NewOwnership(map[string]string{
 		"services/payments/": "payments-oncall",
 		"services/search/":   "search-oncall",
 	})
-	reporter := &leakprof.Reporter{DB: report.NewDB(), Owners: owners, TopN: 5}
-	for _, alert := range reporter.Report(findings) {
+	reportSink := &leakprof.ReportSink{
+		Reporter: &leakprof.Reporter{DB: report.NewDB(), Owners: owners, TopN: 5},
+	}
+	trend := &leakprof.TrendTracker{MinObservations: 2}
+	pipe := leakprof.New(
+		leakprof.WithThreshold(2000),
+		leakprof.WithParallelism(8),
+		leakprof.WithRetry(leakprof.DefaultRetryPolicy),
+		leakprof.WithSharedIntern(0),
+	).AddSinks(reportSink, &leakprof.TrendSink{Tracker: trend})
+
+	src := leakprof.StaticEndpoints(endpoints...)
+	sweep, err := pipe.Sweep(context.Background(), src)
+	if err != nil {
+		fmt.Println("sweep error:", err)
+	}
+	fmt.Printf("collected %d goroutine profiles over HTTP\n", sweep.Profiles)
+	fmt.Printf("suspicious blocked operations: %d\n", len(sweep.Findings))
+	for _, alert := range reportSink.LastAlerts() {
 		fmt.Println()
 		fmt.Print(alert.Render())
 	}
 
-	// A second sweep the next day deduplicates against the bug DB.
+	// A second sweep the next day deduplicates against the bug DB, and
+	// the trend tracker — fed raw moments from both sweeps — now has
+	// enough history to call the growing leak.
 	f.AdvanceDay()
-	results = collector.Collect(context.Background(), endpoints)
-	again := reporter.Report(analyzer.Analyze(leakprof.Snapshots(results)))
-	fmt.Printf("\nnext-day sweep: %d new alerts (existing defect deduplicated)\n", len(again))
+	if _, err := pipe.Sweep(context.Background(), src); err != nil {
+		fmt.Println("sweep error:", err)
+	}
+	fmt.Printf("\nnext-day sweep: %d new alerts (existing defect deduplicated)\n", len(reportSink.LastAlerts()))
+	for _, key := range trend.Growing() {
+		fmt.Printf("trend: growing across sweeps: %q\n", key)
+	}
 }

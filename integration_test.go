@@ -254,3 +254,87 @@ func TestSuppressionListLifecycleAcrossTools(t *testing.T) {
 		t.Errorf("finding = %+v", findings[0])
 	}
 }
+
+// TestPipelineDrivesAllSourceKinds is the unified-API acceptance check:
+// one Pipeline configuration drives all three production source kinds —
+// live HTTP endpoints, the write-through archive that sweep records, and
+// the simulated fleet directly — through the same engine with two
+// concurrent sinks (report + trend), and every origin agrees on the
+// findings.
+func TestPipelineDrivesAllSourceKinds(t *testing.T) {
+	cfg := fleet.ServiceConfig{
+		Name: "billing", Instances: 3,
+		Pattern:  patterns.TimeoutLeak,
+		LeakFile: "services/billing/worker.go", LeakLine: 33,
+		LeakPerDay: 2000, LeakStartDay: 1, FixDay: -1,
+		DeployEveryDays: 1000, BenignGoroutines: 15, Seed: 4,
+	}
+	f := fleet.New(time.Unix(0, 0).UTC(), []fleet.ServiceConfig{cfg})
+	f.AdvanceDay()
+	f.AdvanceDay()
+
+	endpoints, shutdown := f.Serve()
+	defer shutdown()
+	archiveDir := t.TempDir()
+	archiveSink, err := leakprof.NewArchiveSink(archiveDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sweepFindings := make(map[string][]*leakprof.Finding)
+	for _, src := range []leakprof.Source{
+		leakprof.StaticEndpoints(endpoints...),
+		f.Source(),
+	} {
+		trend := &leakprof.TrendTracker{}
+		reportSink := &leakprof.ReportSink{
+			Reporter: &leakprof.Reporter{DB: report.NewDB(), TopN: 3},
+		}
+		pipe := leakprof.New(
+			leakprof.WithThreshold(1000),
+			leakprof.WithParallelism(4),
+			leakprof.WithRetry(leakprof.DefaultRetryPolicy),
+			leakprof.WithSharedIntern(0),
+		).AddSinks(reportSink, &leakprof.TrendSink{Tracker: trend})
+		if src.Name() == "endpoints" {
+			pipe.AddSinks(archiveSink)
+		}
+		sweep, err := pipe.Sweep(context.Background(), src)
+		if err != nil {
+			t.Fatalf("%s: %v", src.Name(), err)
+		}
+		if sweep.Profiles != 3 || sweep.Errors != 0 {
+			t.Fatalf("%s sweep = %+v", src.Name(), sweep)
+		}
+		if len(sweep.Findings) != 1 {
+			t.Fatalf("%s findings = %+v", src.Name(), sweep.Findings)
+		}
+		if got := sweep.Findings[0].Location; got != "services/billing/worker.go:33" {
+			t.Errorf("%s located leak at %q", src.Name(), got)
+		}
+		if alerts := reportSink.LastAlerts(); len(alerts) != 1 {
+			t.Errorf("%s report sink alerts = %d", src.Name(), len(alerts))
+		}
+		sweepFindings[src.Name()] = sweep.Findings
+	}
+
+	// Third kind: the archive the endpoint sweep wrote through.
+	sweep, err := leakprof.New(leakprof.WithThreshold(1000)).
+		Sweep(context.Background(), leakprof.Archive(archiveDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweep.Profiles != 3 || len(sweep.Findings) != 1 {
+		t.Fatalf("archive sweep = %+v", sweep)
+	}
+	sweepFindings["archive"] = sweep.Findings
+
+	want := sweepFindings["endpoints"][0]
+	for origin, fs := range sweepFindings {
+		got := fs[0]
+		if got.TotalBlocked != want.TotalBlocked || got.Instances != want.Instances ||
+			got.Location != want.Location || got.Op != want.Op || got.Impact != want.Impact {
+			t.Errorf("%s finding %+v diverges from endpoints finding %+v", origin, got, want)
+		}
+	}
+}

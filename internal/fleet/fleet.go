@@ -17,6 +17,7 @@
 package fleet
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"net/http/httptest"
@@ -233,6 +234,33 @@ func (f *Fleet) SweepInto(agg *leakprof.Aggregator) int {
 		}
 	}
 	return n
+}
+
+// Source returns a leakprof.Source sweeping the fleet's current day
+// directly (no HTTP), one instance at a time in the pre-aggregated form —
+// the simulator origin for the unified Pipeline, letting platform-scale
+// simulations drive the exact engine production sweeps use.
+func (f *Fleet) Source() leakprof.Source {
+	return fleetSource{f: f}
+}
+
+type fleetSource struct {
+	f *Fleet
+}
+
+func (fleetSource) Name() string { return "fleet" }
+
+func (s fleetSource) Sweep(ctx context.Context, env *leakprof.SweepEnv) error {
+	at := s.f.origin.Add(time.Duration(s.f.Day) * 24 * time.Hour)
+	for _, svc := range s.f.Services {
+		for _, in := range svc.instances {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			env.Emit(in.snapshotAggregated(at))
+		}
+	}
+	return nil
 }
 
 // Serve stands up a real HTTP profile endpoint per instance and returns

@@ -1,38 +1,93 @@
 package gprofile
 
 import (
+	"bufio"
+	"context"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/stack"
 )
 
-// SaveDir writes snapshots as debug=2 profile files named
-// <service>_<instance>.txt, the on-disk layout LoadDir reads back. It is
-// how sweeps are archived for offline re-analysis.
-func SaveDir(dir string, snaps []*Snapshot) error {
+// DirWriter streams snapshots into a directory archive one at a time, the
+// write-through path production sweeps use to record themselves: each
+// snapshot is written as its fetch completes, so archiving a sweep never
+// holds more than one snapshot — and within a snapshot, pre-aggregated
+// leak clusters are expanded straight to the file record by record rather
+// than materialised as one giant string. Files are named
+// <service>_<instance>.txt in the debug=2 encoding LoadDir and ScanDir
+// read back. Write is safe for concurrent use.
+type DirWriter struct {
+	dir   string
+	mu    sync.Mutex             // guards names only
+	names map[string]*sync.Mutex // per-file locks
+}
+
+// NewDirWriter creates dir (and parents) and returns a writer into it.
+func NewDirWriter(dir string) (*DirWriter, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("gprofile: creating %s: %w", dir, err)
+		return nil, fmt.Errorf("gprofile: creating %s: %w", dir, err)
 	}
-	for _, s := range snaps {
-		name := fmt.Sprintf("%s_%s.txt", sanitize(s.Service), sanitize(s.Instance))
-		body := formatSnapshot(s)
-		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
-			return fmt.Errorf("gprofile: writing %s: %w", name, err)
-		}
+	return &DirWriter{dir: dir, names: make(map[string]*sync.Mutex)}, nil
+}
+
+// Dir returns the archive directory.
+func (w *DirWriter) Dir() string { return w.dir }
+
+// nameLock returns the lock for one archive file: writers of distinct
+// files proceed in parallel (the collection workers all write through
+// here mid-sweep); only a repeated (service, instance) pair serialises,
+// so its overwrite is atomic rather than interleaved.
+func (w *DirWriter) nameLock(name string) *sync.Mutex {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	m := w.names[name]
+	if m == nil {
+		m = &sync.Mutex{}
+		w.names[name] = m
+	}
+	return m
+}
+
+// Write archives one snapshot. Distinct (service, instance) pairs land
+// in distinct files and write concurrently; a repeated pair within one
+// archive overwrites (last complete snapshot wins).
+func (w *DirWriter) Write(s *Snapshot) error {
+	name := fmt.Sprintf("%s_%s.txt", sanitize(s.Service), sanitize(s.Instance))
+	lock := w.nameLock(name)
+	lock.Lock()
+	defer lock.Unlock()
+	f, err := os.Create(filepath.Join(w.dir, name))
+	if err != nil {
+		return fmt.Errorf("gprofile: creating %s: %w", name, err)
+	}
+	bw := bufio.NewWriter(f)
+	werr := WriteSnapshot(bw, s)
+	if ferr := bw.Flush(); werr == nil {
+		werr = ferr
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("gprofile: writing %s: %w", name, werr)
 	}
 	return nil
 }
 
-// formatSnapshot renders the snapshot's goroutines, expanding any
-// pre-aggregated clusters into representative records so the saved file
-// is a plain debug=2 dump.
-func formatSnapshot(s *Snapshot) string {
-	var b strings.Builder
-	b.WriteString(stack.Format(s.Goroutines))
+// WriteSnapshot renders the snapshot to w as a plain debug=2 dump,
+// expanding any pre-aggregated clusters into representative records. The
+// expansion streams: a 100K-goroutine cluster costs one record's worth of
+// buffer, not a 100K-record string.
+func WriteSnapshot(w io.Writer, s *Snapshot) error {
+	if _, err := io.WriteString(w, stack.Format(s.Goroutines)); err != nil {
+		return err
+	}
 	id := int64(1 << 20)
 	for op, n := range s.PreAggregated {
 		state := "chan " + op.Op
@@ -40,17 +95,91 @@ func formatSnapshot(s *Snapshot) string {
 			state = "select"
 		}
 		for i := 0; i < n; i++ {
-			fmt.Fprintf(&b, "\ngoroutine %d [%s]:\n%s()\n\t%s +0x1\n",
-				id, state, op.Function, op.Location)
+			if _, err := fmt.Fprintf(w, "\ngoroutine %d [%s]:\n%s()\n\t%s +0x1\n",
+				id, state, op.Function, op.Location); err != nil {
+				return err
+			}
 			id++
 		}
 	}
-	return b.String()
+	return nil
 }
 
-// LoadDir reads every <service>_<instance>.txt profile in dir. Files
-// that fail to parse are skipped with their error reported in errs; a
-// sweep archive must tolerate a corrupt member.
+// SaveDir writes snapshots as debug=2 profile files named
+// <service>_<instance>.txt, the on-disk layout LoadDir reads back. It is
+// a convenience over DirWriter for already-materialised sweeps; streaming
+// collection paths should write through a DirWriter (or the leakprof
+// ArchiveSink) instead of building the slice.
+func SaveDir(dir string, snaps []*Snapshot) error {
+	w, err := NewDirWriter(dir)
+	if err != nil {
+		return err
+	}
+	for _, s := range snaps {
+		if err := w.Write(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScanDir streams every <service>_<instance>.txt profile in dir through
+// the incremental scanner, one file at a time: emit receives each decoded
+// compact snapshot, and fail (optional) each corrupt or unreadable
+// member. Unlike LoadDir it never materialises goroutine records or more
+// than one open file, so archives recorded at production scale replay in
+// O(locations) memory. Cancelling ctx stops the replay between files.
+func ScanDir(ctx context.Context, dir string, takenAt time.Time, emit func(*Snapshot), fail func(name string, err error)) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("gprofile: reading %s: %w", dir, err)
+	}
+	for _, e := range entries {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".txt") {
+			continue
+		}
+		service, instance := splitArchiveName(e.Name())
+		snap, serr := scanFile(filepath.Join(dir, e.Name()), service, instance, takenAt)
+		if serr != nil {
+			if fail != nil {
+				fail(e.Name(), serr)
+			}
+			continue
+		}
+		emit(snap)
+	}
+	return nil
+}
+
+// scanFile streams one archive member through ScanSnapshot.
+func scanFile(path, service, instance string, takenAt time.Time) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ScanSnapshot(service, instance, takenAt, f)
+}
+
+// splitArchiveName recovers (service, instance) from an archive file
+// name, mirroring how LoadDir names were produced.
+func splitArchiveName(name string) (service, instance string) {
+	base := strings.TrimSuffix(name, ".txt")
+	service, instance, ok := strings.Cut(base, "_")
+	if !ok {
+		return base, base
+	}
+	return service, instance
+}
+
+// LoadDir reads every <service>_<instance>.txt profile in dir into fully
+// parsed snapshots. Files that fail to parse are skipped with their error
+// reported in errs; a sweep archive must tolerate a corrupt member.
+// Replays that only need blocked-count aggregates should use ScanDir,
+// which streams instead of materialising records.
 func LoadDir(dir string, takenAt time.Time) (snaps []*Snapshot, errs []error, err error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -65,11 +194,7 @@ func LoadDir(dir string, takenAt time.Time) (snaps []*Snapshot, errs []error, er
 			errs = append(errs, rerr)
 			continue
 		}
-		base := strings.TrimSuffix(e.Name(), ".txt")
-		service, instance, ok := strings.Cut(base, "_")
-		if !ok {
-			service, instance = base, base
-		}
+		service, instance := splitArchiveName(e.Name())
 		snap, perr := ParseSnapshot(service, instance, takenAt, string(body))
 		if perr != nil {
 			errs = append(errs, perr)

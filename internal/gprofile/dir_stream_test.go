@@ -1,0 +1,102 @@
+package gprofile
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/stack"
+)
+
+// TestDirWriterScanDirRoundTrip drives the streaming archive path both
+// ways: snapshots written through one at a time (from concurrent
+// writers, as ArchiveSink does during a sweep) and replayed one file at a
+// time, preserving the blocked-operation counts.
+func TestDirWriterScanDirRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewDirWriter(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	send := stack.BlockedOp{Op: "send", Function: "pay.leak", Location: "/pay/l.go:9"}
+	snaps := []*Snapshot{
+		{Service: "pay", Instance: "i1", PreAggregated: map[stack.BlockedOp]int{send: 3}},
+		{Service: "pay", Instance: "i2", PreAggregated: map[stack.BlockedOp]int{send: 5}},
+		{Service: "search", Instance: "h/1", Goroutines: []*stack.Goroutine{
+			mkGoroutine(1, "IO wait", "search.read", "/s/r.go", 7),
+		}},
+	}
+	var wg sync.WaitGroup
+	for _, s := range snaps {
+		wg.Add(1)
+		go func(s *Snapshot) {
+			defer wg.Done()
+			if err := w.Write(s); err != nil {
+				t.Error(err)
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	var got []*Snapshot
+	err = ScanDir(context.Background(), dir, time.Unix(9, 0), func(s *Snapshot) { got = append(got, s) }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("replayed %d snapshots, want 3", len(got))
+	}
+	total := 0
+	for _, s := range got {
+		if !s.TakenAt.Equal(time.Unix(9, 0)) {
+			t.Errorf("timestamp = %v", s.TakenAt)
+		}
+		for op, n := range s.CountByLocation() {
+			if op.Op == "send" && op.Location == "/pay/l.go:9" {
+				total += n
+			}
+		}
+	}
+	if total != 8 {
+		t.Errorf("replayed blocked total = %d, want 8", total)
+	}
+}
+
+func TestScanDirReportsCorruptMembers(t *testing.T) {
+	dir := t.TempDir()
+	good := "goroutine 1 [chan send]:\nsvc.f()\n\t/s/f.go:2 +0x1\n"
+	if err := os.WriteFile(filepath.Join(dir, "svc_i1.txt"), []byte(good), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(dir, "svc_i2.txt")
+	if err := os.WriteFile(bad, []byte(good), 0o000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.ReadFile(bad); err == nil {
+		t.Skip("running as a user that ignores file modes")
+	}
+	var emitted, failed int
+	err := ScanDir(context.Background(), dir, time.Now(),
+		func(*Snapshot) { emitted++ },
+		func(name string, err error) {
+			failed++
+			if name != "svc_i2.txt" || err == nil {
+				t.Errorf("fail(%q, %v)", name, err)
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emitted != 1 || failed != 1 {
+		t.Errorf("emitted=%d failed=%d", emitted, failed)
+	}
+}
+
+func TestScanDirMissing(t *testing.T) {
+	if err := ScanDir(context.Background(), "/does/not/exist", time.Now(), func(*Snapshot) {}, nil); err == nil {
+		t.Error("missing directory should error")
+	}
+}

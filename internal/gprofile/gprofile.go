@@ -266,7 +266,18 @@ func ParseSnapshot(service, instance string, takenAt time.Time, body string) (*S
 // records. This is the LEAKPROF collection path: peak memory per profile
 // is O(distinct blocked locations), not O(goroutines).
 func ScanSnapshot(service, instance string, takenAt time.Time, r io.Reader) (*Snapshot, error) {
+	return ScanSnapshotWith(service, instance, takenAt, r, nil)
+}
+
+// ScanSnapshotWith is ScanSnapshot with a shared intern pool: strings the
+// scan interns (function names, file paths, state annotations) are drawn
+// from pool when non-nil, so a sweep's many fetches stop re-interning the
+// fleet's identical strings once per Scanner.
+func ScanSnapshotWith(service, instance string, takenAt time.Time, r io.Reader, pool *stack.InternPool) (*Snapshot, error) {
 	sc := stack.NewScanner(r)
+	if pool != nil {
+		sc.SetInternPool(pool)
+	}
 	snap := &Snapshot{Service: service, Instance: instance, TakenAt: takenAt}
 	for sc.Scan() {
 		snap.TotalGoroutines++

@@ -1,0 +1,80 @@
+package stack
+
+import "sync"
+
+// DefaultInternPoolEntries bounds a shared intern pool that does not set
+// its own limit. A fleet's distinct function names and file paths number
+// in the tens of thousands; 256K entries comfortably covers a large
+// monorepo while capping a pool fed adversarial profiles.
+const DefaultInternPoolEntries = 256 << 10
+
+// InternPool is a bounded, concurrency-safe string intern table shared
+// across Scanners. A Scanner's own intern table lives only as long as one
+// profile scan, so a daily sweep over the same fleet re-interns the same
+// function names and file paths once per instance; attaching a pool with
+// Scanner.SetInternPool makes those strings allocate once per sweep (and
+// once per pool lifetime when the pool is reused across sweeps).
+//
+// The pool is insert-only and bounded: once Max entries are resident, new
+// strings are returned un-pooled (each scanner falls back to its private
+// table) rather than evicting — eviction would un-share exactly the hot
+// strings the pool exists for. Interned strings are immutable and safe to
+// share between goroutines.
+type InternPool struct {
+	mu  sync.RWMutex
+	max int
+	m   map[string]string
+}
+
+// NewInternPool returns an empty pool bounded to maxEntries distinct
+// strings; maxEntries <= 0 means DefaultInternPoolEntries.
+func NewInternPool(maxEntries int) *InternPool {
+	if maxEntries <= 0 {
+		maxEntries = DefaultInternPoolEntries
+	}
+	return &InternPool{max: maxEntries, m: make(map[string]string)}
+}
+
+// Len returns the number of resident entries.
+func (p *InternPool) Len() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.m)
+}
+
+// internBytes returns the shared string for b, inserting it if the pool
+// has room. The compiler elides the []byte->string conversion in the map
+// lookups, so a hit costs no allocation.
+func (p *InternPool) internBytes(b []byte) string {
+	p.mu.RLock()
+	v, ok := p.m[string(b)]
+	p.mu.RUnlock()
+	if ok {
+		return v
+	}
+	return p.insert(string(b))
+}
+
+// internString is internBytes for an already-materialised string.
+func (p *InternPool) internString(s string) string {
+	p.mu.RLock()
+	v, ok := p.m[s]
+	p.mu.RUnlock()
+	if ok {
+		return v
+	}
+	return p.insert(s)
+}
+
+func (p *InternPool) insert(s string) string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if v, ok := p.m[s]; ok { // raced with another inserter
+		return v
+	}
+	if len(p.m) >= p.max {
+		return s // full: hand back the private copy, never evict
+	}
+	p.m[s] = s
+	return s
+}

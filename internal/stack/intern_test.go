@@ -1,0 +1,95 @@
+package stack
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"unsafe"
+)
+
+// poolDump renders n goroutines blocked at the same location, the shape a
+// leaked cluster repeats across every instance of a service.
+func poolDump(n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "goroutine %d [chan send, 5 minutes]:\nsvc.leak(0x1)\n\t/src/svc/handler.go:42 +0x2b\ncreated by svc.serve in goroutine 1\n\t/src/svc/main.go:10 +0x8\n\n", i+1)
+	}
+	return b.String()
+}
+
+func drainScanner(t *testing.T, sc *Scanner) []*Goroutine {
+	t.Helper()
+	var out []*Goroutine
+	for sc.Scan() {
+		out = append(out, sc.Goroutine())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestInternPoolSharesAcrossScanners(t *testing.T) {
+	dump := poolDump(3)
+	plain := drainScanner(t, NewScanner(strings.NewReader(dump)))
+
+	pool := NewInternPool(0)
+	var pooled [][]*Goroutine
+	for i := 0; i < 2; i++ {
+		sc := NewScanner(strings.NewReader(dump))
+		sc.SetInternPool(pool)
+		pooled = append(pooled, drainScanner(t, sc))
+	}
+	for i, gs := range pooled {
+		if !reflect.DeepEqual(gs, plain) {
+			t.Fatalf("pooled scan %d diverged from plain scan", i)
+		}
+	}
+	// The two scans share one physical copy of the function string.
+	a := pooled[0][0].Frames[0].Function
+	b := pooled[1][0].Frames[0].Function
+	if unsafe.StringData(a) != unsafe.StringData(b) {
+		t.Error("function strings not shared across pooled scanners")
+	}
+	if n := pool.Len(); n == 0 {
+		t.Error("pool stayed empty")
+	}
+}
+
+func TestInternPoolBounded(t *testing.T) {
+	pool := NewInternPool(2)
+	for i := 0; i < 10; i++ {
+		pool.internString(fmt.Sprintf("fn%d", i))
+	}
+	if n := pool.Len(); n != 2 {
+		t.Fatalf("pool grew to %d entries, bound is 2", n)
+	}
+	// A full pool still interns correctly, just privately.
+	if got := pool.internString("fn9"); got != "fn9" {
+		t.Fatalf("full pool returned %q", got)
+	}
+}
+
+func TestInternPoolConcurrent(t *testing.T) {
+	dump := poolDump(50)
+	pool := NewInternPool(0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := NewScanner(strings.NewReader(dump))
+			sc.SetInternPool(pool)
+			n := 0
+			for sc.Scan() {
+				n++
+			}
+			if sc.Err() != nil || n != 50 {
+				t.Errorf("concurrent pooled scan: n=%d err=%v", n, sc.Err())
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -43,6 +43,9 @@ type Scanner struct {
 
 	// intern maps string content to its single shared copy.
 	intern map[string]string
+	// pool, when set, is a bounded intern table shared across Scanners;
+	// the private table above becomes a lock-free cache in front of it.
+	pool *InternPool
 	// headers caches parsed bracket regions ("chan send, 5 minutes") —
 	// the per-goroutine text that repeats across a leaked cluster.
 	headers map[string]headerInfo
@@ -72,6 +75,13 @@ func NewScanner(r io.Reader) *Scanner {
 		locs:    make(map[string]Frame),
 	}
 }
+
+// SetInternPool attaches a shared intern pool: strings the scanner would
+// intern privately are interned through p instead, so repeated scans (a
+// fleet sweep fetching thousands of instances of the same services) stop
+// re-allocating identical function and file strings per Scanner. Call it
+// before the first Scan. A nil pool restores private interning.
+func (s *Scanner) SetInternPool(p *InternPool) { s.pool = p }
 
 // Scan advances to the next goroutine block. It returns false at the end
 // of the dump or on a malformed header; Err distinguishes the two.
@@ -274,12 +284,18 @@ func parseLocationBytes(s []byte) (file []byte, line int, off uint64, ok bool) {
 }
 
 // internBytes returns the shared string for the byte content, allocating
-// only on first sight.
+// only on first sight. The private table is consulted first — a hit costs
+// no lock — and misses fall through to the shared pool when one is set.
 func (s *Scanner) internBytes(b []byte) string {
 	if v, ok := s.intern[string(b)]; ok {
 		return v
 	}
-	v := string(b)
+	var v string
+	if s.pool != nil {
+		v = s.pool.internBytes(b)
+	} else {
+		v = string(b)
+	}
 	s.intern[v] = v
 	return v
 }
@@ -287,6 +303,9 @@ func (s *Scanner) internBytes(b []byte) string {
 func (s *Scanner) internString(v string) string {
 	if got, ok := s.intern[v]; ok {
 		return got
+	}
+	if s.pool != nil {
+		v = s.pool.internString(v)
 	}
 	s.intern[v] = v
 	return v

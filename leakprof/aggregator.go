@@ -168,6 +168,98 @@ func (a *Aggregator) Findings(r Ranking) []*Finding {
 	return findings
 }
 
+// Moment is the exported form of one group's streaming moments: the raw
+// per-(service, operation, location) statistics the aggregator maintains
+// online, for consumers that want pre-threshold signal — trend tracking
+// feeds on these directly instead of on thresholded finding totals.
+type Moment struct {
+	// Service is the owning service.
+	Service string
+	// Op identifies the blocked operation and location (wait time folded
+	// away, as in the grouping key).
+	Op stack.BlockedOp
+	// Total is the fleet-wide blocked-goroutine count for the group.
+	Total int
+	// Instances is the number of instances with at least one blocked
+	// goroutine here; ServiceProfiles is the number of profiled
+	// instances of the service (the RMS/mean denominator).
+	Instances       int
+	ServiceProfiles int
+	// Suspicious is the number of instances at or above the threshold.
+	Suspicious int
+	// SumSquares is the sum of squared per-instance counts.
+	SumSquares float64
+	// MaxCount and MaxInstance identify the largest single-instance
+	// cluster.
+	MaxCount    int
+	MaxInstance string
+}
+
+// Key returns the group's dedup key, identical to Finding.Key for the
+// same group.
+func (m Moment) Key() string {
+	return m.Service + "\x00" + m.Op.Op + "\x00" + m.Op.Location
+}
+
+// Mean is the fleet-wide mean per-instance count (zeros included).
+func (m Moment) Mean() float64 {
+	if m.ServiceProfiles <= 0 {
+		return 0
+	}
+	return float64(m.Total) / float64(m.ServiceProfiles)
+}
+
+// Variance is the per-instance count variance across all profiled
+// instances of the service (zeros included): the dispersion a
+// variance-aware trend verdict scales its noise band by.
+func (m Moment) Variance() float64 {
+	n := float64(m.ServiceProfiles)
+	if n <= 0 {
+		return 0
+	}
+	mean := float64(m.Total) / n
+	v := m.SumSquares/n - mean*mean
+	if v < 0 { // floating-point cancellation on near-constant counts
+		return 0
+	}
+	return v
+}
+
+// Moments exports every group's raw streaming moments — suspicious or
+// not — sorted by key for determinism. Like Findings it may be called
+// mid-sweep, but the canonical result is the call after collection
+// completes.
+func (a *Aggregator) Moments() []Moment {
+	a.mu.Lock()
+	services := make(map[string]int, len(a.services))
+	for s, n := range a.services {
+		services[s] = n
+	}
+	a.mu.Unlock()
+
+	var out []Moment
+	for i := range a.shards {
+		sh := &a.shards[i]
+		sh.mu.Lock()
+		for k, g := range sh.groups {
+			out = append(out, Moment{
+				Service:         k.service,
+				Op:              k.op,
+				Total:           g.total,
+				Instances:       g.instances,
+				ServiceProfiles: services[k.service],
+				Suspicious:      g.suspicious,
+				SumSquares:      g.sumSquares,
+				MaxCount:        g.maxCount,
+				MaxInstance:     g.maxInstance,
+			})
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
 // impactFromStats computes the ranking statistic from streaming moments.
 // The denominator for RMS and mean is the number of profiled instances of
 // the service (instances with zero blocked goroutines at this location

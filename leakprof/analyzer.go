@@ -1,36 +1,7 @@
-// Package leakprof analyzes goroutine profiles collected from production
-// service instances to pinpoint goroutine leaks, reproducing the LEAKPROF
-// tool from "Unveiling and Vanquishing Goroutine Leaks in Enterprise
-// Microservices" (CGO 2024), Section V.
-//
-// The pipeline has three stages mirroring the paper, and they stream: no
-// stage ever holds a whole profile body, a parsed goroutine slice, or a
-// full sweep of snapshots in memory.
-//
-//  1. Collection: fetch a goroutine profile (pprof debug=2) from every
-//     instance of every service (Collector). Each response body flows
-//     straight through the incremental stack scanner into compact
-//     per-(operation, location) blocked counts — a fetch's footprint is
-//     one line buffer plus a small count map, independent of profile
-//     size.
-//  2. Detection: per-instance counts fold into a sharded fleet-wide
-//     Aggregator as fetches complete (Collector.CollectInto), keyed by
-//     (service, operation, source location); locations where any
-//     instance's blocked count reaches a threshold (10K in the paper)
-//     are suspicious, unless a lightweight static analysis proves the
-//     operation trivially non-blocking (Analyzer, OpFilter). Peak sweep
-//     state is O(shards x locations), not O(fleet x profile).
-//  3. Reporting: rank suspicious locations fleet-wide by the root mean
-//     square of per-instance blocked counts — computed from streaming
-//     moments the aggregator maintains — and alert the owners of the
-//     top N (Reporter, package internal/report).
-//
-// Analyzer.Analyze remains as the batch entry point over materialised
-// snapshots (archived sweeps, simulations); it folds them through the
-// same aggregator.
 package leakprof
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/gprofile"
@@ -79,6 +50,10 @@ func (r Ranking) String() string {
 type OpFilter func(op stack.BlockedOp) bool
 
 // Analyzer implements the detection stage.
+//
+// Deprecated: Analyzer remains as a thin compatibility wrapper over the
+// Pipeline engine; its three fields are the WithThreshold, WithFilters,
+// and WithRanking pipeline options.
 type Analyzer struct {
 	// Threshold is the per-instance suspicious-concentration bound;
 	// zero means DefaultThreshold.
@@ -138,16 +113,15 @@ func (a *Analyzer) NewAggregator() *Aggregator {
 
 // Analyze runs detection over one fully collected sweep. Snapshots from
 // the same Service are aggregated together; the returned findings are
-// ordered by descending impact. It is a convenience wrapper folding the
-// snapshots through a streaming Aggregator — collection paths that can
-// feed the aggregator as fetches complete should do so directly and skip
-// materialising the slice.
+// ordered by descending impact.
+//
+// Deprecated: Analyze is a thin wrapper driving a sinkless Pipeline over
+// a FromSnapshots source; collection paths that can stream should sweep
+// a Pipeline directly and skip materialising the slice.
 func (a *Analyzer) Analyze(snaps []*gprofile.Snapshot) []*Finding {
-	agg := a.NewAggregator()
-	for _, snap := range snaps {
-		agg.Add(snap)
-	}
-	return agg.Findings(a.Ranking)
+	p := New(WithThreshold(a.Threshold), WithRanking(a.Ranking), WithFilters(a.Filters...))
+	sweep, _ := p.Sweep(context.Background(), FromSnapshots(snaps))
+	return sweep.Findings
 }
 
 // impact computes the ranking statistic over per-instance counts. The

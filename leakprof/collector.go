@@ -5,10 +5,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"sync"
 	"time"
 
 	"repro/internal/gprofile"
+	"repro/internal/stack"
 )
 
 // Endpoint identifies one profiled service instance.
@@ -29,11 +29,12 @@ type Endpoint struct {
 // LEAKPROF most needs to see.
 const DefaultMaxProfileBytes = 256 << 20
 
-// Collector fetches goroutine profiles from a fleet of instances. The
-// production deployment sweeps ~200K instances once per day; most of the
-// wall time is network transfer, so fetches run with bounded parallelism.
-// Each response body streams directly into the stack scanner — a fetch
-// holds one line buffer and a per-location count map, never the body.
+// Collector fetches goroutine profiles from a fleet of instances.
+//
+// Deprecated: Collector remains as a thin compatibility wrapper over the
+// Pipeline engine. New code should build a Pipeline (leakprof.New) and
+// sweep an Endpoints source; every Collector knob has a pipeline option
+// (WithTimeout, WithParallelism, WithRetry, WithErrorBudget, ...).
 type Collector struct {
 	// Client is the HTTP client; nil means a client with Timeout.
 	Client *http.Client
@@ -47,6 +48,32 @@ type Collector struct {
 	// MaxProfileBytes bounds one profile body; a larger body fails the
 	// fetch rather than truncating. Zero means DefaultMaxProfileBytes.
 	MaxProfileBytes int64
+	// Retry bounds per-endpoint retries; the zero value means one
+	// attempt.
+	Retry RetryPolicy
+	// ErrorBudget short-circuits a service's remaining instances once
+	// this many of its instances failed in one sweep; zero means
+	// unlimited.
+	ErrorBudget int
+	// Intern optionally shares one bounded string pool across all of
+	// the collector's profile scans.
+	Intern *stack.InternPool
+}
+
+// config maps the collector's fields onto the engine configuration the
+// Pipeline uses — Collector entry points and Pipeline sweeps run the
+// identical fetch loop.
+func (c *Collector) config() Config {
+	return Config{
+		Client:          c.Client,
+		Timeout:         c.Timeout,
+		Parallelism:     c.Parallelism,
+		MaxProfileBytes: c.MaxProfileBytes,
+		Now:             c.Now,
+		Retry:           c.Retry,
+		ErrorBudget:     c.ErrorBudget,
+		Intern:          c.Intern,
+	}
 }
 
 // CollectResult pairs a snapshot with its per-endpoint error; a fleet
@@ -58,53 +85,15 @@ type CollectResult struct {
 	Err      error
 }
 
-// setup resolves the collector's defaults.
-func (c *Collector) setup() (client *http.Client, parallelism int, now func() time.Time) {
-	client = c.Client
-	if client == nil {
-		timeout := c.Timeout
-		if timeout == 0 {
-			timeout = 30 * time.Second
-		}
-		client = &http.Client{Timeout: timeout}
-	}
-	parallelism = c.Parallelism
-	if parallelism <= 0 {
-		parallelism = 32
-	}
-	now = c.Now
-	if now == nil {
-		now = time.Now
-	}
-	return client, parallelism, now
-}
-
-// sweep fans fetches out over the endpoints with bounded parallelism,
-// delivering each outcome to sink (called concurrently).
-func (c *Collector) sweep(ctx context.Context, endpoints []Endpoint, sink func(i int, snap *gprofile.Snapshot, err error)) {
-	client, parallelism, now := c.setup()
-	sem := make(chan struct{}, parallelism)
-	var wg sync.WaitGroup
-	for i, ep := range endpoints {
-		wg.Add(1)
-		go func(i int, ep Endpoint) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			snap, err := c.fetchOne(ctx, client, ep, now())
-			sink(i, snap, err)
-		}(i, ep)
-	}
-	wg.Wait()
-}
-
 // Collect sweeps all endpoints and returns one result per endpoint, in
-// input order. Snapshots are compact (per-location aggregates); sweeps
-// that fold results into an Aggregator should prefer CollectInto, which
-// retains nothing per endpoint but the error.
+// input order.
+//
+// Deprecated: sweeps that fold results into an aggregator should use a
+// Pipeline over an Endpoints source, which retains nothing per endpoint.
 func (c *Collector) Collect(ctx context.Context, endpoints []Endpoint) []CollectResult {
+	cfg := c.config()
 	results := make([]CollectResult, len(endpoints))
-	c.sweep(ctx, endpoints, func(i int, snap *gprofile.Snapshot, err error) {
+	fetchFleet(ctx, &cfg, endpoints, func(i int, snap *gprofile.Snapshot, err error) {
 		results[i] = CollectResult{Endpoint: endpoints[i], Snapshot: snap, Err: err}
 	})
 	return results
@@ -114,9 +103,13 @@ func (c *Collector) Collect(ctx context.Context, endpoints []Endpoint) []Collect
 // agg as its fetch completes — collection and aggregation overlap, and no
 // per-instance state survives the fetch. It returns one error slot per
 // endpoint, nil for successes.
+//
+// Deprecated: use a Pipeline over an Endpoints source; Pipeline.Sweep
+// owns the aggregator and reports failures in the Sweep result.
 func (c *Collector) CollectInto(ctx context.Context, endpoints []Endpoint, agg *Aggregator) []error {
+	cfg := c.config()
 	errs := make([]error, len(endpoints))
-	c.sweep(ctx, endpoints, func(i int, snap *gprofile.Snapshot, err error) {
+	fetchFleet(ctx, &cfg, endpoints, func(i int, snap *gprofile.Snapshot, err error) {
 		if err != nil {
 			errs[i] = err
 			return
@@ -128,7 +121,7 @@ func (c *Collector) CollectInto(ctx context.Context, endpoints []Endpoint, agg *
 
 // fetchOne streams one instance's profile body straight into the scanner;
 // the body is never materialised.
-func (c *Collector) fetchOne(ctx context.Context, client *http.Client, ep Endpoint, at time.Time) (*gprofile.Snapshot, error) {
+func fetchOne(ctx context.Context, cfg *Config, client *http.Client, ep Endpoint) (*gprofile.Snapshot, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ep.URL, nil)
 	if err != nil {
 		return nil, fmt.Errorf("leakprof: building request for %s/%s: %w", ep.Service, ep.Instance, err)
@@ -141,14 +134,14 @@ func (c *Collector) fetchOne(ctx context.Context, client *http.Client, ep Endpoi
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("leakprof: %s/%s returned %s", ep.Service, ep.Instance, resp.Status)
 	}
-	max := c.MaxProfileBytes
+	max := cfg.MaxProfileBytes
 	if max <= 0 {
 		max = DefaultMaxProfileBytes
 	}
 	// Read one byte past the limit: if it arrives, the profile is over
 	// budget and must error rather than pass truncated counts downstream.
 	lr := &io.LimitedReader{R: resp.Body, N: max + 1}
-	snap, err := gprofile.ScanSnapshot(ep.Service, ep.Instance, at, lr)
+	snap, err := gprofile.ScanSnapshotWith(ep.Service, ep.Instance, cfg.now(), lr, cfg.Intern)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,75 @@
+// Package leakprof analyzes goroutine profiles collected from production
+// service instances to pinpoint goroutine leaks, reproducing the LEAKPROF
+// tool from "Unveiling and Vanquishing Goroutine Leaks in Enterprise
+// Microservices" (CGO 2024), Section V.
+//
+// # The Pipeline API
+//
+// The package exposes one composable entry point: a Pipeline built from
+// functional options, pulling snapshots from a Source and fanning results
+// out to Sinks.
+//
+//	pipe := leakprof.New(
+//		leakprof.WithThreshold(10000),           // paper's concentration bound
+//		leakprof.WithParallelism(64),            // concurrent fetches
+//		leakprof.WithRetry(leakprof.DefaultRetryPolicy),
+//		leakprof.WithErrorBudget(3),             // per-service failure budget
+//	)
+//	pipe.AddSinks(
+//		&leakprof.ReportSink{Reporter: reporter}, // dedup + top-N alerts
+//		&leakprof.TrendSink{Tracker: tracker},    // cross-sweep verdicts
+//	)
+//	sweep, err := pipe.Sweep(ctx, leakprof.Endpoints(enumerateFleet))
+//	// or: pipe.Run(ctx, src) for the paper's daily cadence
+//
+// Every profile origin drives the identical engine:
+//
+//   - Endpoints / StaticEndpoints — HTTP fleet collection with bounded
+//     parallelism, bounded jittered retry, and per-service error
+//     budgets; response bodies stream through the incremental stack
+//     scanner, never materialised.
+//   - Archive — replay of an on-disk sweep archive, one file at a time.
+//   - fleet.(*Fleet).Source — a simulated platform (internal/fleet).
+//   - FromSnapshots / Dumps — materialised snapshots or raw debug=2
+//     bodies (synthetic dumps, out-of-band captures).
+//
+// Sinks receive each snapshot as it is collected plus the completed
+// Sweep (ranked findings and the aggregator's raw per-group moments):
+// ReportSink files alerts, TrendSink feeds variance-aware cross-sweep
+// classification, MetricsSink accumulates telemetry, and ArchiveSink
+// writes the sweep through to disk as it happens.
+//
+// The three stages mirror the paper, and they stream: no stage ever
+// holds a whole profile body, a parsed goroutine slice, or a full sweep
+// of snapshots in memory. Peak sweep state is O(shards x locations),
+// not O(fleet x profile).
+//
+// # Migrating from the pre-Pipeline API
+//
+// The original five loosely-coupled structs remain as thin deprecated
+// wrappers over the engine; existing code keeps working. New code should
+// use the Pipeline surface:
+//
+//	old API                            Pipeline equivalent
+//	-------------------------------    ----------------------------------------
+//	Collector{Parallelism: n}          New(WithParallelism(n), ...)
+//	Collector{Timeout: d}              New(WithTimeout(d), ...)
+//	Collector.Collect(ctx, eps)        Sweep(ctx, StaticEndpoints(eps...))
+//	Collector.CollectInto(ctx, e, a)   Sweep(ctx, Endpoints(enum)) — the
+//	                                   engine owns the aggregator
+//	Analyzer{Threshold, Filters,       New(WithThreshold(t), WithFilters(f...),
+//	  Ranking}                           WithRanking(r))
+//	Analyzer.Analyze(snaps)            Sweep(ctx, FromSnapshots(snaps)).Findings
+//	gprofile.LoadDir + Analyze         Sweep(ctx, Archive(dir))
+//	Reporter.Report(findings)          AddSinks(&ReportSink{Reporter: rep})
+//	TrendTracker.Observe(at, fs)       AddSinks(&TrendSink{Tracker: tr})
+//	gprofile.SaveDir after sweep       AddSinks(archiveSink) — write-through
+//	Scheduler{Interval: d}.Run(ctx)    New(WithInterval(d), ...).Run(ctx, src)
+//	Scheduler.Sweep(ctx)               Pipeline.Sweep(ctx, src)
+//
+// New capabilities have no old-API equivalent: WithRetry (bounded
+// attempts with jittered exponential backoff), WithErrorBudget (a
+// fleet-wide outage costs the sweep a bounded number of timeouts per
+// service), and WithSharedIntern (one bounded string pool across all of
+// a sweep's profile scans).
+package leakprof

@@ -1,0 +1,280 @@
+package leakprof
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/gprofile"
+	"repro/internal/stack"
+)
+
+// Config is the resolved option set a Pipeline runs with. Callers build
+// it through New and the With* options; Sources receive it (via SweepEnv)
+// so every profile origin honours the same collection knobs.
+type Config struct {
+	// Client is the HTTP client endpoint sources fetch with; nil means a
+	// client bounded by Timeout.
+	Client *http.Client
+	// Timeout bounds each fetch when Client is nil; zero means 30s.
+	Timeout time.Duration
+	// Parallelism bounds concurrent collection; zero means 32.
+	Parallelism int
+	// MaxProfileBytes bounds one profile body; a larger body fails the
+	// fetch rather than truncating. Zero means DefaultMaxProfileBytes.
+	MaxProfileBytes int64
+	// Threshold is the per-instance suspicious-concentration bound;
+	// zero means DefaultThreshold.
+	Threshold int
+	// Ranking picks the impact statistic; default RankRMS.
+	Ranking Ranking
+	// Filters mark operations as harmless (criterion 2).
+	Filters []OpFilter
+	// Retry bounds per-endpoint fetch retries; the zero value means one
+	// attempt (no retry).
+	Retry RetryPolicy
+	// ErrorBudget is the number of failed instances per service per
+	// sweep before that service's remaining instances short-circuit
+	// with ErrBudgetExhausted; zero means unlimited.
+	ErrorBudget int
+	// Interval separates periodic sweeps in Run; zero means 24h.
+	Interval time.Duration
+	// Now supplies timestamps; nil means time.Now.
+	Now func() time.Time
+	// Intern, when non-nil, is a bounded string pool shared across all
+	// of the pipeline's profile scans (see WithSharedIntern).
+	Intern *stack.InternPool
+	// OnSweep observes each completed sweep (after sinks ran).
+	OnSweep func(*Sweep)
+
+	// sleep and randFloat are test seams for the backoff path.
+	sleep     func(context.Context, time.Duration) error
+	randFloat func() float64
+}
+
+func (c *Config) httpClient() *http.Client {
+	if c.Client != nil {
+		return c.Client
+	}
+	timeout := c.Timeout
+	if timeout == 0 {
+		timeout = 30 * time.Second
+	}
+	return &http.Client{Timeout: timeout}
+}
+
+func (c *Config) parallelism() int {
+	if c.Parallelism <= 0 {
+		return 32
+	}
+	return c.Parallelism
+}
+
+func (c *Config) now() time.Time {
+	if c.Now != nil {
+		return c.Now()
+	}
+	return time.Now()
+}
+
+func (c *Config) sleepFn() func(context.Context, time.Duration) error {
+	if c.sleep != nil {
+		return c.sleep
+	}
+	return sleepCtx
+}
+
+func (c *Config) randFn() func() float64 {
+	if c.randFloat != nil {
+		return c.randFloat
+	}
+	return rand.Float64
+}
+
+// Option configures a Pipeline.
+type Option func(*Config)
+
+// WithHTTPClient sets the HTTP client endpoint sources fetch with.
+func WithHTTPClient(client *http.Client) Option {
+	return func(c *Config) { c.Client = client }
+}
+
+// WithTimeout bounds each profile fetch.
+func WithTimeout(d time.Duration) Option {
+	return func(c *Config) { c.Timeout = d }
+}
+
+// WithParallelism bounds concurrent collection.
+func WithParallelism(n int) Option {
+	return func(c *Config) { c.Parallelism = n }
+}
+
+// WithMaxProfileBytes bounds one profile body.
+func WithMaxProfileBytes(n int64) Option {
+	return func(c *Config) { c.MaxProfileBytes = n }
+}
+
+// WithThreshold sets the per-instance suspicious-concentration bound
+// (the paper's 10K).
+func WithThreshold(n int) Option {
+	return func(c *Config) { c.Threshold = n }
+}
+
+// WithRanking picks the fleet-wide impact statistic.
+func WithRanking(r Ranking) Option {
+	return func(c *Config) { c.Ranking = r }
+}
+
+// WithFilters appends criterion-2 harmless-operation filters.
+func WithFilters(filters ...OpFilter) Option {
+	return func(c *Config) { c.Filters = append(c.Filters, filters...) }
+}
+
+// WithRetry sets the per-endpoint retry policy for production
+// collection.
+func WithRetry(policy RetryPolicy) Option {
+	return func(c *Config) { c.Retry = policy }
+}
+
+// WithErrorBudget short-circuits a service's remaining instances once
+// perService of its instances have failed (post-retry) in one sweep.
+func WithErrorBudget(perService int) Option {
+	return func(c *Config) { c.ErrorBudget = perService }
+}
+
+// WithInterval separates periodic sweeps in Run.
+func WithInterval(d time.Duration) Option {
+	return func(c *Config) { c.Interval = d }
+}
+
+// WithClock injects the timestamp source (simulations use a fake clock).
+func WithClock(now func() time.Time) Option {
+	return func(c *Config) { c.Now = now }
+}
+
+// WithSharedIntern attaches a bounded intern pool (maxEntries distinct
+// strings; <= 0 means the stack package default) shared across every
+// profile scan the pipeline runs, across sweeps: daily sweeps of the same
+// fleet stop re-interning identical function and file strings per fetch.
+func WithSharedIntern(maxEntries int) Option {
+	return func(c *Config) { c.Intern = stack.NewInternPool(maxEntries) }
+}
+
+// WithOnSweep registers an observer called after each sweep's sinks ran.
+func WithOnSweep(fn func(*Sweep)) Option {
+	return func(c *Config) { c.OnSweep = fn }
+}
+
+// Pipeline is the single entry point to LEAKPROF's collect → detect →
+// report loop: one Engine pulling snapshots from a Source, folding them
+// through the streaming sharded Aggregator, and fanning per-snapshot
+// events plus end-of-sweep results out to Sinks.
+//
+//	pipe := leakprof.New(
+//		leakprof.WithThreshold(10000),
+//		leakprof.WithRetry(leakprof.DefaultRetryPolicy),
+//		leakprof.WithErrorBudget(3),
+//	)
+//	pipe.AddSinks(&leakprof.ReportSink{Reporter: rep}, &leakprof.TrendSink{Tracker: tr})
+//	sweep, err := pipe.Sweep(ctx, leakprof.Endpoints(enumerate))
+//
+// The same pipeline sweeps HTTP fleets (Endpoints), on-disk archives
+// (Archive), simulated fleets (fleet.(*Fleet).Source), materialised
+// snapshots (FromSnapshots), and raw dump bodies (Dumps). Sweeps are
+// serialised per Pipeline; the collection inside one sweep is
+// concurrent.
+type Pipeline struct {
+	cfg   Config
+	mu    sync.Mutex // serialises sweeps
+	sinks []Sink
+}
+
+// New builds a Pipeline from functional options.
+func New(opts ...Option) *Pipeline {
+	p := &Pipeline{}
+	for _, opt := range opts {
+		opt(&p.cfg)
+	}
+	return p
+}
+
+// AddSinks registers sinks receiving per-snapshot events and end-of-sweep
+// results. Not safe to call concurrently with Sweep or Run.
+func (p *Pipeline) AddSinks(sinks ...Sink) *Pipeline {
+	p.sinks = append(p.sinks, sinks...)
+	return p
+}
+
+// Config returns the pipeline's resolved configuration.
+func (p *Pipeline) Config() Config { return p.cfg }
+
+// Sweep runs one collection pass over the source: every snapshot the
+// source emits streams through the sinks and into a fresh aggregator,
+// failures are tallied, and the completed Sweep (findings plus the
+// aggregator's raw moments) is delivered to every sink. The returned
+// error joins the source error with any sink errors; a Sweep is returned
+// even when collection partially failed.
+func (p *Pipeline) Sweep(ctx context.Context, src Source) (*Sweep, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	agg := NewAggregator(p.cfg.Threshold, p.cfg.Filters...)
+	sweep := &Sweep{At: p.cfg.now(), Source: src.Name()}
+	var mu sync.Mutex
+	env := &SweepEnv{
+		Config: &p.cfg,
+		Emit: func(snap *gprofile.Snapshot) {
+			agg.Add(snap)
+			for _, s := range p.sinks {
+				s.Snapshot(snap)
+			}
+		},
+		Fail: func(service, instance string, err error) {
+			mu.Lock()
+			sweep.Errors++
+			if len(sweep.Failures) < maxSweepFailures {
+				sweep.Failures = append(sweep.Failures, SweepFailure{Service: service, Instance: instance, Err: err})
+			}
+			mu.Unlock()
+		},
+	}
+	err := src.Sweep(ctx, env)
+	sweep.Err = err
+	sweep.Profiles = agg.Profiles()
+	sweep.Findings = agg.Findings(p.cfg.Ranking)
+	sweep.agg = agg
+
+	errs := []error{err}
+	for _, s := range p.sinks {
+		errs = append(errs, s.SweepDone(sweep))
+	}
+	if p.cfg.OnSweep != nil {
+		p.cfg.OnSweep(sweep)
+	}
+	return sweep, errors.Join(errs...)
+}
+
+// Run sweeps the source periodically — the paper's daily cadence — until
+// the context is cancelled. The first sweep happens immediately;
+// subsequent sweeps follow the configured interval. Sweep-level errors
+// flow to sinks and OnSweep, not out of Run: an unreachable fleet today
+// must not stop tomorrow's sweep.
+func (p *Pipeline) Run(ctx context.Context, src Source) error {
+	interval := p.cfg.Interval
+	if interval <= 0 {
+		interval = 24 * time.Hour
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		p.Sweep(ctx, src)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}

@@ -7,9 +7,11 @@ import (
 	"repro/internal/report"
 )
 
-// Scheduler drives the periodic sweep the paper runs daily: collect a
-// profile from every instance, analyze, and report, forever. It is the
-// operational shell around Collector/Analyzer/Reporter.
+// Scheduler drives the periodic sweep the paper runs daily.
+//
+// Deprecated: Scheduler remains as a thin compatibility wrapper over the
+// Pipeline engine. New code should build a Pipeline with ReportSink (and
+// TrendSink) and call Pipeline.Run over an Endpoints source.
 type Scheduler struct {
 	// Collector fetches profiles; required.
 	Collector *Collector
@@ -42,52 +44,71 @@ type SweepStats struct {
 	NewAlerts []*report.Alert
 }
 
+// pipeline assembles the equivalent Pipeline: the scheduler's collector,
+// analyzer, reporter, and trend tracker become engine options and sinks.
+func (s *Scheduler) pipeline() (*Pipeline, *ReportSink) {
+	clock := s.now
+	if clock == nil {
+		clock = s.Collector.Now
+	}
+	p := New(
+		WithHTTPClient(s.Collector.Client),
+		WithTimeout(s.Collector.Timeout),
+		WithParallelism(s.Collector.Parallelism),
+		WithMaxProfileBytes(s.Collector.MaxProfileBytes),
+		WithRetry(s.Collector.Retry),
+		WithErrorBudget(s.Collector.ErrorBudget),
+		WithThreshold(s.Analyzer.Threshold),
+		WithRanking(s.Analyzer.Ranking),
+		WithFilters(s.Analyzer.Filters...),
+		WithInterval(s.Interval),
+		WithClock(clock),
+	)
+	p.cfg.Intern = s.Collector.Intern
+	rs := &ReportSink{Reporter: s.Reporter}
+	if s.Trend != nil {
+		p.AddSinks(&TrendSink{Tracker: s.Trend})
+	}
+	p.AddSinks(rs)
+	return p, rs
+}
+
+// stats converts a pipeline sweep into the legacy summary.
+func (s *Scheduler) stats(sweep *Sweep, rs *ReportSink) SweepStats {
+	return SweepStats{
+		At:        sweep.At,
+		Endpoints: sweep.Instances(),
+		Profiles:  sweep.Profiles,
+		Errors:    sweep.Errors,
+		Findings:  len(sweep.Findings),
+		NewAlerts: rs.LastAlerts(),
+	}
+}
+
 // Run sweeps until the context is cancelled. The first sweep happens
 // immediately; subsequent sweeps follow the interval.
+//
+// Deprecated: use Pipeline.Run.
 func (s *Scheduler) Run(ctx context.Context) error {
-	interval := s.Interval
-	if interval <= 0 {
-		interval = 24 * time.Hour
-	}
-	ticker := time.NewTicker(interval)
-	defer ticker.Stop()
-	for {
-		s.Sweep(ctx)
-		select {
-		case <-ctx.Done():
-			return ctx.Err()
-		case <-ticker.C:
+	p, rs := s.pipeline()
+	p.cfg.OnSweep = func(sweep *Sweep) {
+		if s.OnSweep != nil {
+			s.OnSweep(s.stats(sweep, rs))
 		}
 	}
+	return p.Run(ctx, Endpoints(s.Endpoints))
 }
 
 // Sweep performs one collection/analysis/reporting pass. Profiles stream
 // from the fetch workers straight into a sharded aggregator; the sweep
 // never holds per-instance snapshots, so its memory footprint is set by
 // the number of distinct blocked locations, not the fleet size.
+//
+// Deprecated: use Pipeline.Sweep.
 func (s *Scheduler) Sweep(ctx context.Context) SweepStats {
-	now := s.now
-	if now == nil {
-		now = time.Now
-	}
-	stats := SweepStats{At: now()}
-	endpoints := s.Endpoints()
-	stats.Endpoints = len(endpoints)
-
-	agg := s.Analyzer.NewAggregator()
-	for _, err := range s.Collector.CollectInto(ctx, endpoints, agg) {
-		if err != nil {
-			stats.Errors++
-		}
-	}
-	stats.Profiles = agg.Profiles()
-
-	findings := agg.Findings(s.Analyzer.Ranking)
-	stats.Findings = len(findings)
-	if s.Trend != nil {
-		s.Trend.Observe(stats.At, findings)
-	}
-	stats.NewAlerts = s.Reporter.Report(findings)
+	p, rs := s.pipeline()
+	sweep, _ := p.Sweep(ctx, Endpoints(s.Endpoints))
+	stats := s.stats(sweep, rs)
 	if s.OnSweep != nil {
 		s.OnSweep(stats)
 	}

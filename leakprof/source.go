@@ -1,0 +1,143 @@
+package leakprof
+
+import (
+	"context"
+	"io"
+
+	"repro/internal/gprofile"
+)
+
+// SweepEnv is what the engine hands a Source for one sweep.
+type SweepEnv struct {
+	// Config exposes the pipeline's resolved collection knobs —
+	// parallelism, retry policy, error budgets, clock, intern pool —
+	// so every profile origin honours them uniformly.
+	Config *Config
+	// Emit folds one successfully collected instance snapshot into the
+	// sweep; safe for concurrent use.
+	Emit func(*gprofile.Snapshot)
+	// Fail records one instance's collection failure; safe for
+	// concurrent use. Every instance a sweep attempts must reach
+	// exactly one of Emit or Fail.
+	Fail func(service, instance string, err error)
+}
+
+// Source is one origin of goroutine-profile snapshots: an HTTP fleet, an
+// on-disk archive, a simulated fleet, a synthetic dump. A Source streams
+// one collection pass per Sweep call — it must never buffer the whole
+// sweep — and may call Emit/Fail from concurrent workers. The returned
+// error is for failures of the sweep as a whole (an unlistable archive
+// directory); per-instance failures go through Fail.
+type Source interface {
+	// Name identifies the source kind in sweep results and logs.
+	Name() string
+	// Sweep performs one collection pass.
+	Sweep(ctx context.Context, env *SweepEnv) error
+}
+
+// Endpoints returns a Source collecting over HTTP from the fleet the
+// enumerator returns. Enumeration runs at each sweep because deployments
+// churn between sweeps. Fetches honour the pipeline's parallelism,
+// timeout, retry policy, and per-service error budget, and each response
+// body streams straight through the stack scanner — this is the
+// production collection path.
+func Endpoints(enumerate func() []Endpoint) Source {
+	return endpointSource{enumerate: enumerate}
+}
+
+// StaticEndpoints is Endpoints over a fixed fleet.
+func StaticEndpoints(eps ...Endpoint) Source {
+	return Endpoints(func() []Endpoint { return eps })
+}
+
+type endpointSource struct {
+	enumerate func() []Endpoint
+}
+
+func (endpointSource) Name() string { return "endpoints" }
+
+func (s endpointSource) Sweep(ctx context.Context, env *SweepEnv) error {
+	eps := s.enumerate()
+	fetchFleet(ctx, env.Config, eps, func(i int, snap *gprofile.Snapshot, err error) {
+		if err != nil {
+			env.Fail(eps[i].Service, eps[i].Instance, err)
+			return
+		}
+		env.Emit(snap)
+	})
+	return ctx.Err()
+}
+
+// Archive returns a Source replaying an on-disk sweep archive (the
+// <service>_<instance>.txt layout ArchiveSink and gprofile.SaveDir
+// write). Files stream through the scanner one at a time; corrupt
+// members fail individually without aborting the replay.
+func Archive(dir string) Source {
+	return archiveSource{dir: dir}
+}
+
+type archiveSource struct {
+	dir string
+}
+
+func (archiveSource) Name() string { return "archive" }
+
+func (s archiveSource) Sweep(ctx context.Context, env *SweepEnv) error {
+	return gprofile.ScanDir(ctx, s.dir, env.Config.now(),
+		func(snap *gprofile.Snapshot) { env.Emit(snap) },
+		func(name string, err error) { env.Fail("archive", name, err) })
+}
+
+// FromSnapshots returns a Source over already-materialised snapshots
+// (simulations, tests, archived sweeps loaded elsewhere).
+func FromSnapshots(snaps []*gprofile.Snapshot) Source {
+	return snapshotSource(snaps)
+}
+
+type snapshotSource []*gprofile.Snapshot
+
+func (snapshotSource) Name() string { return "snapshots" }
+
+func (s snapshotSource) Sweep(ctx context.Context, env *SweepEnv) error {
+	for _, snap := range s {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		env.Emit(snap)
+	}
+	return nil
+}
+
+// Dump names one raw debug=2 profile body to scan — the synth-dump
+// origin for pipeline benchmarks and offline analysis of dumps captured
+// out of band.
+type Dump struct {
+	Service  string
+	Instance string
+	Body     io.Reader
+}
+
+// Dumps returns a Source scanning raw profile bodies through the same
+// streaming scanner the HTTP path uses.
+func Dumps(dumps ...Dump) Source {
+	return dumpSource(dumps)
+}
+
+type dumpSource []Dump
+
+func (dumpSource) Name() string { return "dumps" }
+
+func (s dumpSource) Sweep(ctx context.Context, env *SweepEnv) error {
+	for _, d := range s {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		snap, err := gprofile.ScanSnapshotWith(d.Service, d.Instance, env.Config.now(), d.Body, env.Config.Intern)
+		if err != nil {
+			env.Fail(d.Service, d.Instance, err)
+			continue
+		}
+		env.Emit(snap)
+	}
+	return nil
+}

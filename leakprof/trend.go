@@ -1,6 +1,7 @@
 package leakprof
 
 import (
+	"math"
 	"sort"
 	"time"
 )
@@ -40,10 +41,35 @@ func (v TrendVerdict) String() string {
 	return "unknown"
 }
 
-// observation is one sweep's fleet-wide count for a finding key.
+// observation is one sweep's fleet-wide count for a finding key, plus —
+// when fed from aggregator moments — the per-instance dispersion that
+// lets the verdict separate growth from sampling noise.
 type observation struct {
 	at    time.Time
 	total int
+	// profiles and sumSquares carry the service's profiled-instance
+	// count and the sum of squared per-instance counts; zero for legacy
+	// finding-total observations (no variance available).
+	profiles   int
+	sumSquares float64
+}
+
+// noise returns the expected relative fluctuation of the observation's
+// total under per-instance dispersion: the standard deviation of a
+// re-sampled total (sigma * sqrt(n) for n instances with per-instance
+// std sigma) relative to the total itself. Zero when no variance
+// information was recorded.
+func (o observation) noise() float64 {
+	if o.profiles <= 0 || o.total <= 0 {
+		return 0
+	}
+	n := float64(o.profiles)
+	mean := float64(o.total) / n
+	variance := o.sumSquares/n - mean*mean
+	if variance <= 0 {
+		return 0
+	}
+	return math.Sqrt(variance*n) / float64(o.total)
 }
 
 // TrendTracker accumulates per-location counts across sweeps.
@@ -58,13 +84,50 @@ type TrendTracker struct {
 }
 
 // Observe records one sweep's findings (typically the analyzer output
-// before thresholding decisions are acted on).
+// before thresholding decisions are acted on). Findings carry only
+// totals; prefer ObserveMoments, which records per-instance variance and
+// pre-threshold groups as well.
 func (t *TrendTracker) Observe(at time.Time, findings []*Finding) {
 	if t.history == nil {
 		t.history = map[string][]observation{}
 	}
 	for _, f := range findings {
 		t.history[f.Key()] = append(t.history[f.Key()], observation{at: at, total: f.TotalBlocked})
+	}
+}
+
+// ObserveMoments records one sweep's aggregator moments — the feed the
+// pipeline's TrendSink uses. Compared to Observe it sees every observed
+// group (not just above-threshold findings, so a leak's early growth is
+// on record before it first crosses the threshold) and retains the
+// per-instance dispersion, making verdicts variance-aware: a fleet whose
+// instances disagree wildly about a location needs a bigger sweep-over-
+// sweep change to be called growing.
+func (t *TrendTracker) ObserveMoments(at time.Time, moments []Moment) {
+	if t.history == nil {
+		t.history = map[string][]observation{}
+	}
+	// Aggregation groups by the full operation (Function, NilChannel
+	// included) while the trend key — like Finding.Key — folds those
+	// away, so one sweep can hand us several moments per key. Merge
+	// them first: appending two same-timestamp observations would read
+	// as a bogus sweep-over-sweep transition.
+	merged := make(map[string]observation, len(moments))
+	for _, m := range moments {
+		if m.Total <= 0 {
+			continue
+		}
+		o := merged[m.Key()]
+		o.at = at
+		o.total += m.Total
+		o.sumSquares += m.SumSquares
+		if m.ServiceProfiles > o.profiles {
+			o.profiles = m.ServiceProfiles
+		}
+		merged[m.Key()] = o
+	}
+	for key, o := range merged {
+		t.history[key] = append(t.history[key], o)
 	}
 }
 
@@ -91,10 +154,18 @@ func (t *TrendTracker) Verdict(key string) TrendVerdict {
 		if base == 0 {
 			base = 1
 		}
+		// Variance-aware band: a step must clear both the configured
+		// stable band and twice the sampling noise implied by the
+		// previous sweep's per-instance dispersion. Legacy observations
+		// carry no variance, so their band is exactly StableBand.
+		eff := band
+		if noise := 2 * obs[i-1].noise(); noise > eff {
+			eff = noise
+		}
 		switch rel := float64(cur-prev) / float64(base); {
-		case rel > band:
+		case rel > eff:
 			grows++
-		case rel < -band:
+		case rel < -eff:
 			shrinks++
 		}
 	}
