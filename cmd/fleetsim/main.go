@@ -35,6 +35,7 @@ func main() {
 	leakRate := flag.Int("rate", 6000, "blocked goroutines per affected instance per day")
 	sweep := flag.Bool("sweep", false, "run one in-process leakprof sweep over the fleet, print findings, and exit")
 	direct := flag.Bool("direct", false, "with -sweep: pull from the simulator directly instead of over HTTP")
+	stateDir := flag.String("state-dir", "", "with -sweep: journal bug DB, trend history, and budget seeds under this directory so repeated sweeps dedup and resume")
 	flag.Parse()
 
 	pats := []*patterns.Pattern{
@@ -67,7 +68,7 @@ func main() {
 	}
 
 	if *sweep && *direct {
-		runSweep(f.Source(), *leakRate/2)
+		runSweep(f.Source(), *leakRate/2, *stateDir)
 		return
 	}
 
@@ -75,7 +76,7 @@ func main() {
 	defer shutdown()
 
 	if *sweep {
-		runSweep(leakprof.StaticEndpoints(endpoints...), *leakRate/2)
+		runSweep(leakprof.StaticEndpoints(endpoints...), *leakRate/2, *stateDir)
 		return
 	}
 
@@ -94,15 +95,32 @@ func main() {
 
 // runSweep drives the unified pipeline over the given profile origin:
 // snapshots stream through the scanner into the sharded aggregator, and
-// a metrics sink tallies the pass.
-func runSweep(src leakprof.Source, threshold int) {
+// a metrics sink tallies the pass. With a state dir, the sweep journals
+// through a StateStore: findings file into the durable bug DB (a repeat
+// run deduplicates instead of re-alerting) and the sweep outcome seeds
+// the next run's error budget.
+func runSweep(src leakprof.Source, threshold int, stateDir string) {
 	metrics := &leakprof.MetricsSink{}
-	pipe := leakprof.New(
+	opts := []leakprof.Option{
 		leakprof.WithThreshold(threshold),
 		leakprof.WithParallelism(8),
 		leakprof.WithRetry(leakprof.DefaultRetryPolicy),
 		leakprof.WithSharedIntern(0),
-	).AddSinks(metrics)
+	}
+	if stateDir != "" {
+		opts = append(opts, leakprof.WithStateDir(stateDir))
+	}
+	pipe := leakprof.New(opts...).AddSinks(metrics)
+	var reportSink *leakprof.ReportSink
+	store, err := pipe.State()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fleetsim:", err)
+		os.Exit(1)
+	}
+	if store != nil {
+		reportSink = &leakprof.ReportSink{Reporter: &leakprof.Reporter{DB: store.BugDB(), TopN: 10}}
+		pipe.AddSinks(reportSink, &leakprof.TrendSink{Tracker: store.Tracker()})
+	}
 	sweep, err := pipe.Sweep(context.Background(), src)
 	for _, f := range sweep.Failures {
 		fmt.Fprintf(os.Stderr, "warn: %s/%s: %v\n", f.Service, f.Instance, f.Err)
@@ -117,5 +135,9 @@ func runSweep(src leakprof.Source, threshold int) {
 		fmt.Printf("  %-8s %-7s %-32s blocked=%-8d instances=%d/%d max=%d@%s impact=%.1f\n",
 			f.Service, f.Op, f.Location, f.TotalBlocked,
 			f.SuspiciousInstances, f.Instances, f.MaxCount, f.MaxInstance, f.Impact)
+	}
+	if reportSink != nil {
+		fmt.Printf("state: %d new alerts this sweep; previously filed findings deduplicate against %s\n",
+			len(reportSink.LastAlerts()), stateDir)
 	}
 }

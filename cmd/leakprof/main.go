@@ -11,8 +11,15 @@
 // fetches). Production-collection knobs ride the Pipeline engine:
 // -retries enables bounded per-endpoint retry with jittered backoff,
 // -error-budget short-circuits a service's remaining instances once that
-// many of its instances failed, and -archive records the sweep
-// write-through to a directory replayable with -dir. Both input kinds
+// many of its instances failed, and -archive records each sweep
+// write-through into its own manifested sweep-NNNN subdirectory,
+// replayable with -dir (a rerun appends new sweeps to the history). With
+// -state-dir the run is durable: the bug DB, cross-sweep trend history,
+// and error-budget seeds journal to disk, so repeated invocations dedup
+// against every bug ever filed, resume trend verdicts, and probe
+// yesterday's failing services with a reduced budget. A -dir pointing at
+// a multi-sweep archive (one sweep-NNNN subdirectory per sweep) replays
+// every recorded sweep at its manifested timestamp. Both input kinds
 // drive the same streaming pipeline: each profile flows through the
 // stack scanner into a sharded fleet aggregator as it arrives, so memory
 // stays flat regardless of fleet and profile size. SIGINT cancels an
@@ -35,7 +42,7 @@ import (
 
 func main() {
 	endpoints := flag.String("endpoints", "", "comma-separated service=url pairs of goroutine profile endpoints")
-	dir := flag.String("dir", "", "directory of saved debug=2 profiles named <service>_<instance>.txt")
+	dir := flag.String("dir", "", "directory of saved debug=2 profiles named <service>_<instance>.txt (single- or multi-sweep archive)")
 	threshold := flag.Int("threshold", leakprof.DefaultThreshold, "per-instance blocked-goroutine threshold")
 	rank := flag.String("rank", "rms", "impact ranking: rms, mean, max, total")
 	top := flag.Int("top", 10, "alerts per sweep")
@@ -43,13 +50,20 @@ func main() {
 	parallelism := flag.Int("parallelism", 32, "concurrent profile fetches")
 	retries := flag.Int("retries", 1, "fetch attempts per endpoint (1 = no retry)")
 	errorBudget := flag.Int("error-budget", 0, "failed instances per service before skipping the rest (0 = unlimited)")
-	archive := flag.String("archive", "", "directory to archive collected profiles into, write-through")
+	archive := flag.String("archive", "", "base directory to archive sweeps into, write-through: one manifested sweep-NNNN subdirectory per sweep, replayable with -dir")
+	stateDir := flag.String("state-dir", "", "directory for the durable state journal: bug-DB dedup, trend history, and error-budget seeds survive restarts")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	pipe := leakprof.New(
+	// A multi-sweep replay alerts per sweep; accumulate across sweeps
+	// rather than reporting only the final sweep's (usually
+	// deduplicated-empty) alerts. OnSweep fires after each sweep's sinks
+	// drain, when LastAlerts holds exactly that sweep's alerts.
+	var alerts []*report.Alert
+	var reportSink *leakprof.ReportSink
+	opts := []leakprof.Option{
 		leakprof.WithThreshold(*threshold),
 		leakprof.WithRanking(parseRank(*rank)),
 		leakprof.WithTimeout(*timeout),
@@ -57,48 +71,97 @@ func main() {
 		leakprof.WithRetry(leakprof.RetryPolicy{MaxAttempts: *retries}),
 		leakprof.WithErrorBudget(*errorBudget),
 		leakprof.WithSharedIntern(0),
-	)
-	reportSink := &leakprof.ReportSink{Reporter: &leakprof.Reporter{DB: report.NewDB(), TopN: *top}}
+		leakprof.WithOnSweep(func(*leakprof.Sweep) {
+			alerts = append(alerts, reportSink.LastAlerts()...)
+		}),
+	}
+	if *stateDir != "" {
+		opts = append(opts, leakprof.WithStateDir(*stateDir))
+	}
+	pipe := leakprof.New(opts...)
+
+	// Durable runs wire the sinks to the journal-backed DB and tracker;
+	// ephemeral runs get fresh ones.
+	db := report.NewDB()
+	var tracker *leakprof.TrendTracker
+	store, err := pipe.State()
+	if err != nil {
+		fatal(err)
+	}
+	if store != nil {
+		db = store.BugDB()
+		tracker = store.Tracker()
+		if last := store.LastSweep(); last != nil {
+			fmt.Fprintf(os.Stderr, "state: resuming after sweep of %s at %s (%d profiles, %d errors)\n",
+				last.Source, last.At.Format(time.RFC3339), last.Profiles, last.Errors)
+		}
+	}
+	reportSink = &leakprof.ReportSink{Reporter: &leakprof.Reporter{DB: db, TopN: *top}}
 	pipe.AddSinks(reportSink)
+	if tracker != nil {
+		pipe.AddSinks(&leakprof.TrendSink{Tracker: tracker})
+	}
 	if *archive != "" {
-		archiveSink, err := leakprof.NewArchiveSink(*archive)
+		// Rotating mode: each sweep lands in its own manifested
+		// subdirectory, so replaying a multi-sweep -dir through -archive
+		// re-records every sweep instead of flattening them into one.
+		archiveSink, err := leakprof.NewSweepArchiveSink(*archive)
 		if err != nil {
 			fatal(err)
 		}
 		pipe.AddSinks(archiveSink)
 	}
 
-	var src leakprof.Source
+	var sweeps []*leakprof.Sweep
 	switch {
 	case *endpoints != "":
-		src = leakprof.StaticEndpoints(parseEndpoints(*endpoints)...)
+		var sweep *leakprof.Sweep
+		sweep, err = pipe.Sweep(ctx, leakprof.StaticEndpoints(parseEndpoints(*endpoints)...))
+		sweeps = []*leakprof.Sweep{sweep}
 	case *dir != "":
-		src = leakprof.Archive(*dir)
+		// Replay handles both layouts: a flat archive is one sweep, a
+		// multi-sweep archive replays every recorded sweep at its
+		// manifested timestamp.
+		sweeps, err = pipe.Replay(ctx, *dir)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+	if len(sweeps) == 0 {
+		fatal(err)
+	}
 
-	sweep, err := pipe.Sweep(ctx, src)
-	for _, f := range sweep.Failures {
-		fmt.Fprintf(os.Stderr, "warn: %s/%s: %v\n", f.Service, f.Instance, f.Err)
+	profiles := 0
+	for _, sweep := range sweeps {
+		profiles += sweep.Profiles
+		for _, f := range sweep.Failures {
+			fmt.Fprintf(os.Stderr, "warn: %s/%s: %v\n", f.Service, f.Instance, f.Err)
+		}
 	}
 	if ctx.Err() != nil {
 		fmt.Fprintln(os.Stderr, "leakprof: sweep interrupted")
 	} else if err != nil {
-		// Source- or sink-level failure (unreadable archive, failed
-		// write-through) — distinct from the per-endpoint warnings above.
+		// Source-, sink-, or state-level failure (unreadable archive,
+		// failed write-through or journal save) — distinct from the
+		// per-endpoint warnings above.
 		fmt.Fprintf(os.Stderr, "warn: %v\n", err)
 	}
-	fmt.Printf("collected %d profiles\n", sweep.Profiles)
+	if len(sweeps) > 1 {
+		fmt.Printf("collected %d profiles across %d sweeps\n", profiles, len(sweeps))
+	} else {
+		fmt.Printf("collected %d profiles\n", profiles)
+	}
 
-	alerts := reportSink.LastAlerts()
 	if len(alerts) == 0 {
-		fmt.Println("no suspicious blocking operations above threshold")
-		return
+		fmt.Println("no new suspicious blocking operations above threshold")
 	}
 	for _, a := range alerts {
 		fmt.Print(a.Render())
+	}
+	if tracker != nil {
+		for _, key := range tracker.Growing() {
+			fmt.Printf("trend: growing across sweeps: %q\n", key)
+		}
 	}
 }
 

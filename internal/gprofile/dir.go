@@ -23,9 +23,15 @@ import (
 // <service>_<instance>.txt in the debug=2 encoding LoadDir and ScanDir
 // read back. Write is safe for concurrent use.
 type DirWriter struct {
-	dir   string
-	mu    sync.Mutex             // guards names only
-	names map[string]*sync.Mutex // per-file locks
+	dir     string
+	mu      sync.Mutex             // guards names and entries
+	names   map[string]*sync.Mutex // per-file locks
+	entries map[string]dirEntry    // manifest index of written members
+}
+
+// dirEntry is the manifest metadata for one written member.
+type dirEntry struct {
+	service, instance string
 }
 
 // NewDirWriter creates dir (and parents) and returns a writer into it.
@@ -33,7 +39,7 @@ func NewDirWriter(dir string) (*DirWriter, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("gprofile: creating %s: %w", dir, err)
 	}
-	return &DirWriter{dir: dir, names: make(map[string]*sync.Mutex)}, nil
+	return &DirWriter{dir: dir, names: make(map[string]*sync.Mutex), entries: make(map[string]dirEntry)}, nil
 }
 
 // Dir returns the archive directory.
@@ -77,6 +83,9 @@ func (w *DirWriter) Write(s *Snapshot) error {
 	if werr != nil {
 		return fmt.Errorf("gprofile: writing %s: %w", name, werr)
 	}
+	w.mu.Lock()
+	w.entries[name] = dirEntry{service: s.Service, instance: s.Instance}
+	w.mu.Unlock()
 	return nil
 }
 
@@ -126,13 +135,30 @@ func SaveDir(dir string, snaps []*Snapshot) error {
 // ScanDir streams every <service>_<instance>.txt profile in dir through
 // the incremental scanner, one file at a time: emit receives each decoded
 // compact snapshot, and fail (optional) each corrupt or unreadable
-// member. Unlike LoadDir it never materialises goroutine records or more
-// than one open file, so archives recorded at production scale replay in
-// O(locations) memory. Cancelling ctx stops the replay between files.
+// member. When the directory carries a manifest (WriteManifest), the
+// recorded sweep time overrides takenAt, so replays of archived sweeps
+// keep their original cadence. Corrupt or truncated members are skipped
+// and reported rather than aborting the replay — and the records scanned
+// before the corruption are salvaged: the partial snapshot is still
+// emitted (with its error reported through fail) so one torn tail does
+// not erase an instance from the sweep. Unlike LoadDir it never
+// materialises goroutine records or more than one open file, so archives
+// recorded at production scale replay in O(locations) memory. Cancelling
+// ctx stops the replay between files.
 func ScanDir(ctx context.Context, dir string, takenAt time.Time, emit func(*Snapshot), fail func(name string, err error)) error {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return fmt.Errorf("gprofile: reading %s: %w", dir, err)
+	}
+	switch m, merr := ReadManifest(dir); {
+	case merr != nil:
+		// A torn manifest must not take the member files with it: replay
+		// with the caller's timestamp and report the manifest as corrupt.
+		if fail != nil {
+			fail(ManifestName, merr)
+		}
+	case m != nil && !m.SweepAt.IsZero():
+		takenAt = m.SweepAt
 	}
 	for _, e := range entries {
 		if err := ctx.Err(); err != nil {
@@ -147,21 +173,32 @@ func ScanDir(ctx context.Context, dir string, takenAt time.Time, emit func(*Snap
 			if fail != nil {
 				fail(e.Name(), serr)
 			}
-			continue
+			if snap == nil {
+				continue
+			}
+			// Fall through: emit what was scanned before the corruption.
 		}
 		emit(snap)
 	}
 	return nil
 }
 
-// scanFile streams one archive member through ScanSnapshot.
+// scanFile streams one archive member through the shared scan loop,
+// salvaging the prefix of a corrupt or truncated file: on a mid-file
+// scan error the records decoded so far are returned as a partial
+// snapshot alongside the error (nil when nothing was salvaged — an
+// unopenable or immediately-corrupt member).
 func scanFile(path, service, instance string, takenAt time.Time) (*Snapshot, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return ScanSnapshot(service, instance, takenAt, f)
+	snap, err := scanSnapshotPartial(service, instance, takenAt, f, nil)
+	if err != nil && snap != nil {
+		err = fmt.Errorf("%w (salvaged %d records)", err, snap.TotalGoroutines)
+	}
+	return snap, err
 }
 
 // splitArchiveName recovers (service, instance) from an archive file

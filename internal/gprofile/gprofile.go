@@ -274,6 +274,22 @@ func ScanSnapshot(service, instance string, takenAt time.Time, r io.Reader) (*Sn
 // from pool when non-nil, so a sweep's many fetches stop re-interning the
 // fleet's identical strings once per Scanner.
 func ScanSnapshotWith(service, instance string, takenAt time.Time, r io.Reader, pool *stack.InternPool) (*Snapshot, error) {
+	snap, err := scanSnapshotPartial(service, instance, takenAt, r, pool)
+	if err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// scanSnapshotPartial is the shared scan-and-aggregate loop behind
+// ScanSnapshotWith and the archive replay path. Unlike the exported
+// entry point it keeps what it scanned: on a mid-body error the partial
+// snapshot (records decoded before the corruption) is returned alongside
+// the error — nil only when nothing was salvaged — so archive replay can
+// keep a torn member's valid prefix. Callers that keep the partial are
+// responsible for saying so in any surfaced error; the error here makes
+// no salvage claim, since ScanSnapshotWith discards the partial.
+func scanSnapshotPartial(service, instance string, takenAt time.Time, r io.Reader, pool *stack.InternPool) (*Snapshot, error) {
 	sc := stack.NewScanner(r)
 	if pool != nil {
 		sc.SetInternPool(pool)
@@ -291,7 +307,11 @@ func ScanSnapshotWith(service, instance string, takenAt time.Time, r io.Reader, 
 		snap.PreAggregated[op]++
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("gprofile: scanning %s/%s: %w", service, instance, err)
+		err = fmt.Errorf("gprofile: scanning %s/%s: %w", service, instance, err)
+		if snap.TotalGoroutines == 0 {
+			return nil, err
+		}
+		return snap, err
 	}
 	return snap, nil
 }

@@ -1,0 +1,174 @@
+package gprofile
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/stack"
+)
+
+func TestManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewDirWriter(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	send := stack.BlockedOp{Op: "send", Function: "pay.leak", Location: "/pay/l.go:9"}
+	for _, s := range []*Snapshot{
+		{Service: "pay", Instance: "i1", PreAggregated: map[stack.BlockedOp]int{send: 3}},
+		{Service: "pay", Instance: "i2", PreAggregated: map[stack.BlockedOp]int{send: 5}},
+	} {
+		if err := w.Write(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	at := time.Unix(1234, 0).UTC()
+	if err := w.WriteManifest(at, "endpoints"); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == nil || m.FormatVersion != ManifestVersion || !m.SweepAt.Equal(at) || m.Source != "endpoints" {
+		t.Fatalf("manifest = %+v", m)
+	}
+	if len(m.Snapshots) != 2 || m.Snapshots[0].File != "pay_i1.txt" || m.Snapshots[0].Service != "pay" {
+		t.Fatalf("manifest index = %+v", m.Snapshots)
+	}
+
+	// Replay uses the manifested sweep time, not the caller's.
+	var got []*Snapshot
+	if err := ScanDir(context.Background(), dir, time.Unix(999999, 0), func(s *Snapshot) { got = append(got, s) }, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("replayed %d snapshots", len(got))
+	}
+	for _, s := range got {
+		if !s.TakenAt.Equal(at) {
+			t.Errorf("replayed TakenAt = %v, want manifested %v", s.TakenAt, at)
+		}
+	}
+}
+
+func TestReadManifestMissingAndFuture(t *testing.T) {
+	dir := t.TempDir()
+	if m, err := ReadManifest(dir); err != nil || m != nil {
+		t.Errorf("missing manifest = (%+v, %v), want (nil, nil)", m, err)
+	}
+	body := []byte(`{"format_version": ` + "99" + `, "sweep_at": "2026-01-01T00:00:00Z"}`)
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), body, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(dir); err == nil || !strings.Contains(err.Error(), "format version") {
+		t.Errorf("future manifest error = %v", err)
+	}
+}
+
+// TestScanDirTornManifest: a corrupt manifest is reported through fail
+// but must not take the member files with it.
+func TestScanDirTornManifest(t *testing.T) {
+	dir := t.TempDir()
+	good := "goroutine 1 [chan send]:\nsvc.f()\n\t/s/f.go:2 +0x1\n"
+	if err := os.WriteFile(filepath.Join(dir, "svc_i1.txt"), []byte(good), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var emitted int
+	var failedNames []string
+	err := ScanDir(context.Background(), dir, time.Unix(7, 0),
+		func(s *Snapshot) {
+			emitted++
+			if !s.TakenAt.Equal(time.Unix(7, 0)) {
+				t.Errorf("fallback timestamp = %v", s.TakenAt)
+			}
+		},
+		func(name string, err error) { failedNames = append(failedNames, name) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emitted != 1 || len(failedNames) != 1 || failedNames[0] != ManifestName {
+		t.Errorf("emitted=%d failed=%v", emitted, failedNames)
+	}
+}
+
+func TestSweepDirsOrdersByRecordedTime(t *testing.T) {
+	base := t.TempDir()
+	mk := func(name string, at time.Time) {
+		dir := filepath.Join(base, name)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteManifestFile(dir, &Manifest{FormatVersion: ManifestVersion, SweepAt: at}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Written out of lexical order to prove ordering is by time.
+	mk("sweep-0002", time.Unix(100, 0))
+	mk("sweep-0001", time.Unix(200, 0))
+	// A stray non-sweep subdirectory is ignored.
+	if err := os.MkdirAll(filepath.Join(base, "scratch"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	subs, err := SweepDirs(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 2 {
+		t.Fatalf("sweep dirs = %d", len(subs))
+	}
+	if filepath.Base(subs[0].Dir) != "sweep-0002" || filepath.Base(subs[1].Dir) != "sweep-0001" {
+		t.Errorf("order = %s, %s (want recorded-time order)", subs[0].Dir, subs[1].Dir)
+	}
+}
+
+// TestScanDirSalvagesCorruptTail: a member whose tail is corrupt still
+// contributes the records scanned before the corruption, with the error
+// reported per file.
+func TestScanDirSalvagesCorruptTail(t *testing.T) {
+	dir := t.TempDir()
+	// Two valid records, then a header that parses as a goroutine header
+	// but carries torn state brackets — a mid-file scan error.
+	body := "goroutine 1 [chan send]:\nsvc.f()\n\t/s/f.go:2 +0x1\n\n" +
+		"goroutine 2 [chan send]:\nsvc.f()\n\t/s/f.go:2 +0x1\n\n" +
+		"goroutine 3 ]torn[\n"
+	if err := os.WriteFile(filepath.Join(dir, "svc_i1.txt"), []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got *Snapshot
+	var failed int
+	err := ScanDir(context.Background(), dir, time.Unix(1, 0),
+		func(s *Snapshot) { got = s },
+		func(name string, err error) {
+			failed++
+			if name != "svc_i1.txt" || !strings.Contains(err.Error(), "salvaged") {
+				t.Errorf("fail(%q, %v)", name, err)
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed != 1 {
+		t.Fatalf("failed = %d, want 1", failed)
+	}
+	if got == nil || got.TotalGoroutines != 2 {
+		t.Fatalf("salvaged snapshot = %+v, want the 2 pre-corruption records", got)
+	}
+	counts := got.CountByLocation()
+	if len(counts) != 1 {
+		t.Errorf("salvaged counts = %+v", counts)
+	}
+	for _, n := range counts {
+		if n != 2 {
+			t.Errorf("salvaged blocked count = %d, want 2", n)
+		}
+	}
+}

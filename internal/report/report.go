@@ -98,6 +98,22 @@ func (db *DB) File(b Bug) (*Bug, bool) {
 	return &stored, true
 }
 
+// Restore loads previously filed bugs — a persisted journal read back at
+// startup — preserving their status, sighting counts, and filing times,
+// so dedup survives a process restart. Restored keys overwrite any
+// in-memory entry; filing the same key later deduplicates as usual.
+func (db *DB) Restore(bugs []Bug) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, b := range bugs {
+		stored := b
+		if stored.Sightings == 0 {
+			stored.Sightings = 1
+		}
+		db.bugs[stored.Key] = &stored
+	}
+}
+
 // SetStatus transitions a bug's lifecycle state.
 func (db *DB) SetStatus(key string, s Status) bool {
 	db.mu.Lock()

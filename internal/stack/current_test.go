@@ -1,0 +1,46 @@
+package stack
+
+import (
+	"testing"
+)
+
+// TestCaptureBufferReuse: repeated captures — goleak's retry loop — go
+// through the pool, and a grown buffer keeps its growth when returned,
+// so later captures skip the doubling walk. (sync.Pool gives no
+// retention guarantee, so the test checks the pooled lifecycle, not
+// object identity.)
+func TestCaptureBufferReuse(t *testing.T) {
+	buf, n := dumpAll()
+	if n <= 0 || n >= len(*buf) {
+		t.Fatalf("dump = %d bytes into a %d-byte buffer", n, len(*buf))
+	}
+	grown := len(*buf)
+	captureBufPool.Put(buf)
+	if got := captureBufPool.Get().(*[]byte); got == buf {
+		// The common path: the very buffer we returned comes back, with
+		// its growth intact.
+		if len(*got) != grown {
+			t.Errorf("pooled buffer resized: %d -> %d", grown, len(*got))
+		}
+		captureBufPool.Put(got)
+	} else {
+		captureBufPool.Put(got)
+	}
+	// And the capture entry points keep working across repeated calls.
+	for i := 0; i < 3; i++ {
+		if _, err := Current(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCurrent measures the goleak capture primitive — the path the
+// testmain retry schedule hits up to ~20 times per verification.
+func BenchmarkCurrent(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Current(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -161,23 +162,38 @@ func Current() ([]*Goroutine, error) {
 // CurrentWithSelf captures all goroutines in the process and returns the id
 // of the calling goroutine alongside.
 func CurrentWithSelf() (all []*Goroutine, self int64, err error) {
-	buf := dumpAll()
-	gs, err := Parse(string(buf))
-	if err != nil {
-		return nil, 0, err
+	buf, n := dumpAll()
+	gs, perr := Parse(string((*buf)[:n]))
+	captureBufPool.Put(buf)
+	if perr != nil {
+		return nil, 0, perr
 	}
 	return gs, currentID(), nil
 }
 
+// captureBufPool recycles the runtime.Stack capture buffer across calls.
+// goleak's retry loop captures the address space up to ~20 times per
+// verification, and a large test process needs a multi-megabyte buffer
+// grown by doubling each time — pooling keeps the grown buffer (and skips
+// the doubling walk) for every capture after the first.
+var captureBufPool = sync.Pool{
+	New: func() any {
+		buf := make([]byte, 1<<16)
+		return &buf
+	},
+}
+
 // dumpAll grows the buffer until runtime.Stack fits the complete dump.
-func dumpAll() []byte {
-	buf := make([]byte, 1<<16)
+// The returned buffer belongs to captureBufPool; callers return it after
+// copying out the dump.
+func dumpAll() (*[]byte, int) {
+	buf := captureBufPool.Get().(*[]byte)
 	for {
-		n := runtime.Stack(buf, true)
-		if n < len(buf) {
-			return buf[:n]
+		n := runtime.Stack(*buf, true)
+		if n < len(*buf) {
+			return buf, n
 		}
-		buf = make([]byte, 2*len(buf))
+		*buf = make([]byte, 2*len(*buf))
 	}
 }
 

@@ -93,7 +93,7 @@ type CollectResult struct {
 func (c *Collector) Collect(ctx context.Context, endpoints []Endpoint) []CollectResult {
 	cfg := c.config()
 	results := make([]CollectResult, len(endpoints))
-	fetchFleet(ctx, &cfg, endpoints, func(i int, snap *gprofile.Snapshot, err error) {
+	fetchFleet(ctx, &cfg, nil, endpoints, func(i int, snap *gprofile.Snapshot, err error) {
 		results[i] = CollectResult{Endpoint: endpoints[i], Snapshot: snap, Err: err}
 	})
 	return results
@@ -109,7 +109,7 @@ func (c *Collector) Collect(ctx context.Context, endpoints []Endpoint) []Collect
 func (c *Collector) CollectInto(ctx context.Context, endpoints []Endpoint, agg *Aggregator) []error {
 	cfg := c.config()
 	errs := make([]error, len(endpoints))
-	fetchFleet(ctx, &cfg, endpoints, func(i int, snap *gprofile.Snapshot, err error) {
+	fetchFleet(ctx, &cfg, nil, endpoints, func(i int, snap *gprofile.Snapshot, err error) {
 		if err != nil {
 			errs[i] = err
 			return

@@ -37,12 +37,52 @@
 // Sweep (ranked findings and the aggregator's raw per-group moments):
 // ReportSink files alerts, TrendSink feeds variance-aware cross-sweep
 // classification, MetricsSink accumulates telemetry, and ArchiveSink
-// writes the sweep through to disk as it happens.
+// writes the sweep through to disk as it happens. The fan-out is
+// concurrent: every sink consumes its own bounded event queue
+// (WithSinkQueue) on its own goroutine, so a slow sink — a remote
+// metrics push, a cold archive disk — cannot delay another sink's
+// alerting; the sweep drains all queues before returning, so sink
+// errors still join the sweep result.
 //
 // The three stages mirror the paper, and they stream: no stage ever
 // holds a whole profile body, a parsed goroutine slice, or a full sweep
 // of snapshots in memory. Peak sweep state is O(shards x locations),
 // not O(fleet x profile).
+//
+// # Durability & state
+//
+// The paper's workflow is a daily fleet-wide sweep whose value is
+// history: bugs are filed once, trends span days, and budgets are
+// informed by yesterday. WithStateDir makes that history durable. The
+// pipeline opens a StateStore there — a versioned JSON journal, written
+// atomically (temp file + rename) after every sweep — holding three
+// things:
+//
+//   - the bug database of filed findings, so ReportSink dedup survives
+//     a restart instead of re-alerting every owner;
+//   - the cross-sweep trend history, including the aggregator moments
+//     behind variance-aware verdicts, so TrendTracker resumes where it
+//     left off;
+//   - the previous sweep's outcome, whose per-service failure counts
+//     seed the next sweep's error budget — a service that was down
+//     yesterday is probed with a reduced budget today (never zero: a
+//     recovered service always gets at least one probe).
+//
+// Wire the store's journal-backed components into the sinks at startup:
+//
+//	pipe := leakprof.New(leakprof.WithStateDir(dir), ...)
+//	store, err := pipe.State()
+//	pipe.AddSinks(
+//		&leakprof.ReportSink{Reporter: &leakprof.Reporter{DB: store.BugDB()}},
+//		&leakprof.TrendSink{Tracker: store.Tracker()},
+//	)
+//
+// Archives are durable too: every ArchiveSink finalisation writes a
+// manifest.json (sweep timestamp, snapshot index, format version), and
+// NewSweepArchiveSink rotates one manifested subdirectory per sweep.
+// Pipeline.Replay walks a multi-sweep archive in recorded order,
+// replaying each sweep at its manifested timestamp, so trend verdicts
+// over replayed history match what the live sweeps produced.
 //
 // # Migrating from the pre-Pipeline API
 //
@@ -70,6 +110,8 @@
 // New capabilities have no old-API equivalent: WithRetry (bounded
 // attempts with jittered exponential backoff), WithErrorBudget (a
 // fleet-wide outage costs the sweep a bounded number of timeouts per
-// service), and WithSharedIntern (one bounded string pool across all of
-// a sweep's profile scans).
+// service), WithSharedIntern (one bounded string pool across all of a
+// sweep's profile scans), WithStateDir (the durable journal described
+// under "Durability & state"), and WithSinkQueue (the concurrent sink
+// fan-out's per-sink queue bound).
 package leakprof

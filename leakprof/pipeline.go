@@ -3,6 +3,7 @@ package leakprof
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math/rand"
 	"net/http"
 	"sync"
@@ -49,11 +50,25 @@ type Config struct {
 	Intern *stack.InternPool
 	// OnSweep observes each completed sweep (after sinks ran).
 	OnSweep func(*Sweep)
+	// StateDir, when non-empty, roots the pipeline's durable state: a
+	// StateStore is opened there on first use, each sweep's error budget
+	// is seeded from the previous sweep's journaled failures, and the
+	// journal is rewritten after every sweep. See WithStateDir.
+	StateDir string
+	// SinkQueue bounds each sink's event queue in the concurrent sink
+	// fan-out; zero means DefaultSinkQueue. A sink that falls further
+	// behind than its queue backpressures collection rather than
+	// buffering a sweep's worth of snapshots.
+	SinkQueue int
 
 	// sleep and randFloat are test seams for the backoff path.
 	sleep     func(context.Context, time.Duration) error
 	randFloat func() float64
 }
+
+// DefaultSinkQueue is the per-sink event queue capacity when SinkQueue
+// is unset.
+const DefaultSinkQueue = 1024
 
 func (c *Config) httpClient() *http.Client {
 	if c.Client != nil {
@@ -92,6 +107,13 @@ func (c *Config) randFn() func() float64 {
 		return c.randFloat
 	}
 	return rand.Float64
+}
+
+func (c *Config) sinkQueue() int {
+	if c.SinkQueue <= 0 {
+		return DefaultSinkQueue
+	}
+	return c.SinkQueue
 }
 
 // Option configures a Pipeline.
@@ -168,6 +190,23 @@ func WithOnSweep(fn func(*Sweep)) Option {
 	return func(c *Config) { c.OnSweep = fn }
 }
 
+// WithStateDir makes the pipeline durable: a StateStore journal under
+// dir is loaded at startup (Pipeline.State returns it, with its
+// pre-seeded BugDB and Tracker for sink wiring), each sweep seeds its
+// error budget from the previous sweep's journaled failures — a service
+// down yesterday gets a reduced probe budget today — and the journal is
+// rewritten atomically after every sweep, so dedup, trend verdicts, and
+// budgets survive a restart.
+func WithStateDir(dir string) Option {
+	return func(c *Config) { c.StateDir = dir }
+}
+
+// WithSinkQueue bounds each sink's event queue in the concurrent sink
+// fan-out (default DefaultSinkQueue).
+func WithSinkQueue(n int) Option {
+	return func(c *Config) { c.SinkQueue = n }
+}
+
 // Pipeline is the single entry point to LEAKPROF's collect → detect →
 // report loop: one Engine pulling snapshots from a Source, folding them
 // through the streaming sharded Aggregator, and fanning per-snapshot
@@ -185,11 +224,20 @@ func WithOnSweep(fn func(*Sweep)) Option {
 // (Archive), simulated fleets (fleet.(*Fleet).Source), materialised
 // snapshots (FromSnapshots), and raw dump bodies (Dumps). Sweeps are
 // serialised per Pipeline; the collection inside one sweep is
-// concurrent.
+// concurrent, and so is the sink fan-out: every sink consumes its own
+// bounded event queue on its own goroutine, so a slow sink (a remote
+// metrics push, a cold archive disk) cannot delay another sink's
+// alerting. The sweep drains all queues before returning (the
+// drain-on-close barrier), so sink errors still join the sweep's
+// result.
 type Pipeline struct {
 	cfg   Config
 	mu    sync.Mutex // serialises sweeps
 	sinks []Sink
+
+	stateOnce sync.Once
+	store     *StateStore
+	stateErr  error
 }
 
 // New builds a Pipeline from functional options.
@@ -211,35 +259,100 @@ func (p *Pipeline) AddSinks(sinks ...Sink) *Pipeline {
 // Config returns the pipeline's resolved configuration.
 func (p *Pipeline) Config() Config { return p.cfg }
 
+// State returns the pipeline's durable state store, opening it (and
+// loading its journal) on first call. It returns (nil, nil) when the
+// pipeline has no StateDir configured. The store's BugDB and Tracker
+// are what restart-safe sinks should be wired to.
+func (p *Pipeline) State() (*StateStore, error) {
+	if p.cfg.StateDir == "" {
+		return nil, nil
+	}
+	p.stateOnce.Do(func() {
+		p.store, p.stateErr = OpenStateStore(p.cfg.StateDir)
+	})
+	return p.store, p.stateErr
+}
+
+// sinkEvent is one unit of a sink's queue: a streamed snapshot or, with
+// sweep set, the end-of-sweep delivery.
+type sinkEvent struct {
+	snap  *gprofile.Snapshot
+	sweep *Sweep
+}
+
+// sinkWorker runs one sink on its own goroutine over a bounded queue.
+// Events for one sink stay ordered (snapshots, then the sweep), but
+// sinks no longer wait on each other: a stalled archive disk cannot
+// delay the report sink's alerting.
+type sinkWorker struct {
+	sink Sink
+	ch   chan sinkEvent
+	done chan struct{}
+	err  error // sink's SweepDone error, read after done closes
+}
+
+func startSinkWorker(sink Sink, queue int) *sinkWorker {
+	w := &sinkWorker{sink: sink, ch: make(chan sinkEvent, queue), done: make(chan struct{})}
+	go func() {
+		defer close(w.done)
+		for ev := range w.ch {
+			if ev.sweep != nil {
+				w.err = errors.Join(w.err, w.sink.SweepDone(ev.sweep))
+				continue
+			}
+			w.sink.Snapshot(ev.snap)
+		}
+	}()
+	return w
+}
+
 // Sweep runs one collection pass over the source: every snapshot the
-// source emits streams through the sinks and into a fresh aggregator,
-// failures are tallied, and the completed Sweep (findings plus the
-// aggregator's raw moments) is delivered to every sink. The returned
-// error joins the source error with any sink errors; a Sweep is returned
-// even when collection partially failed.
+// source emits streams into a fresh aggregator and onto each sink's
+// bounded queue, failures are tallied, and the completed Sweep (findings
+// plus the aggregator's raw moments) is delivered to every sink. Sinks
+// consume their queues concurrently with collection and with each other;
+// Sweep drains every queue before returning, so the returned error joins
+// the source error with any sink and state-persistence errors. A Sweep
+// is returned even when collection partially failed.
 func (p *Pipeline) Sweep(ctx context.Context, src Source) (*Sweep, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 
+	store, stateErr := p.State()
+	var prevFailures map[string]int
+	if store != nil {
+		prevFailures = store.LastFailureCounts()
+	}
+
 	agg := NewAggregator(p.cfg.Threshold, p.cfg.Filters...)
 	sweep := &Sweep{At: p.cfg.now(), Source: src.Name()}
+	workers := make([]*sinkWorker, len(p.sinks))
+	for i, s := range p.sinks {
+		workers[i] = startSinkWorker(s, p.cfg.sinkQueue())
+	}
 	var mu sync.Mutex
 	env := &SweepEnv{
 		Config: &p.cfg,
 		Emit: func(snap *gprofile.Snapshot) {
 			agg.Add(snap)
-			for _, s := range p.sinks {
-				s.Snapshot(snap)
+			for _, w := range workers {
+				w.ch <- sinkEvent{snap: snap}
 			}
 		},
 		Fail: func(service, instance string, err error) {
 			mu.Lock()
 			sweep.Errors++
+			if sweep.FailedByService == nil {
+				sweep.FailedByService = make(map[string]int)
+			}
+			sweep.FailedByService[service]++
 			if len(sweep.Failures) < maxSweepFailures {
 				sweep.Failures = append(sweep.Failures, SweepFailure{Service: service, Instance: instance, Err: err})
 			}
 			mu.Unlock()
 		},
+		SetTime:      func(at time.Time) { sweep.At = at },
+		prevFailures: prevFailures,
 	}
 	err := src.Sweep(ctx, env)
 	sweep.Err = err
@@ -247,14 +360,60 @@ func (p *Pipeline) Sweep(ctx context.Context, src Source) (*Sweep, error) {
 	sweep.Findings = agg.Findings(p.cfg.Ranking)
 	sweep.agg = agg
 
-	errs := []error{err}
-	for _, s := range p.sinks {
-		errs = append(errs, s.SweepDone(sweep))
+	errs := []error{err, stateErr}
+	// Hand the completed sweep to every sink and drain: each queue is
+	// closed behind its sweep event, and the barrier waits for every
+	// worker to finish. Fast sinks complete on their own schedule — the
+	// barrier only bounds when Sweep itself returns.
+	for _, w := range workers {
+		w.ch <- sinkEvent{sweep: sweep}
+		close(w.ch)
+	}
+	for _, w := range workers {
+		<-w.done
+		errs = append(errs, w.err)
+	}
+	if store != nil {
+		errs = append(errs, store.RecordSweep(sweep))
 	}
 	if p.cfg.OnSweep != nil {
 		p.cfg.OnSweep(sweep)
 	}
 	return sweep, errors.Join(errs...)
+}
+
+// Replay sweeps an on-disk archive through the pipeline, honouring
+// recorded manifests. A multi-sweep archive (one subdirectory per sweep,
+// as NewSweepArchiveSink writes) replays one Sweep per recorded sweep in
+// recorded-time order — so trend verdicts see the original cadence — and
+// a single-sweep archive replays as one Sweep. Per-sweep errors, and
+// sweep subdirectories skipped for a torn or missing manifest, are
+// joined into the returned error; replay continues past a failed sweep
+// the way Run does.
+func (p *Pipeline) Replay(ctx context.Context, dir string) ([]*Sweep, error) {
+	var errs []error
+	subs, err := gprofile.SweepDirs(dir, func(name string, err error) {
+		errs = append(errs, fmt.Errorf("leakprof: replay skipping %s: %w", name, err))
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(subs) == 0 {
+		sweep, err := p.Sweep(ctx, Archive(dir))
+		errs = append(errs, err)
+		return []*Sweep{sweep}, errors.Join(errs...)
+	}
+	var sweeps []*Sweep
+	for _, sub := range subs {
+		if ctx.Err() != nil {
+			errs = append(errs, ctx.Err())
+			break
+		}
+		sweep, err := p.Sweep(ctx, Archive(sub.Dir))
+		sweeps = append(sweeps, sweep)
+		errs = append(errs, err)
+	}
+	return sweeps, errors.Join(errs...)
 }
 
 // Run sweeps the source periodically — the paper's daily cadence — until

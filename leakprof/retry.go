@@ -87,11 +87,30 @@ type errorBudget struct {
 	failed map[string]int
 }
 
-func newErrorBudget(budget int) *errorBudget {
+// newErrorBudget builds the sweep's budget, optionally seeded with the
+// previous sweep's per-service failure counts (the state journal's
+// FailedByService): a service that burned budget yesterday starts today
+// already partially spent — a reduced probe budget — but always keeps at
+// least one probe, so a recovered service re-enters the sweep instead of
+// being short-circuited forever.
+func newErrorBudget(budget int, prevFailures map[string]int) *errorBudget {
 	if budget <= 0 {
 		return nil // unlimited
 	}
-	return &errorBudget{budget: budget, failed: make(map[string]int)}
+	b := &errorBudget{budget: budget, failed: make(map[string]int)}
+	for service, failed := range prevFailures {
+		if failed <= 0 {
+			continue
+		}
+		seed := failed
+		if seed > budget-1 {
+			seed = budget - 1
+		}
+		if seed > 0 {
+			b.failed[service] = seed
+		}
+	}
+	return b
 }
 
 // exhausted reports whether the service's budget is spent.
@@ -117,11 +136,13 @@ func (b *errorBudget) spend(service string) {
 // fetchFleet is the engine's HTTP collection loop, shared by the Pipeline
 // EndpointSource and the deprecated Collector entry points: bounded
 // parallelism, bounded retry with jittered backoff, per-service error
-// budgets, and each response body streaming straight through the stack
-// scanner. deliver is called exactly once per endpoint, concurrently.
-func fetchFleet(ctx context.Context, cfg *Config, endpoints []Endpoint, deliver func(i int, snap *gprofile.Snapshot, err error)) {
+// budgets (optionally pre-seeded with prevFailures, the previous sweep's
+// journaled per-service failure counts), and each response body streaming
+// straight through the stack scanner. deliver is called exactly once per
+// endpoint, concurrently.
+func fetchFleet(ctx context.Context, cfg *Config, prevFailures map[string]int, endpoints []Endpoint, deliver func(i int, snap *gprofile.Snapshot, err error)) {
 	client := cfg.httpClient()
-	budget := newErrorBudget(cfg.ErrorBudget)
+	budget := newErrorBudget(cfg.ErrorBudget, prevFailures)
 	sem := make(chan struct{}, cfg.parallelism())
 	var wg sync.WaitGroup
 	for i, ep := range endpoints {

@@ -1,6 +1,11 @@
 package leakprof
 
 import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -31,11 +36,16 @@ type Sweep struct {
 	Profiles int
 	// Errors is the number of instances whose collection failed
 	// (including instances short-circuited by an exhausted error
-	// budget).
+	// budget, and archive members that were salvaged only partially —
+	// those also count toward Profiles; see SweepEnv.Fail).
 	Errors int
 	// Failures details the failed instances, capped at maxSweepFailures
 	// entries; Errors carries the uncapped count.
 	Failures []SweepFailure
+	// FailedByService tallies failed instances per service, uncapped
+	// (bounded by the number of services, not instances). It is what the
+	// state journal records so the next sweep can seed its error budget.
+	FailedByService map[string]int
 	// Findings are the suspicious operations, ranked by impact.
 	Findings []*Finding
 	// Err is the source-level failure of the sweep as a whole (an
@@ -68,11 +78,18 @@ func (s *Sweep) Moments() []Moment {
 
 // Sink consumes a pipeline's output. Implementations receive streaming
 // per-snapshot events during collection and the completed Sweep after.
+//
+// The pipeline runs every sink on its own goroutine over a bounded
+// event queue: one sink's calls are serialised in event order, distinct
+// sinks run concurrently, and a sink that falls further behind than its
+// queue backpressures collection rather than buffering without bound.
+// Implementations must still lock any state they expose to other
+// goroutines (accessors like LastAlerts are called from outside the
+// sink's worker).
 type Sink interface {
 	// Snapshot observes one collected instance snapshot as it is
-	// scanned, before it is folded into the aggregator. It is called
-	// concurrently from collection workers and must not retain snap
-	// past the call unless it owns the memory cost.
+	// scanned, before it is folded into the aggregator. It must not
+	// retain snap past the call unless it owns the memory cost.
 	Snapshot(snap *gprofile.Snapshot)
 	// SweepDone observes the completed sweep. Errors are joined into
 	// Pipeline.Sweep's return value.
@@ -179,17 +196,27 @@ func (m *MetricsSink) Totals() MetricsTotals {
 // ArchiveSink records the sweep as it happens: every collected snapshot
 // is written through to a debug=2 archive directory the moment it is
 // scanned, so a production-scale sweep archives itself without ever
-// materialising the dump slice. The resulting directory replays through
-// the Archive source.
+// materialising the dump slice. When the sweep completes, the sink
+// finalises the directory with a manifest (sweep timestamp, snapshot
+// index, format version), so replaying the archive reconstructs the
+// sweep at its recorded time instead of the replay time.
+//
+// NewArchiveSink records one sweep per directory (a repeated sweep
+// overwrites); NewSweepArchiveSink rotates a fresh timestamp-manifested
+// subdirectory per sweep, the multi-sweep layout Pipeline.Replay walks
+// in recorded order — the durable form of the paper's daily cadence.
 type ArchiveSink struct {
-	w *gprofile.DirWriter
+	base string // multi-sweep base dir; empty in single-sweep mode
 
 	mu       sync.Mutex
+	w        *gprofile.DirWriter
+	seq      int
 	writeErr error
 	written  int
 }
 
-// NewArchiveSink creates dir and returns a write-through sink into it.
+// NewArchiveSink creates dir and returns a write-through sink recording
+// one sweep into it.
 func NewArchiveSink(dir string) (*ArchiveSink, error) {
 	w, err := gprofile.NewDirWriter(dir)
 	if err != nil {
@@ -198,19 +225,74 @@ func NewArchiveSink(dir string) (*ArchiveSink, error) {
 	return &ArchiveSink{w: w}, nil
 }
 
-// Dir returns the archive directory.
-func (s *ArchiveSink) Dir() string { return s.w.Dir() }
+// NewSweepArchiveSink creates base and returns a rotating sink: each
+// sweep lands in its own sweep-NNNN subdirectory with its own manifest.
+// Rotation resumes after any sweeps already archived under base, so a
+// restarted daily loop appends instead of overwriting history.
+func NewSweepArchiveSink(base string) (*ArchiveSink, error) {
+	if err := os.MkdirAll(base, 0o755); err != nil {
+		return nil, fmt.Errorf("leakprof: creating archive base %s: %w", base, err)
+	}
+	s := &ArchiveSink{base: base}
+	entries, err := os.ReadDir(base)
+	if err != nil {
+		return nil, fmt.Errorf("leakprof: reading archive base %s: %w", base, err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		rest, ok := strings.CutPrefix(e.Name(), "sweep-")
+		if !ok {
+			continue // unrelated subdirectory, not a rotation
+		}
+		if n, err := strconv.Atoi(rest); err == nil && n > s.seq {
+			s.seq = n
+		}
+	}
+	return s, nil
+}
 
-// Written returns the number of snapshots archived so far.
+// Dir returns the archive directory: the base directory in multi-sweep
+// mode, the sweep directory otherwise.
+func (s *ArchiveSink) Dir() string {
+	if s.base != "" {
+		return s.base
+	}
+	return s.w.Dir()
+}
+
+// Written returns the number of snapshots archived so far, across all
+// sweeps.
 func (s *ArchiveSink) Written() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.written
 }
 
+// writer returns the current sweep's directory writer, opening the next
+// rotation subdirectory on demand in multi-sweep mode.
+func (s *ArchiveSink) writer() (*gprofile.DirWriter, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w != nil {
+		return s.w, nil
+	}
+	s.seq++
+	w, err := gprofile.NewDirWriter(filepath.Join(s.base, fmt.Sprintf("sweep-%04d", s.seq)))
+	if err != nil {
+		return nil, err
+	}
+	s.w = w
+	return w, nil
+}
+
 // Snapshot writes one snapshot through to disk.
 func (s *ArchiveSink) Snapshot(snap *gprofile.Snapshot) {
-	err := s.w.Write(snap)
+	w, err := s.writer()
+	if err == nil {
+		err = w.Write(snap)
+	}
 	s.mu.Lock()
 	if err != nil && s.writeErr == nil {
 		s.writeErr = err
@@ -221,11 +303,22 @@ func (s *ArchiveSink) Snapshot(snap *gprofile.Snapshot) {
 	s.mu.Unlock()
 }
 
-// SweepDone surfaces the first write error of the sweep, if any.
-func (s *ArchiveSink) SweepDone(*Sweep) error {
+// SweepDone finalises the sweep's directory with its manifest — stamped
+// with the sweep's recorded time — rotates in multi-sweep mode, and
+// surfaces the first write error of the sweep, if any.
+func (s *ArchiveSink) SweepDone(sweep *Sweep) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	err := s.writeErr
+	w, err := s.w, s.writeErr
 	s.writeErr = nil
+	if s.base != "" {
+		s.w = nil // next sweep rotates into a fresh subdirectory
+	}
+	s.mu.Unlock()
+	if w == nil {
+		return err // multi-sweep mode, empty sweep: nothing archived
+	}
+	if merr := w.WriteManifest(sweep.At, sweep.Source); err == nil {
+		err = merr
+	}
 	return err
 }

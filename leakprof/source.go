@@ -3,6 +3,7 @@ package leakprof
 import (
 	"context"
 	"io"
+	"time"
 
 	"repro/internal/gprofile"
 )
@@ -18,8 +19,23 @@ type SweepEnv struct {
 	Emit func(*gprofile.Snapshot)
 	// Fail records one instance's collection failure; safe for
 	// concurrent use. Every instance a sweep attempts must reach
-	// exactly one of Emit or Fail.
+	// exactly one of Emit or Fail — with one carve-out: a source that
+	// salvages partial data from a corrupt record (archive replay of a
+	// torn member) reports the member through Fail and still Emits the
+	// salvaged snapshot, so such an instance counts in both Profiles
+	// and Errors.
 	Fail func(service, instance string, err error)
+	// SetTime overrides the sweep's timestamp. Sources replaying
+	// recorded data (an archive with a manifest) call it — before
+	// emitting — so cross-sweep consumers like trend tracking see the
+	// original collection time, not the replay time. Nil-safe to skip;
+	// live sources never call it.
+	SetTime func(at time.Time)
+
+	// prevFailures carries the previous sweep's journaled per-service
+	// failure counts into this sweep's error budget (set by the engine
+	// when a state store is attached).
+	prevFailures map[string]int
 }
 
 // Source is one origin of goroutine-profile snapshots: an HTTP fleet, an
@@ -58,7 +74,7 @@ func (endpointSource) Name() string { return "endpoints" }
 
 func (s endpointSource) Sweep(ctx context.Context, env *SweepEnv) error {
 	eps := s.enumerate()
-	fetchFleet(ctx, env.Config, eps, func(i int, snap *gprofile.Snapshot, err error) {
+	fetchFleet(ctx, env.Config, env.prevFailures, eps, func(i int, snap *gprofile.Snapshot, err error) {
 		if err != nil {
 			env.Fail(eps[i].Service, eps[i].Instance, err)
 			return
@@ -71,7 +87,13 @@ func (s endpointSource) Sweep(ctx context.Context, env *SweepEnv) error {
 // Archive returns a Source replaying an on-disk sweep archive (the
 // <service>_<instance>.txt layout ArchiveSink and gprofile.SaveDir
 // write). Files stream through the scanner one at a time; corrupt
-// members fail individually without aborting the replay.
+// members fail individually — with any salvageable prefix records still
+// emitted — without aborting the replay. When the archive carries a
+// manifest (every ArchiveSink finalisation writes one), the sweep
+// replays at its recorded timestamp, so trend verdicts over replayed
+// history match the verdicts the original sweeps produced. For a
+// multi-sweep archive (NewSweepArchiveSink's layout), use
+// Pipeline.Replay, which runs one timestamped sweep per recorded sweep.
 func Archive(dir string) Source {
 	return archiveSource{dir: dir}
 }
@@ -83,6 +105,13 @@ type archiveSource struct {
 func (archiveSource) Name() string { return "archive" }
 
 func (s archiveSource) Sweep(ctx context.Context, env *SweepEnv) error {
+	if env.SetTime != nil {
+		// A readable manifest pins the sweep's time before anything is
+		// emitted; a corrupt one is reported by ScanDir below.
+		if m, err := gprofile.ReadManifest(s.dir); err == nil && m != nil && !m.SweepAt.IsZero() {
+			env.SetTime(m.SweepAt)
+		}
+	}
 	return gprofile.ScanDir(ctx, s.dir, env.Config.now(),
 		func(snap *gprofile.Snapshot) { env.Emit(snap) },
 		func(name string, err error) { env.Fail("archive", name, err) })

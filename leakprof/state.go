@@ -1,0 +1,218 @@
+package leakprof
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/report"
+)
+
+// StateFileName is the journal file a StateStore keeps inside its
+// directory.
+const StateFileName = "state.json"
+
+// StateVersion is the current journal format version. A store refuses to
+// load a journal from the future rather than silently misreading it.
+const StateVersion = 1
+
+// stateJournal is the on-disk form of a StateStore: one versioned JSON
+// document, written atomically after every sweep.
+type stateJournal struct {
+	FormatVersion int                           `json:"format_version"`
+	SavedAt       time.Time                     `json:"saved_at"`
+	Bugs          []report.Bug                  `json:"bugs,omitempty"`
+	Trend         map[string][]TrendObservation `json:"trend,omitempty"`
+	LastSweep     *SweepRecord                  `json:"last_sweep,omitempty"`
+}
+
+// SweepRecord is the journaled outcome of one sweep: the operational
+// facts the next sweep needs (its error-budget seed) plus the headline
+// numbers a dashboard wants across restarts.
+type SweepRecord struct {
+	// At is the sweep's start timestamp.
+	At time.Time `json:"at"`
+	// Source names the profile origin that fed the sweep.
+	Source string `json:"source,omitempty"`
+	// Profiles, Errors, and Findings are the sweep's headline counts.
+	Profiles int `json:"profiles"`
+	Errors   int `json:"errors"`
+	Findings int `json:"findings"`
+	// FailedByService is the uncapped per-service count of failed
+	// instances — the seed for the next sweep's error budget.
+	FailedByService map[string]int `json:"failed_by_service,omitempty"`
+}
+
+// StateStore is the pipeline's durable memory: a versioned journal of the
+// bug database (filed findings), the cross-sweep trend history (with the
+// aggregator moments behind variance-aware verdicts), and the previous
+// sweep's outcome. The paper's workflow is a daily fleet sweep whose
+// value is history — bugs filed once, trends across days, budgets
+// informed by yesterday — so the journal is what makes a restarted
+// pipeline resume rather than start blind.
+//
+// Open a store, wire its BugDB and Tracker into the sinks, and attach it
+// to the pipeline:
+//
+//	store, err := leakprof.OpenStateStore(dir)
+//	pipe := leakprof.New(leakprof.WithStateDir(dir), ...)
+//	pipe.AddSinks(
+//		&leakprof.ReportSink{Reporter: &leakprof.Reporter{DB: store.BugDB()}},
+//		&leakprof.TrendSink{Tracker: store.Tracker()},
+//	)
+//
+// (Pipeline.State returns the same store the pipeline opened, so the
+// explicit OpenStateStore call is optional.) After every sweep the
+// pipeline records the outcome and rewrites the journal atomically —
+// temp file plus rename — so a crash mid-save leaves the previous
+// journal intact, never a torn one.
+type StateStore struct {
+	dir string
+
+	mu      sync.Mutex
+	db      *report.DB
+	tracker *TrendTracker
+	last    *SweepRecord
+}
+
+// OpenStateStore creates dir if needed and loads its journal. The
+// returned store's BugDB and Tracker are pre-seeded with everything the
+// journal recorded; a missing journal yields an empty store. A corrupt
+// or future-versioned journal is an error — silently discarding filed
+// bugs would re-alert every owner on the next sweep.
+func OpenStateStore(dir string) (*StateStore, error) {
+	if dir == "" {
+		return nil, errors.New("leakprof: state dir must be non-empty")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("leakprof: creating state dir %s: %w", dir, err)
+	}
+	s := &StateStore{dir: dir, db: report.NewDB(), tracker: &TrendTracker{}}
+	body, err := os.ReadFile(s.path())
+	if errors.Is(err, os.ErrNotExist) {
+		return s, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("leakprof: reading state journal: %w", err)
+	}
+	var j stateJournal
+	if err := json.Unmarshal(body, &j); err != nil {
+		return nil, fmt.Errorf("leakprof: decoding state journal %s: %w", s.path(), err)
+	}
+	if j.FormatVersion > StateVersion {
+		return nil, fmt.Errorf("leakprof: state journal %s has format version %d, newer than supported %d",
+			s.path(), j.FormatVersion, StateVersion)
+	}
+	s.db.Restore(j.Bugs)
+	s.tracker.Restore(j.Trend)
+	s.last = j.LastSweep
+	return s, nil
+}
+
+func (s *StateStore) path() string { return filepath.Join(s.dir, StateFileName) }
+
+// Dir returns the store's directory.
+func (s *StateStore) Dir() string { return s.dir }
+
+// BugDB returns the journal-backed bug database. Wire it into the
+// ReportSink's Reporter so filing dedups against every bug ever filed
+// from this state dir, not just this process's lifetime.
+func (s *StateStore) BugDB() *report.DB { return s.db }
+
+// Tracker returns the journal-backed trend tracker. Wire it into a
+// TrendSink so cross-sweep verdicts resume with the prior sweeps'
+// moments after a restart. Tune MinObservations/StableBand on the
+// returned tracker before the first sweep.
+func (s *StateStore) Tracker() *TrendTracker { return s.tracker }
+
+// LastSweep returns a copy of the journaled previous sweep outcome, or
+// nil when no sweep has been recorded.
+func (s *StateStore) LastSweep() *SweepRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.last == nil {
+		return nil
+	}
+	rec := *s.last
+	rec.FailedByService = copyCounts(s.last.FailedByService)
+	return &rec
+}
+
+// LastFailureCounts returns the previous sweep's per-service failure
+// counts: the error-budget seed. Nil when no sweep is on record.
+func (s *StateStore) LastFailureCounts() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.last == nil {
+		return nil
+	}
+	return copyCounts(s.last.FailedByService)
+}
+
+// RecordSweep journals one completed sweep — outcome record, bug DB, and
+// trend history — and persists atomically. The pipeline calls it after
+// the sweep's sinks have drained, so the journal always reflects what
+// the sinks saw.
+func (s *StateStore) RecordSweep(sweep *Sweep) error {
+	s.mu.Lock()
+	s.last = &SweepRecord{
+		At:              sweep.At,
+		Source:          sweep.Source,
+		Profiles:        sweep.Profiles,
+		Errors:          sweep.Errors,
+		Findings:        len(sweep.Findings),
+		FailedByService: copyCounts(sweep.FailedByService),
+	}
+	s.mu.Unlock()
+	return s.Save()
+}
+
+// Save rewrites the journal atomically: the new journal is staged as a
+// temp file in the state dir and renamed over the old one, so a reader
+// (or a crash) never observes a torn journal.
+func (s *StateStore) Save() error {
+	s.mu.Lock()
+	j := stateJournal{
+		FormatVersion: StateVersion,
+		SavedAt:       time.Now(),
+		Bugs:          s.db.All(),
+		Trend:         s.tracker.Export(),
+		LastSweep:     s.last,
+	}
+	s.mu.Unlock()
+	body, err := json.MarshalIndent(&j, "", "  ")
+	if err != nil {
+		return fmt.Errorf("leakprof: encoding state journal: %w", err)
+	}
+	tmp, err := os.CreateTemp(s.dir, ".state-*")
+	if err != nil {
+		return fmt.Errorf("leakprof: staging state journal: %w", err)
+	}
+	_, werr := tmp.Write(append(body, '\n'))
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), s.path())
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("leakprof: writing state journal: %w", werr)
+	}
+	return nil
+}
+
+func copyCounts(m map[string]int) map[string]int {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,354 @@
+package leakprof
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/gprofile"
+	"repro/internal/report"
+	"repro/internal/stack"
+)
+
+// durableFleet serves a leaky service over HTTP plus a service whose
+// every instance fails, returning the endpoints and a hit counter for
+// the failing service.
+func durableFleet(t *testing.T) (eps []Endpoint, flakyHits *atomic.Int64, shutdown func()) {
+	t.Helper()
+	leaky := make([]*stack.Goroutine, 300)
+	for i := range leaky {
+		leaky[i] = &stack.Goroutine{
+			ID: int64(i + 1), State: "chan send",
+			Frames: []stack.Frame{{Function: "pay.leak", File: "/pay/l.go", Line: 5}},
+		}
+	}
+	pay := profileServer(leaky)
+	flakyHits = &atomic.Int64{}
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		flakyHits.Add(1)
+		http.Error(w, "deploying", http.StatusServiceUnavailable)
+	}))
+	eps = []Endpoint{
+		{Service: "pay", Instance: "i1", URL: pay.URL + "?debug=2"},
+		{Service: "pay", Instance: "i2", URL: pay.URL + "?debug=2"},
+		{Service: "flaky", Instance: "i1", URL: flaky.URL},
+		{Service: "flaky", Instance: "i2", URL: flaky.URL},
+		{Service: "flaky", Instance: "i3", URL: flaky.URL},
+		{Service: "flaky", Instance: "i4", URL: flaky.URL},
+	}
+	return eps, flakyHits, func() { pay.Close(); flaky.Close() }
+}
+
+// durablePipeline builds a pipeline wired to the state dir the way a
+// restart-safe monitor boots: sinks backed by the store's journal.
+func durablePipeline(t *testing.T, dir string, day int) (*Pipeline, *ReportSink, *StateStore) {
+	t.Helper()
+	pipe := New(
+		WithThreshold(100),
+		WithParallelism(1), // deterministic budget accounting
+		WithErrorBudget(3),
+		WithStateDir(dir),
+		WithClock(func() time.Time { return time.Unix(0, 0).Add(time.Duration(day) * 24 * time.Hour) }),
+	)
+	store, err := pipe.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.Tracker().MinObservations = 2
+	reportSink := &ReportSink{Reporter: &Reporter{DB: store.BugDB(), TopN: 5}}
+	pipe.AddSinks(reportSink, &TrendSink{Tracker: store.Tracker()})
+	return pipe, reportSink, store
+}
+
+// TestStateStoreCrashRecovery is the restart integration test: run a
+// sweep, throw the whole pipeline away, rebuild it from the same state
+// dir, and require that bug dedup, trend history, and error-budget
+// seeding all carry over through the journal.
+func TestStateStoreCrashRecovery(t *testing.T) {
+	eps, flakyHits, shutdown := durableFleet(t)
+	defer shutdown()
+	dir := t.TempDir()
+
+	// Day one.
+	pipe1, report1, _ := durablePipeline(t, dir, 1)
+	sweep1, err := pipe1.Sweep(context.Background(), StaticEndpoints(eps...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweep1.Profiles != 2 || sweep1.Errors != 4 {
+		t.Fatalf("sweep1 = %d profiles, %d errors", sweep1.Profiles, sweep1.Errors)
+	}
+	if len(report1.LastAlerts()) != 1 {
+		t.Fatalf("day-one alerts = %d, want 1", len(report1.LastAlerts()))
+	}
+	// Budget 3: three real fetches fail, the fourth instance
+	// short-circuits without touching the network.
+	if got := flakyHits.Load(); got != 3 {
+		t.Fatalf("day-one flaky fetches = %d, want 3 (budget)", got)
+	}
+	if sweep1.FailedByService["flaky"] != 4 {
+		t.Fatalf("FailedByService = %+v", sweep1.FailedByService)
+	}
+
+	// "Crash": build everything anew from the journal alone.
+	flakyHits.Store(0)
+	pipe2, report2, store2 := durablePipeline(t, dir, 2)
+	last := store2.LastSweep()
+	if last == nil || last.Profiles != 2 || last.FailedByService["flaky"] != 4 {
+		t.Fatalf("journaled last sweep = %+v", last)
+	}
+
+	sweep2, err := pipe2.Sweep(context.Background(), StaticEndpoints(eps...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dedup survives the restart: the same defect files as a re-sighting,
+	// not a new alert.
+	if got := len(report2.LastAlerts()); got != 0 {
+		t.Errorf("post-restart alerts = %d, want 0 (deduplicated via journal)", got)
+	}
+	if bug, ok := store2.BugDB().Get((&Finding{Service: "pay", Op: "send", Location: "/pay/l.go:5"}).Key()); !ok || bug.Sightings != 2 {
+		t.Errorf("journaled bug = %+v, ok=%v (want 2 sightings)", bug, ok)
+	}
+	// Trend history resumes with day one's observation: two observations
+	// of an identical total classify as stable, not unknown.
+	key := (&Finding{Service: "pay", Op: "send", Location: "/pay/l.go:5"}).Key()
+	if v := store2.Tracker().Verdict(key); v != TrendStable {
+		t.Errorf("post-restart verdict = %v, want stable (history resumed)", v)
+	}
+	// Budget seeding: flaky burned its budget yesterday, so today it is
+	// probed once (seed = budget-1 leaves a single probe) and the rest
+	// short-circuit.
+	if got := flakyHits.Load(); got != 1 {
+		t.Errorf("post-restart flaky fetches = %d, want 1 (reduced probe budget)", got)
+	}
+	exhausted := 0
+	for _, f := range sweep2.Failures {
+		if errors.Is(f.Err, ErrBudgetExhausted) {
+			exhausted++
+		}
+	}
+	if exhausted != 3 {
+		t.Errorf("short-circuited instances = %d, want 3", exhausted)
+	}
+}
+
+// TestErrorBudgetSeeding pins the seeding rule: yesterday's failures
+// pre-spend today's budget but always leave at least one probe.
+func TestErrorBudgetSeeding(t *testing.T) {
+	b := newErrorBudget(3, map[string]int{"down": 10, "blip": 1, "ok": 0})
+	if b.exhausted("down") {
+		t.Error("seeded service must keep at least one probe")
+	}
+	b.spend("down")
+	if !b.exhausted("down") {
+		t.Error("one failure after a heavy seed should exhaust the budget")
+	}
+	b.spend("blip")
+	if b.exhausted("blip") { // 1 seeded + 1 new = 2 < 3
+		t.Error("light seed exhausted too early")
+	}
+	if b.exhausted("ok") || b.exhausted("fresh") {
+		t.Error("unseeded services must start with a full budget")
+	}
+	if seeded := newErrorBudget(1, map[string]int{"down": 5}); seeded.exhausted("down") {
+		t.Error("budget of 1 cannot be pre-spent")
+	}
+}
+
+// blockingSink stalls in SweepDone until released — the pathological
+// slow sink (a hung metrics push) the concurrent fan-out must isolate.
+type blockingSink struct {
+	release chan struct{}
+	done    atomic.Bool
+}
+
+func (s *blockingSink) Snapshot(*gprofile.Snapshot) {}
+func (s *blockingSink) SweepDone(*Sweep) error {
+	<-s.release
+	s.done.Store(true)
+	return errors.New("metrics push failed")
+}
+
+// TestSinkFanOutConcurrent proves the fan-out decouples sinks: the
+// report sink files its alerts while another sink is stalled mid-
+// SweepDone, and the stalled sink's error still joins the sweep result
+// once the drain barrier completes.
+func TestSinkFanOutConcurrent(t *testing.T) {
+	leaky := &gprofile.Snapshot{Service: "pay", Instance: "i1",
+		PreAggregated: map[stack.BlockedOp]int{{Op: "send", Function: "pay.leak", Location: "/pay/l.go:5"}: 500}}
+	stalled := &blockingSink{release: make(chan struct{})}
+	reportSink := &ReportSink{Reporter: &Reporter{DB: report.NewDB(), TopN: 5}}
+	pipe := New(WithThreshold(100)).AddSinks(stalled, reportSink)
+
+	type result struct {
+		sweep *Sweep
+		err   error
+	}
+	sweepDone := make(chan result, 1)
+	go func() {
+		sweep, err := pipe.Sweep(context.Background(), FromSnapshots([]*gprofile.Snapshot{leaky}))
+		sweepDone <- result{sweep, err}
+	}()
+
+	// The report sink must complete while the other sink is still
+	// stalled: alerting does not wait for the slowest sink.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(reportSink.LastAlerts()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("report sink did not complete while another sink was stalled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if stalled.done.Load() {
+		t.Fatal("stalled sink finished first; test proves nothing")
+	}
+	select {
+	case <-sweepDone:
+		t.Fatal("Sweep returned before the drain barrier: stalled sink was not drained")
+	default:
+	}
+
+	close(stalled.release)
+	res := <-sweepDone
+	if res.err == nil || !strings.Contains(res.err.Error(), "metrics push failed") {
+		t.Errorf("sweep error = %v, want the stalled sink's error joined in", res.err)
+	}
+	if len(res.sweep.Findings) != 1 {
+		t.Errorf("findings = %+v", res.sweep.Findings)
+	}
+}
+
+// TestSweepArchiveReplayUsesManifestTimestamps drives the multi-sweep
+// archive round trip: two sweeps recorded on different (fake) days
+// rotate into manifested subdirectories, and a later replay reconstructs
+// both sweeps at their recorded times — so the trend tracker sees the
+// original two-day history, not two sweeps at replay time.
+func TestSweepArchiveReplayUsesManifestTimestamps(t *testing.T) {
+	base := t.TempDir()
+	archive, err := NewSweepArchiveSink(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := time.Unix(0, 0)
+	clock := func() time.Time { return day }
+	snaps := []*gprofile.Snapshot{{Service: "pay", Instance: "i1",
+		PreAggregated: map[stack.BlockedOp]int{{Op: "send", Function: "pay.leak", Location: "/pay/l.go:5"}: 500}}}
+
+	recorder := New(WithThreshold(100), WithClock(clock)).AddSinks(archive)
+	for i := 0; i < 2; i++ {
+		if _, err := recorder.Sweep(context.Background(), FromSnapshots(snaps)); err != nil {
+			t.Fatal(err)
+		}
+		day = day.Add(24 * time.Hour)
+	}
+	if archive.Written() != 2 {
+		t.Fatalf("archived %d snapshots, want 2", archive.Written())
+	}
+	for _, sub := range []string{"sweep-0001", "sweep-0002"} {
+		if _, err := os.Stat(filepath.Join(base, sub, gprofile.ManifestName)); err != nil {
+			t.Fatalf("missing manifest: %v", err)
+		}
+	}
+
+	// Replay much later: the fake replay clock is far from the recorded
+	// days, so matching timestamps can only come from the manifests.
+	tracker := &TrendTracker{MinObservations: 2}
+	replayer := New(
+		WithThreshold(100),
+		WithClock(func() time.Time { return time.Unix(0, 0).Add(1000 * 24 * time.Hour) }),
+	).AddSinks(&TrendSink{Tracker: tracker})
+	sweeps, err := replayer.Replay(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweeps) != 2 {
+		t.Fatalf("replayed %d sweeps, want 2", len(sweeps))
+	}
+	for i, sweep := range sweeps {
+		want := time.Unix(0, 0).Add(time.Duration(i) * 24 * time.Hour)
+		if !sweep.At.Equal(want) {
+			t.Errorf("sweep %d replayed at %v, want recorded %v", i, sweep.At, want)
+		}
+		if sweep.Profiles != 1 {
+			t.Errorf("sweep %d profiles = %d", i, sweep.Profiles)
+		}
+	}
+	// Identical totals one day apart: stable — a verdict only reachable
+	// when both observations carry their recorded, distinct timestamps.
+	key := (&Finding{Service: "pay", Op: "send", Location: "/pay/l.go:5"}).Key()
+	if v := tracker.Verdict(key); v != TrendStable {
+		t.Errorf("replayed verdict = %v, want stable", v)
+	}
+
+	// A restarted recorder appends after the existing rotations instead
+	// of overwriting them.
+	archive2, err := NewSweepArchiveSink(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recorder2 := New(WithThreshold(100), WithClock(clock)).AddSinks(archive2)
+	if _, err := recorder2.Sweep(context.Background(), FromSnapshots(snaps)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(base, "sweep-0003", gprofile.ManifestName)); err != nil {
+		t.Errorf("restarted archive did not rotate to sweep-0003: %v", err)
+	}
+}
+
+// TestStateStoreJournalSafety pins the journal's failure modes: corrupt
+// and future-versioned journals refuse to load (silently dropping filed
+// bugs would re-page every owner), and saves are atomic.
+func TestStateStoreJournalSafety(t *testing.T) {
+	dir := t.TempDir()
+	journal := filepath.Join(dir, StateFileName)
+
+	if err := os.WriteFile(journal, []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStateStore(dir); err == nil {
+		t.Error("corrupt journal must not load silently")
+	}
+
+	future, _ := json.Marshal(map[string]any{"format_version": StateVersion + 1})
+	if err := os.WriteFile(journal, future, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStateStore(dir); err == nil || !strings.Contains(err.Error(), "format version") {
+		t.Errorf("future journal error = %v", err)
+	}
+
+	if err := os.Remove(journal); err != nil {
+		t.Fatal(err)
+	}
+	store, err := OpenStateStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Save(); err != nil {
+		t.Fatal(err)
+	}
+	// No staging temp files left behind, and the journal round-trips.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != StateFileName {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Errorf("state dir contents = %v, want only %s", names, StateFileName)
+	}
+	if _, err := OpenStateStore(dir); err != nil {
+		t.Errorf("freshly saved journal failed to load: %v", err)
+	}
+}

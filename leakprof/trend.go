@@ -131,6 +131,58 @@ func (t *TrendTracker) ObserveMoments(at time.Time, moments []Moment) {
 	}
 }
 
+// TrendObservation is the exported form of one recorded sweep
+// observation: what StateStore journals so trend history — including the
+// per-instance moments behind variance-aware verdicts — survives a
+// restart.
+type TrendObservation struct {
+	// At is the sweep timestamp the observation was recorded under.
+	At time.Time `json:"at"`
+	// Total is the fleet-wide blocked count for the key.
+	Total int `json:"total"`
+	// Profiles and SumSquares carry the per-instance dispersion; zero for
+	// observations recorded without variance (legacy Observe feed).
+	Profiles   int     `json:"profiles,omitempty"`
+	SumSquares float64 `json:"sum_squares,omitempty"`
+}
+
+// Export returns the tracker's full cross-sweep history in journalable
+// form, keyed by finding key. Not safe to call concurrently with
+// Observe/ObserveMoments.
+func (t *TrendTracker) Export() map[string][]TrendObservation {
+	if len(t.history) == 0 {
+		return nil
+	}
+	out := make(map[string][]TrendObservation, len(t.history))
+	for key, obs := range t.history {
+		exported := make([]TrendObservation, len(obs))
+		for i, o := range obs {
+			exported[i] = TrendObservation{At: o.at, Total: o.total, Profiles: o.profiles, SumSquares: o.sumSquares}
+		}
+		out[key] = exported
+	}
+	return out
+}
+
+// Restore loads previously exported history, replacing any existing
+// observations for the restored keys: the restart path StateStore uses
+// so verdicts resume with yesterday's moments instead of starting blind.
+func (t *TrendTracker) Restore(history map[string][]TrendObservation) {
+	if len(history) == 0 {
+		return
+	}
+	if t.history == nil {
+		t.history = make(map[string][]observation, len(history))
+	}
+	for key, obs := range history {
+		restored := make([]observation, len(obs))
+		for i, o := range obs {
+			restored[i] = observation{at: o.At, total: o.Total, profiles: o.Profiles, sumSquares: o.SumSquares}
+		}
+		t.history[key] = restored
+	}
+}
+
 // Verdict classifies one finding key's history.
 func (t *TrendTracker) Verdict(key string) TrendVerdict {
 	min := t.MinObservations
