@@ -36,6 +36,8 @@ func main() {
 	sweep := flag.Bool("sweep", false, "run one in-process leakprof sweep over the fleet, print findings, and exit")
 	direct := flag.Bool("direct", false, "with -sweep: pull from the simulator directly instead of over HTTP")
 	stateDir := flag.String("state-dir", "", "with -sweep: journal bug DB, trend history, and budget seeds under this directory so repeated sweeps dedup and resume")
+	stateSegments := flag.Int("state-segments", 0, "with -state-dir: compact the segmented state journal once more than N segments are live (0 = default)")
+	trendKeep := flag.Int("trend-keep", 0, "with -state-dir: retain only the last N trend observations per finding key (0 = unlimited)")
 	flag.Parse()
 
 	pats := []*patterns.Pattern{
@@ -68,7 +70,7 @@ func main() {
 	}
 
 	if *sweep && *direct {
-		runSweep(f.Source(), *leakRate/2, *stateDir)
+		runSweep(f.Source(), *leakRate/2, *stateDir, *stateSegments, *trendKeep)
 		return
 	}
 
@@ -76,7 +78,7 @@ func main() {
 	defer shutdown()
 
 	if *sweep {
-		runSweep(leakprof.StaticEndpoints(endpoints...), *leakRate/2, *stateDir)
+		runSweep(leakprof.StaticEndpoints(endpoints...), *leakRate/2, *stateDir, *stateSegments, *trendKeep)
 		return
 	}
 
@@ -99,7 +101,7 @@ func main() {
 // through a StateStore: findings file into the durable bug DB (a repeat
 // run deduplicates instead of re-alerting) and the sweep outcome seeds
 // the next run's error budget.
-func runSweep(src leakprof.Source, threshold int, stateDir string) {
+func runSweep(src leakprof.Source, threshold int, stateDir string, stateSegments, trendKeep int) {
 	metrics := &leakprof.MetricsSink{}
 	opts := []leakprof.Option{
 		leakprof.WithThreshold(threshold),
@@ -108,7 +110,11 @@ func runSweep(src leakprof.Source, threshold int, stateDir string) {
 		leakprof.WithSharedIntern(0),
 	}
 	if stateDir != "" {
-		opts = append(opts, leakprof.WithStateDir(stateDir))
+		opts = append(opts,
+			leakprof.WithStateDir(stateDir),
+			leakprof.WithStateCompaction(0, stateSegments),
+			leakprof.WithTrendRetention(trendKeep),
+		)
 	}
 	pipe := leakprof.New(opts...).AddSinks(metrics)
 	var reportSink *leakprof.ReportSink

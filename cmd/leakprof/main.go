@@ -13,11 +13,15 @@
 // -error-budget short-circuits a service's remaining instances once that
 // many of its instances failed, and -archive records each sweep
 // write-through into its own manifested sweep-NNNN subdirectory,
-// replayable with -dir (a rerun appends new sweeps to the history). With
+// replayable with -dir (a rerun appends new sweeps to the history;
+// -archive-keep bounds the history to the newest N sweeps). With
 // -state-dir the run is durable: the bug DB, cross-sweep trend history,
-// and error-budget seeds journal to disk, so repeated invocations dedup
-// against every bug ever filed, resume trend verdicts, and probe
-// yesterday's failing services with a reduced budget. A -dir pointing at
+// and error-budget seeds journal to disk — as an append-only segment log
+// whose per-sweep cost is the sweep's delta, compacted past
+// -state-segments live segments, with -trend-keep bounding per-key trend
+// history — so repeated invocations dedup against every bug ever filed,
+// resume trend verdicts, and probe yesterday's failing services with a
+// reduced budget. A -dir pointing at
 // a multi-sweep archive (one sweep-NNNN subdirectory per sweep) replays
 // every recorded sweep at its manifested timestamp. Both input kinds
 // drive the same streaming pipeline: each profile flows through the
@@ -51,7 +55,10 @@ func main() {
 	retries := flag.Int("retries", 1, "fetch attempts per endpoint (1 = no retry)")
 	errorBudget := flag.Int("error-budget", 0, "failed instances per service before skipping the rest (0 = unlimited)")
 	archive := flag.String("archive", "", "base directory to archive sweeps into, write-through: one manifested sweep-NNNN subdirectory per sweep, replayable with -dir")
+	archiveKeep := flag.Int("archive-keep", 0, "with -archive: keep only the newest N finalised sweeps, pruning older sweep-NNNN directories (0 = keep all)")
 	stateDir := flag.String("state-dir", "", "directory for the durable state journal: bug-DB dedup, trend history, and error-budget seeds survive restarts")
+	stateSegments := flag.Int("state-segments", 0, "with -state-dir: compact the segmented journal once more than N segments are live (0 = default)")
+	trendKeep := flag.Int("trend-keep", 0, "with -state-dir: retain only the last N trend observations per finding key, in memory and in the journal (0 = unlimited)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -76,7 +83,11 @@ func main() {
 		}),
 	}
 	if *stateDir != "" {
-		opts = append(opts, leakprof.WithStateDir(*stateDir))
+		opts = append(opts,
+			leakprof.WithStateDir(*stateDir),
+			leakprof.WithStateCompaction(0, *stateSegments),
+			leakprof.WithTrendRetention(*trendKeep),
+		)
 	}
 	pipe := leakprof.New(opts...)
 
@@ -105,7 +116,7 @@ func main() {
 		// Rotating mode: each sweep lands in its own manifested
 		// subdirectory, so replaying a multi-sweep -dir through -archive
 		// re-records every sweep instead of flattening them into one.
-		archiveSink, err := leakprof.NewSweepArchiveSink(*archive)
+		archiveSink, err := leakprof.NewSweepArchiveSink(*archive, leakprof.KeepSweeps(*archiveKeep))
 		if err != nil {
 			fatal(err)
 		}

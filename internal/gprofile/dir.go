@@ -3,6 +3,7 @@ package gprofile
 import (
 	"bufio"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -13,6 +14,14 @@ import (
 
 	"repro/internal/stack"
 )
+
+// ErrSalvaged marks failure reports about profiles that were decoded by
+// skipping corrupt goroutine members rather than lost outright: the
+// snapshot was still emitted and its instance was reachable. Consumers
+// that treat failures as service-health signals (error budgets) should
+// test for it with errors.Is and exempt these — a service serving noisy
+// dumps is not a service that is down.
+var ErrSalvaged = errors.New("profile salvaged")
 
 // DirWriter streams snapshots into a directory archive one at a time, the
 // write-through path production sweeps use to record themselves: each
@@ -141,7 +150,10 @@ func SaveDir(dir string, snaps []*Snapshot) error {
 // and reported rather than aborting the replay — and the records scanned
 // before the corruption are salvaged: the partial snapshot is still
 // emitted (with its error reported through fail) so one torn tail does
-// not erase an instance from the sweep. Unlike LoadDir it never
+// not erase an instance from the sweep. Members with corrupt goroutine
+// headers mid-dump are salvaged even further: the scanner resyncs at the
+// next well-formed header, the whole remainder is kept, and the
+// malformed-member count is reported through fail. Unlike LoadDir it never
 // materialises goroutine records or more than one open file, so archives
 // recorded at production scale replay in O(locations) memory. Cancelling
 // ctx stops the replay between files.
@@ -177,6 +189,10 @@ func ScanDir(ctx context.Context, dir string, takenAt time.Time, emit func(*Snap
 				continue
 			}
 			// Fall through: emit what was scanned before the corruption.
+		} else if snap.Malformed > 0 && fail != nil {
+			// The scan completed by resyncing past corrupt members;
+			// the snapshot is emitted, but the loss must not be silent.
+			fail(e.Name(), fmt.Errorf("gprofile: %w: %s skipped %d malformed goroutine members", ErrSalvaged, e.Name(), snap.Malformed))
 		}
 		emit(snap)
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -92,6 +93,50 @@ func TestScanDirReportsCorruptMembers(t *testing.T) {
 	}
 	if emitted != 1 || failed != 1 {
 		t.Errorf("emitted=%d failed=%d", emitted, failed)
+	}
+}
+
+// TestScanDirSalvagesResyncedMembers pins the archive contract for a
+// member torn mid-dump: records before and after the corrupt header are
+// both kept, and the member is reported through fail so the sweep's
+// error accounting still sees the damage.
+func TestScanDirSalvagesResyncedMembers(t *testing.T) {
+	dir := t.TempDir()
+	torn := "goroutine 1 [chan send]:\nsvc.before()\n\t/s/b.go:2 +0x1\n" +
+		"goroutine 99 [chan send:\nsvc.torn()\n" +
+		"goroutine 2 [chan send]:\nsvc.after()\n\t/s/a.go:3 +0x1\n"
+	if err := os.WriteFile(filepath.Join(dir, "svc_i1.txt"), []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var snaps []*Snapshot
+	var failures []string
+	err := ScanDir(context.Background(), dir, time.Now(),
+		func(s *Snapshot) { snaps = append(snaps, s) },
+		func(name string, err error) { failures = append(failures, name+": "+err.Error()) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 1 {
+		t.Fatalf("emitted %d snapshots, want 1", len(snaps))
+	}
+	if snaps[0].TotalGoroutines != 2 || snaps[0].Malformed != 1 {
+		t.Errorf("salvaged %d goroutines (%d malformed), want 2 (1)",
+			snaps[0].TotalGoroutines, snaps[0].Malformed)
+	}
+	counts := snaps[0].CountByLocation()
+	for _, loc := range []string{"/s/b.go:2", "/s/a.go:3"} {
+		found := false
+		for op := range counts {
+			if op.Location == loc {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("location %s lost in salvage: %+v", loc, counts)
+		}
+	}
+	if len(failures) != 1 || !strings.Contains(failures[0], "1 malformed") {
+		t.Errorf("failures = %v, want one malformed-member report", failures)
 	}
 }
 

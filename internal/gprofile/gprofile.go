@@ -73,6 +73,11 @@ type Snapshot struct {
 	// unblocked ones, when the snapshot was built by ScanSnapshot; zero
 	// for snapshots carrying full records (use len(Goroutines)).
 	TotalGoroutines int
+	// Malformed counts goroutine members the scan dropped while
+	// resyncing past corrupt headers (stack.Scanner.Malformed): the
+	// per-dump diagnostic that a profile was salvaged rather than
+	// decoded cleanly. Zero for a clean scan.
+	Malformed int
 }
 
 // NumGoroutines returns the instance's goroutine population size in
@@ -306,6 +311,7 @@ func scanSnapshotPartial(service, instance string, takenAt time.Time, r io.Reade
 		}
 		snap.PreAggregated[op]++
 	}
+	snap.Malformed = sc.Malformed()
 	if err := sc.Err(); err != nil {
 		err = fmt.Errorf("gprofile: scanning %s/%s: %w", service, instance, err)
 		if snap.TotalGoroutines == 0 {

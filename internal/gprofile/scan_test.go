@@ -1,6 +1,7 @@
 package gprofile
 
 import (
+	"errors"
 	"reflect"
 	"strings"
 	"testing"
@@ -84,15 +85,47 @@ func TestScanSnapshotEmptyBody(t *testing.T) {
 	}
 }
 
-func TestScanSnapshotPropagatesScanError(t *testing.T) {
+func TestScanSnapshotResyncsPastMalformedMembers(t *testing.T) {
 	// A header with brackets missing the closing ']' is the one malformed
-	// shape the parser rejects.
-	_, err := ScanSnapshot("svc", "i1", time.Unix(0, 0),
-		strings.NewReader("goroutine 8 [chan send:\nmain.f()\n"))
+	// member shape; the scan resyncs at the next well-formed header and
+	// reports the loss on the snapshot instead of erroring.
+	dump := "goroutine 8 [chan send:\nmain.torn()\n\t/t/t.go:1 +0x1\n" +
+		"goroutine 9 [chan send]:\nmain.ok()\n\t/ok/ok.go:2 +0x2\n"
+	snap, err := ScanSnapshot("svc", "i1", time.Unix(0, 0), strings.NewReader(dump))
+	if err != nil {
+		t.Fatalf("resynced dump errored: %v", err)
+	}
+	if snap.Malformed != 1 {
+		t.Errorf("Malformed = %d, want 1", snap.Malformed)
+	}
+	if snap.TotalGoroutines != 1 {
+		t.Errorf("TotalGoroutines = %d, want 1 (the salvaged member)", snap.TotalGoroutines)
+	}
+	var salvaged bool
+	for op, n := range snap.CountByLocation() {
+		if op.Location == "/ok/ok.go:2" && n == 1 {
+			salvaged = true
+		}
+	}
+	if !salvaged {
+		t.Errorf("post-corruption member not salvaged: %+v", snap.PreAggregated)
+	}
+}
+
+func TestScanSnapshotPropagatesReadError(t *testing.T) {
+	// Reader failures (a truncated transfer) still error, with the
+	// instance named for the sweep's failure report.
+	_, err := ScanSnapshot("svc", "i1", time.Unix(0, 0), failingReader{})
 	if err == nil {
-		t.Fatal("malformed dump did not error")
+		t.Fatal("reader failure did not error")
 	}
 	if !strings.Contains(err.Error(), "svc/i1") {
 		t.Errorf("error lacks instance context: %v", err)
 	}
+}
+
+type failingReader struct{}
+
+func (failingReader) Read([]byte) (int, error) {
+	return 0, errors.New("synthetic read failure")
 }

@@ -68,20 +68,30 @@ type Bug struct {
 // DB is an in-memory bug database with dedup semantics: filing an already
 // known key updates the sighting count instead of creating a duplicate.
 // It is safe for concurrent use.
+//
+// The database tracks which bugs changed since the last TakeDirty call —
+// new filings, re-sightings, status transitions — so an incremental
+// journal can persist exactly the sweep's delta instead of re-writing
+// every bug ever filed.
 type DB struct {
-	mu   sync.Mutex
-	bugs map[string]*Bug
+	mu    sync.Mutex
+	bugs  map[string]*Bug
+	dirty map[string]struct{}
 }
 
 // NewDB returns an empty database.
-func NewDB() *DB { return &DB{bugs: make(map[string]*Bug)} }
+func NewDB() *DB {
+	return &DB{bugs: make(map[string]*Bug), dirty: make(map[string]struct{})}
+}
 
 // File records a defect. It returns the stored bug and whether it was
 // newly created (false means the finding deduplicated onto an existing
-// report, whose counters are refreshed).
+// report, whose counters are refreshed). Either way the key is marked
+// dirty: a re-sighting changes counters the journal must capture.
 func (db *DB) File(b Bug) (*Bug, bool) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	db.dirty[b.Key] = struct{}{}
 	if existing, ok := db.bugs[b.Key]; ok {
 		existing.Sightings++
 		if b.BlockedGoroutines > existing.BlockedGoroutines {
@@ -102,6 +112,8 @@ func (db *DB) File(b Bug) (*Bug, bool) {
 // startup — preserving their status, sighting counts, and filing times,
 // so dedup survives a process restart. Restored keys overwrite any
 // in-memory entry; filing the same key later deduplicates as usual.
+// Restored bugs are not marked dirty: they came from the journal, so
+// journalling them again would be redundant.
 func (db *DB) Restore(bugs []Bug) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -114,7 +126,7 @@ func (db *DB) Restore(bugs []Bug) {
 	}
 }
 
-// SetStatus transitions a bug's lifecycle state.
+// SetStatus transitions a bug's lifecycle state and marks the key dirty.
 func (db *DB) SetStatus(key string, s Status) bool {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -123,7 +135,48 @@ func (db *DB) SetStatus(key string, s Status) bool {
 		return false
 	}
 	b.Status = s
+	db.dirty[key] = struct{}{}
 	return true
+}
+
+// TakeDirty returns copies of every bug changed since the last TakeDirty
+// (or since the database was created) sorted by key, and clears the dirty
+// set. It is the delta-export hook an append-only journal uses: the
+// returned slice is exactly what one sweep changed, not the whole
+// database. Keys marked dirty but since deleted are skipped.
+func (db *DB) TakeDirty() []Bug {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if len(db.dirty) == 0 {
+		return nil
+	}
+	out := make([]Bug, 0, len(db.dirty))
+	for key := range db.dirty {
+		if b, ok := db.bugs[key]; ok {
+			out = append(out, *b)
+		}
+	}
+	db.dirty = make(map[string]struct{})
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// MarkDirty re-marks keys for the next TakeDirty. It is the undo hook
+// for a journal whose append failed after draining the dirty set: the
+// delta was never persisted, so its keys must surface again.
+func (db *DB) MarkDirty(keys ...string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, key := range keys {
+		db.dirty[key] = struct{}{}
+	}
+}
+
+// DirtyCount returns the number of keys changed since the last TakeDirty.
+func (db *DB) DirtyCount() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return len(db.dirty)
 }
 
 // Get returns a copy of the bug for key.

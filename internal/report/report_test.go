@@ -121,3 +121,51 @@ func TestStatusString(t *testing.T) {
 		}
 	}
 }
+
+// TestDBTakeDirty pins the delta-export contract the append-only state
+// journal relies on: filings, re-sightings, and status transitions mark
+// keys dirty; restores do not; and TakeDirty drains exactly the changed
+// set.
+func TestDBTakeDirty(t *testing.T) {
+	db := NewDB()
+	if got := db.TakeDirty(); got != nil {
+		t.Fatalf("fresh DB dirty set = %+v, want nil", got)
+	}
+
+	db.File(Bug{Key: "a", Service: "s"})
+	db.File(Bug{Key: "b", Service: "s"})
+	dirty := db.TakeDirty()
+	if len(dirty) != 2 || dirty[0].Key != "a" || dirty[1].Key != "b" {
+		t.Fatalf("dirty after filings = %+v, want [a b]", dirty)
+	}
+	if db.DirtyCount() != 0 {
+		t.Fatalf("TakeDirty did not drain: %d keys still dirty", db.DirtyCount())
+	}
+
+	// A re-sighting changes counters the journal must capture: dirty
+	// again, carrying the updated record.
+	db.File(Bug{Key: "a", Service: "s"})
+	dirty = db.TakeDirty()
+	if len(dirty) != 1 || dirty[0].Key != "a" || dirty[0].Sightings != 2 {
+		t.Fatalf("dirty after re-sighting = %+v, want [a with 2 sightings]", dirty)
+	}
+
+	// Status transitions are journal-worthy too.
+	if !db.SetStatus("b", StatusFixed) {
+		t.Fatal("SetStatus failed")
+	}
+	dirty = db.TakeDirty()
+	if len(dirty) != 1 || dirty[0].Key != "b" || dirty[0].Status != StatusFixed {
+		t.Fatalf("dirty after SetStatus = %+v", dirty)
+	}
+
+	// Restored bugs came from the journal; re-journalling them would be
+	// redundant.
+	db.Restore([]Bug{{Key: "c", Sightings: 5}})
+	if got := db.TakeDirty(); got != nil {
+		t.Fatalf("dirty after Restore = %+v, want nil", got)
+	}
+	if _, ok := db.Get("c"); !ok {
+		t.Fatal("restored bug missing")
+	}
+}

@@ -1,0 +1,138 @@
+package stack
+
+import (
+	"strings"
+	"testing"
+)
+
+// good builds one well-formed goroutine block.
+func goodBlock(id string, fn string) string {
+	return "goroutine " + id + " [chan send]:\n" + fn + "()\n\t/src/" + fn + ".go:5 +0x2b\n"
+}
+
+// TestScannerResync drives the salvage contract on dumps corrupted
+// mid-stream: records before the torn member are yielded, records after
+// it are recovered at the next well-formed header, and the loss is
+// counted per dump instead of aborting the member.
+func TestScannerResync(t *testing.T) {
+	a := goodBlock("1", "svc.a")
+	b := goodBlock("2", "svc.b")
+	c := goodBlock("3", "svc.c")
+	cases := []struct {
+		name      string
+		dump      string
+		wantIDs   []int64
+		malformed int
+	}{
+		{
+			name:      "torn-member-mid-dump",
+			dump:      a + "goroutine 99 [chan send:\nsvc.torn()\n\t/src/torn.go:9 +0x1\n" + b + c,
+			wantIDs:   []int64{1, 2, 3},
+			malformed: 1,
+		},
+		{
+			name:      "torn-member-first",
+			dump:      "goroutine 99 [select:\nsvc.torn()\n" + a + b,
+			wantIDs:   []int64{1, 2},
+			malformed: 1,
+		},
+		{
+			name:      "torn-member-last",
+			dump:      a + b + "goroutine 99 [chan receive:\nsvc.torn()\n",
+			wantIDs:   []int64{1, 2},
+			malformed: 1,
+		},
+		{
+			name: "two-torn-members",
+			dump: a + "goroutine 98 [chan send:\nx()\n" + b +
+				"goroutine 99 [select:\ny()\n" + c,
+			wantIDs:   []int64{1, 2, 3},
+			malformed: 2,
+		},
+		{
+			name: "consecutive-torn-headers",
+			dump: a + "goroutine 98 [chan send:\ngoroutine 99 [select:\n" + b,
+			// The second torn header is its own member: each counts.
+			wantIDs:   []int64{1, 2},
+			malformed: 2,
+		},
+		{
+			name:      "garbage-between-members",
+			dump:      a + "goroutine 99 [oops:\n\x00\xff binary junk\nmore junk()\n\tnot/a/location\n" + b,
+			wantIDs:   []int64{1, 2},
+			malformed: 1,
+		},
+		{
+			name:      "clean-dump-counts-zero",
+			dump:      a + b + c,
+			wantIDs:   []int64{1, 2, 3},
+			malformed: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			gs, malformed, err := scanAllCounting(tc.dump)
+			if err != nil {
+				t.Fatalf("scanner error: %v", err)
+			}
+			ids := make([]int64, len(gs))
+			for i, g := range gs {
+				ids[i] = g.ID
+			}
+			if len(ids) != len(tc.wantIDs) {
+				t.Fatalf("salvaged ids = %v, want %v", ids, tc.wantIDs)
+			}
+			for i := range ids {
+				if ids[i] != tc.wantIDs[i] {
+					t.Fatalf("salvaged ids = %v, want %v", ids, tc.wantIDs)
+				}
+			}
+			if malformed != tc.malformed {
+				t.Errorf("malformed = %d, want %d", malformed, tc.malformed)
+			}
+		})
+	}
+}
+
+// TestScannerResyncSkipsTornMemberLines verifies the torn member's own
+// frames are dropped, not glued onto a neighbouring record.
+func TestScannerResyncSkipsTornMemberLines(t *testing.T) {
+	dump := goodBlock("1", "svc.a") +
+		"goroutine 99 [chan send:\nsvc.torn()\n\t/src/torn.go:9 +0x1\n" +
+		goodBlock("2", "svc.b")
+	gs, _, err := scanAllCounting(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range gs {
+		for _, f := range g.Frames {
+			if strings.Contains(f.Function, "torn") || strings.Contains(f.File, "torn") {
+				t.Fatalf("torn member's frame leaked into goroutine %d: %+v", g.ID, f)
+			}
+		}
+	}
+}
+
+// FuzzScan fuzzes the scanner with truncated and garbled dumps. The
+// invariants are the resync contract: in-memory input never surfaces an
+// error, the scanner agrees exactly with the frozen legacy parser on
+// inputs the legacy parser accepts, and resyncs are counted whenever the
+// legacy parser would have rejected the dump.
+func FuzzScan(f *testing.F) {
+	for _, dump := range goldenDumps() {
+		f.Add(dump)
+	}
+	base := syntheticDump(2, 3)
+	f.Add(base[:len(base)/2])                              // truncated mid-record
+	f.Add(strings.Replace(base, "[chan send", "[chan", 1)) // garbled header region
+	f.Add("goroutine 8 [chan send:\nmain.f()\n")           // torn header
+	f.Add("goroutine 1 [x]:\n\tgoroutine 2 [y]:\n")
+	f.Fuzz(func(t *testing.T, dump string) {
+		if len(dump) > 1<<20 {
+			t.Skip("bounded corpus")
+		}
+		if msg := checkScannerBehaviour(dump); msg != "" {
+			t.Fatal(msg)
+		}
+	})
+}

@@ -41,6 +41,13 @@ type Scanner struct {
 	err        error
 	done       bool
 
+	// skipping is the resync state: after a malformed goroutine header
+	// the scanner discards lines until the next well-formed header
+	// instead of aborting the dump; malformed counts the members lost
+	// that way.
+	skipping  bool
+	malformed int
+
 	// intern maps string content to its single shared copy.
 	intern map[string]string
 	// pool, when set, is a bounded intern table shared across Scanners;
@@ -84,7 +91,10 @@ func NewScanner(r io.Reader) *Scanner {
 func (s *Scanner) SetInternPool(p *InternPool) { s.pool = p }
 
 // Scan advances to the next goroutine block. It returns false at the end
-// of the dump or on a malformed header; Err distinguishes the two.
+// of the dump or on a reader failure; Err distinguishes the two. A
+// malformed goroutine header does not stop the scan: the scanner drops
+// that member, resyncs at the next well-formed header, and counts the
+// loss in Malformed.
 func (s *Scanner) Scan() bool {
 	if s.err != nil || s.done {
 		return false
@@ -118,8 +128,19 @@ func (s *Scanner) Scan() bool {
 func (s *Scanner) Goroutine() *Goroutine { return s.g }
 
 // Err returns the first error encountered, if any. io.EOF is not an
-// error: a dump simply ends.
+// error: a dump simply ends. Malformed content is not an error either —
+// the scanner resyncs at the next goroutine header and counts the loss
+// in Malformed — so Err reports only reader-level failures (a truncated
+// transfer, a line beyond the buffer bound).
 func (s *Scanner) Err() error { return s.err }
+
+// Malformed returns the number of goroutine members dropped by resync:
+// blocks whose header looked like a goroutine header but failed to
+// parse, whose lines were skipped up to the next well-formed header. A
+// production sweep must salvage the rest of a multi-hundred-megabyte
+// profile rather than discard it for one corrupt record; this count is
+// the per-dump diagnostic that the salvage happened.
+func (s *Scanner) Malformed() int { return s.malformed }
 
 var createdByPrefix = []byte("created by ")
 
@@ -139,15 +160,29 @@ func (s *Scanner) process(line []byte) bool {
 	case s.isHeader(line):
 		g, err := s.parseHeader(line)
 		if err != nil {
-			s.err = fmt.Errorf("stack: line %d: %w", s.line, err)
+			// Resync instead of aborting: drop the block this header
+			// opened (its lines are skipped up to the next well-formed
+			// header), count the loss, and salvage whatever preceded it.
+			s.malformed++
+			s.skipping = true
+			prev := s.cur
+			s.cur = nil
+			if prev != nil {
+				s.g = prev
+				return true
+			}
 			return false
 		}
+		s.skipping = false
 		prev := s.cur
 		s.cur = g
 		if prev != nil {
 			s.g = prev
 			return true
 		}
+		return false
+	case s.skipping:
+		// Mid-resync: this line belongs to the malformed member.
 		return false
 	case len(line) == 0:
 		if s.cur != nil {

@@ -12,12 +12,19 @@ import (
 
 // scanAll drains a Scanner over the dump, mirroring Parse's contract.
 func scanAll(dump string) ([]*Goroutine, error) {
+	gs, _, err := scanAllCounting(dump)
+	return gs, err
+}
+
+// scanAllCounting drains a Scanner and also reports the malformed-member
+// resync count.
+func scanAllCounting(dump string) ([]*Goroutine, int, error) {
 	sc := NewScanner(strings.NewReader(dump))
 	var out []*Goroutine
 	for sc.Scan() {
 		out = append(out, sc.Goroutine())
 	}
-	return out, sc.Err()
+	return out, sc.Malformed(), sc.Err()
 }
 
 // syntheticDump builds a dump with clusters goroutine groups of size each,
@@ -77,9 +84,7 @@ func goldenDumps() map[string]string {
 func TestScannerParityOnGoldenDumps(t *testing.T) {
 	for name, dump := range goldenDumps() {
 		t.Run(name, func(t *testing.T) {
-			want, wantErr := parseLegacy(dump)
-			got, gotErr := scanAll(dump)
-			assertSameParse(t, want, wantErr, got, gotErr)
+			assertScannerBehaviour(t, dump)
 		})
 	}
 }
@@ -121,11 +126,8 @@ func TestScannerParityOnMutatedDumps(t *testing.T) {
 			}
 			m = string(b)
 		}
-		want, wantErr := parseLegacy(m)
-		got, gotErr := scanAll(m)
-		if !sameParse(want, wantErr, got, gotErr) {
-			t.Fatalf("divergence on mutation %d:\ninput:\n%q\nlegacy: %d goroutines, err=%v\nscanner: %d goroutines, err=%v",
-				i, m, len(want), wantErr, len(got), gotErr)
+		if msg := checkScannerBehaviour(m); msg != "" {
+			t.Fatalf("divergence on mutation %d:\ninput:\n%q\n%s", i, m, msg)
 		}
 	}
 }
@@ -220,30 +222,45 @@ func (f *failAfter) Read(p []byte) (int, error) {
 	return n, nil
 }
 
-func assertSameParse(t *testing.T, want []*Goroutine, wantErr error, got []*Goroutine, gotErr error) {
+// assertScannerBehaviour pins the scanner's contract relative to the
+// frozen legacy parser: on inputs the legacy parser accepts, the scanner
+// must produce identical records with no resyncs; on inputs the legacy
+// parser rejects (a malformed goroutine header — its only content
+// error), the scanner must not error but instead resync, counting at
+// least one malformed member. Either way, arbitrary string input must
+// never surface a scanner error: Err is reserved for reader failures.
+func assertScannerBehaviour(t *testing.T, dump string) {
 	t.Helper()
-	if !sameParse(want, wantErr, got, gotErr) {
-		t.Fatalf("legacy: %d goroutines, err=%v\nscanner: %d goroutines, err=%v\nlegacy: %+v\nscanner: %+v",
-			len(want), wantErr, len(got), gotErr, dumpRecords(want), dumpRecords(got))
+	if msg := checkScannerBehaviour(dump); msg != "" {
+		t.Fatal(msg)
 	}
 }
 
-func sameParse(want []*Goroutine, wantErr error, got []*Goroutine, gotErr error) bool {
-	if (wantErr == nil) != (gotErr == nil) {
-		return false
+func checkScannerBehaviour(dump string) string {
+	want, wantErr := parseLegacy(dump)
+	got, malformed, gotErr := scanAllCounting(dump)
+	if gotErr != nil {
+		return fmt.Sprintf("scanner errored on in-memory input: %v", gotErr)
 	}
 	if wantErr != nil {
-		return wantErr.Error() == gotErr.Error()
+		if malformed == 0 {
+			return fmt.Sprintf("legacy rejected the dump (%v) but scanner resynced %d times (want >= 1)", wantErr, malformed)
+		}
+		return ""
+	}
+	if malformed != 0 {
+		return fmt.Sprintf("legacy accepted the dump but scanner counted %d malformed members", malformed)
 	}
 	if len(want) != len(got) {
-		return false
+		return fmt.Sprintf("legacy: %d goroutines, scanner: %d\nlegacy: %+v\nscanner: %+v",
+			len(want), len(got), dumpRecords(want), dumpRecords(got))
 	}
 	for i := range want {
 		if !reflect.DeepEqual(want[i], got[i]) {
-			return false
+			return fmt.Sprintf("record %d differs:\nlegacy:  %+v\nscanner: %+v", i, want[i], got[i])
 		}
 	}
-	return true
+	return ""
 }
 
 func dumpRecords(gs []*Goroutine) []string {

@@ -54,9 +54,7 @@
 // The paper's workflow is a daily fleet-wide sweep whose value is
 // history: bugs are filed once, trends span days, and budgets are
 // informed by yesterday. WithStateDir makes that history durable. The
-// pipeline opens a StateStore there — a versioned JSON journal, written
-// atomically (temp file + rename) after every sweep — holding three
-// things:
+// pipeline opens a StateStore there holding three things:
 //
 //   - the bug database of filed findings, so ReportSink dedup survives
 //     a restart instead of re-alerting every owner;
@@ -67,6 +65,37 @@
 //     seed the next sweep's error budget — a service that was down
 //     yesterday is probed with a reduced budget today (never zero: a
 //     recovered service always gets at least one probe).
+//
+// On disk the store is a segmented append-only log (format version 2).
+// Each recorded sweep appends one frame — a length-prefixed,
+// CRC-32-checksummed JSON record — to the active segment-NNNN.log. The
+// frame is a delta: the bugs the sweep filed or re-sighted
+// (report.DB.TakeDirty), the trend observations it added
+// (TrendTracker.TakeNew), and the sweep outcome. Persisting a sweep
+// therefore costs O(what the sweep changed); at a 100K-key steady state
+// the v1 rewrite-everything model paid ~10,000x more bytes per sweep
+// (see BenchmarkStateJournal). Recovery replays the live segments in
+// order; a torn tail frame — a crash mid-append — is truncated rather
+// than failing the open, so a crash loses at most the in-flight sweep.
+//
+// The log is kept bounded by compaction. The active segment rolls over
+// past a size bound, and once more than a bounded number of segments are
+// live (WithStateCompaction) the store folds them: the full state is
+// written as one snapshot frame into a fresh segment, the journal.json
+// manifest pointer swings to that segment atomically (temp file +
+// rename), and the old segments are deleted. Snapshot frames replay by
+// replacement, so a crash anywhere in that sequence recovers cleanly:
+// before the pointer swing the old segments are still live and the
+// half-written snapshot is a torn tail; after it, the leftovers below
+// the pointer are swept up on open. WithTrendRetention bounds the other
+// growth axis, keeping only the last N trend observations per key — in
+// verdicts, in exports, and through compaction — so neither the tracker
+// nor the journal grows with the age of the deployment.
+//
+// A state dir written by the v1 format (one monolithic state.json,
+// rewritten atomically every sweep) opens seamlessly: the v1 journal is
+// loaded, and the next recorded sweep folds everything into the first
+// snapshot segment and removes the old file.
 //
 // Wire the store's journal-backed components into the sinks at startup:
 //
@@ -79,7 +108,8 @@
 //
 // Archives are durable too: every ArchiveSink finalisation writes a
 // manifest.json (sweep timestamp, snapshot index, format version), and
-// NewSweepArchiveSink rotates one manifested subdirectory per sweep.
+// NewSweepArchiveSink rotates one manifested subdirectory per sweep,
+// pruning the oldest finalised sweeps beyond a KeepSweeps bound.
 // Pipeline.Replay walks a multi-sweep archive in recorded order,
 // replaying each sweep at its manifested timestamp, so trend verdicts
 // over replayed history match what the live sweeps produced.
@@ -111,7 +141,8 @@
 // attempts with jittered exponential backoff), WithErrorBudget (a
 // fleet-wide outage costs the sweep a bounded number of timeouts per
 // service), WithSharedIntern (one bounded string pool across all of a
-// sweep's profile scans), WithStateDir (the durable journal described
-// under "Durability & state"), and WithSinkQueue (the concurrent sink
-// fan-out's per-sink queue bound).
+// sweep's profile scans), WithStateDir (the durable segmented journal
+// described under "Durability & state"), WithStateCompaction and
+// WithTrendRetention (the journal's bounds), and WithSinkQueue (the
+// concurrent sink fan-out's per-sink queue bound).
 package leakprof

@@ -52,9 +52,19 @@ type Config struct {
 	OnSweep func(*Sweep)
 	// StateDir, when non-empty, roots the pipeline's durable state: a
 	// StateStore is opened there on first use, each sweep's error budget
-	// is seeded from the previous sweep's journaled failures, and the
-	// journal is rewritten after every sweep. See WithStateDir.
+	// is seeded from the previous sweep's journaled failures, and each
+	// sweep appends its delta frame to the segmented journal. See
+	// WithStateDir.
 	StateDir string
+	// StateSegmentBytes and StateMaxSegments tune the state journal's
+	// compaction thresholds (see WithStateCompaction); zero means the
+	// StateStore defaults.
+	StateSegmentBytes int64
+	StateMaxSegments  int
+	// TrendRetention bounds the trend history kept (and journaled) per
+	// key to the last N observations (see WithTrendRetention); zero
+	// means unlimited.
+	TrendRetention int
 	// SinkQueue bounds each sink's event queue in the concurrent sink
 	// fan-out; zero means DefaultSinkQueue. A sink that falls further
 	// behind than its queue backpressures collection rather than
@@ -191,14 +201,36 @@ func WithOnSweep(fn func(*Sweep)) Option {
 }
 
 // WithStateDir makes the pipeline durable: a StateStore journal under
-// dir is loaded at startup (Pipeline.State returns it, with its
+// dir is recovered at startup (Pipeline.State returns it, with its
 // pre-seeded BugDB and Tracker for sink wiring), each sweep seeds its
 // error budget from the previous sweep's journaled failures — a service
-// down yesterday gets a reduced probe budget today — and the journal is
-// rewritten atomically after every sweep, so dedup, trend verdicts, and
-// budgets survive a restart.
+// down yesterday gets a reduced probe budget today — and each sweep
+// appends one checksummed delta frame to the segmented journal, so
+// dedup, trend verdicts, and budgets survive a restart at a per-sweep
+// write cost proportional to what the sweep changed.
 func WithStateDir(dir string) Option {
 	return func(c *Config) { c.StateDir = dir }
+}
+
+// WithStateCompaction tunes the state journal: the active segment rolls
+// over once it exceeds segmentBytes, and once more than maxSegments
+// segments are live they are folded into one snapshot segment (the old
+// ones deleted), keeping the state dir bounded. Non-positive values keep
+// the StateStore defaults.
+func WithStateCompaction(segmentBytes int64, maxSegments int) Option {
+	return func(c *Config) {
+		c.StateSegmentBytes = segmentBytes
+		c.StateMaxSegments = maxSegments
+	}
+}
+
+// WithTrendRetention keeps only the last n trend observations per finding
+// key — in the tracker's verdicts and exports, in every journaled
+// snapshot, and across restores — so cross-sweep history (and the state
+// journal) stops growing with the age of the deployment. Zero retains
+// unlimited history.
+func WithTrendRetention(n int) Option {
+	return func(c *Config) { c.TrendRetention = n }
 }
 
 // WithSinkQueue bounds each sink's event queue in the concurrent sink
@@ -268,7 +300,13 @@ func (p *Pipeline) State() (*StateStore, error) {
 		return nil, nil
 	}
 	p.stateOnce.Do(func() {
-		p.store, p.stateErr = OpenStateStore(p.cfg.StateDir)
+		// The store inherits the pipeline's clock so journal frames are
+		// stamped with the same (possibly fake) time the sweeps use.
+		p.store, p.stateErr = OpenStateStore(p.cfg.StateDir,
+			StateClock(p.cfg.now),
+			StateCompaction(p.cfg.StateSegmentBytes, p.cfg.StateMaxSegments),
+			StateTrendRetention(p.cfg.TrendRetention),
+		)
 	})
 	return p.store, p.stateErr
 }
@@ -342,10 +380,16 @@ func (p *Pipeline) Sweep(ctx context.Context, src Source) (*Sweep, error) {
 		Fail: func(service, instance string, err error) {
 			mu.Lock()
 			sweep.Errors++
-			if sweep.FailedByService == nil {
-				sweep.FailedByService = make(map[string]int)
+			// Salvage reports (a profile decoded by skipping corrupt
+			// members) are diagnostics, not downness: they count in
+			// Errors and Failures but must not seed the next sweep's
+			// error budget against a reachable service.
+			if !errors.Is(err, gprofile.ErrSalvaged) {
+				if sweep.FailedByService == nil {
+					sweep.FailedByService = make(map[string]int)
+				}
+				sweep.FailedByService[service]++
 			}
-			sweep.FailedByService[service]++
 			if len(sweep.Failures) < maxSweepFailures {
 				sweep.Failures = append(sweep.Failures, SweepFailure{Service: service, Instance: instance, Err: err})
 			}

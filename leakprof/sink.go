@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -207,12 +208,32 @@ func (m *MetricsSink) Totals() MetricsTotals {
 // in recorded order — the durable form of the paper's daily cadence.
 type ArchiveSink struct {
 	base string // multi-sweep base dir; empty in single-sweep mode
+	keep int    // multi-sweep retention: max finalised sweeps kept (0 = unlimited)
 
 	mu       sync.Mutex
 	w        *gprofile.DirWriter
 	seq      int
 	writeErr error
 	written  int
+}
+
+// ArchiveOption tunes a multi-sweep archive sink.
+type ArchiveOption func(*ArchiveSink)
+
+// KeepSweeps bounds the archive to the n most recently recorded
+// finalised sweeps: after each sweep's manifest is written, the
+// lowest-numbered sweep-NNNN subdirectories beyond n are pruned
+// (rotation order, so a replay of old history recorded today still
+// counts as today's sweep). Retention is manifest-aware — only
+// finalised sweeps count toward (or are removed by) the bound, so an
+// in-progress or torn sweep directory is never deleted. Zero keeps
+// every sweep.
+func KeepSweeps(n int) ArchiveOption {
+	return func(s *ArchiveSink) {
+		if n > 0 {
+			s.keep = n
+		}
+	}
 }
 
 // NewArchiveSink creates dir and returns a write-through sink recording
@@ -228,12 +249,17 @@ func NewArchiveSink(dir string) (*ArchiveSink, error) {
 // NewSweepArchiveSink creates base and returns a rotating sink: each
 // sweep lands in its own sweep-NNNN subdirectory with its own manifest.
 // Rotation resumes after any sweeps already archived under base, so a
-// restarted daily loop appends instead of overwriting history.
-func NewSweepArchiveSink(base string) (*ArchiveSink, error) {
+// restarted daily loop appends instead of overwriting history. With
+// KeepSweeps the history is bounded: the oldest finalised sweeps are
+// pruned so a multi-month daily archive stops growing monotonically.
+func NewSweepArchiveSink(base string, opts ...ArchiveOption) (*ArchiveSink, error) {
 	if err := os.MkdirAll(base, 0o755); err != nil {
 		return nil, fmt.Errorf("leakprof: creating archive base %s: %w", base, err)
 	}
 	s := &ArchiveSink{base: base}
+	for _, opt := range opts {
+		opt(s)
+	}
 	entries, err := os.ReadDir(base)
 	if err != nil {
 		return nil, fmt.Errorf("leakprof: reading archive base %s: %w", base, err)
@@ -304,8 +330,9 @@ func (s *ArchiveSink) Snapshot(snap *gprofile.Snapshot) {
 }
 
 // SweepDone finalises the sweep's directory with its manifest — stamped
-// with the sweep's recorded time — rotates in multi-sweep mode, and
-// surfaces the first write error of the sweep, if any.
+// with the sweep's recorded time — rotates in multi-sweep mode, prunes
+// sweeps beyond the retention bound, and surfaces the first write error
+// of the sweep, if any.
 func (s *ArchiveSink) SweepDone(sweep *Sweep) error {
 	s.mu.Lock()
 	w, err := s.w, s.writeErr
@@ -320,5 +347,55 @@ func (s *ArchiveSink) SweepDone(sweep *Sweep) error {
 	if merr := w.WriteManifest(sweep.At, sweep.Source); err == nil {
 		err = merr
 	}
+	if perr := s.prune(); err == nil {
+		err = perr
+	}
 	return err
+}
+
+// prune deletes the lowest-numbered finalised sweep subdirectories
+// beyond the retention bound. Only directories with a readable manifest
+// are candidates — a directory still being written (no manifest yet) or
+// torn (corrupt manifest) is left alone. Ordering is by rotation
+// sequence, i.e. recording order, not by the manifested sweep time: a
+// replay of old history recorded into a retained archive is still the
+// newest recording and must survive its own finalisation.
+func (s *ArchiveSink) prune() error {
+	if s.base == "" || s.keep <= 0 {
+		return nil
+	}
+	entries, err := os.ReadDir(s.base)
+	if err != nil {
+		return fmt.Errorf("leakprof: pruning archive %s: %w", s.base, err)
+	}
+	type rotation struct {
+		seq int
+		dir string
+	}
+	var finalised []rotation
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		rest, ok := strings.CutPrefix(e.Name(), "sweep-")
+		if !ok {
+			continue
+		}
+		seq, err := strconv.Atoi(rest)
+		if err != nil {
+			continue
+		}
+		sub := filepath.Join(s.base, e.Name())
+		if m, merr := gprofile.ReadManifest(sub); merr != nil || m == nil {
+			continue // in-progress or torn: never a prune candidate
+		}
+		finalised = append(finalised, rotation{seq: seq, dir: sub})
+	}
+	sort.Slice(finalised, func(i, j int) bool { return finalised[i].seq < finalised[j].seq })
+	for _, r := range finalised[:max(0, len(finalised)-s.keep)] {
+		if err := os.RemoveAll(r.dir); err != nil {
+			return fmt.Errorf("leakprof: pruning archived sweep %s: %w", r.dir, err)
+		}
+	}
+	return nil
 }

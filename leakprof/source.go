@@ -2,6 +2,7 @@ package leakprof
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"time"
 
@@ -79,9 +80,25 @@ func (s endpointSource) Sweep(ctx context.Context, env *SweepEnv) error {
 			env.Fail(eps[i].Service, eps[i].Instance, err)
 			return
 		}
+		reportSalvage(env, eps[i].Service, eps[i].Instance, snap)
 		env.Emit(snap)
 	})
 	return ctx.Err()
+}
+
+// reportSalvage routes a scanned-but-resynced snapshot's malformed-member
+// count through Fail, mirroring the archive replay path: the instance is
+// still emitted (it counts in Profiles), but an instance chronically
+// serving partially corrupt dumps must show up in the sweep's error
+// accounting, not have its undercounted goroutines pass silently. The
+// error wraps gprofile.ErrSalvaged, which the engine exempts from
+// FailedByService: the instance was reachable, so salvage noise must
+// not eat a healthy service's error budget on the next sweep.
+func reportSalvage(env *SweepEnv, service, instance string, snap *gprofile.Snapshot) {
+	if snap.Malformed > 0 {
+		env.Fail(service, instance,
+			fmt.Errorf("leakprof: %w: skipped %d malformed goroutine members", gprofile.ErrSalvaged, snap.Malformed))
+	}
 }
 
 // Archive returns a Source replaying an on-disk sweep archive (the
@@ -166,6 +183,7 @@ func (s dumpSource) Sweep(ctx context.Context, env *SweepEnv) error {
 			env.Fail(d.Service, d.Instance, err)
 			continue
 		}
+		reportSalvage(env, d.Service, d.Instance, snap)
 		env.Emit(snap)
 	}
 	return nil

@@ -1,28 +1,88 @@
 package leakprof
 
 import (
+	"bufio"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/report"
 )
 
-// StateFileName is the journal file a StateStore keeps inside its
-// directory.
+// StateFileName is the v1 monolithic journal file: one JSON document
+// rewritten after every sweep. Opening a state dir that still carries one
+// loads it seamlessly; the next persisted sweep migrates it into the
+// segmented journal and removes it.
 const StateFileName = "state.json"
 
-// StateVersion is the current journal format version. A store refuses to
-// load a journal from the future rather than silently misreading it.
-const StateVersion = 1
+// StateManifestName is the segmented journal's manifest: a tiny pointer
+// document naming the first live segment. Compaction makes its fold
+// atomic by writing the new snapshot segment first and then swinging this
+// pointer; only segments at or after the pointer are live.
+const StateManifestName = "journal.json"
 
-// stateJournal is the on-disk form of a StateStore: one versioned JSON
-// document, written atomically after every sweep.
-type stateJournal struct {
+// StateVersion is the current journal format version: 2 is the segmented
+// append-only log (segment-NNNN.log frames plus the journal.json
+// manifest); 1 was the monolithic state.json. A store refuses to load a
+// journal from the future rather than silently misreading it, and
+// migrates v1 forward on the next sweep.
+const StateVersion = 2
+
+// Compaction defaults: the active segment rolls over past
+// DefaultStateSegmentBytes, and once more than DefaultStateMaxSegments
+// segments are live the store folds them into one snapshot segment.
+const (
+	DefaultStateSegmentBytes = int64(4 << 20)
+	DefaultStateMaxSegments  = 8
+)
+
+// maxFrameBytes bounds one journal frame; a length prefix beyond it is
+// treated as corruption rather than an allocation request.
+const maxFrameBytes = 1 << 30
+
+// frameHeaderSize is the per-frame framing overhead: a 4-byte big-endian
+// payload length followed by a 4-byte CRC-32 (IEEE) of the payload.
+const frameHeaderSize = 8
+
+// journalRecord is one frame's payload. A "delta" frame carries what one
+// sweep changed — the dirty bugs, the new trend observations, the sweep
+// outcome — and replays by accumulation; a "snapshot" frame carries the
+// whole state and replays by replacement, which is what makes compaction
+// (and its crash windows) safe: replaying old deltas and then a snapshot
+// yields exactly the snapshot's state.
+type journalRecord struct {
+	Kind    string                        `json:"kind"` // "delta" or "snapshot"
+	SavedAt time.Time                     `json:"saved_at"`
+	Bugs    []report.Bug                  `json:"bugs,omitempty"`
+	Trend   map[string][]TrendObservation `json:"trend,omitempty"`
+	Sweep   *SweepRecord                  `json:"sweep,omitempty"`
+}
+
+const (
+	recordDelta    = "delta"
+	recordSnapshot = "snapshot"
+)
+
+// stateManifest is the on-disk form of StateManifestName.
+type stateManifest struct {
+	FormatVersion int `json:"format_version"`
+	// BaseSegment is the first live segment. Segments below it are
+	// pre-compaction leftovers, deleted on open.
+	BaseSegment int `json:"base_segment"`
+}
+
+// stateJournalV1 is the legacy monolithic journal, kept for migration.
+type stateJournalV1 struct {
 	FormatVersion int                           `json:"format_version"`
 	SavedAt       time.Time                     `json:"saved_at"`
 	Bugs          []report.Bug                  `json:"bugs,omitempty"`
@@ -47,13 +107,27 @@ type SweepRecord struct {
 	FailedByService map[string]int `json:"failed_by_service,omitempty"`
 }
 
-// StateStore is the pipeline's durable memory: a versioned journal of the
-// bug database (filed findings), the cross-sweep trend history (with the
-// aggregator moments behind variance-aware verdicts), and the previous
-// sweep's outcome. The paper's workflow is a daily fleet sweep whose
-// value is history — bugs filed once, trends across days, budgets
-// informed by yesterday — so the journal is what makes a restarted
-// pipeline resume rather than start blind.
+// StateStore is the pipeline's durable memory: the bug database (filed
+// findings), the cross-sweep trend history (with the aggregator moments
+// behind variance-aware verdicts), and the previous sweep's outcome. The
+// paper's workflow is a daily fleet sweep whose value is history — bugs
+// filed once, trends across days, budgets informed by yesterday — so the
+// journal is what makes a restarted pipeline resume rather than start
+// blind.
+//
+// On disk the store is a segmented append-only log. Every recorded sweep
+// appends one length-prefixed, CRC-checksummed JSON frame — the sweep's
+// delta — to the active segment-NNNN.log, so the per-sweep write cost is
+// proportional to what the sweep changed, not to every key ever tracked.
+// Recovery replays segments in order; a torn tail frame (a crash mid-
+// append) is truncated rather than failing the open, losing at most the
+// in-flight sweep. When the active segment outgrows its size bound the
+// store rolls to the next segment, and once more than a bounded number
+// of segments are live it compacts: the full state is written as one
+// snapshot frame into a fresh segment, the journal.json manifest pointer
+// swings to it atomically, and the old segments are deleted. A state dir
+// still holding the v1 monolithic state.json opens seamlessly and is
+// migrated to segments by the next persisted sweep.
 //
 // Open a store, wire its BugDB and Tracker into the sinks, and attach it
 // to the pipeline:
@@ -65,55 +139,473 @@ type SweepRecord struct {
 //		&leakprof.TrendSink{Tracker: store.Tracker()},
 //	)
 //
-// (Pipeline.State returns the same store the pipeline opened, so the
-// explicit OpenStateStore call is optional.) After every sweep the
-// pipeline records the outcome and rewrites the journal atomically —
-// temp file plus rename — so a crash mid-save leaves the previous
-// journal intact, never a torn one.
+// (Pipeline.State returns the same store the pipeline opened — with the
+// pipeline's clock, compaction thresholds, and trend retention wired in —
+// so the explicit OpenStateStore call is optional.)
 type StateStore struct {
 	dir string
+	now func() time.Time
+
+	segmentBytes int64 // roll the active segment beyond this size
+	maxSegments  int   // compact once more than this many segments are live
 
 	mu      sync.Mutex
 	db      *report.DB
 	tracker *TrendTracker
 	last    *SweepRecord
+
+	base       int      // first live segment (manifest pointer; 0 = none)
+	activeSeq  int      // highest live segment, where appends go (0 = none yet)
+	active     *os.File // open append handle for the active segment
+	activeSize int64
+	segCount   int   // live segments on disk
+	legacy     bool  // a v1 state.json is loaded/stale; next persist compacts it away
+	appended   int64 // total frame bytes appended since open (telemetry)
 }
 
-// OpenStateStore creates dir if needed and loads its journal. The
+// StateOption tunes a StateStore at open time.
+type StateOption func(*StateStore)
+
+// StateClock injects the store's timestamp source, used to stamp every
+// journal frame's SavedAt. The pipeline passes its own clock through, so
+// a run under a fake WithClock clock produces deterministic journal
+// timestamps.
+func StateClock(now func() time.Time) StateOption {
+	return func(s *StateStore) {
+		if now != nil {
+			s.now = now
+		}
+	}
+}
+
+// StateCompaction sets the journal's compaction thresholds: the active
+// segment rolls over once it exceeds segmentBytes, and a fold into one
+// snapshot segment runs once more than maxSegments segments are live.
+// Non-positive values keep the defaults.
+func StateCompaction(segmentBytes int64, maxSegments int) StateOption {
+	return func(s *StateStore) {
+		if segmentBytes > 0 {
+			s.segmentBytes = segmentBytes
+		}
+		if maxSegments > 0 {
+			s.maxSegments = maxSegments
+		}
+	}
+}
+
+// StateTrendRetention bounds the trend history to the last n observations
+// per key. The window is honored everywhere: verdicts and exports see at
+// most n observations, restores trim longer histories, and compaction
+// rewrites the journal without the trimmed past, so the state dir stops
+// growing with the age of the deployment. Zero keeps unlimited history.
+func StateTrendRetention(n int) StateOption {
+	return func(s *StateStore) {
+		if n > 0 {
+			s.tracker.Retention = n
+		}
+	}
+}
+
+// OpenStateStore creates dir if needed and recovers its journal. The
 // returned store's BugDB and Tracker are pre-seeded with everything the
-// journal recorded; a missing journal yields an empty store. A corrupt
-// or future-versioned journal is an error — silently discarding filed
-// bugs would re-alert every owner on the next sweep.
-func OpenStateStore(dir string) (*StateStore, error) {
+// journal recorded; a missing journal yields an empty store, and a v1
+// state.json is loaded for migration. A corrupt or future-versioned
+// journal is an error — silently discarding filed bugs would re-alert
+// every owner on the next sweep — with one deliberate exception: a torn
+// tail frame in the active segment (a crash mid-append) is truncated, so
+// recovery loses at most the in-flight sweep.
+func OpenStateStore(dir string, opts ...StateOption) (*StateStore, error) {
 	if dir == "" {
 		return nil, errors.New("leakprof: state dir must be non-empty")
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("leakprof: creating state dir %s: %w", dir, err)
 	}
-	s := &StateStore{dir: dir, db: report.NewDB(), tracker: &TrendTracker{}}
-	body, err := os.ReadFile(s.path())
+	s := &StateStore{
+		dir:          dir,
+		now:          time.Now,
+		segmentBytes: DefaultStateSegmentBytes,
+		maxSegments:  DefaultStateMaxSegments,
+		db:           report.NewDB(),
+		tracker:      &TrendTracker{},
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	// Arm the tracker's delta export before any observation is recorded:
+	// this store is the journal that drains it.
+	s.tracker.TakeNew()
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// recover loads the on-disk journal into the store: manifest, leftover
+// deletion, segment replay (with tail truncation), and the v1 fallback.
+func (s *StateStore) recover() error {
+	manifest, err := s.readManifest()
+	if err != nil {
+		return err
+	}
+	if manifest != nil {
+		s.base = manifest.BaseSegment
+	}
+	seqs, err := s.listSegments()
+	if err != nil {
+		return err
+	}
+	// Segments below the manifest pointer are pre-compaction leftovers —
+	// the fold completed (the pointer only swings after the snapshot
+	// segment is durable) but the crash hit before their deletion.
+	var live []int
+	for _, seq := range seqs {
+		if seq < s.base {
+			os.Remove(s.segmentPath(seq))
+			continue
+		}
+		live = append(live, seq)
+	}
+	if s.base == 0 && len(live) > 0 {
+		s.base = live[0]
+	}
+	if len(live) == 0 {
+		if manifest != nil {
+			return fmt.Errorf("leakprof: state manifest %s points at segment %d but its segments are missing",
+				filepath.Join(s.dir, StateManifestName), s.base)
+		}
+		return s.loadV1()
+	}
+	for i, seq := range live {
+		if err := s.replaySegment(seq, i == len(live)-1); err != nil {
+			return err
+		}
+	}
+	s.activeSeq = live[len(live)-1]
+	s.segCount = len(live)
+	if fi, err := os.Stat(s.segmentPath(s.activeSeq)); err == nil {
+		s.activeSize = fi.Size()
+	}
+	// A v1 state.json alongside segments is a migration interrupted
+	// after the fold became durable; the segments win, and the stale
+	// file goes with the next compaction.
+	if _, err := os.Stat(filepath.Join(s.dir, StateFileName)); err == nil {
+		s.legacy = true
+	}
+	return nil
+}
+
+// loadV1 loads the legacy monolithic state.json, marking the store for
+// migration: the next persisted sweep compacts the whole state into the
+// first snapshot segment and removes the file.
+func (s *StateStore) loadV1() error {
+	path := filepath.Join(s.dir, StateFileName)
+	body, err := os.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
-		return s, nil
+		return nil
 	}
 	if err != nil {
-		return nil, fmt.Errorf("leakprof: reading state journal: %w", err)
+		return fmt.Errorf("leakprof: reading state journal: %w", err)
 	}
-	var j stateJournal
+	var j stateJournalV1
 	if err := json.Unmarshal(body, &j); err != nil {
-		return nil, fmt.Errorf("leakprof: decoding state journal %s: %w", s.path(), err)
+		return fmt.Errorf("leakprof: decoding state journal %s: %w", path, err)
 	}
-	if j.FormatVersion > StateVersion {
-		return nil, fmt.Errorf("leakprof: state journal %s has format version %d, newer than supported %d",
-			s.path(), j.FormatVersion, StateVersion)
+	if j.FormatVersion > 1 {
+		return fmt.Errorf("leakprof: state journal %s has format version %d; monolithic journals end at version 1 (current format %d is segmented)",
+			path, j.FormatVersion, StateVersion)
 	}
 	s.db.Restore(j.Bugs)
 	s.tracker.Restore(j.Trend)
 	s.last = j.LastSweep
-	return s, nil
+	s.legacy = true
+	return nil
 }
 
-func (s *StateStore) path() string { return filepath.Join(s.dir, StateFileName) }
+func (s *StateStore) readManifest() (*stateManifest, error) {
+	path := filepath.Join(s.dir, StateManifestName)
+	body, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("leakprof: reading state manifest: %w", err)
+	}
+	var m stateManifest
+	if err := json.Unmarshal(body, &m); err != nil {
+		return nil, fmt.Errorf("leakprof: decoding state manifest %s: %w", path, err)
+	}
+	if m.FormatVersion > StateVersion {
+		return nil, fmt.Errorf("leakprof: state manifest %s has format version %d, newer than supported %d",
+			path, m.FormatVersion, StateVersion)
+	}
+	if m.BaseSegment <= 0 {
+		return nil, fmt.Errorf("leakprof: state manifest %s has invalid base segment %d", path, m.BaseSegment)
+	}
+	return &m, nil
+}
+
+func (s *StateStore) writeManifest(base int) error {
+	body, err := json.Marshal(&stateManifest{FormatVersion: StateVersion, BaseSegment: base})
+	if err != nil {
+		return fmt.Errorf("leakprof: encoding state manifest: %w", err)
+	}
+	tmp, err := os.CreateTemp(s.dir, ".journal-*")
+	if err != nil {
+		return fmt.Errorf("leakprof: staging state manifest: %w", err)
+	}
+	_, werr := tmp.Write(append(body, '\n'))
+	if serr := tmp.Sync(); werr == nil {
+		werr = serr
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), filepath.Join(s.dir, StateManifestName))
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("leakprof: writing state manifest: %w", werr)
+	}
+	return nil
+}
+
+func (s *StateStore) segmentPath(seq int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("segment-%04d.log", seq))
+}
+
+// listSegments returns the sequence numbers of every segment file in the
+// state dir, ascending.
+func (s *StateStore) listSegments() ([]int, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("leakprof: reading state dir %s: %w", s.dir, err)
+	}
+	var seqs []int
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		rest, ok := strings.CutPrefix(e.Name(), "segment-")
+		if !ok {
+			continue
+		}
+		rest, ok = strings.CutSuffix(rest, ".log")
+		if !ok {
+			continue
+		}
+		if n, err := strconv.Atoi(rest); err == nil && n > 0 {
+			seqs = append(seqs, n)
+		}
+	}
+	sort.Ints(seqs)
+	return seqs, nil
+}
+
+// errTornFrame marks a frame consistent with a crash mid-append: it
+// ends at (or claims to extend past) the end of the segment.
+var errTornFrame = errors.New("torn journal frame")
+
+// errCorruptFrame marks a frame that fails its checksum while complete
+// frames follow it: that cannot be a torn append (the store is a single
+// O_APPEND writer, so only the final frame can be half-written) — it is
+// bit rot over durable data, and truncating it would silently discard
+// the valid frames behind it.
+var errCorruptFrame = errors.New("corrupt journal frame")
+
+// replaySegment replays one segment's frames into the in-memory state.
+// In the final (active) segment a torn tail frame — one that stops at
+// end-of-file — is truncated away, everything before it already
+// replayed. A checksum-failed frame with data after it, or any bad
+// frame in an earlier segment, is corruption and fails the open:
+// compaction is the only path that removes old segments, and it never
+// leaves a torn one behind the manifest pointer.
+func (s *StateStore) replaySegment(seq int, isLast bool) error {
+	path := s.segmentPath(seq)
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("leakprof: opening journal segment: %w", err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("leakprof: sizing journal segment: %w", err)
+	}
+	size := fi.Size()
+	br := bufio.NewReader(f)
+	var off int64
+	for {
+		payload, n, err := readFrame(br, size-off)
+		if err == io.EOF {
+			return nil
+		}
+		if errors.Is(err, errTornFrame) {
+			if !isLast {
+				return fmt.Errorf("leakprof: journal segment %s: %w at offset %d (not the active segment; refusing to guess)", path, err, off)
+			}
+			if terr := os.Truncate(path, off); terr != nil {
+				return fmt.Errorf("leakprof: truncating torn journal tail in %s: %w", path, terr)
+			}
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("leakprof: journal segment %s at offset %d: %w", path, off, err)
+		}
+		var rec journalRecord
+		if derr := json.Unmarshal(payload, &rec); derr != nil {
+			// The checksum matched, so this is not torn — it is a frame
+			// this version cannot understand.
+			return fmt.Errorf("leakprof: journal segment %s: decoding frame at offset %d: %w", path, off, derr)
+		}
+		if aerr := s.applyRecord(&rec); aerr != nil {
+			return fmt.Errorf("leakprof: journal segment %s: %w", path, aerr)
+		}
+		off += n
+	}
+}
+
+// applyRecord folds one replayed frame into the in-memory state.
+func (s *StateStore) applyRecord(rec *journalRecord) error {
+	switch rec.Kind {
+	case recordSnapshot:
+		// Replacement semantics: a snapshot resets state before applying,
+		// which makes replaying "old deltas, then the snapshot that folded
+		// them" idempotent — the property mid-compaction crash recovery
+		// leans on.
+		s.db = report.NewDB()
+		s.db.Restore(rec.Bugs)
+		s.tracker.reset()
+		s.tracker.Restore(rec.Trend)
+		s.last = rec.Sweep
+	case recordDelta:
+		s.db.Restore(rec.Bugs)
+		s.tracker.restoreDelta(rec.Trend)
+		if rec.Sweep != nil {
+			s.last = rec.Sweep
+		}
+	default:
+		return fmt.Errorf("unknown journal record kind %q", rec.Kind)
+	}
+	return nil
+}
+
+// readFrame decodes one frame from br, with remaining the bytes left in
+// the segment from the frame's start. It returns (payload, total frame
+// length, error): io.EOF means a clean segment end, errTornFrame a frame
+// that stops at end-of-file (a crash mid-append), and errCorruptFrame a
+// checksum failure with data following it (bit rot, not a torn tail).
+// A frame whose claimed length extends past the end of the segment is
+// torn by construction, so no allocation is made for it — a corrupt
+// length prefix must not become a gigabyte allocation during recovery.
+func readFrame(br *bufio.Reader, remaining int64) ([]byte, int64, error) {
+	var header [frameHeaderSize]byte
+	if _, err := io.ReadFull(br, header[:]); err != nil {
+		if err == io.EOF {
+			return nil, 0, io.EOF
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, 0, errTornFrame
+		}
+		return nil, 0, err
+	}
+	length := binary.BigEndian.Uint32(header[0:4])
+	sum := binary.BigEndian.Uint32(header[4:8])
+	frameLen := frameHeaderSize + int64(length)
+	if length == 0 || length > maxFrameBytes {
+		return nil, 0, fmt.Errorf("%w: implausible frame length %d", errTornFrame, length)
+	}
+	if frameLen > remaining {
+		return nil, 0, fmt.Errorf("%w: frame of %d bytes extends past end of segment", errTornFrame, frameLen)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, 0, errTornFrame
+		}
+		return nil, 0, err
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		if frameLen == remaining {
+			// The damaged frame is the segment's last: a torn append.
+			return nil, 0, fmt.Errorf("%w: checksum mismatch on the tail frame", errTornFrame)
+		}
+		return nil, 0, fmt.Errorf("%w: checksum mismatch with %d bytes of journal following", errCorruptFrame, remaining-frameLen)
+	}
+	return payload, frameLen, nil
+}
+
+// encodeFrame renders one record as a framed, checksummed byte slice.
+func encodeFrame(rec *journalRecord) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("leakprof: encoding journal record: %w", err)
+	}
+	if len(payload) > maxFrameBytes {
+		return nil, fmt.Errorf("leakprof: journal record of %d bytes exceeds frame bound", len(payload))
+	}
+	frame := make([]byte, frameHeaderSize+len(payload))
+	binary.BigEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[frameHeaderSize:], payload)
+	return frame, nil
+}
+
+// openActive ensures the active segment is open for appending, rolling to
+// a fresh segment when the current one has outgrown its size bound.
+func (s *StateStore) openActive(incoming int64) error {
+	// Roll on size whether or not the handle is open: after a restart the
+	// recovered active segment may already be at its bound.
+	if s.activeSeq > 0 && s.activeSize > 0 && s.activeSize+incoming > s.segmentBytes {
+		if s.active != nil {
+			s.active.Close()
+			s.active = nil
+		}
+		s.activeSeq++
+		s.activeSize = 0
+		s.segCount++
+	}
+	if s.active != nil {
+		return nil
+	}
+	if s.activeSeq == 0 {
+		s.activeSeq = 1
+		s.segCount = 1
+		if s.base == 0 {
+			s.base = 1
+		}
+	}
+	f, err := os.OpenFile(s.segmentPath(s.activeSeq), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("leakprof: opening journal segment: %w", err)
+	}
+	if fi, err := f.Stat(); err == nil {
+		s.activeSize = fi.Size()
+	}
+	s.active = f
+	return nil
+}
+
+// appendRecord appends one framed record to the active segment and syncs
+// it durable.
+func (s *StateStore) appendRecord(rec *journalRecord) error {
+	frame, err := encodeFrame(rec)
+	if err != nil {
+		return err
+	}
+	if err := s.openActive(int64(len(frame))); err != nil {
+		return err
+	}
+	if _, err := s.active.Write(frame); err != nil {
+		return fmt.Errorf("leakprof: appending journal frame: %w", err)
+	}
+	if err := s.active.Sync(); err != nil {
+		return fmt.Errorf("leakprof: syncing journal segment: %w", err)
+	}
+	s.activeSize += int64(len(frame))
+	s.appended += int64(len(frame))
+	return nil
+}
 
 // Dir returns the store's directory.
 func (s *StateStore) Dir() string { return s.dir }
@@ -128,6 +620,20 @@ func (s *StateStore) BugDB() *report.DB { return s.db }
 // moments after a restart. Tune MinObservations/StableBand on the
 // returned tracker before the first sweep.
 func (s *StateStore) Tracker() *TrendTracker { return s.tracker }
+
+// Close releases the active segment handle. Open stores persist through
+// process exit without it; call it when a store's lifetime ends before
+// the process does (tests, long-lived embedders reopening dirs).
+func (s *StateStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.active == nil {
+		return nil
+	}
+	err := s.active.Close()
+	s.active = nil
+	return err
+}
 
 // LastSweep returns a copy of the journaled previous sweep outcome, or
 // nil when no sweep has been recorded.
@@ -153,12 +659,17 @@ func (s *StateStore) LastFailureCounts() map[string]int {
 	return copyCounts(s.last.FailedByService)
 }
 
-// RecordSweep journals one completed sweep — outcome record, bug DB, and
-// trend history — and persists atomically. The pipeline calls it after
-// the sweep's sinks have drained, so the journal always reflects what
-// the sinks saw.
+// RecordSweep journals one completed sweep by appending a single delta
+// frame: the bugs the sweep filed or re-sighted (report.DB.TakeDirty),
+// the trend observations it added (TrendTracker.TakeNew), and the sweep
+// outcome. The pipeline calls it after the sweep's sinks have drained,
+// so the journal always reflects what the sinks saw — and the write cost
+// is O(the sweep's findings), not O(every key ever tracked). Crossing
+// the segment-count threshold (or a pending v1 migration) triggers a
+// compaction.
 func (s *StateStore) RecordSweep(sweep *Sweep) error {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.last = &SweepRecord{
 		At:              sweep.At,
 		Source:          sweep.Source,
@@ -167,43 +678,140 @@ func (s *StateStore) RecordSweep(sweep *Sweep) error {
 		Findings:        len(sweep.Findings),
 		FailedByService: copyCounts(sweep.FailedByService),
 	}
-	s.mu.Unlock()
-	return s.Save()
-}
-
-// Save rewrites the journal atomically: the new journal is staged as a
-// temp file in the state dir and renamed over the old one, so a reader
-// (or a crash) never observes a torn journal.
-func (s *StateStore) Save() error {
-	s.mu.Lock()
-	j := stateJournal{
-		FormatVersion: StateVersion,
-		SavedAt:       time.Now(),
-		Bugs:          s.db.All(),
-		Trend:         s.tracker.Export(),
-		LastSweep:     s.last,
+	if s.legacy {
+		// First persist after a v1 load: fold everything — the migrated
+		// state plus this sweep — into the first snapshot segment and
+		// retire state.json. One-time, then deltas take over.
+		return s.compactLocked()
 	}
-	s.mu.Unlock()
-	body, err := json.MarshalIndent(&j, "", "  ")
-	if err != nil {
-		return fmt.Errorf("leakprof: encoding state journal: %w", err)
+	rec := &journalRecord{
+		Kind:    recordDelta,
+		SavedAt: s.now(),
+		Bugs:    s.db.TakeDirty(),
+		Trend:   s.tracker.TakeNew(),
+		Sweep:   s.last,
 	}
-	tmp, err := os.CreateTemp(s.dir, ".state-*")
-	if err != nil {
-		return fmt.Errorf("leakprof: staging state journal: %w", err)
+	if err := s.appendRecord(rec); err != nil {
+		// The frame never became durable; hand the drained delta back so
+		// a later append (or compaction) still journals it — otherwise a
+		// transient disk error would silently drop this sweep's filings
+		// from the journal forever.
+		keys := make([]string, len(rec.Bugs))
+		for i, b := range rec.Bugs {
+			keys[i] = b.Key
+		}
+		s.db.MarkDirty(keys...)
+		s.tracker.requeueNew(rec.Trend)
+		return err
 	}
-	_, werr := tmp.Write(append(body, '\n'))
-	if cerr := tmp.Close(); werr == nil {
-		werr = cerr
-	}
-	if werr == nil {
-		werr = os.Rename(tmp.Name(), s.path())
-	}
-	if werr != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("leakprof: writing state journal: %w", werr)
+	if s.segCount > s.maxSegments {
+		return s.compactLocked()
 	}
 	return nil
+}
+
+// Save persists the full state as a snapshot, compacting the journal to
+// a single segment. The per-sweep path is RecordSweep, which appends only
+// the sweep's delta; Save is the explicit checkpoint for embedders that
+// mutate the BugDB or Tracker outside a sweep (status transitions from a
+// bug-tracker webhook, say) and want the journal caught up now.
+func (s *StateStore) Save() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compactLocked()
+}
+
+// Compact folds the live segments into one snapshot segment: the full
+// state is appended as a single snapshot frame to a fresh segment, the
+// manifest pointer swings to it atomically, and the old segments (and any
+// migrated v1 state.json) are deleted. A crash before the pointer swing
+// leaves the old segments live and the half-written snapshot as a torn
+// tail to truncate; a crash after it leaves only already-folded leftovers
+// to sweep up — either way, recovery loses at most the in-flight sweep.
+func (s *StateStore) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compactLocked()
+}
+
+func (s *StateStore) compactLocked() error {
+	rec := &journalRecord{
+		Kind:    recordSnapshot,
+		SavedAt: s.now(),
+		Bugs:    s.db.All(),
+		Trend:   s.tracker.Export(),
+		Sweep:   s.last,
+	}
+	frame, err := encodeFrame(rec)
+	if err != nil {
+		return err
+	}
+	oldBase, newSeq := s.base, s.activeSeq+1
+	if newSeq <= 0 {
+		newSeq = 1
+	}
+	if s.active != nil {
+		s.active.Close()
+		s.active = nil
+	}
+	f, err := os.OpenFile(s.segmentPath(newSeq), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("leakprof: creating snapshot segment: %w", err)
+	}
+	_, werr := f.Write(frame)
+	if serr := f.Sync(); werr == nil {
+		werr = serr
+	}
+	if werr != nil {
+		f.Close()
+		os.Remove(s.segmentPath(newSeq))
+		return fmt.Errorf("leakprof: writing snapshot segment: %w", werr)
+	}
+	// The snapshot is durable; swing the manifest pointer. Everything
+	// before this line crashing leaves the previous segments live.
+	if err := s.writeManifest(newSeq); err != nil {
+		// Remove the orphan snapshot: the pointer never swung, so leaving
+		// it on disk would make the next open replay it *after* (and so
+		// over) every delta appended to the still-live segments meanwhile.
+		f.Close()
+		os.Remove(s.segmentPath(newSeq))
+		return err
+	}
+	// The fold is durable. The snapshot subsumes any un-taken deltas;
+	// drain them now (and only now — a failed fold must leave them
+	// pending for the next persist) so RecordSweep does not journal them
+	// twice.
+	s.db.TakeDirty()
+	s.tracker.TakeNew()
+	for seq := oldBase; seq < newSeq; seq++ {
+		if seq > 0 {
+			os.Remove(s.segmentPath(seq))
+		}
+	}
+	if s.legacy {
+		os.Remove(filepath.Join(s.dir, StateFileName))
+		s.legacy = false
+	}
+	s.base, s.activeSeq = newSeq, newSeq
+	s.active, s.activeSize = f, int64(len(frame))
+	s.segCount = 1
+	s.appended += int64(len(frame))
+	return nil
+}
+
+// journalBytesAppended returns the total frame bytes this store has
+// appended since open — the benchmark's per-sweep persistence cost probe.
+func (s *StateStore) journalBytesAppended() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appended
+}
+
+// SegmentCount returns the number of live journal segments.
+func (s *StateStore) SegmentCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.segCount
 }
 
 func copyCounts(m map[string]int) map[string]int {

@@ -1,13 +1,17 @@
 package leakprof
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"reflect"
+	"sort"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -305,30 +309,59 @@ func TestSweepArchiveReplayUsesManifestTimestamps(t *testing.T) {
 }
 
 // TestStateStoreJournalSafety pins the journal's failure modes: corrupt
-// and future-versioned journals refuse to load (silently dropping filed
-// bugs would re-page every owner), and saves are atomic.
+// and future-versioned manifests and legacy journals refuse to load
+// (silently dropping filed bugs would re-page every owner), a manifest
+// pointing at missing segments refuses, and saves leave no staging
+// litter behind.
 func TestStateStoreJournalSafety(t *testing.T) {
 	dir := t.TempDir()
-	journal := filepath.Join(dir, StateFileName)
+	legacy := filepath.Join(dir, StateFileName)
+	manifest := filepath.Join(dir, StateManifestName)
 
-	if err := os.WriteFile(journal, []byte("{torn"), 0o644); err != nil {
+	if err := os.WriteFile(legacy, []byte("{torn"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := OpenStateStore(dir); err == nil {
-		t.Error("corrupt journal must not load silently")
+		t.Error("corrupt v1 journal must not load silently")
 	}
-
-	future, _ := json.Marshal(map[string]any{"format_version": StateVersion + 1})
-	if err := os.WriteFile(journal, future, 0o644); err != nil {
+	futureV1, _ := json.Marshal(map[string]any{"format_version": StateVersion + 1})
+	if err := os.WriteFile(legacy, futureV1, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := OpenStateStore(dir); err == nil || !strings.Contains(err.Error(), "format version") {
-		t.Errorf("future journal error = %v", err)
+		t.Errorf("future v1 journal error = %v", err)
 	}
-
-	if err := os.Remove(journal); err != nil {
+	if err := os.Remove(legacy); err != nil {
 		t.Fatal(err)
 	}
+
+	if err := os.WriteFile(manifest, []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStateStore(dir); err == nil {
+		t.Error("corrupt manifest must not load silently")
+	}
+	future, _ := json.Marshal(map[string]any{"format_version": StateVersion + 1, "base_segment": 1})
+	if err := os.WriteFile(manifest, future, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStateStore(dir); err == nil || !strings.Contains(err.Error(), "format version") {
+		t.Errorf("future manifest error = %v", err)
+	}
+	// A manifest pointing at segments that do not exist means the state
+	// was lost out from under the journal; refusing beats resurrecting
+	// an empty store that re-alerts every owner.
+	valid, _ := json.Marshal(map[string]any{"format_version": StateVersion, "base_segment": 3})
+	if err := os.WriteFile(manifest, valid, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStateStore(dir); err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Errorf("dangling manifest error = %v", err)
+	}
+	if err := os.Remove(manifest); err != nil {
+		t.Fatal(err)
+	}
+
 	store, err := OpenStateStore(dir)
 	if err != nil {
 		t.Fatal(err)
@@ -336,19 +369,753 @@ func TestStateStoreJournalSafety(t *testing.T) {
 	if err := store.Save(); err != nil {
 		t.Fatal(err)
 	}
-	// No staging temp files left behind, and the journal round-trips.
+	store.Close()
+	// Exactly the snapshot segment and the manifest — no staging temp
+	// files left behind — and the journal round-trips.
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(entries) != 1 || entries[0].Name() != StateFileName {
-		names := make([]string, len(entries))
-		for i, e := range entries {
-			names[i] = e.Name()
-		}
-		t.Errorf("state dir contents = %v, want only %s", names, StateFileName)
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	want := []string{StateManifestName, "segment-0001.log"}
+	if !reflect.DeepEqual(names, want) {
+		t.Errorf("state dir contents = %v, want %v", names, want)
 	}
 	if _, err := OpenStateStore(dir); err != nil {
 		t.Errorf("freshly saved journal failed to load: %v", err)
+	}
+}
+
+// --- segmented-journal test helpers -----------------------------------
+
+// readJournalFrames decodes every frame in one segment file.
+func readJournalFrames(t *testing.T, path string) []journalRecord {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	remaining := fi.Size()
+	br := bufio.NewReader(f)
+	var out []journalRecord
+	for {
+		payload, n, err := readFrame(br, remaining)
+		if err == io.EOF {
+			return out
+		}
+		remaining -= n
+		if err != nil {
+			t.Fatalf("frame in %s: %v", path, err)
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, rec)
+	}
+}
+
+// svcKey is the finding key journalSweep files bugs and trend under.
+func svcKey(loc string) string {
+	return (&Finding{Service: "svc", Op: "send", Location: loc}).Key()
+}
+
+// journalSweep drives one synthetic sweep through a store: file the
+// given bug keys, observe them as trend totals, and record the outcome.
+func journalSweep(t *testing.T, store *StateStore, day int, keys map[string]int) {
+	t.Helper()
+	at := time.Unix(0, 0).Add(time.Duration(day) * 24 * time.Hour)
+	var findings []*Finding
+	for loc, total := range keys {
+		f := &Finding{Service: "svc", Op: "send", Location: loc, TotalBlocked: total}
+		store.BugDB().File(report.Bug{Key: f.Key(), Service: "svc", Op: "send", Location: loc, FiledAt: at})
+		findings = append(findings, f)
+	}
+	store.Tracker().Observe(at, findings)
+	if err := store.RecordSweep(&Sweep{At: at, Source: "test", Profiles: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStateStoreDeltaAppend pins the tentpole property at the format
+// level: each recorded sweep appends exactly one frame carrying only
+// what the sweep changed, and recovery replays the frames back into the
+// full state.
+func TestStateStoreDeltaAppend(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenStateStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	journalSweep(t, store, 1, map[string]int{"/a.go:1": 100, "/b.go:2": 50})
+	journalSweep(t, store, 2, map[string]int{"/a.go:1": 120}) // re-sighting: only /a.go:1 changed
+	store.Close()
+
+	frames := readJournalFrames(t, store.segmentPath(1))
+	if len(frames) != 2 {
+		t.Fatalf("journal has %d frames, want 2 (one per sweep)", len(frames))
+	}
+	if frames[0].Kind != recordDelta || len(frames[0].Bugs) != 2 {
+		t.Errorf("frame 1 = %s with %d bugs, want delta with 2", frames[0].Kind, len(frames[0].Bugs))
+	}
+	// The second sweep touched one key; its frame must carry one bug —
+	// the delta — not the whole database.
+	if len(frames[1].Bugs) != 1 || frames[1].Bugs[0].Key != svcKey("/a.go:1") {
+		t.Errorf("frame 2 bugs = %+v, want only the re-sighted key", frames[1].Bugs)
+	}
+	if frames[1].Bugs[0].Sightings != 2 {
+		t.Errorf("re-sighted bug journaled with %d sightings, want 2", frames[1].Bugs[0].Sightings)
+	}
+	if len(frames[1].Trend) != 1 {
+		t.Errorf("frame 2 trend keys = %d, want 1", len(frames[1].Trend))
+	}
+
+	// Recovery accumulates the deltas back into the full state.
+	re, err := OpenStateStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if bug, ok := re.BugDB().Get(svcKey("/a.go:1")); !ok || bug.Sightings != 2 {
+		t.Errorf("recovered bug = %+v ok=%v, want 2 sightings", bug, ok)
+	}
+	if bug, ok := re.BugDB().Get(svcKey("/b.go:2")); !ok || bug.Sightings != 1 {
+		t.Errorf("recovered bug = %+v ok=%v, want 1 sighting", bug, ok)
+	}
+	if last := re.LastSweep(); last == nil || !last.At.Equal(time.Unix(0, 0).Add(48*time.Hour)) {
+		t.Errorf("recovered last sweep = %+v", last)
+	}
+	if got := len(re.Tracker().Export()[svcKey("/a.go:1")]); got != 2 {
+		t.Errorf("recovered trend history length = %d, want 2", got)
+	}
+}
+
+// TestStateStoreV1Migration proves a state dir written in the v1
+// monolithic format opens seamlessly and is migrated to segments by the
+// next recorded sweep, after which the v1 file is gone and a reopen sees
+// the union of migrated and new state.
+func TestStateStoreV1Migration(t *testing.T) {
+	dir := t.TempDir()
+	v1Key := svcKey("/old.go:1")
+	v1 := stateJournalV1{
+		FormatVersion: 1,
+		SavedAt:       time.Unix(1000, 0),
+		Bugs: []report.Bug{{
+			Key: v1Key, Service: "svc", Op: "send",
+			Location: "/old.go:1", Sightings: 3, Status: report.StatusAcknowledged,
+		}},
+		Trend: map[string][]TrendObservation{
+			v1Key: {
+				{At: time.Unix(0, 0), Total: 100},
+				{At: time.Unix(0, 0).Add(24 * time.Hour), Total: 100},
+			},
+		},
+		LastSweep: &SweepRecord{At: time.Unix(900, 0), Source: "v1", Profiles: 7,
+			FailedByService: map[string]int{"flaky": 2}},
+	}
+	body, err := json.MarshalIndent(&v1, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, StateFileName), body, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	store, err := OpenStateStore(dir)
+	if err != nil {
+		t.Fatalf("v1 journal failed to open: %v", err)
+	}
+	if bug, ok := store.BugDB().Get(v1Key); !ok || bug.Sightings != 3 || bug.Status != report.StatusAcknowledged {
+		t.Fatalf("migrated bug = %+v ok=%v", bug, ok)
+	}
+	if store.LastFailureCounts()["flaky"] != 2 {
+		t.Fatalf("migrated budget seed = %+v", store.LastFailureCounts())
+	}
+
+	// The next sweep migrates: segments + manifest appear, state.json goes.
+	journalSweep(t, store, 2, map[string]int{"/new.go:9": 40})
+	store.Close()
+	if _, err := os.Stat(filepath.Join(dir, StateFileName)); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("v1 state.json survived migration: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, StateManifestName)); err != nil {
+		t.Errorf("migration wrote no manifest: %v", err)
+	}
+	frames := readJournalFrames(t, store.segmentPath(store.activeSeq))
+	if len(frames) != 1 || frames[0].Kind != recordSnapshot {
+		t.Fatalf("migration frames = %+v, want one snapshot", frames)
+	}
+
+	re, err := OpenStateStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if bug, ok := re.BugDB().Get(v1Key); !ok || bug.Sightings != 3 {
+		t.Errorf("post-migration bug = %+v ok=%v", bug, ok)
+	}
+	if _, ok := re.BugDB().Get(svcKey("/new.go:9")); !ok {
+		t.Error("post-migration sweep's bug lost")
+	}
+	if got := len(re.Tracker().Export()[v1Key]); got != 2 {
+		t.Errorf("post-migration trend history = %d observations, want 2", got)
+	}
+}
+
+// TestStateStoreTornTailRecovery proves recovery after a crash
+// mid-append: whatever tears the tail of the active segment — a partial
+// frame header, a frame cut short, an implausible length, a checksum
+// flip — the store reopens with at most the in-flight sweep lost, and
+// subsequent appends continue cleanly.
+func TestStateStoreTornTailRecovery(t *testing.T) {
+	tears := []struct {
+		name string
+		tear func(t *testing.T, path string)
+		// lostLast reports whether the final recorded sweep is lost (the
+		// tear damaged its frame) or only un-recorded garbage is lost.
+		lostLast bool
+	}{
+		{"partial-header", func(t *testing.T, path string) { appendBytes(t, path, []byte{0x00, 0x00, 0x01}) }, false},
+		{"truncated-payload", func(t *testing.T, path string) {
+			appendBytes(t, path, []byte{0x00, 0x00, 0x00, 0x64, 0xde, 0xad, 0xbe, 0xef, 'x', 'y'})
+		}, false},
+		{"implausible-length", func(t *testing.T, path string) {
+			appendBytes(t, path, []byte{0xff, 0xff, 0xff, 0xff, 0x00, 0x00, 0x00, 0x00, 'j', 'u', 'n', 'k'})
+		}, false},
+		{"checksum-flip", func(t *testing.T, path string) {
+			body, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			body[len(body)-2] ^= 0xff // corrupt the last frame's payload
+			if err := os.WriteFile(path, body, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}, true},
+	}
+	for _, tc := range tears {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			store, err := OpenStateStore(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			journalSweep(t, store, 1, map[string]int{"/a.go:1": 100})
+			journalSweep(t, store, 2, map[string]int{"/b.go:2": 50})
+			journalSweep(t, store, 3, map[string]int{"/c.go:3": 25})
+			store.Close()
+			tc.tear(t, store.segmentPath(1))
+
+			re, err := OpenStateStore(dir)
+			if err != nil {
+				t.Fatalf("torn tail failed recovery: %v", err)
+			}
+			if _, ok := re.BugDB().Get(svcKey("/a.go:1")); !ok {
+				t.Error("sweep 1 lost")
+			}
+			if _, ok := re.BugDB().Get(svcKey("/b.go:2")); !ok {
+				t.Error("sweep 2 lost")
+			}
+			_, gotThird := re.BugDB().Get(svcKey("/c.go:3"))
+			if gotThird == tc.lostLast {
+				t.Errorf("sweep 3 present = %v, want %v", gotThird, !tc.lostLast)
+			}
+			wantDay := 3
+			if tc.lostLast {
+				wantDay = 2
+			}
+			wantAt := time.Unix(0, 0).Add(time.Duration(wantDay) * 24 * time.Hour)
+			if last := re.LastSweep(); last == nil || !last.At.Equal(wantAt) {
+				t.Errorf("recovered last sweep = %+v, want day %d", last, wantDay)
+			}
+
+			// The truncated journal accepts appends again.
+			journalSweep(t, re, 4, map[string]int{"/d.go:4": 12})
+			re.Close()
+			re2, err := OpenStateStore(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer re2.Close()
+			if _, ok := re2.BugDB().Get(svcKey("/d.go:4")); !ok {
+				t.Error("post-recovery sweep lost")
+			}
+		})
+	}
+}
+
+func appendBytes(t *testing.T, path string, b []byte) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStateStoreMidCompactionCrash drives both compaction crash windows:
+// a crash before the manifest pointer swings (the half-written snapshot
+// segment is a torn tail; the old segments are still live) and a crash
+// after it (already-folded leftovers below the pointer are swept up).
+// Either way recovery loses nothing that was recorded.
+func TestStateStoreMidCompactionCrash(t *testing.T) {
+	// segmentBytes=1 forces every sweep into its own segment, the
+	// multi-segment layout compaction exists for.
+	open := func(dir string) *StateStore {
+		store, err := OpenStateStore(dir, StateCompaction(1, 100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return store
+	}
+	seed := func(dir string) *StateStore {
+		store := open(dir)
+		journalSweep(t, store, 1, map[string]int{"/a.go:1": 100})
+		journalSweep(t, store, 2, map[string]int{"/b.go:2": 50})
+		journalSweep(t, store, 3, map[string]int{"/c.go:3": 25})
+		if store.SegmentCount() != 3 {
+			t.Fatalf("seed segments = %d, want 3", store.SegmentCount())
+		}
+		return store
+	}
+	verify := func(t *testing.T, dir string) {
+		re, err := OpenStateStore(dir)
+		if err != nil {
+			t.Fatalf("recovery failed: %v", err)
+		}
+		defer re.Close()
+		for _, key := range []string{"/a.go:1", "/b.go:2", "/c.go:3"} {
+			if _, ok := re.BugDB().Get(svcKey(key)); !ok {
+				t.Errorf("recorded sweep for %s lost", key)
+			}
+		}
+		if last := re.LastSweep(); last == nil || !last.At.Equal(time.Unix(0, 0).Add(72*time.Hour)) {
+			t.Errorf("recovered last sweep = %+v", last)
+		}
+	}
+
+	t.Run("crash-before-pointer-swing", func(t *testing.T) {
+		dir := t.TempDir()
+		store := seed(dir)
+		store.Close()
+		// The snapshot segment was being written when the crash hit: a
+		// torn frame in a fresh segment, manifest still pointing at the
+		// old base.
+		appendBytes(t, store.segmentPath(4), []byte{0x00, 0x01, 0x02})
+		verify(t, dir)
+	})
+
+	t.Run("crash-after-pointer-swing", func(t *testing.T) {
+		dir := t.TempDir()
+		store := seed(dir)
+		if err := store.Compact(); err != nil {
+			t.Fatal(err)
+		}
+		if store.SegmentCount() != 1 {
+			t.Fatalf("post-compaction segments = %d, want 1", store.SegmentCount())
+		}
+		store.Close()
+		// The crash hit after the pointer swung but before the old
+		// segments were deleted: recreate one as a leftover.
+		appendBytes(t, store.segmentPath(2), []byte("stale pre-compaction garbage"))
+		verify(t, dir)
+		if _, err := os.Stat(store.segmentPath(2)); !errorsIsNotExist(err) {
+			t.Errorf("pre-compaction leftover survived recovery: %v", err)
+		}
+	})
+}
+
+func errorsIsNotExist(err error) bool { return errors.Is(err, os.ErrNotExist) }
+
+// TestStateStoreTrendRetention pins the retention acceptance criterion:
+// with retention N, no key holds more than N observations — in the live
+// tracker, in the compacted journal, and after recovery.
+func TestStateStoreTrendRetention(t *testing.T) {
+	const retention = 3
+	dir := t.TempDir()
+	store, err := OpenStateStore(dir, StateTrendRetention(retention))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for day := 1; day <= 7; day++ {
+		journalSweep(t, store, day, map[string]int{"/hot.go:1": 100 * day})
+	}
+	if got := len(store.Tracker().Export()[svcKey("/hot.go:1")]); got != retention {
+		t.Fatalf("live history = %d observations, want %d", got, retention)
+	}
+	if err := store.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	store.Close()
+
+	frames := readJournalFrames(t, store.segmentPath(store.activeSeq))
+	if len(frames) != 1 || frames[0].Kind != recordSnapshot {
+		t.Fatalf("compacted journal = %+v, want one snapshot frame", frames)
+	}
+	for key, obs := range frames[0].Trend {
+		if len(obs) > retention {
+			t.Errorf("compacted journal holds %d observations for %s, want <= %d", len(obs), key, retention)
+		}
+	}
+	// The retained window is the *most recent* N: the last observation
+	// must be day 7's total.
+	obs := frames[0].Trend[svcKey("/hot.go:1")]
+	if len(obs) == 0 || obs[len(obs)-1].Total != 700 {
+		t.Errorf("retained window = %+v, want it to end at total 700", obs)
+	}
+
+	re, err := OpenStateStore(dir, StateTrendRetention(retention))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := len(re.Tracker().Export()[svcKey("/hot.go:1")]); got != retention {
+		t.Errorf("recovered history = %d observations, want %d", got, retention)
+	}
+}
+
+// TestStateStoreCompactionThreshold proves the pipeline-visible loop:
+// deltas roll segments, crossing the segment bound compacts back to one
+// snapshot segment, and the fold loses nothing.
+func TestStateStoreCompactionThreshold(t *testing.T) {
+	dir := t.TempDir()
+	// Every frame rolls (segmentBytes=1); more than 3 live segments
+	// compacts.
+	store, err := OpenStateStore(dir, StateCompaction(1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for day := 1; day <= 4; day++ {
+		journalSweep(t, store, day, map[string]int{"/k.go:1": 10 * day})
+	}
+	// Sweep 4 pushed the journal past 3 segments and triggered the fold.
+	if got := store.SegmentCount(); got != 1 {
+		t.Errorf("segments after threshold crossing = %d, want 1 (compacted)", got)
+	}
+	journalSweep(t, store, 5, map[string]int{"/k.go:1": 50})
+	store.Close()
+
+	re, err := OpenStateStore(dir, StateCompaction(1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if bug, ok := re.BugDB().Get(svcKey("/k.go:1")); !ok || bug.Sightings != 5 {
+		t.Errorf("recovered bug = %+v ok=%v, want 5 sightings", bug, ok)
+	}
+	if got := len(re.Tracker().Export()[svcKey("/k.go:1")]); got != 5 {
+		t.Errorf("recovered history = %d observations, want 5", got)
+	}
+}
+
+// TestStateJournalStampsPipelineClock pins the deterministic-timestamps
+// satellite: a pipeline run under a fake clock journals frames whose
+// SavedAt comes from that clock, not the wall clock.
+func TestStateJournalStampsPipelineClock(t *testing.T) {
+	dir := t.TempDir()
+	fake := time.Unix(0, 0).Add(42 * 24 * time.Hour)
+	pipe := New(
+		WithThreshold(100),
+		WithStateDir(dir),
+		WithClock(func() time.Time { return fake }),
+	)
+	snaps := []*gprofile.Snapshot{{Service: "pay", Instance: "i1",
+		PreAggregated: map[stack.BlockedOp]int{{Op: "send", Function: "pay.leak", Location: "/pay/l.go:5"}: 500}}}
+	if _, err := pipe.Sweep(context.Background(), FromSnapshots(snaps)); err != nil {
+		t.Fatal(err)
+	}
+	store, err := pipe.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := readJournalFrames(t, store.segmentPath(store.activeSeq))
+	if len(frames) != 1 {
+		t.Fatalf("frames = %d, want 1", len(frames))
+	}
+	if !frames[0].SavedAt.Equal(fake) {
+		t.Errorf("journal SavedAt = %v, want the fake clock's %v", frames[0].SavedAt, fake)
+	}
+}
+
+// TestSweepArchiveRetention drives the archive max-sweeps knob: with
+// KeepSweeps(2), four recorded sweeps leave only the two newest
+// manifested subdirectories, while an unmanifested (in-progress or torn)
+// directory is never touched.
+func TestSweepArchiveRetention(t *testing.T) {
+	base := t.TempDir()
+	archive, err := NewSweepArchiveSink(base, KeepSweeps(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := time.Unix(0, 0)
+	pipe := New(WithThreshold(100), WithClock(func() time.Time { return day })).AddSinks(archive)
+	snaps := []*gprofile.Snapshot{{Service: "pay", Instance: "i1",
+		PreAggregated: map[stack.BlockedOp]int{{Op: "send", Function: "pay.leak", Location: "/pay/l.go:5"}: 500}}}
+
+	// An unfinalised sweep directory (profile members, no manifest):
+	// pruning must never delete it.
+	torn := filepath.Join(base, "sweep-0500")
+	if err := os.MkdirAll(torn, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(torn, "pay_i9.txt"), []byte("goroutine 1 [running]:\nmain.m()\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 4; i++ {
+		if _, err := pipe.Sweep(context.Background(), FromSnapshots(snaps)); err != nil {
+			t.Fatal(err)
+		}
+		day = day.Add(24 * time.Hour)
+	}
+
+	entries, err := os.ReadDir(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dirs []string
+	for _, e := range entries {
+		if e.IsDir() {
+			dirs = append(dirs, e.Name())
+		}
+	}
+	sort.Strings(dirs)
+	// The torn directory appeared after the sink was constructed, so
+	// rotation numbered the recorded sweeps 0001..0004; retention keeps
+	// the newest two manifested sweeps and never touches the torn dir.
+	want := []string{"sweep-0003", "sweep-0004", "sweep-0500"}
+	if !reflect.DeepEqual(dirs, want) {
+		t.Errorf("archive dirs after retention = %v, want %v", dirs, want)
+	}
+}
+
+// TestStateStoreFailedAppendRequeuesDelta pins the durability repair
+// contract: an append that never became durable hands its drained delta
+// back, so the next successful persist journals it rather than losing
+// the sweep's filings forever.
+func TestStateStoreFailedAppendRequeuesDelta(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenStateStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	journalSweep(t, store, 1, map[string]int{"/a.go:1": 100})
+
+	// Sabotage the active handle: a read-only fd makes the next append's
+	// write fail the way a yanked disk would.
+	broken, err := os.Open(store.segmentPath(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.active.Close()
+	store.active = broken
+
+	at := time.Unix(0, 0).Add(48 * time.Hour)
+	f := &Finding{Service: "svc", Op: "send", Location: "/b.go:2", TotalBlocked: 50}
+	store.BugDB().File(report.Bug{Key: f.Key(), Service: "svc", Op: "send", Location: "/b.go:2", FiledAt: at})
+	store.Tracker().Observe(at, []*Finding{f})
+	if err := store.RecordSweep(&Sweep{At: at, Source: "test", Profiles: 10}); err == nil {
+		t.Fatal("append through a read-only fd did not error")
+	}
+	// The failed frame's delta must be pending again.
+	if store.BugDB().DirtyCount() != 1 {
+		t.Fatalf("dirty keys after failed append = %d, want 1 (requeued)", store.BugDB().DirtyCount())
+	}
+
+	// Heal the handle; the next sweep journals the requeued delta too.
+	broken.Close()
+	store.active = nil
+	journalSweep(t, store, 3, map[string]int{"/c.go:3": 25})
+	store.Close()
+
+	re, err := OpenStateStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	for _, loc := range []string{"/a.go:1", "/b.go:2", "/c.go:3"} {
+		if _, ok := re.BugDB().Get(svcKey(loc)); !ok {
+			t.Errorf("bug for %s lost across the failed append", loc)
+		}
+	}
+	if got := len(re.Tracker().Export()[svcKey("/b.go:2")]); got != 1 {
+		t.Errorf("requeued trend observation journaled %d times, want 1", got)
+	}
+}
+
+// TestStateStoreFailedCompactionKeepsState pins the failed-fold repair
+// contract: a compaction that cannot swing the manifest removes its
+// orphan snapshot segment (which would otherwise replay over later
+// deltas) and leaves the un-folded delta pending.
+func TestStateStoreFailedCompactionKeepsState(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenStateStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	journalSweep(t, store, 1, map[string]int{"/a.go:1": 100})
+
+	// A directory squatting on the manifest name makes the atomic rename
+	// fail after the snapshot segment is fully written.
+	blocker := filepath.Join(dir, StateManifestName)
+	if err := os.Mkdir(blocker, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Compact(); err == nil {
+		t.Fatal("compaction renamed its manifest over a directory")
+	}
+	if _, serr := os.Stat(store.segmentPath(2)); !errors.Is(serr, os.ErrNotExist) {
+		t.Error("failed compaction left its orphan snapshot segment behind")
+	}
+
+	// Unblock and record another sweep: both sweeps must survive a
+	// reopen, proving no state was stranded in the failed fold.
+	if err := os.Remove(blocker); err != nil {
+		t.Fatal(err)
+	}
+	journalSweep(t, store, 2, map[string]int{"/b.go:2": 50})
+	store.Close()
+	re, err := OpenStateStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	for _, loc := range []string{"/a.go:1", "/b.go:2"} {
+		if _, ok := re.BugDB().Get(svcKey(loc)); !ok {
+			t.Errorf("bug for %s lost across the failed compaction", loc)
+		}
+	}
+}
+
+// TestSweepReportsSalvagedProfiles pins the live-collection half of the
+// resync satellite: a dump whose scan resynced past corrupt members is
+// emitted (Profiles) *and* lands in the sweep's error accounting (Fail),
+// matching the archive replay path's carve-out.
+func TestSweepReportsSalvagedProfiles(t *testing.T) {
+	torn := "goroutine 1 [chan send]:\npay.leak()\n\t/pay/l.go:5 +0x2b\n" +
+		"goroutine 99 [chan send:\ntorn.member()\n" +
+		"goroutine 2 [chan send]:\npay.leak()\n\t/pay/l.go:5 +0x2b\n"
+	pipe := New(WithThreshold(1))
+	sweep, err := pipe.Sweep(context.Background(), Dumps(Dump{Service: "pay", Instance: "i1", Body: strings.NewReader(torn)}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweep.Profiles != 1 || sweep.Errors != 1 {
+		t.Fatalf("sweep = %d profiles, %d errors; want 1 and 1 (salvaged counts in both)", sweep.Profiles, sweep.Errors)
+	}
+	if len(sweep.Failures) != 1 || !strings.Contains(sweep.Failures[0].Err.Error(), "1 malformed") {
+		t.Fatalf("failures = %+v, want one salvage report", sweep.Failures)
+	}
+	// The salvaged records still reached the aggregator.
+	if len(sweep.Findings) != 1 || sweep.Findings[0].TotalBlocked != 2 {
+		t.Fatalf("findings = %+v, want the 2 salvaged goroutines", sweep.Findings)
+	}
+}
+
+// TestStateStoreMidSegmentCorruptionRefuses pins the other half of the
+// torn-tail contract: a checksum failure with durable frames *after* it
+// cannot be a torn append, so recovery refuses instead of silently
+// truncating committed sweeps away.
+func TestStateStoreMidSegmentCorruption(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenStateStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	journalSweep(t, store, 1, map[string]int{"/a.go:1": 100})
+	firstFrameEnd, err := os.Stat(store.segmentPath(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	journalSweep(t, store, 2, map[string]int{"/b.go:2": 50})
+	store.Close()
+
+	// Flip a byte inside the *first* frame: valid frame 2 follows it.
+	body, err := os.ReadFile(store.segmentPath(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body[firstFrameEnd.Size()-2] ^= 0xff
+	if err := os.WriteFile(store.segmentPath(1), body, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStateStore(dir); err == nil || !strings.Contains(err.Error(), "corrupt journal frame") {
+		t.Errorf("mid-segment corruption open = %v, want a corrupt-frame refusal", err)
+	}
+}
+
+// TestSalvageDoesNotSeedErrorBudget pins the budget exemption: a sweep
+// whose only failures are salvage reports journals no per-service
+// failure counts, so the next sweep's error budget starts full.
+func TestSalvageDoesNotSeedErrorBudget(t *testing.T) {
+	torn := "goroutine 1 [chan send]:\npay.leak()\n\t/pay/l.go:5 +0x2b\n" +
+		"goroutine 99 [chan send:\ntorn.member()\n"
+	pipe := New(WithThreshold(1))
+	sweep, err := pipe.Sweep(context.Background(), Dumps(Dump{Service: "pay", Instance: "i1", Body: strings.NewReader(torn)}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweep.Errors != 1 || len(sweep.Failures) != 1 {
+		t.Fatalf("sweep = %d errors %d failures, want 1 and 1", sweep.Errors, len(sweep.Failures))
+	}
+	if !errors.Is(sweep.Failures[0].Err, gprofile.ErrSalvaged) {
+		t.Errorf("salvage failure not marked: %v", sweep.Failures[0].Err)
+	}
+	if len(sweep.FailedByService) != 0 {
+		t.Errorf("FailedByService = %+v, want empty (salvage is not downness)", sweep.FailedByService)
+	}
+}
+
+// TestSweepArchiveRetentionKeepsNewestRecording pins prune ordering:
+// recording *older* history (an archive replay) into a retained archive
+// must not delete the just-finalised sweep, because retention orders by
+// recording sequence, not manifested sweep time.
+func TestSweepArchiveRetentionKeepsNewestRecording(t *testing.T) {
+	base := t.TempDir()
+	archive, err := NewSweepArchiveSink(base, KeepSweeps(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := []*gprofile.Snapshot{{Service: "pay", Instance: "i1",
+		PreAggregated: map[stack.BlockedOp]int{{Op: "send", Function: "pay.leak", Location: "/pay/l.go:5"}: 500}}}
+	// Two sweeps recorded at day 100 and day 101, then a replayed sweep
+	// whose manifested time is day 1 — far older than everything else.
+	days := []time.Duration{100 * 24 * time.Hour, 101 * 24 * time.Hour, 24 * time.Hour}
+	var now time.Duration
+	pipe := New(WithThreshold(100), WithClock(func() time.Time { return time.Unix(0, 0).Add(now) })).AddSinks(archive)
+	for _, d := range days {
+		now = d
+		if _, err := pipe.Sweep(context.Background(), FromSnapshots(snaps)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dirs []string
+	for _, e := range entries {
+		dirs = append(dirs, e.Name())
+	}
+	sort.Strings(dirs)
+	// The day-1 recording is the newest rotation (sweep-0003): it and
+	// sweep-0002 survive; by-time pruning would have deleted it instead.
+	want := []string{"sweep-0002", "sweep-0003"}
+	if !reflect.DeepEqual(dirs, want) {
+		t.Errorf("retained dirs = %v, want %v (recording order)", dirs, want)
 	}
 }

@@ -79,8 +79,52 @@ type TrendTracker struct {
 	// StableBand is the relative fluctuation treated as flat; default
 	// 0.15 (±15%).
 	StableBand float64
+	// Retention bounds the history kept per key: only the most recent
+	// Retention observations survive an append, a restore, or a journal
+	// compaction, so daily sweeps stop growing tracker state (and the
+	// journal) without bound. Zero means unlimited. Verdicts, Export,
+	// and TakeNew all operate on the retained window — set it before
+	// the first observation or restore.
+	Retention int
 
 	history map[string][]observation
+	// pending holds the observations recorded since the last TakeNew:
+	// the per-sweep delta an append-only journal persists. Restored
+	// history is never pending — it came from the journal. Tracking is
+	// armed by the first TakeNew call (pendingArmed): a tracker no
+	// journal ever drains must not accumulate an unbounded second copy
+	// of every observation.
+	pending      map[string][]observation
+	pendingArmed bool
+}
+
+// retain trims obs to the tracker's retention window.
+func (t *TrendTracker) retain(obs []observation) []observation {
+	if t.Retention > 0 && len(obs) > t.Retention {
+		// Copy the tail so the backing array does not pin trimmed
+		// observations (and repeated appends do not grow it forever).
+		trimmed := make([]observation, t.Retention)
+		copy(trimmed, obs[len(obs)-t.Retention:])
+		return trimmed
+	}
+	return obs
+}
+
+// record appends one observation to a key's history, honouring retention,
+// and — once delta tracking is armed — tracks it as pending for the next
+// TakeNew.
+func (t *TrendTracker) record(key string, o observation) {
+	if t.history == nil {
+		t.history = map[string][]observation{}
+	}
+	t.history[key] = t.retain(append(t.history[key], o))
+	if !t.pendingArmed {
+		return
+	}
+	if t.pending == nil {
+		t.pending = map[string][]observation{}
+	}
+	t.pending[key] = append(t.pending[key], o)
 }
 
 // Observe records one sweep's findings (typically the analyzer output
@@ -88,11 +132,8 @@ type TrendTracker struct {
 // totals; prefer ObserveMoments, which records per-instance variance and
 // pre-threshold groups as well.
 func (t *TrendTracker) Observe(at time.Time, findings []*Finding) {
-	if t.history == nil {
-		t.history = map[string][]observation{}
-	}
 	for _, f := range findings {
-		t.history[f.Key()] = append(t.history[f.Key()], observation{at: at, total: f.TotalBlocked})
+		t.record(f.Key(), observation{at: at, total: f.TotalBlocked})
 	}
 }
 
@@ -104,9 +145,6 @@ func (t *TrendTracker) Observe(at time.Time, findings []*Finding) {
 // instances disagree wildly about a location needs a bigger sweep-over-
 // sweep change to be called growing.
 func (t *TrendTracker) ObserveMoments(at time.Time, moments []Moment) {
-	if t.history == nil {
-		t.history = map[string][]observation{}
-	}
 	// Aggregation groups by the full operation (Function, NilChannel
 	// included) while the trend key — like Finding.Key — folds those
 	// away, so one sweep can hand us several moments per key. Merge
@@ -127,7 +165,7 @@ func (t *TrendTracker) ObserveMoments(at time.Time, moments []Moment) {
 		merged[m.Key()] = o
 	}
 	for key, o := range merged {
-		t.history[key] = append(t.history[key], o)
+		t.record(key, o)
 	}
 }
 
@@ -146,27 +184,57 @@ type TrendObservation struct {
 	SumSquares float64 `json:"sum_squares,omitempty"`
 }
 
-// Export returns the tracker's full cross-sweep history in journalable
-// form, keyed by finding key. Not safe to call concurrently with
-// Observe/ObserveMoments.
+// Export returns the tracker's full cross-sweep history — already trimmed
+// to the retention window — in journalable form, keyed by finding key.
+// Not safe to call concurrently with Observe/ObserveMoments. This is what
+// a journal snapshot (compaction) persists; per-sweep deltas come from
+// TakeNew.
 func (t *TrendTracker) Export() map[string][]TrendObservation {
 	if len(t.history) == 0 {
 		return nil
 	}
 	out := make(map[string][]TrendObservation, len(t.history))
 	for key, obs := range t.history {
-		exported := make([]TrendObservation, len(obs))
-		for i, o := range obs {
-			exported[i] = TrendObservation{At: o.at, Total: o.total, Profiles: o.profiles, SumSquares: o.sumSquares}
-		}
-		out[key] = exported
+		out[key] = exportObservations(obs)
 	}
 	return out
+}
+
+// TakeNew returns the observations recorded since the last TakeNew and
+// clears the pending set: the per-sweep delta an append-only journal
+// persists instead of re-writing every key's history. The first call
+// arms delta tracking — observations recorded before it are never
+// pending, so a tracker nothing drains (a non-durable pipeline's
+// TrendSink) carries no second copy of its history. StateStore arms its
+// tracker at open. Restored observations are never returned — they came
+// from the journal in the first place.
+func (t *TrendTracker) TakeNew() map[string][]TrendObservation {
+	t.pendingArmed = true
+	if len(t.pending) == 0 {
+		return nil
+	}
+	out := make(map[string][]TrendObservation, len(t.pending))
+	for key, obs := range t.pending {
+		out[key] = exportObservations(obs)
+	}
+	t.pending = nil
+	return out
+}
+
+func exportObservations(obs []observation) []TrendObservation {
+	exported := make([]TrendObservation, len(obs))
+	for i, o := range obs {
+		exported[i] = TrendObservation{At: o.at, Total: o.total, Profiles: o.profiles, SumSquares: o.sumSquares}
+	}
+	return exported
 }
 
 // Restore loads previously exported history, replacing any existing
 // observations for the restored keys: the restart path StateStore uses
 // so verdicts resume with yesterday's moments instead of starting blind.
+// Histories longer than the retention window are trimmed to their most
+// recent Retention observations. Restored observations are not pending
+// for TakeNew.
 func (t *TrendTracker) Restore(history map[string][]TrendObservation) {
 	if len(history) == 0 {
 		return
@@ -175,12 +243,55 @@ func (t *TrendTracker) Restore(history map[string][]TrendObservation) {
 		t.history = make(map[string][]observation, len(history))
 	}
 	for key, obs := range history {
-		restored := make([]observation, len(obs))
-		for i, o := range obs {
-			restored[i] = observation{at: o.At, total: o.Total, profiles: o.Profiles, sumSquares: o.SumSquares}
-		}
-		t.history[key] = restored
+		t.history[key] = t.retain(importObservations(obs))
 	}
+}
+
+// requeueNew hands a TakeNew delta back to the pending set — the undo
+// hook for a journal whose append failed after the drain. The returned
+// observations precede anything recorded since, preserving export order.
+func (t *TrendTracker) requeueNew(delta map[string][]TrendObservation) {
+	if len(delta) == 0 {
+		return
+	}
+	if t.pending == nil {
+		t.pending = make(map[string][]observation, len(delta))
+	}
+	for key, obs := range delta {
+		t.pending[key] = append(importObservations(obs), t.pending[key]...)
+	}
+}
+
+// reset drops all history and pending observations while keeping the
+// tracker's configuration — the journal-replay path uses it when a
+// snapshot record replaces accumulated state.
+func (t *TrendTracker) reset() {
+	t.history = nil
+	t.pending = nil
+}
+
+// restoreDelta appends previously exported observations to the existing
+// history — the journal-replay path for delta records, where each frame
+// carries only what one sweep added and replay must accumulate frames in
+// order rather than replace.
+func (t *TrendTracker) restoreDelta(history map[string][]TrendObservation) {
+	if len(history) == 0 {
+		return
+	}
+	if t.history == nil {
+		t.history = make(map[string][]observation, len(history))
+	}
+	for key, obs := range history {
+		t.history[key] = t.retain(append(t.history[key], importObservations(obs)...))
+	}
+}
+
+func importObservations(obs []TrendObservation) []observation {
+	restored := make([]observation, len(obs))
+	for i, o := range obs {
+		restored[i] = observation{at: o.At, total: o.Total, profiles: o.Profiles, sumSquares: o.SumSquares}
+	}
+	return restored
 }
 
 // Verdict classifies one finding key's history.

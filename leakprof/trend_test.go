@@ -56,3 +56,71 @@ func TestTrendVerdictStrings(t *testing.T) {
 // The fleet-driven trend test lives in integration_test.go at the module
 // root (importing internal/fleet here would create an import cycle in
 // the test binary).
+
+// TestTrendTakeNew pins the delta-export contract: TakeNew returns
+// exactly the observations recorded since the last TakeNew, restores are
+// never pending, and the full history stays exportable.
+func TestTrendTakeNew(t *testing.T) {
+	tr := &TrendTracker{}
+	if got := tr.TakeNew(); got != nil {
+		t.Fatalf("fresh tracker TakeNew = %+v, want nil", got)
+	}
+	observeSeries(t, tr, "/a.go:1", []int{100, 200})
+	delta := tr.TakeNew()
+	if got := len(delta[keyFor("/a.go:1")]); got != 2 {
+		t.Fatalf("first delta = %d observations, want 2", got)
+	}
+	if got := tr.TakeNew(); got != nil {
+		t.Fatalf("second TakeNew = %+v, want nil (drained)", got)
+	}
+
+	tr.Observe(time.Unix(0, 0).Add(48*time.Hour), []*Finding{{Service: "s", Op: "send", Location: "/a.go:1", TotalBlocked: 400}})
+	delta = tr.TakeNew()
+	if got := delta[keyFor("/a.go:1")]; len(got) != 1 || got[0].Total != 400 {
+		t.Fatalf("incremental delta = %+v, want only the new observation", got)
+	}
+	// Full history is unaffected by the delta drain.
+	if got := len(tr.Export()[keyFor("/a.go:1")]); got != 3 {
+		t.Fatalf("history after TakeNew = %d observations, want 3", got)
+	}
+
+	// Restored history is not a delta: it came from the journal.
+	tr2 := &TrendTracker{}
+	tr2.Restore(tr.Export())
+	if got := tr2.TakeNew(); got != nil {
+		t.Fatalf("TakeNew after Restore = %+v, want nil", got)
+	}
+}
+
+// TestTrendRetention pins the retention window: appends, restores, and
+// exports all hold at most Retention observations per key, keeping the
+// most recent ones, and verdicts run on the retained window.
+func TestTrendRetention(t *testing.T) {
+	tr := &TrendTracker{Retention: 3, MinObservations: 2}
+	observeSeries(t, tr, "/leak.go:1", []int{10, 20, 40, 80, 160, 320})
+	hist := tr.Export()[keyFor("/leak.go:1")]
+	if len(hist) != 3 {
+		t.Fatalf("retained history = %d observations, want 3", len(hist))
+	}
+	if hist[0].Total != 80 || hist[2].Total != 320 {
+		t.Fatalf("retained window = %+v, want the most recent [80 160 320]", hist)
+	}
+	// Verdicts still work on the window.
+	if v := tr.Verdict(keyFor("/leak.go:1")); v != TrendGrowing {
+		t.Errorf("verdict on retained window = %v, want growing", v)
+	}
+
+	// Restore trims long histories too.
+	long := map[string][]TrendObservation{"k": make([]TrendObservation, 10)}
+	for i := range long["k"] {
+		long["k"][i] = TrendObservation{At: time.Unix(int64(i), 0), Total: i}
+	}
+	tr2 := &TrendTracker{Retention: 4}
+	tr2.Restore(long)
+	if got := len(tr2.Export()["k"]); got != 4 {
+		t.Fatalf("restored history = %d observations, want 4", got)
+	}
+	if first := tr2.Export()["k"][0].Total; first != 6 {
+		t.Fatalf("restored window starts at total %d, want 6 (most recent 4)", first)
+	}
+}
