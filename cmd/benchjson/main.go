@@ -1,0 +1,57 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// JSON array of benchmark results on stdout — name, iterations, ns/op,
+// B/op, allocs/op, and any custom ReportMetric units — so CI can upload
+// the perf trajectory as a machine-readable artifact (BENCH_N.json)
+// instead of a text blob:
+//
+//	go test -bench=. -benchtime=1x ./... | benchjson > BENCH_5.json
+//
+// With -require, benchjson exits non-zero unless every named benchmark
+// (comma-separated prefixes) appears in the input, so a renamed or
+// skipped acceptance benchmark fails the pipeline instead of silently
+// vanishing from the trajectory.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/benchfmt"
+)
+
+func main() {
+	require := flag.String("require", "", "comma-separated benchmark name prefixes that must be present in the input")
+	flag.Parse()
+
+	results, err := benchfmt.Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	for _, want := range strings.Split(*require, ",") {
+		want = strings.TrimSpace(want)
+		if want == "" {
+			continue
+		}
+		found := false
+		for _, r := range results {
+			if strings.HasPrefix(r.Name, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "benchjson: required benchmark %q missing from input (%d results parsed)\n", want, len(results))
+			os.Exit(1)
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

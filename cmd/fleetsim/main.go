@@ -38,6 +38,9 @@ func main() {
 	stateDir := flag.String("state-dir", "", "with -sweep: journal bug DB, trend history, and budget seeds under this directory so repeated sweeps dedup and resume")
 	stateSegments := flag.Int("state-segments", 0, "with -state-dir: compact the segmented state journal once more than N segments are live (0 = default)")
 	trendKeep := flag.Int("trend-keep", 0, "with -state-dir: retain only the last N trend observations per finding key (0 = unlimited)")
+	bugKeep := flag.Duration("bug-keep", 0, "with -state-dir: age closed (fixed/rejected) bugs out once unseen for this long (0 = keep forever)")
+	fsync := flag.String("fsync", "sweep", "with -state-dir: journal fsync policy — sweep, close, or N[/duration] group commit")
+	detached := flag.Bool("detached-sinks", false, "with -sweep: detach sink draining from the sweep (sinks drain at exit)")
 	flag.Parse()
 
 	pats := []*patterns.Pattern{
@@ -69,8 +72,27 @@ func main() {
 		f.AdvanceDay()
 	}
 
+	syncPolicy, err := leakprof.ParseSyncPolicy(*fsync)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fleetsim:", err)
+		os.Exit(1)
+	}
+	var extra []leakprof.Option
+	if *detached {
+		extra = append(extra, leakprof.WithDetachedSinks())
+	}
+	if *stateDir != "" {
+		extra = append(extra,
+			leakprof.WithStateDir(*stateDir),
+			leakprof.WithStateCompaction(0, *stateSegments),
+			leakprof.WithTrendRetention(*trendKeep),
+			leakprof.WithBugRetention(*bugKeep),
+			leakprof.WithStateSync(syncPolicy),
+		)
+	}
+
 	if *sweep && *direct {
-		runSweep(f.Source(), *leakRate/2, *stateDir, *stateSegments, *trendKeep)
+		runSweep(f.Source(), *leakRate/2, *stateDir, extra)
 		return
 	}
 
@@ -78,7 +100,7 @@ func main() {
 	defer shutdown()
 
 	if *sweep {
-		runSweep(leakprof.StaticEndpoints(endpoints...), *leakRate/2, *stateDir, *stateSegments, *trendKeep)
+		runSweep(leakprof.StaticEndpoints(endpoints...), *leakRate/2, *stateDir, extra)
 		return
 	}
 
@@ -100,22 +122,17 @@ func main() {
 // a metrics sink tallies the pass. With a state dir, the sweep journals
 // through a StateStore: findings file into the durable bug DB (a repeat
 // run deduplicates instead of re-alerting) and the sweep outcome seeds
-// the next run's error budget.
-func runSweep(src leakprof.Source, threshold int, stateDir string, stateSegments, trendKeep int) {
+// the next run's error budget. The extra options carry the durability
+// and detachment knobs; Close is the exit barrier that drains detached
+// sinks and lands deferred fsync windows.
+func runSweep(src leakprof.Source, threshold int, stateDir string, extra []leakprof.Option) {
 	metrics := &leakprof.MetricsSink{}
-	opts := []leakprof.Option{
+	opts := append([]leakprof.Option{
 		leakprof.WithThreshold(threshold),
 		leakprof.WithParallelism(8),
 		leakprof.WithRetry(leakprof.DefaultRetryPolicy),
 		leakprof.WithSharedIntern(0),
-	}
-	if stateDir != "" {
-		opts = append(opts,
-			leakprof.WithStateDir(stateDir),
-			leakprof.WithStateCompaction(0, stateSegments),
-			leakprof.WithTrendRetention(trendKeep),
-		)
-	}
+	}, extra...)
 	pipe := leakprof.New(opts...).AddSinks(metrics)
 	var reportSink *leakprof.ReportSink
 	store, err := pipe.State()
@@ -128,6 +145,13 @@ func runSweep(src leakprof.Source, threshold int, stateDir string, stateSegments
 		pipe.AddSinks(reportSink, &leakprof.TrendSink{Tracker: store.Tracker()})
 	}
 	sweep, err := pipe.Sweep(context.Background(), src)
+	// Close is where detached sinks drain and deferred fsync windows
+	// land; its failure must surface even when the sweep also failed.
+	if cerr := pipe.Close(); err == nil {
+		err = cerr
+	} else if cerr != nil {
+		fmt.Fprintf(os.Stderr, "warn: %v\n", cerr)
+	}
 	for _, f := range sweep.Failures {
 		fmt.Fprintf(os.Stderr, "warn: %s/%s: %v\n", f.Service, f.Instance, f.Err)
 	}

@@ -19,9 +19,12 @@
 // and error-budget seeds journal to disk — as an append-only segment log
 // whose per-sweep cost is the sweep's delta, compacted past
 // -state-segments live segments, with -trend-keep bounding per-key trend
-// history — so repeated invocations dedup against every bug ever filed,
-// resume trend verdicts, and probe yesterday's failing services with a
-// reduced budget. A -dir pointing at
+// history and -bug-keep aging closed bugs out — so repeated invocations
+// dedup against every bug ever filed, resume trend verdicts, and probe
+// yesterday's failing services with a reduced budget. -fsync picks the
+// journal's durability policy (sweep, close, or N[/duration] group
+// commit), and -detached-sinks lets sink lag span sweeps instead of
+// barriering each one (both drain at exit). A -dir pointing at
 // a multi-sweep archive (one sweep-NNNN subdirectory per sweep) replays
 // every recorded sweep at its manifested timestamp. Both input kinds
 // drive the same streaming pipeline: each profile flows through the
@@ -59,17 +62,18 @@ func main() {
 	stateDir := flag.String("state-dir", "", "directory for the durable state journal: bug-DB dedup, trend history, and error-budget seeds survive restarts")
 	stateSegments := flag.Int("state-segments", 0, "with -state-dir: compact the segmented journal once more than N segments are live (0 = default)")
 	trendKeep := flag.Int("trend-keep", 0, "with -state-dir: retain only the last N trend observations per finding key, in memory and in the journal (0 = unlimited)")
+	bugKeep := flag.Duration("bug-keep", 0, "with -state-dir: age closed (fixed/rejected) bugs out of the bug DB and journal once unseen for this long (0 = keep forever)")
+	fsync := flag.String("fsync", "sweep", "state journal fsync policy: sweep (every sweep), close (only at exit), or N[/duration] group commit (one fsync per window)")
+	detached := flag.Bool("detached-sinks", false, "let sink lag span sweeps (bounded by the sink queue) instead of draining every sink before each sweep returns; sinks drain at exit")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	// A multi-sweep replay alerts per sweep; accumulate across sweeps
-	// rather than reporting only the final sweep's (usually
-	// deduplicated-empty) alerts. OnSweep fires after each sweep's sinks
-	// drain, when LastAlerts holds exactly that sweep's alerts.
-	var alerts []*report.Alert
-	var reportSink *leakprof.ReportSink
+	syncPolicy, err := leakprof.ParseSyncPolicy(*fsync)
+	if err != nil {
+		fatal(err)
+	}
 	opts := []leakprof.Option{
 		leakprof.WithThreshold(*threshold),
 		leakprof.WithRanking(parseRank(*rank)),
@@ -78,15 +82,17 @@ func main() {
 		leakprof.WithRetry(leakprof.RetryPolicy{MaxAttempts: *retries}),
 		leakprof.WithErrorBudget(*errorBudget),
 		leakprof.WithSharedIntern(0),
-		leakprof.WithOnSweep(func(*leakprof.Sweep) {
-			alerts = append(alerts, reportSink.LastAlerts()...)
-		}),
+	}
+	if *detached {
+		opts = append(opts, leakprof.WithDetachedSinks())
 	}
 	if *stateDir != "" {
 		opts = append(opts,
 			leakprof.WithStateDir(*stateDir),
 			leakprof.WithStateCompaction(0, *stateSegments),
 			leakprof.WithTrendRetention(*trendKeep),
+			leakprof.WithBugRetention(*bugKeep),
+			leakprof.WithStateSync(syncPolicy),
 		)
 	}
 	pipe := leakprof.New(opts...)
@@ -99,6 +105,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var reportSink *leakprof.ReportSink
 	if store != nil {
 		db = store.BugDB()
 		tracker = store.Tracker()
@@ -141,6 +148,14 @@ func main() {
 	if len(sweeps) == 0 {
 		fatal(err)
 	}
+	// The exit barrier: detached sinks drain here (their errors join
+	// err), group-commit and on-close fsync windows land on disk, and
+	// pending journal deltas append. Synchronous runs close trivially.
+	if cerr := pipe.Close(); err == nil {
+		err = cerr
+	} else if cerr != nil {
+		fmt.Fprintf(os.Stderr, "warn: %v\n", cerr)
+	}
 
 	profiles := 0
 	for _, sweep := range sweeps {
@@ -163,6 +178,10 @@ func main() {
 		fmt.Printf("collected %d profiles\n", profiles)
 	}
 
+	// Alerts accumulate across a multi-sweep replay; reading them after
+	// the Close barrier also covers detached-sink runs, where a sweep
+	// returns before its alerts are filed.
+	alerts := reportSink.Alerts()
 	if len(alerts) == 0 {
 		fmt.Println("no new suspicious blocking operations above threshold")
 	}

@@ -1,0 +1,87 @@
+// Package benchfmt parses `go test -bench` output into a machine-
+// readable form, so CI can publish the benchmark trajectory as a JSON
+// artifact instead of a text blob that only humans diff. It understands
+// the standard result line —
+//
+//	BenchmarkName/sub-8   30   70201472 ns/op   9150141 B/op   640720 allocs/op
+//
+// — including the custom metrics ReportMetric emits (fsyncs/op,
+// journal-KB/op), which land in the Metrics map.
+package benchfmt
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line in exportable form.
+type Result struct {
+	// Name is the full benchmark name, sub-benchmarks included.
+	Name string `json:"name"`
+	// Iterations is the measured b.N.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp, BytesPerOp, and AllocsPerOp are the standard metrics;
+	// zero when the line did not report them.
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Metrics carries every other unit the line reported (custom
+	// b.ReportMetric units like "fsyncs/op"), keyed by unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Parse reads `go test -bench` output and returns every benchmark result
+// line, in order. Non-benchmark lines (package headers, PASS/ok, test
+// logs) are skipped; a malformed benchmark line is skipped rather than
+// failing the artifact build.
+func Parse(r io.Reader) ([]Result, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	var out []Result
+	for sc.Scan() {
+		if res, ok := parseLine(sc.Text()); ok {
+			out = append(out, res)
+		}
+	}
+	return out, sc.Err()
+}
+
+// parseLine decodes one "Benchmark... N value unit [value unit]..." line.
+func parseLine(line string) (Result, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Result{}, false
+	}
+	fields := strings.Fields(line)
+	// Shortest valid line: name, iterations, value, unit.
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{Name: fields[0], Iterations: iters}
+	// The rest are value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		value, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			res.NsPerOp = value
+		case "B/op":
+			res.BytesPerOp = value
+		case "allocs/op":
+			res.AllocsPerOp = value
+		default:
+			if res.Metrics == nil {
+				res.Metrics = make(map[string]float64)
+			}
+			res.Metrics[unit] = value
+		}
+	}
+	return res, true
+}

@@ -1,0 +1,57 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+pkg: repro/leakprof
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSweepCriticalPath/attached-sync-every-sweep         	      30	  70201472 ns/op	         1.000 fsyncs/op	         3.995 journal-KB/op	 9150141 B/op	  640720 allocs/op
+BenchmarkSweepCriticalPath/detached-group-commit             	      30	     70683 ns/op	         0.06667 fsyncs/op	         0.2776 journal-KB/op	   27294 B/op	     122 allocs/op
+BenchmarkStateJournal/delta-append-8     	     100	   1200000 ns/op	         3.1 journal-KB/op	    4096 B/op	     132 allocs/op
+--- BENCH: BenchmarkSomething
+    some_test.go:1: log line that must not parse
+PASS
+ok  	repro/leakprof	9.927s
+`
+	results, err := Parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(results), results)
+	}
+	first := results[0]
+	if first.Name != "BenchmarkSweepCriticalPath/attached-sync-every-sweep" {
+		t.Errorf("name = %q", first.Name)
+	}
+	if first.Iterations != 30 || first.NsPerOp != 70201472 || first.BytesPerOp != 9150141 || first.AllocsPerOp != 640720 {
+		t.Errorf("standard metrics = %+v", first)
+	}
+	if first.Metrics["fsyncs/op"] != 1.0 || first.Metrics["journal-KB/op"] != 3.995 {
+		t.Errorf("custom metrics = %+v", first.Metrics)
+	}
+	if results[1].Metrics["fsyncs/op"] != 0.06667 {
+		t.Errorf("detached fsyncs/op = %v", results[1].Metrics["fsyncs/op"])
+	}
+	if results[2].Name != "BenchmarkStateJournal/delta-append-8" {
+		t.Errorf("third result = %+v", results[2])
+	}
+}
+
+func TestParseSkipsMalformedLines(t *testing.T) {
+	out := "BenchmarkBroken   notanumber   12 ns/op\n" +
+		"BenchmarkTooShort 5\n" +
+		"BenchmarkOK 10 5 ns/op\n"
+	results, err := Parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Name != "BenchmarkOK" || results[0].NsPerOp != 5 {
+		t.Errorf("results = %+v, want only BenchmarkOK", results)
+	}
+}

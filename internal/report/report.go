@@ -59,10 +59,22 @@ type Bug struct {
 	Impact float64
 	// FiledAt is the filing timestamp.
 	FiledAt time.Time
+	// LastSeen is the timestamp of the most recent sweep that observed
+	// the defect; it advances on every dedup re-sighting. Zero on bugs
+	// restored from journals written before the field existed — age-out
+	// falls back to FiledAt for those.
+	LastSeen time.Time
 	// Status is the current lifecycle state.
 	Status Status
 	// Sightings counts how many sweeps re-observed the defect.
 	Sightings int
+}
+
+// closed reports whether the bug's lifecycle is over: fixed or triaged
+// away. Only closed bugs are age-out candidates — an open bug must keep
+// deduplicating forever, however old.
+func (b *Bug) closed() bool {
+	return b.Status == StatusFixed || b.Status == StatusRejected
 }
 
 // DB is an in-memory bug database with dedup semantics: filing an already
@@ -92,6 +104,10 @@ func (db *DB) File(b Bug) (*Bug, bool) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.dirty[b.Key] = struct{}{}
+	seen := b.LastSeen
+	if seen.IsZero() {
+		seen = b.FiledAt
+	}
 	if existing, ok := db.bugs[b.Key]; ok {
 		existing.Sightings++
 		if b.BlockedGoroutines > existing.BlockedGoroutines {
@@ -100,10 +116,14 @@ func (db *DB) File(b Bug) (*Bug, bool) {
 		if b.Impact > existing.Impact {
 			existing.Impact = b.Impact
 		}
+		if seen.After(existing.LastSeen) {
+			existing.LastSeen = seen
+		}
 		return existing, false
 	}
 	stored := b
 	stored.Sightings = 1
+	stored.LastSeen = seen
 	db.bugs[b.Key] = &stored
 	return &stored, true
 }
@@ -159,6 +179,37 @@ func (db *DB) TakeDirty() []Bug {
 	db.dirty = make(map[string]struct{})
 	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
 	return out
+}
+
+// DropAged removes closed (fixed or rejected) bugs whose last sighting —
+// FiledAt when no sighting was ever recorded — predates cutoff, and
+// returns how many were dropped. Open bugs are never dropped, whatever
+// their age: dedup against a still-open report must survive until the
+// owners resolve it. Dirty bugs are never dropped either — a closing
+// status transition that has not been journaled yet must reach the
+// journal first, or replay would resurrect the bug as open; it ages out
+// on the pass after the delta carrying its final status is taken.
+func (db *DB) DropAged(cutoff time.Time) int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	dropped := 0
+	for key, b := range db.bugs {
+		if !b.closed() {
+			continue
+		}
+		if _, pending := db.dirty[key]; pending {
+			continue
+		}
+		seen := b.LastSeen
+		if seen.IsZero() {
+			seen = b.FiledAt
+		}
+		if seen.Before(cutoff) {
+			delete(db.bugs, key)
+			dropped++
+		}
+	}
+	return dropped
 }
 
 // MarkDirty re-marks keys for the next TakeDirty. It is the undo hook

@@ -169,3 +169,51 @@ func TestDBTakeDirty(t *testing.T) {
 		t.Fatal("restored bug missing")
 	}
 }
+
+func TestDBDropAged(t *testing.T) {
+	day := func(n int) time.Time { return time.Unix(0, 0).Add(time.Duration(n) * 24 * time.Hour) }
+	db := NewDB()
+	db.File(Bug{Key: "open-old", FiledAt: day(1)})
+	db.File(Bug{Key: "fixed-old", FiledAt: day(1)})
+	db.SetStatus("fixed-old", StatusFixed)
+	db.File(Bug{Key: "rejected-old", FiledAt: day(1)})
+	db.SetStatus("rejected-old", StatusRejected)
+	db.File(Bug{Key: "fixed-fresh", FiledAt: day(1)})
+	db.SetStatus("fixed-fresh", StatusFixed)
+	// A re-sighting advances LastSeen: the fresh fixed bug was seen again
+	// on day 9, so a day-5 cutoff keeps it.
+	db.File(Bug{Key: "fixed-fresh", FiledAt: day(9)})
+
+	// Every change above is still dirty — un-journaled state must never
+	// age out, or a replay would resurrect the bug as open.
+	if got := db.DropAged(day(5)); got != 0 {
+		t.Fatalf("DropAged dropped %d dirty bugs, want 0 until they are journaled", got)
+	}
+	db.TakeDirty() // the journal drained the delta; aging may proceed
+
+	if got := db.DropAged(day(5)); got != 2 {
+		t.Fatalf("DropAged dropped %d bugs, want 2", got)
+	}
+	if _, ok := db.Get("open-old"); !ok {
+		t.Error("open bug aged out; dedup for still-open bugs must be unaffected")
+	}
+	if _, ok := db.Get("fixed-fresh"); !ok {
+		t.Error("recently re-sighted fixed bug aged out before its window")
+	}
+	for _, key := range []string{"fixed-old", "rejected-old"} {
+		if _, ok := db.Get(key); ok {
+			t.Errorf("closed bug %q survived age-out", key)
+		}
+	}
+	// Nothing re-dirtied by aging: the journal has nothing new to carry.
+	if dirty := db.TakeDirty(); len(dirty) != 0 {
+		t.Errorf("dirty after age-out = %+v, want none", dirty)
+	}
+
+	// A bug restored from an old journal (no LastSeen recorded) ages by
+	// FiledAt instead.
+	db.Restore([]Bug{{Key: "legacy", FiledAt: day(1), Status: StatusFixed}})
+	if got := db.DropAged(day(5)); got != 1 {
+		t.Errorf("legacy bug without LastSeen did not age by FiledAt (dropped %d)", got)
+	}
+}

@@ -113,11 +113,102 @@ func TestScannerResyncSkipsTornMemberLines(t *testing.T) {
 	}
 }
 
+// TestScannerFrameSalvage drives the frame-level salvage contract: a torn
+// frame line inside a member (manifesting as a blank that splits the
+// member) no longer drops the member's remaining frames — the scanner
+// resyncs at the next frame pair and reattaches them, counting the tear
+// in Malformed. Content after the blank that is not a frame pair still
+// disposes the member normally.
+func TestScannerFrameSalvage(t *testing.T) {
+	cases := []struct {
+		name       string
+		dump       string
+		wantIDs    []int64
+		wantFrames []int // frames per yielded member
+		malformed  int
+	}{
+		{
+			name: "torn-blank-inside-member",
+			dump: "goroutine 1 [chan send]:\nsvc.a()\n\t/src/a.go:5 +0x2b\n\n" +
+				"svc.rest()\n\t/src/rest.go:9 +0x1\n\n" + goodBlock("2", "svc.b"),
+			wantIDs:    []int64{1, 2},
+			wantFrames: []int{2, 1}, // svc.rest reattaches to goroutine 1
+			malformed:  1,
+		},
+		{
+			name: "torn-blank-then-created-by",
+			dump: "goroutine 1 [chan send]:\nsvc.a()\n\t/src/a.go:5 +0x2b\n\n" +
+				"created by svc.spawn in goroutine 7\n\t/src/sp.go:3 +0x1\n",
+			wantIDs:    []int64{1},
+			wantFrames: []int{1},
+			malformed:  1,
+		},
+		{
+			name: "lone-function-line-stays-dropped",
+			dump: goodBlock("1", "svc.a") + "\n" +
+				"orphan.fn()\n" + goodBlock("2", "svc.b"),
+			wantIDs:    []int64{1, 2},
+			wantFrames: []int{1, 1},
+			malformed:  0,
+		},
+		{
+			name:       "preamble-after-blank-not-salvaged",
+			dump:       goodBlock("1", "svc.a") + "\ngoroutine profile: total 9\n" + goodBlock("2", "svc.b"),
+			wantIDs:    []int64{1, 2},
+			wantFrames: []int{1, 1},
+			malformed:  0,
+		},
+		{
+			name: "salvage-at-end-of-dump",
+			dump: "goroutine 1 [chan send]:\nsvc.a()\n\t/src/a.go:5 +0x2b\n\n" +
+				"svc.tail()\n\t/src/t.go:2 +0x4\n",
+			wantIDs:    []int64{1},
+			wantFrames: []int{2},
+			malformed:  1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			gs, malformed, err := scanAllCounting(tc.dump)
+			if err != nil {
+				t.Fatalf("scanner error: %v", err)
+			}
+			if len(gs) != len(tc.wantIDs) {
+				t.Fatalf("yielded %d members, want %d: %+v", len(gs), len(tc.wantIDs), gs)
+			}
+			for i, g := range gs {
+				if g.ID != tc.wantIDs[i] {
+					t.Errorf("member %d id = %d, want %d", i, g.ID, tc.wantIDs[i])
+				}
+				if len(g.Frames) != tc.wantFrames[i] {
+					t.Errorf("member %d frames = %d (%+v), want %d", i, len(g.Frames), g.Frames, tc.wantFrames[i])
+				}
+			}
+			if malformed != tc.malformed {
+				t.Errorf("malformed = %d, want %d", malformed, tc.malformed)
+			}
+			if msg := checkScannerBehaviour(tc.dump); msg != "" {
+				t.Errorf("parity contract: %s", msg)
+			}
+		})
+	}
+	// The created-by salvage attaches as the creation site, not a frame.
+	gs, _, err := scanAllCounting(cases[1].dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gs[0].CreatedBy.Function != "svc.spawn" || gs[0].CreatorID != 7 {
+		t.Errorf("salvaged creation site = %+v creator %d, want svc.spawn by 7", gs[0].CreatedBy, gs[0].CreatorID)
+	}
+}
+
 // FuzzScan fuzzes the scanner with truncated and garbled dumps. The
 // invariants are the resync contract: in-memory input never surfaces an
 // error, the scanner agrees exactly with the frozen legacy parser on
-// inputs the legacy parser accepts, and resyncs are counted whenever the
-// legacy parser would have rejected the dump.
+// inputs the legacy parser accepts cleanly, resyncs are counted whenever
+// the legacy parser would have rejected the dump, and frame-level salvage
+// (orphaned frame pairs behind a torn blank) preserves member identity
+// while never losing frames.
 func FuzzScan(f *testing.F) {
 	for _, dump := range goldenDumps() {
 		f.Add(dump)
@@ -127,6 +218,11 @@ func FuzzScan(f *testing.F) {
 	f.Add(strings.Replace(base, "[chan send", "[chan", 1)) // garbled header region
 	f.Add("goroutine 8 [chan send:\nmain.f()\n")           // torn header
 	f.Add("goroutine 1 [x]:\n\tgoroutine 2 [y]:\n")
+	// Frame-salvage shapes: a blank torn into a member, orphaned frame
+	// pairs and created-by pairs behind it, and a bare orphan pair.
+	f.Add("goroutine 1 [chan send]:\nsvc.a()\n\t/src/a.go:5 +0x2b\n\nsvc.rest()\n\t/src/r.go:9 +0x1\n")
+	f.Add(goodBlock("1", "svc.a") + "\ncreated by svc.spawn in goroutine 7\n\t/src/sp.go:3 +0x1\n" + goodBlock("2", "svc.b"))
+	f.Add("orphan.fn()\n\t/src/o.go:1 +0x1\n")
 	f.Fuzz(func(t *testing.T, dump string) {
 		if len(dump) > 1<<20 {
 			t.Skip("bounded corpus")

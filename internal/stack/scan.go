@@ -48,6 +48,18 @@ type Scanner struct {
 	skipping  bool
 	malformed int
 
+	// held defers a blank-terminated member's yield by one content line:
+	// if the next content is a frame pair instead of a header, the blank
+	// was a torn frame line inside the member, and the scanner resyncs by
+	// reattaching the orphaned frames instead of silently dropping the
+	// member's remaining frames (counted in malformed). probeFrame holds
+	// the tentative continuation frame while its location line is awaited.
+	held         *Goroutine
+	probing      bool
+	probeFrame   Frame
+	probeCreated bool
+	probeCreator int64
+
 	// intern maps string content to its single shared copy.
 	intern map[string]string
 	// pool, when set, is a bounded intern table shared across Scanners;
@@ -115,7 +127,17 @@ func (s *Scanner) Scan() bool {
 	s.done = true
 	if err := s.lines.Err(); err != nil {
 		s.err = fmt.Errorf("stack: line %d: %w", s.line+1, err)
+		// A held member completed (blank-terminated) before the reader
+		// failed; only the in-flight member is torn by the failure.
+		if s.held != nil {
+			s.g, s.held = s.held, nil
+			return true
+		}
 		return false
+	}
+	if s.held != nil {
+		s.g, s.held = s.held, nil
+		return true
 	}
 	if s.cur != nil {
 		s.g, s.cur = s.cur, nil
@@ -156,6 +178,74 @@ func (s *Scanner) process(line []byte) bool {
 			return false
 		}
 	}
+	if s.probing {
+		// The previous line looked like member content right after a
+		// blank. It is a continuation only if this line is its source
+		// location — a full frame pair; a lone function-shaped line is
+		// indistinguishable from preamble junk and stays dropped.
+		s.probing = false
+		if s.attachLocation(line, &s.probeFrame) {
+			s.malformed++
+			s.cur, s.held = s.held, nil
+			if s.probeCreated {
+				s.cur.CreatedBy = s.probeFrame
+				s.cur.CreatorID = s.probeCreator
+			} else {
+				s.cur.Frames = append(s.cur.Frames, s.probeFrame)
+			}
+			return false
+		}
+		// Not a pair: the probe line was stray junk. Dispose of the held
+		// member against this line like any other.
+	}
+	if s.held != nil {
+		if len(line) == 0 {
+			return false // still between members
+		}
+		if !s.isHeader(line) {
+			if fn, created, creator, ok := s.memberContent(line); ok {
+				// Frame-shaped content where a header should be: the
+				// blank that ended the held member may have been a torn
+				// frame line. Probe for the location that completes the
+				// pair before committing to the resync.
+				s.probing = true
+				s.probeFrame = Frame{Function: fn}
+				s.probeCreated, s.probeCreator = created, creator
+				return false
+			}
+		}
+		// A header or plain preamble: the blank really did end the
+		// member. Yield it and classify the line as usual (a header
+		// opens the next member; anything else is preamble).
+		s.g, s.held = s.held, nil
+		s.classify(line)
+		return true
+	}
+	return s.classify(line)
+}
+
+// memberContent reports whether a line is frame-shaped member content — a
+// function line or a created-by line — returning the (interned) function
+// name and creator details for the probe.
+func (s *Scanner) memberContent(line []byte) (fn string, created bool, creator int64, ok bool) {
+	if rest, isCreated := bytes.CutPrefix(line, createdByPrefix); isCreated {
+		if j := bytes.Index(rest, []byte(" in goroutine ")); j >= 0 {
+			if id, idOK := parseInt64Bytes(rest[j+len(" in goroutine "):]); idOK {
+				creator = id
+			}
+			rest = rest[:j]
+		}
+		return s.internBytes(rest), true, creator, true
+	}
+	if p := bytes.LastIndexByte(line, '('); p > 0 {
+		return s.internBytes(line[:p]), false, 0, true
+	}
+	return "", false, 0, false
+}
+
+// classify consumes one line outside any held-member disposition and
+// reports whether a goroutine was yielded into s.g.
+func (s *Scanner) classify(line []byte) bool {
 	switch {
 	case s.isHeader(line):
 		g, err := s.parseHeader(line)
@@ -186,8 +276,10 @@ func (s *Scanner) process(line []byte) bool {
 		return false
 	case len(line) == 0:
 		if s.cur != nil {
-			s.g, s.cur = s.cur, nil
-			return true
+			// Hold the completed member for one content line instead of
+			// yielding now: if frame-pair content follows, the blank was
+			// a torn frame line and the member continues (see process).
+			s.held, s.cur = s.cur, nil
 		}
 		return false
 	case s.cur == nil:

@@ -1,0 +1,484 @@
+package leakprof
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/report"
+)
+
+// StateCodec names a journal frame payload encoding. The codec applies to
+// frames a store writes; reading is always codec-agnostic, because every
+// frame self-describes in its first payload byte (JSON records open with
+// '{', binary records with the binary magic). A journal may therefore mix
+// codecs freely — a store that upgraded to the binary codec mid-log, or a
+// binary store appending behind JSON segments, replays in one pass.
+type StateCodec string
+
+const (
+	// StateCodecJSON writes frames as the v2 JSON records. It is the
+	// compatibility fallback: journals written with it are readable by
+	// v2-era stores.
+	StateCodecJSON StateCodec = "json"
+	// StateCodecBinary writes frames as versioned binary records:
+	// varint-packed integers, a string table deduplicating the stack and
+	// service keys that repeat across a record, and flate compression for
+	// snapshot bodies. At a 100K-key steady state a snapshot segment is
+	// several-fold smaller than its JSON form (see
+	// TestBinarySnapshotSmallerThanJSON), and delta frames allocate
+	// materially less than json.Marshal (see BenchmarkStateJournal).
+	StateCodecBinary StateCodec = "binary"
+)
+
+// valid reports whether c names a known codec.
+func (c StateCodec) valid() bool {
+	return c == StateCodecJSON || c == StateCodecBinary
+}
+
+// Binary frame layout. The payload (what the length prefix and CRC in the
+// frame header cover) is:
+//
+//	byte 0: binaryFrameMagic (0xB1 — never '{', so JSON frames are
+//	        unambiguous)
+//	byte 1: binaryFrameVersion
+//	byte 2: flags (binaryFlagFlate: the body is a flate stream)
+//	rest:   body (see encodeBinaryBody), flate-compressed when flagged
+//
+// The body packs integers as varints (zigzag for signed), floats as
+// 8-byte little-endian IEEE bits, timestamps as a presence byte plus a
+// zigzag varint of UnixNano (so the zero time survives a round trip),
+// and strings as uvarint references into a deduplicating string table
+// serialized ahead of the sections that reference it.
+const (
+	binaryFrameMagic   = 0xB1
+	binaryFrameVersion = 1
+	binaryFlagFlate    = 1 << 0
+)
+
+// encodePayload renders one journal record under the given codec.
+func encodePayload(rec *journalRecord, codec StateCodec) ([]byte, error) {
+	switch codec {
+	case StateCodecBinary:
+		return encodeBinaryRecord(rec)
+	default:
+		return json.Marshal(rec)
+	}
+}
+
+// decodePayload decodes one frame payload, dispatching on the codec the
+// frame self-describes with.
+func decodePayload(payload []byte) (*journalRecord, error) {
+	if len(payload) > 0 && payload[0] == binaryFrameMagic {
+		return decodeBinaryRecord(payload)
+	}
+	var rec journalRecord
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return nil, err
+	}
+	return &rec, nil
+}
+
+// stringTable deduplicates strings across one record: the service, op,
+// and stack-key strings a 100K-bug snapshot repeats thousands of times
+// are stored once and referenced by index.
+type stringTable struct {
+	index map[string]uint64
+	strs  []string
+}
+
+func (t *stringTable) ref(s string) uint64 {
+	if i, ok := t.index[s]; ok {
+		return i
+	}
+	if t.index == nil {
+		t.index = make(map[string]uint64)
+	}
+	i := uint64(len(t.strs))
+	t.index[s] = i
+	t.strs = append(t.strs, s)
+	return i
+}
+
+func (t *stringTable) appendTo(b []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(t.strs)))
+	for _, s := range t.strs {
+		b = binary.AppendUvarint(b, uint64(len(s)))
+		b = append(b, s...)
+	}
+	return b
+}
+
+func appendTime(b []byte, at time.Time) []byte {
+	if at.IsZero() {
+		return append(b, 0)
+	}
+	b = append(b, 1)
+	return binary.AppendVarint(b, at.UnixNano())
+}
+
+func appendFloat(b []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+}
+
+// encodeBinaryRecord renders rec as a binary frame payload. Snapshot
+// bodies are flate-compressed: they carry the whole journal's state, and
+// their string-heavy sections (locations, keys) compress several-fold.
+func encodeBinaryRecord(rec *journalRecord) ([]byte, error) {
+	var tbl stringTable
+	body := encodeBinaryBody(rec, &tbl)
+	// The table precedes the sections that reference it so decoding is
+	// one pass.
+	full := tbl.appendTo(make([]byte, 0, len(body)+64))
+	full = append(full, body...)
+
+	payload := []byte{binaryFrameMagic, binaryFrameVersion, 0}
+	if rec.Kind == recordSnapshot {
+		payload[2] |= binaryFlagFlate
+		var buf bytes.Buffer
+		zw, err := flate.NewWriter(&buf, flate.DefaultCompression)
+		if err != nil {
+			return nil, fmt.Errorf("leakprof: binary codec: %w", err)
+		}
+		if _, err := zw.Write(full); err != nil {
+			return nil, fmt.Errorf("leakprof: binary codec: %w", err)
+		}
+		if err := zw.Close(); err != nil {
+			return nil, fmt.Errorf("leakprof: binary codec: %w", err)
+		}
+		return append(payload, buf.Bytes()...), nil
+	}
+	return append(payload, full...), nil
+}
+
+func encodeBinaryBody(rec *journalRecord, tbl *stringTable) []byte {
+	b := make([]byte, 0, 256)
+	kind := uint64(1)
+	if rec.Kind == recordSnapshot {
+		kind = 2
+	}
+	b = binary.AppendUvarint(b, kind)
+	b = appendTime(b, rec.SavedAt)
+
+	b = binary.AppendUvarint(b, uint64(len(rec.Bugs)))
+	for i := range rec.Bugs {
+		bug := &rec.Bugs[i]
+		b = binary.AppendUvarint(b, tbl.ref(bug.Key))
+		b = binary.AppendUvarint(b, tbl.ref(bug.Service))
+		b = binary.AppendUvarint(b, tbl.ref(bug.Op))
+		b = binary.AppendUvarint(b, tbl.ref(bug.Location))
+		b = binary.AppendUvarint(b, tbl.ref(bug.Function))
+		b = binary.AppendUvarint(b, tbl.ref(bug.Owner))
+		b = binary.AppendVarint(b, int64(bug.BlockedGoroutines))
+		b = appendFloat(b, bug.Impact)
+		b = appendTime(b, bug.FiledAt)
+		b = appendTime(b, bug.LastSeen)
+		b = binary.AppendUvarint(b, uint64(bug.Status))
+		b = binary.AppendVarint(b, int64(bug.Sightings))
+	}
+
+	b = binary.AppendUvarint(b, uint64(len(rec.Trend)))
+	for key, obs := range rec.Trend {
+		b = binary.AppendUvarint(b, tbl.ref(key))
+		b = binary.AppendUvarint(b, uint64(len(obs)))
+		for _, o := range obs {
+			b = appendTime(b, o.At)
+			b = binary.AppendVarint(b, int64(o.Total))
+			b = binary.AppendVarint(b, int64(o.Profiles))
+			b = appendFloat(b, o.SumSquares)
+		}
+	}
+
+	if rec.Sweep == nil {
+		return append(b, 0)
+	}
+	b = append(b, 1)
+	sw := rec.Sweep
+	b = appendTime(b, sw.At)
+	b = binary.AppendUvarint(b, tbl.ref(sw.Source))
+	b = binary.AppendVarint(b, int64(sw.Profiles))
+	b = binary.AppendVarint(b, int64(sw.Errors))
+	b = binary.AppendVarint(b, int64(sw.Findings))
+	b = binary.AppendUvarint(b, uint64(len(sw.FailedByService)))
+	for svc, n := range sw.FailedByService {
+		b = binary.AppendUvarint(b, tbl.ref(svc))
+		b = binary.AppendVarint(b, int64(n))
+	}
+	return b
+}
+
+// binReader walks a binary body with bounds checking: a corrupt frame
+// (which the CRC should have caught, but defense costs little) must
+// produce an error, never a panic or an absurd allocation.
+type binReader struct {
+	b   []byte
+	off int
+}
+
+var errBinaryTruncated = fmt.Errorf("leakprof: binary record truncated")
+
+func (r *binReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		return 0, errBinaryTruncated
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *binReader) varint() (int64, error) {
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		return 0, errBinaryTruncated
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *binReader) count(elemMin int) (int, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	// A count cannot exceed the bytes left to encode its elements.
+	if max := len(r.b) - r.off; elemMin > 0 && v > uint64(max/elemMin)+1 {
+		return 0, fmt.Errorf("leakprof: binary record claims %d elements with %d bytes left", v, max)
+	}
+	return int(v), nil
+}
+
+func (r *binReader) take(n int) ([]byte, error) {
+	if n < 0 || r.off+n > len(r.b) {
+		return nil, errBinaryTruncated
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out, nil
+}
+
+func (r *binReader) float64() (float64, error) {
+	raw, err := r.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(raw)), nil
+}
+
+func (r *binReader) time() (time.Time, error) {
+	flag, err := r.take(1)
+	if err != nil {
+		return time.Time{}, err
+	}
+	if flag[0] == 0 {
+		return time.Time{}, nil
+	}
+	n, err := r.varint()
+	if err != nil {
+		return time.Time{}, err
+	}
+	return time.Unix(0, n).UTC(), nil
+}
+
+func (r *binReader) str(tbl []string) (string, error) {
+	i, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if i >= uint64(len(tbl)) {
+		return "", fmt.Errorf("leakprof: binary record references string %d of %d", i, len(tbl))
+	}
+	return tbl[i], nil
+}
+
+func decodeBinaryRecord(payload []byte) (*journalRecord, error) {
+	if len(payload) < 3 {
+		return nil, errBinaryTruncated
+	}
+	if payload[1] > binaryFrameVersion {
+		return nil, fmt.Errorf("leakprof: binary record version %d, newer than supported %d", payload[1], binaryFrameVersion)
+	}
+	flags, body := payload[2], payload[3:]
+	if flags&binaryFlagFlate != 0 {
+		var err error
+		if body, err = io.ReadAll(flate.NewReader(bytes.NewReader(body))); err != nil {
+			return nil, fmt.Errorf("leakprof: inflating binary record: %w", err)
+		}
+	}
+	r := &binReader{b: body}
+
+	nStrs, err := r.count(1)
+	if err != nil {
+		return nil, err
+	}
+	tbl := make([]string, nStrs)
+	for i := range tbl {
+		n, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		raw, err := r.take(int(n))
+		if err != nil {
+			return nil, err
+		}
+		tbl[i] = string(raw)
+	}
+
+	rec := &journalRecord{}
+	kind, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case 1:
+		rec.Kind = recordDelta
+	case 2:
+		rec.Kind = recordSnapshot
+	default:
+		return nil, fmt.Errorf("leakprof: binary record kind %d unknown", kind)
+	}
+	if rec.SavedAt, err = r.time(); err != nil {
+		return nil, err
+	}
+
+	nBugs, err := r.count(10)
+	if err != nil {
+		return nil, err
+	}
+	if nBugs > 0 {
+		rec.Bugs = make([]report.Bug, nBugs)
+	}
+	for i := range rec.Bugs {
+		bug := &rec.Bugs[i]
+		if bug.Key, err = r.str(tbl); err != nil {
+			return nil, err
+		}
+		if bug.Service, err = r.str(tbl); err != nil {
+			return nil, err
+		}
+		if bug.Op, err = r.str(tbl); err != nil {
+			return nil, err
+		}
+		if bug.Location, err = r.str(tbl); err != nil {
+			return nil, err
+		}
+		if bug.Function, err = r.str(tbl); err != nil {
+			return nil, err
+		}
+		if bug.Owner, err = r.str(tbl); err != nil {
+			return nil, err
+		}
+		var blocked, sightings int64
+		if blocked, err = r.varint(); err != nil {
+			return nil, err
+		}
+		bug.BlockedGoroutines = int(blocked)
+		if bug.Impact, err = r.float64(); err != nil {
+			return nil, err
+		}
+		if bug.FiledAt, err = r.time(); err != nil {
+			return nil, err
+		}
+		if bug.LastSeen, err = r.time(); err != nil {
+			return nil, err
+		}
+		status, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		bug.Status = report.Status(status)
+		if sightings, err = r.varint(); err != nil {
+			return nil, err
+		}
+		bug.Sightings = int(sightings)
+	}
+
+	nKeys, err := r.count(3)
+	if err != nil {
+		return nil, err
+	}
+	if nKeys > 0 {
+		rec.Trend = make(map[string][]TrendObservation, nKeys)
+	}
+	for i := 0; i < nKeys; i++ {
+		key, err := r.str(tbl)
+		if err != nil {
+			return nil, err
+		}
+		nObs, err := r.count(11)
+		if err != nil {
+			return nil, err
+		}
+		obs := make([]TrendObservation, nObs)
+		for j := range obs {
+			if obs[j].At, err = r.time(); err != nil {
+				return nil, err
+			}
+			var total, profiles int64
+			if total, err = r.varint(); err != nil {
+				return nil, err
+			}
+			obs[j].Total = int(total)
+			if profiles, err = r.varint(); err != nil {
+				return nil, err
+			}
+			obs[j].Profiles = int(profiles)
+			if obs[j].SumSquares, err = r.float64(); err != nil {
+				return nil, err
+			}
+		}
+		rec.Trend[key] = obs
+	}
+
+	present, err := r.take(1)
+	if err != nil {
+		return nil, err
+	}
+	if present[0] == 0 {
+		return rec, nil
+	}
+	sw := &SweepRecord{}
+	if sw.At, err = r.time(); err != nil {
+		return nil, err
+	}
+	if sw.Source, err = r.str(tbl); err != nil {
+		return nil, err
+	}
+	var profiles, errCount, findings int64
+	if profiles, err = r.varint(); err != nil {
+		return nil, err
+	}
+	sw.Profiles = int(profiles)
+	if errCount, err = r.varint(); err != nil {
+		return nil, err
+	}
+	sw.Errors = int(errCount)
+	if findings, err = r.varint(); err != nil {
+		return nil, err
+	}
+	sw.Findings = int(findings)
+	nFailed, err := r.count(2)
+	if err != nil {
+		return nil, err
+	}
+	if nFailed > 0 {
+		sw.FailedByService = make(map[string]int, nFailed)
+	}
+	for i := 0; i < nFailed; i++ {
+		svc, err := r.str(tbl)
+		if err != nil {
+			return nil, err
+		}
+		n, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		sw.FailedByService[svc] = int(n)
+	}
+	rec.Sweep = sw
+	return rec, nil
+}

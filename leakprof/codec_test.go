@@ -1,0 +1,190 @@
+package leakprof
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/report"
+)
+
+// codecSampleRecord builds a record exercising every field the codec
+// carries: zero and non-zero times, variance-bearing observations, a
+// sweep outcome with failure counts.
+func codecSampleRecord(kind string) *journalRecord {
+	at := time.Unix(1000, 42).UTC()
+	return &journalRecord{
+		Kind:    kind,
+		SavedAt: at,
+		Bugs: []report.Bug{
+			{
+				Key: "svc|send|/a.go:1", Service: "svc", Op: "send",
+				Location: "/a.go:1", Function: "svc.leak", Owner: "team-a",
+				BlockedGoroutines: 12345, Impact: 321.5,
+				FiledAt: at, LastSeen: at.Add(24 * time.Hour),
+				Status: report.StatusAcknowledged, Sightings: 7,
+			},
+			{Key: "svc|recv|/b.go:9", Service: "svc", Op: "recv", Location: "/b.go:9"},
+		},
+		Trend: map[string][]TrendObservation{
+			"svc|send|/a.go:1": {
+				{At: at, Total: 100, Profiles: 8, SumSquares: 1250.25},
+				{At: at.Add(24 * time.Hour), Total: 140},
+			},
+		},
+		Sweep: &SweepRecord{
+			At: at, Source: "fleet", Profiles: 100, Errors: 3, Findings: 2,
+			FailedByService: map[string]int{"flaky": 3},
+		},
+	}
+}
+
+// TestCodecRoundTrip pins both codecs: a record survives encode/decode
+// exactly, including the zero-time fields JSON handles implicitly.
+func TestCodecRoundTrip(t *testing.T) {
+	for _, codec := range []StateCodec{StateCodecJSON, StateCodecBinary} {
+		for _, kind := range []string{recordDelta, recordSnapshot} {
+			t.Run(string(codec)+"/"+kind, func(t *testing.T) {
+				rec := codecSampleRecord(kind)
+				payload, err := encodePayload(rec, codec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := decodePayload(payload)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(rec, got) {
+					t.Errorf("round trip mismatch:\n in: %+v\nout: %+v", rec, got)
+				}
+			})
+		}
+	}
+}
+
+// TestCodecFramesSelfDescribe pins the mixed-journal property: the
+// decoder needs no out-of-band codec hint, because binary payloads open
+// with the magic byte and JSON payloads with '{'.
+func TestCodecFramesSelfDescribe(t *testing.T) {
+	rec := codecSampleRecord(recordDelta)
+	jsonPayload, err := encodePayload(rec, StateCodecJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binPayload, err := encodePayload(rec, StateCodecBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jsonPayload[0] == binaryFrameMagic {
+		t.Fatal("JSON payload collides with the binary magic byte")
+	}
+	if binPayload[0] != binaryFrameMagic {
+		t.Fatalf("binary payload opens with 0x%02x, want the magic", binPayload[0])
+	}
+	for _, payload := range [][]byte{jsonPayload, binPayload} {
+		if got, err := decodePayload(payload); err != nil || got.Kind != recordDelta {
+			t.Errorf("self-describing decode = %+v, %v", got, err)
+		}
+	}
+}
+
+// TestCodecTruncationRobustness feeds the binary decoder every prefix of
+// a valid payload: each must error cleanly — never panic, never succeed
+// with garbage, and never allocate absurdly (the count bounds).
+func TestCodecTruncationRobustness(t *testing.T) {
+	for _, kind := range []string{recordDelta, recordSnapshot} {
+		payload, err := encodePayload(codecSampleRecord(kind), StateCodecBinary)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for n := 0; n < len(payload); n++ {
+			if _, err := decodePayload(payload[:n]); err == nil {
+				t.Errorf("%s payload truncated to %d bytes decoded without error", kind, n)
+			}
+		}
+		// Flipping the version byte forward must refuse, not misread.
+		bad := append([]byte(nil), payload...)
+		bad[1] = binaryFrameVersion + 1
+		if _, err := decodePayload(bad); err == nil {
+			t.Error("future binary record version decoded silently")
+		}
+	}
+}
+
+// TestBinarySnapshotSmallerThanJSON pins the acceptance criterion: at a
+// 100K-key steady state the binary snapshot payload is at least 3x
+// smaller than the JSON payload for the same record.
+func TestBinarySnapshotSmallerThanJSON(t *testing.T) {
+	const keys = 100_000
+	at := time.Unix(0, 0).UTC()
+	rec := &journalRecord{Kind: recordSnapshot, SavedAt: at, Trend: make(map[string][]TrendObservation, keys)}
+	rec.Bugs = make([]report.Bug, keys)
+	for i := range rec.Bugs {
+		key := fmt.Sprintf("svc|send|/svc/f%05d.go:1", i)
+		rec.Bugs[i] = report.Bug{
+			Key: key, Service: "svc", Op: "send",
+			Location: fmt.Sprintf("/svc/f%05d.go:1", i), Function: "svc.leak",
+			Owner: "team-a", BlockedGoroutines: 1000 + i, Impact: float64(i),
+			FiledAt: at, LastSeen: at, Sightings: 3,
+		}
+		rec.Trend[key] = []TrendObservation{
+			{At: at, Total: 1000 + i, Profiles: 8, SumSquares: float64(i) * 1.5},
+			{At: at.Add(24 * time.Hour), Total: 1100 + i, Profiles: 8, SumSquares: float64(i) * 1.6},
+		}
+	}
+	jsonPayload, err := encodePayload(rec, StateCodecJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binPayload, err := encodePayload(rec, StateCodecBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(len(jsonPayload)) / float64(len(binPayload))
+	t.Logf("snapshot payload at %d keys: JSON %d bytes, binary %d bytes (%.1fx)", keys, len(jsonPayload), len(binPayload), ratio)
+	if ratio < 3 {
+		t.Errorf("binary snapshot only %.2fx smaller than JSON, want >= 3x", ratio)
+	}
+	// And it still round-trips at scale.
+	got, err := decodePayload(binPayload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Bugs) != keys || len(got.Trend) != keys {
+		t.Errorf("scale round trip lost records: %d bugs, %d trend keys", len(got.Bugs), len(got.Trend))
+	}
+}
+
+// TestCodecDeltaAllocsBelowJSON pins the alloc half of the codec win:
+// encoding a production-shaped delta frame (ten touched keys, the
+// BenchmarkStateJournal sweep shape) binary must allocate less than
+// json.Marshal does.
+func TestCodecDeltaAllocsBelowJSON(t *testing.T) {
+	rec := codecSampleRecord(recordDelta)
+	at := rec.SavedAt
+	for i := 0; i < 10; i++ {
+		key := fmt.Sprintf("svc|send|/svc/f%05d.go:1", i)
+		rec.Bugs = append(rec.Bugs, report.Bug{
+			Key: key, Service: "svc", Op: "send",
+			Location: fmt.Sprintf("/svc/f%05d.go:1", i), FiledAt: at, LastSeen: at,
+			BlockedGoroutines: 1000 + i, Sightings: 2,
+		})
+		rec.Trend[key] = []TrendObservation{{At: at, Total: 1000 + i}}
+	}
+	binAllocs := testing.AllocsPerRun(50, func() {
+		if _, err := encodeBinaryRecord(rec); err != nil {
+			t.Fatal(err)
+		}
+	})
+	jsonAllocs := testing.AllocsPerRun(50, func() {
+		if _, err := json.Marshal(rec); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if binAllocs >= jsonAllocs {
+		t.Errorf("binary encode allocs/op = %.0f, want below JSON's %.0f", binAllocs, jsonAllocs)
+	}
+	t.Logf("delta encode allocs/op: binary %.0f vs JSON %.0f", binAllocs, jsonAllocs)
+}

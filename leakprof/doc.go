@@ -41,8 +41,14 @@
 // concurrent: every sink consumes its own bounded event queue
 // (WithSinkQueue) on its own goroutine, so a slow sink — a remote
 // metrics push, a cold archive disk — cannot delay another sink's
-// alerting; the sweep drains all queues before returning, so sink
-// errors still join the sweep result.
+// alerting. By default the sweep drains all queues before returning, so
+// sink errors join the sweep result; WithDetachedSinks removes that
+// barrier — Sweep returns once the sweep is enqueued everywhere, sink
+// lag may span sweeps (bounded by the queue depth, which backpressures
+// the next sweep's collection), and Pipeline.Flush / Pipeline.Close are
+// the explicit drain barriers where the accumulated sink errors surface.
+// Detached mode is what lets a periodic Run start sweep N+1 while a cold
+// archive disk is still writing sweep N.
 //
 // The three stages mirror the paper, and they stream: no stage ever
 // holds a whole profile body, a parsed goroutine slice, or a full sweep
@@ -66,31 +72,66 @@
 //     yesterday is probed with a reduced budget today (never zero: a
 //     recovered service always gets at least one probe).
 //
-// On disk the store is a segmented append-only log (format version 2).
-// Each recorded sweep appends one frame — a length-prefixed,
-// CRC-32-checksummed JSON record — to the active segment-NNNN.log. The
-// frame is a delta: the bugs the sweep filed or re-sighted
-// (report.DB.TakeDirty), the trend observations it added
-// (TrendTracker.TakeNew), and the sweep outcome. Persisting a sweep
-// therefore costs O(what the sweep changed); at a 100K-key steady state
-// the v1 rewrite-everything model paid ~10,000x more bytes per sweep
-// (see BenchmarkStateJournal). Recovery replays the live segments in
-// order; a torn tail frame — a crash mid-append — is truncated rather
-// than failing the open, so a crash loses at most the in-flight sweep.
+// On disk the store is a segmented append-only log. Each recorded sweep
+// appends one frame — a length-prefixed, CRC-32-checksummed record — to
+// the active segment-NNNN.log. The frame is a delta: the bugs the sweep
+// filed or re-sighted (report.DB.TakeDirty), the trend observations it
+// added (TrendTracker.TakeNew), and the sweep outcome. Persisting a
+// sweep therefore costs O(what the sweep changed); at a 100K-key steady
+// state the v1 rewrite-everything model paid ~10,000x more bytes per
+// sweep (see BenchmarkStateJournal), and BenchmarkSweepCriticalPath
+// measures the end-to-end sweep latency the remaining knobs buy back.
 //
-// The log is kept bounded by compaction. The active segment rolls over
-// past a size bound, and once more than a bounded number of segments are
-// live (WithStateCompaction) the store folds them: the full state is
-// written as one snapshot frame into a fresh segment, the journal.json
-// manifest pointer swings to that segment atomically (temp file +
-// rename), and the old segments are deleted. Snapshot frames replay by
-// replacement, so a crash anywhere in that sequence recovers cleanly:
-// before the pointer swing the old segments are still live and the
-// half-written snapshot is a torn tail; after it, the leftovers below
-// the pointer are swept up on open. WithTrendRetention bounds the other
-// growth axis, keeping only the last N trend observations per key — in
-// verdicts, in exports, and through compaction — so neither the tracker
-// nor the journal grows with the age of the deployment.
+// Frame encoding is negotiated per journal (format version 3). New
+// journals write the binary codec — varint-packed fields, a string
+// table for the keys a record repeats, flate-compressed snapshot
+// bodies — several-fold smaller than the JSON it replaces at a
+// 100K-key steady state. JSON remains the v2-compatible fallback
+// (WithStateCodec), every frame self-describes in its first payload
+// byte, and recovery accepts both in one pass, so a journal whose
+// history mixes codecs — JSON deltas from an old binary, binary frames
+// appended after an upgrade — replays seamlessly. The journal.json
+// manifest records the negotiated codec; a reopened store keeps the
+// journal's dialect unless explicitly switched, and a journal that
+// stays pure JSON keeps the version-2 manifest so v2-era readers can
+// still open it.
+//
+// Durability is a policy, not a tax (WithStateSync). SyncEverySweep,
+// the default, fsyncs inside every RecordSweep: no recorded sweep is
+// ever lost, one fsync per sweep. SyncEvery(n, d) is group commit: the
+// append returns after the buffered write, and one Sync — issued inline
+// when the window fills, or by a background committer when its timer
+// fires — covers every frame of the window, which is what sub-daily
+// sweep cadences want. SyncOnClose defers every sync to Flush/Close.
+// The loss window on a crash follows the policy: recovery truncates a
+// torn tail frame and loses at most the unsynced window — never a
+// frame synced before it (under fail-stop; a power loss that reorders
+// unflushed pages can corrupt a mid-window frame, which recovery
+// refuses to truncate silently because durable frames follow it).
+// StateStore.Flush is the explicit barrier: it journals pending state,
+// fsyncs the window, and surfaces background errors.
+//
+// The log is kept bounded by compaction, and compaction is concurrent.
+// The active segment rolls over past a size bound, and once more than a
+// bounded number of segments are live (WithStateCompaction) the store
+// folds them: the full state is copied under the lock, encoded and
+// written as one snapshot frame into a fresh segment off it, the
+// journal.json manifest pointer swings to that segment atomically (temp
+// file + rename), and the old segments are deleted. Sweeps recorded
+// while the fold runs append to an in-memory side buffer and land right
+// behind the snapshot — no sweep ever blocks on the fold. Snapshot
+// frames replay by replacement, so a crash anywhere in that sequence
+// recovers cleanly: before the pointer swing the old segments are still
+// live and the half-written snapshot is a torn tail; after it, the
+// leftovers below the pointer are swept up on open.
+//
+// Two retention windows keep state from growing with the age of the
+// deployment. WithTrendRetention keeps only the last N trend
+// observations per key — in verdicts, in exports, and through
+// compaction. WithBugRetention ages closed (fixed or rejected) bugs out
+// of memory, delta frames, and compaction folds once unseen for the
+// window; open bugs never age out, so dedup against a still-open report
+// holds forever.
 //
 // A state dir written by the v1 format (one monolithic state.json,
 // rewritten atomically every sweep) opens seamlessly: the v1 journal is
@@ -142,7 +183,10 @@
 // fleet-wide outage costs the sweep a bounded number of timeouts per
 // service), WithSharedIntern (one bounded string pool across all of a
 // sweep's profile scans), WithStateDir (the durable segmented journal
-// described under "Durability & state"), WithStateCompaction and
-// WithTrendRetention (the journal's bounds), and WithSinkQueue (the
-// concurrent sink fan-out's per-sink queue bound).
+// described under "Durability & state"), WithStateSync and
+// WithStateCodec (the journal's fsync policy and frame codec),
+// WithStateCompaction, WithTrendRetention, and WithBugRetention (the
+// journal's bounds), WithSinkQueue (the concurrent sink fan-out's
+// per-sink queue bound), and WithDetachedSinks (sink lag spanning
+// sweeps, drained at Pipeline.Flush/Close).
 package leakprof

@@ -70,6 +70,22 @@ type Config struct {
 	// behind than its queue backpressures collection rather than
 	// buffering a sweep's worth of snapshots.
 	SinkQueue int
+	// DetachedSinks lets sink lag span sweeps: Sweep returns after
+	// handing the completed sweep to every sink's queue instead of
+	// draining them, so Run starts sweep N+1 while a slow sink finishes
+	// sweep N. Lag is bounded by each sink's queue depth; Pipeline.Flush
+	// is the drain barrier and Pipeline.Close the final one. See
+	// WithDetachedSinks.
+	DetachedSinks bool
+	// StateSync is the state journal's fsync policy (see WithStateSync);
+	// the zero value is SyncEverySweep.
+	StateSync SyncPolicy
+	// StateCodec pins the journal frame codec (see WithStateCodec);
+	// empty negotiates via the journal manifest, defaulting to binary.
+	StateCodec StateCodec
+	// BugRetention ages closed bugs out of the durable bug database (see
+	// WithBugRetention); zero keeps every bug ever filed.
+	BugRetention time.Duration
 
 	// sleep and randFloat are test seams for the backoff path.
 	sleep     func(context.Context, time.Duration) error
@@ -239,6 +255,50 @@ func WithSinkQueue(n int) Option {
 	return func(c *Config) { c.SinkQueue = n }
 }
 
+// WithDetachedSinks detaches sink draining from the sweep: Sweep returns
+// once the completed sweep is on every sink's queue, without waiting for
+// the slowest sink to process it, so a periodic Run starts sweep N+1
+// while a cold archive disk is still writing sweep N. Sink lag is
+// bounded: each queue holds at most SinkQueue events, and a sink further
+// behind backpressures the next sweep's collection instead of buffering
+// without bound. Sink errors surface at the explicit barriers —
+// Pipeline.Flush (drain now, keep running) and Pipeline.Close (drain and
+// shut down) — instead of joining each Sweep's return value, and the
+// state journal records a sweep when it completes, not when its sinks
+// finish (a detached TrendSink's late observations ride the next frame,
+// or the Flush/Close delta). Without this option every Sweep drains all
+// queues before returning, the strict default.
+func WithDetachedSinks() Option {
+	return func(c *Config) { c.DetachedSinks = true }
+}
+
+// WithStateSync sets the state journal's fsync policy: SyncEverySweep
+// (default) syncs each recorded sweep before RecordSweep returns;
+// SyncEvery(n, d) group-commits — one fsync per window of n sweeps or d
+// elapsed, off the critical path; SyncOnClose defers to Flush/Close. The
+// loss window on a crash equals the unsynced window. See SyncPolicy.
+func WithStateSync(p SyncPolicy) Option {
+	return func(c *Config) { c.StateSync = p }
+}
+
+// WithStateCodec pins the journal frame encoding (StateCodecBinary or
+// StateCodecJSON). Unset, the store keeps the dialect its journal
+// already speaks (negotiated via the manifest) and defaults new journals
+// to binary. Reading always accepts both, so mixed-codec journals
+// recover in one pass.
+func WithStateCodec(c StateCodec) Option {
+	return func(cfg *Config) { cfg.StateCodec = c }
+}
+
+// WithBugRetention ages closed (fixed or rejected) bugs out of the
+// durable bug database once their last sighting is older than age — from
+// memory, from delta frames, and from compaction folds. Open bugs never
+// age out, so dedup against a still-open report is unaffected. Zero
+// keeps every bug ever filed.
+func WithBugRetention(age time.Duration) Option {
+	return func(c *Config) { c.BugRetention = age }
+}
+
 // Pipeline is the single entry point to LEAKPROF's collect → detect →
 // report loop: one Engine pulling snapshots from a Source, folding them
 // through the streaming sharded Aggregator, and fanning per-snapshot
@@ -264,8 +324,13 @@ func WithSinkQueue(n int) Option {
 // result.
 type Pipeline struct {
 	cfg   Config
-	mu    sync.Mutex // serialises sweeps
+	mu    sync.Mutex // serialises sweeps (and Flush/Close)
 	sinks []Sink
+
+	// workers are the persistent per-sink goroutines of detached mode,
+	// created lazily on first sweep; in the default synchronous mode
+	// workers live for one sweep only and this stays nil.
+	workers []*sinkWorker
 
 	stateOnce sync.Once
 	store     *StateStore
@@ -302,31 +367,44 @@ func (p *Pipeline) State() (*StateStore, error) {
 	p.stateOnce.Do(func() {
 		// The store inherits the pipeline's clock so journal frames are
 		// stamped with the same (possibly fake) time the sweeps use.
-		p.store, p.stateErr = OpenStateStore(p.cfg.StateDir,
+		opts := []StateOption{
 			StateClock(p.cfg.now),
 			StateCompaction(p.cfg.StateSegmentBytes, p.cfg.StateMaxSegments),
 			StateTrendRetention(p.cfg.TrendRetention),
-		)
+			StateSync(p.cfg.StateSync),
+			StateBugRetention(p.cfg.BugRetention),
+		}
+		if p.cfg.StateCodec.valid() {
+			opts = append(opts, StateFrameCodec(p.cfg.StateCodec))
+		}
+		p.store, p.stateErr = OpenStateStore(p.cfg.StateDir, opts...)
 	})
 	return p.store, p.stateErr
 }
 
-// sinkEvent is one unit of a sink's queue: a streamed snapshot or, with
-// sweep set, the end-of-sweep delivery.
+// sinkEvent is one unit of a sink's queue: a streamed snapshot, the
+// end-of-sweep delivery (sweep set), or a flush sentinel (flush set) —
+// the detached-mode barrier, answered with the worker's accumulated
+// errors once everything queued ahead of it has been processed.
 type sinkEvent struct {
 	snap  *gprofile.Snapshot
 	sweep *Sweep
+	flush chan<- error
 }
 
 // sinkWorker runs one sink on its own goroutine over a bounded queue.
 // Events for one sink stay ordered (snapshots, then the sweep), but
 // sinks no longer wait on each other: a stalled archive disk cannot
-// delay the report sink's alerting.
+// delay the report sink's alerting. In detached mode the worker outlives
+// individual sweeps, so its error accumulation is mutex-guarded and
+// drained by flush sentinels instead of the per-sweep barrier.
 type sinkWorker struct {
 	sink Sink
 	ch   chan sinkEvent
 	done chan struct{}
-	err  error // sink's SweepDone error, read after done closes
+
+	mu  sync.Mutex
+	err error // accumulated SweepDone errors since the last drain
 }
 
 func startSinkWorker(sink Sink, queue int) *sinkWorker {
@@ -334,24 +412,42 @@ func startSinkWorker(sink Sink, queue int) *sinkWorker {
 	go func() {
 		defer close(w.done)
 		for ev := range w.ch {
-			if ev.sweep != nil {
-				w.err = errors.Join(w.err, w.sink.SweepDone(ev.sweep))
-				continue
+			switch {
+			case ev.flush != nil:
+				ev.flush <- w.takeErr()
+			case ev.sweep != nil:
+				if err := w.sink.SweepDone(ev.sweep); err != nil {
+					w.mu.Lock()
+					w.err = errors.Join(w.err, err)
+					w.mu.Unlock()
+				}
+			default:
+				w.sink.Snapshot(ev.snap)
 			}
-			w.sink.Snapshot(ev.snap)
 		}
 	}()
 	return w
+}
+
+// takeErr returns and clears the worker's accumulated errors.
+func (w *sinkWorker) takeErr() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	err := w.err
+	w.err = nil
+	return err
 }
 
 // Sweep runs one collection pass over the source: every snapshot the
 // source emits streams into a fresh aggregator and onto each sink's
 // bounded queue, failures are tallied, and the completed Sweep (findings
 // plus the aggregator's raw moments) is delivered to every sink. Sinks
-// consume their queues concurrently with collection and with each other;
-// Sweep drains every queue before returning, so the returned error joins
-// the source error with any sink and state-persistence errors. A Sweep
-// is returned even when collection partially failed.
+// consume their queues concurrently with collection and with each other.
+// By default Sweep drains every queue before returning, so the returned
+// error joins the source error with any sink and state-persistence
+// errors; under WithDetachedSinks it returns once the sweep is enqueued
+// everywhere, and sink errors surface at the Flush/Close barriers
+// instead. A Sweep is returned even when collection partially failed.
 func (p *Pipeline) Sweep(ctx context.Context, src Source) (*Sweep, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -364,9 +460,14 @@ func (p *Pipeline) Sweep(ctx context.Context, src Source) (*Sweep, error) {
 
 	agg := NewAggregator(p.cfg.Threshold, p.cfg.Filters...)
 	sweep := &Sweep{At: p.cfg.now(), Source: src.Name()}
-	workers := make([]*sinkWorker, len(p.sinks))
-	for i, s := range p.sinks {
-		workers[i] = startSinkWorker(s, p.cfg.sinkQueue())
+	var workers []*sinkWorker
+	if p.cfg.DetachedSinks {
+		workers = p.detachedWorkersLocked()
+	} else {
+		workers = make([]*sinkWorker, len(p.sinks))
+		for i, s := range p.sinks {
+			workers[i] = startSinkWorker(s, p.cfg.sinkQueue())
+		}
 	}
 	var mu sync.Mutex
 	env := &SweepEnv{
@@ -405,17 +506,23 @@ func (p *Pipeline) Sweep(ctx context.Context, src Source) (*Sweep, error) {
 	sweep.agg = agg
 
 	errs := []error{err, stateErr}
-	// Hand the completed sweep to every sink and drain: each queue is
-	// closed behind its sweep event, and the barrier waits for every
-	// worker to finish. Fast sinks complete on their own schedule — the
-	// barrier only bounds when Sweep itself returns.
+	// Hand the completed sweep to every sink. In the default mode each
+	// queue is closed behind its sweep event and the barrier waits for
+	// every worker to finish; fast sinks complete on their own schedule —
+	// the barrier only bounds when Sweep itself returns. Detached
+	// workers persist instead: their lag may span sweeps (bounded by
+	// queue depth), and Flush/Close are the barriers.
 	for _, w := range workers {
 		w.ch <- sinkEvent{sweep: sweep}
-		close(w.ch)
+		if !p.cfg.DetachedSinks {
+			close(w.ch)
+		}
 	}
-	for _, w := range workers {
-		<-w.done
-		errs = append(errs, w.err)
+	if !p.cfg.DetachedSinks {
+		for _, w := range workers {
+			<-w.done
+			errs = append(errs, w.takeErr())
+		}
 	}
 	if store != nil {
 		errs = append(errs, store.RecordSweep(sweep))
@@ -424,6 +531,71 @@ func (p *Pipeline) Sweep(ctx context.Context, src Source) (*Sweep, error) {
 		p.cfg.OnSweep(sweep)
 	}
 	return sweep, errors.Join(errs...)
+}
+
+// detachedWorkersLocked returns the persistent sink workers, starting
+// one for any sink that does not have its own yet.
+func (p *Pipeline) detachedWorkersLocked() []*sinkWorker {
+	for i := len(p.workers); i < len(p.sinks); i++ {
+		p.workers = append(p.workers, startSinkWorker(p.sinks[i], p.cfg.sinkQueue()))
+	}
+	return p.workers
+}
+
+// Flush is the detached-mode drain barrier: it blocks until every sink
+// has consumed everything enqueued so far — snapshots and sweeps alike —
+// returns the sink errors accumulated since the previous barrier, and
+// brings the state journal current and durable (late-arriving trend
+// observations are appended, the unsynced group-commit window fsynced).
+// With synchronous sinks it only flushes the journal: every Sweep was
+// its own barrier. Flush excludes sweeps while it runs; the pipeline
+// keeps working afterwards.
+func (p *Pipeline) Flush() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.flushLocked()
+}
+
+func (p *Pipeline) flushLocked() error {
+	var errs []error
+	acks := make([]chan error, len(p.workers))
+	for i, w := range p.workers {
+		ack := make(chan error, 1)
+		acks[i] = ack
+		w.ch <- sinkEvent{flush: ack}
+	}
+	for _, ack := range acks {
+		errs = append(errs, <-ack)
+	}
+	if p.store != nil {
+		errs = append(errs, p.store.Flush())
+	}
+	return errors.Join(errs...)
+}
+
+// Close drains and shuts the pipeline down: detached sink workers finish
+// their queues and exit, their remaining errors are returned, and the
+// state store is flushed and closed (pending deltas journaled, the
+// unsynced window fsynced — SyncOnClose's moment). A pipeline without
+// detached workers or a state store closes trivially. Sweeping after
+// Close restarts workers, but the idiomatic lifecycle is one Close at
+// the end of Run.
+func (p *Pipeline) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var errs []error
+	for _, w := range p.workers {
+		close(w.ch)
+	}
+	for _, w := range p.workers {
+		<-w.done
+		errs = append(errs, w.takeErr())
+	}
+	p.workers = nil
+	if p.store != nil {
+		errs = append(errs, p.store.Close())
+	}
+	return errors.Join(errs...)
 }
 
 // Replay sweeps an on-disk archive through the pipeline, honouring

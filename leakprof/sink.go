@@ -106,6 +106,7 @@ type ReportSink struct {
 
 	mu   sync.Mutex
 	last []*report.Alert
+	all  []*report.Alert
 }
 
 // Snapshot implements Sink; reporting consumes only sweep results.
@@ -116,6 +117,7 @@ func (s *ReportSink) SweepDone(sweep *Sweep) error {
 	alerts := s.Reporter.Report(sweep.Findings)
 	s.mu.Lock()
 	s.last = alerts
+	s.all = append(s.all, alerts...)
 	s.mu.Unlock()
 	return nil
 }
@@ -126,6 +128,17 @@ func (s *ReportSink) LastAlerts() []*report.Alert {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.last
+}
+
+// Alerts returns every new-defect alert filed since the sink was
+// created, across sweeps. Dedup bounds it: a defect alerts once per
+// bug-DB lifetime, not once per sweep. It is the accumulator a
+// multi-sweep replay (or a detached-sink run, where OnSweep fires
+// before the sink processed the sweep) reads after the drain barrier.
+func (s *ReportSink) Alerts() []*report.Alert {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*report.Alert(nil), s.all...)
 }
 
 // TrendSink feeds the aggregator's streaming moments into a TrendTracker

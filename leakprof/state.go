@@ -26,17 +26,24 @@ import (
 const StateFileName = "state.json"
 
 // StateManifestName is the segmented journal's manifest: a tiny pointer
-// document naming the first live segment. Compaction makes its fold
-// atomic by writing the new snapshot segment first and then swinging this
-// pointer; only segments at or after the pointer are live.
+// document naming the first live segment and the codec new frames are
+// written with. Compaction makes its fold atomic by writing the new
+// snapshot segment first and then swinging this pointer; only segments at
+// or after the pointer are live.
 const StateManifestName = "journal.json"
 
-// StateVersion is the current journal format version: 2 is the segmented
-// append-only log (segment-NNNN.log frames plus the journal.json
-// manifest); 1 was the monolithic state.json. A store refuses to load a
-// journal from the future rather than silently misreading it, and
-// migrates v1 forward on the next sweep.
-const StateVersion = 2
+// StateVersion is the current journal format version: 3 is the segmented
+// log carrying binary-codec frames (negotiated via the manifest's codec
+// field); 2 was the same segment layout with JSON-only frames, and 1 the
+// monolithic state.json. A store refuses to load a journal from the
+// future rather than silently misreading it, reads versions 1–3, and
+// keeps writing version-2 manifests while the journal stays JSON so a
+// v2-era reader can still open it.
+const StateVersion = 3
+
+// stateVersionJSON is the manifest version written while every frame in
+// the journal is JSON: the compatibility dialect older readers accept.
+const stateVersionJSON = 2
 
 // Compaction defaults: the active segment rolls over past
 // DefaultStateSegmentBytes, and once more than DefaultStateMaxSegments
@@ -79,6 +86,12 @@ type stateManifest struct {
 	// BaseSegment is the first live segment. Segments below it are
 	// pre-compaction leftovers, deleted on open.
 	BaseSegment int `json:"base_segment"`
+	// Codec names the encoding new frames are appended with ("json" or
+	// "binary"). Reading never needs it — frames self-describe — but a
+	// reopened store adopts it so a journal keeps one dialect unless the
+	// caller explicitly switches, and a v2-era reader is version-gated
+	// away from binary frames it cannot decode.
+	Codec StateCodec `json:"codec,omitempty"`
 }
 
 // stateJournalV1 is the legacy monolithic journal, kept for migration.
@@ -107,6 +120,90 @@ type SweepRecord struct {
 	FailedByService map[string]int `json:"failed_by_service,omitempty"`
 }
 
+// SyncPolicy decides when appended journal frames are fsynced durable.
+// The default, SyncEverySweep, syncs inside every RecordSweep: no
+// recorded sweep is ever lost to a crash, at the cost of one fsync on
+// the sweep's critical path. SyncEvery(n, d) is group commit: appends
+// return after the buffered write, and one Sync covers every frame
+// appended in the window (n frames or d elapsed, whichever first) —
+// the policy for sub-daily cadences where per-sweep fsync dominates.
+// SyncOnClose defers every sync to Flush/Close: the benchmark-and-test
+// policy, or fleets where losing the tail of an interrupted run is
+// acceptable.
+//
+// The loss window follows the policy: on a crash (process kill), frames
+// appended since the last sync may be torn from the tail of the active
+// segment, and recovery truncates back to the last complete frame — up
+// to the unsynced window is lost, never anything before it. (That bound
+// assumes fail-stop: on power loss, a disk that reorders unflushed pages
+// could corrupt a mid-window frame, which recovery refuses to silently
+// truncate because durable frames follow it.)
+type SyncPolicy struct {
+	mode   syncMode
+	every  int
+	window time.Duration
+}
+
+type syncMode int
+
+const (
+	syncModeEverySweep syncMode = iota
+	syncModeWindow
+	syncModeOnClose
+)
+
+// SyncEverySweep syncs every appended frame before RecordSweep returns:
+// the strictest policy and the default.
+var SyncEverySweep = SyncPolicy{mode: syncModeEverySweep}
+
+// SyncOnClose defers all syncing to Flush/Close.
+var SyncOnClose = SyncPolicy{mode: syncModeOnClose}
+
+// SyncEvery returns a group-commit policy: one Sync per window of up to n
+// appended frames or d of wall-clock time since the window's first
+// unsynced append, whichever comes first. n <= 0 disables the count
+// trigger, d <= 0 the timer; both disabled is SyncOnClose in effect.
+// The timer runs on a background committer goroutine, so the sync it
+// issues never rides a sweep's critical path.
+func SyncEvery(n int, d time.Duration) SyncPolicy {
+	return SyncPolicy{mode: syncModeWindow, every: n, window: d}
+}
+
+// String names the policy for flag and log surfaces.
+func (p SyncPolicy) String() string {
+	switch p.mode {
+	case syncModeWindow:
+		return fmt.Sprintf("every(%d,%s)", p.every, p.window)
+	case syncModeOnClose:
+		return "close"
+	default:
+		return "sweep"
+	}
+}
+
+// ParseSyncPolicy decodes a policy from its flag form: "sweep", "close",
+// or "N" / "N/duration" for group commit (e.g. "8", "8/2s", "0/500ms").
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "", "sweep":
+		return SyncEverySweep, nil
+	case "close":
+		return SyncOnClose, nil
+	}
+	countPart, durPart, hasDur := strings.Cut(s, "/")
+	n, err := strconv.Atoi(countPart)
+	if err != nil {
+		return SyncPolicy{}, fmt.Errorf("leakprof: fsync policy %q: want sweep, close, N, or N/duration", s)
+	}
+	var d time.Duration
+	if hasDur {
+		if d, err = time.ParseDuration(durPart); err != nil {
+			return SyncPolicy{}, fmt.Errorf("leakprof: fsync policy %q: %w", s, err)
+		}
+	}
+	return SyncEvery(n, d), nil
+}
+
 // StateStore is the pipeline's durable memory: the bug database (filed
 // findings), the cross-sweep trend history (with the aggregator moments
 // behind variance-aware verdicts), and the previous sweep's outcome. The
@@ -116,18 +213,25 @@ type SweepRecord struct {
 // blind.
 //
 // On disk the store is a segmented append-only log. Every recorded sweep
-// appends one length-prefixed, CRC-checksummed JSON frame — the sweep's
+// appends one length-prefixed, CRC-checksummed frame — the sweep's
 // delta — to the active segment-NNNN.log, so the per-sweep write cost is
 // proportional to what the sweep changed, not to every key ever tracked.
+// Frames are encoded with the negotiated StateCodec (binary by default,
+// JSON as the v2-compatible fallback; frames self-describe, so
+// mixed-codec journals replay). Durability follows the SyncPolicy:
+// by default every append is fsynced before RecordSweep returns, and
+// under group commit one fsync covers a whole window of sweeps.
 // Recovery replays segments in order; a torn tail frame (a crash mid-
 // append) is truncated rather than failing the open, losing at most the
-// in-flight sweep. When the active segment outgrows its size bound the
+// unsynced window. When the active segment outgrows its size bound the
 // store rolls to the next segment, and once more than a bounded number
-// of segments are live it compacts: the full state is written as one
-// snapshot frame into a fresh segment, the journal.json manifest pointer
-// swings to it atomically, and the old segments are deleted. A state dir
-// still holding the v1 monolithic state.json opens seamlessly and is
-// migrated to segments by the next persisted sweep.
+// of segments are live it compacts concurrently: the full state is
+// folded from a copy while sweeps keep appending — onto a segment past
+// the snapshot's reserved slot, so they stay durable and replay behind
+// it — and the journal.json manifest pointer swings to the snapshot
+// segment atomically. No sweep ever blocks on the fold. A state dir still holding the v1 monolithic
+// state.json opens seamlessly and is migrated to segments by the next
+// persisted sweep.
 //
 // Open a store, wire its BugDB and Tracker into the sinks, and attach it
 // to the pipeline:
@@ -140,14 +244,19 @@ type SweepRecord struct {
 //	)
 //
 // (Pipeline.State returns the same store the pipeline opened — with the
-// pipeline's clock, compaction thresholds, and trend retention wired in —
-// so the explicit OpenStateStore call is optional.)
+// pipeline's clock, compaction thresholds, sync policy, codec, and
+// retention windows wired in — so the explicit OpenStateStore call is
+// optional.)
 type StateStore struct {
 	dir string
 	now func() time.Time
 
-	segmentBytes int64 // roll the active segment beyond this size
-	maxSegments  int   // compact once more than this many segments are live
+	segmentBytes  int64 // roll the active segment beyond this size
+	maxSegments   int   // compact once more than this many segments are live
+	syncPolicy    SyncPolicy
+	codec         StateCodec
+	codecExplicit bool          // caller pinned the codec; manifest does not override
+	bugRetention  time.Duration // age-out window for closed bugs (0 = keep forever)
 
 	mu      sync.Mutex
 	db      *report.DB
@@ -161,6 +270,22 @@ type StateStore struct {
 	segCount   int   // live segments on disk
 	legacy     bool  // a v1 state.json is loaded/stale; next persist compacts it away
 	appended   int64 // total frame bytes appended since open (telemetry)
+	syncs      int64 // total fsyncs issued since open (telemetry)
+	unsynced   int   // frames appended to the active segment since its last sync
+
+	// Group-commit committer: a background goroutine issuing the
+	// time-window sync so it never rides a sweep's critical path.
+	committerWake chan struct{}
+	committerQuit chan struct{}
+	committerDone chan struct{}
+
+	// Concurrent compaction: while folding, appends continue normally —
+	// into segments numbered after the snapshot's reserved slot, so they
+	// are durable per policy and replay behind the snapshot — and only
+	// the next fold trigger is suppressed.
+	folding  bool
+	foldDone chan struct{}
+	asyncErr error // background fold/committer errors, surfaced on the next store call
 }
 
 // StateOption tunes a StateStore at open time.
@@ -206,6 +331,37 @@ func StateTrendRetention(n int) StateOption {
 	}
 }
 
+// StateSync sets the store's fsync policy (default SyncEverySweep).
+func StateSync(p SyncPolicy) StateOption {
+	return func(s *StateStore) { s.syncPolicy = p }
+}
+
+// StateFrameCodec pins the codec new frames are written with, overriding
+// what the journal's manifest negotiated. Reading is codec-agnostic
+// either way.
+func StateFrameCodec(c StateCodec) StateOption {
+	return func(s *StateStore) {
+		if c.valid() {
+			s.codec = c
+			s.codecExplicit = true
+		}
+	}
+}
+
+// StateBugRetention ages closed (fixed or rejected) bugs out of the
+// store once their last sighting is older than age: they leave the
+// in-memory database, stop riding delta frames, and are excluded from
+// compaction folds, so neither memory nor the journal grows with every
+// defect ever resolved. Open bugs never age out — dedup against a
+// still-open report must hold however old it is. Zero keeps everything.
+func StateBugRetention(age time.Duration) StateOption {
+	return func(s *StateStore) {
+		if age > 0 {
+			s.bugRetention = age
+		}
+	}
+}
+
 // OpenStateStore creates dir if needed and recovers its journal. The
 // returned store's BugDB and Tracker are pre-seeded with everything the
 // journal recorded; a missing journal yields an empty store, and a v1
@@ -213,7 +369,8 @@ func StateTrendRetention(n int) StateOption {
 // journal is an error — silently discarding filed bugs would re-alert
 // every owner on the next sweep — with one deliberate exception: a torn
 // tail frame in the active segment (a crash mid-append) is truncated, so
-// recovery loses at most the in-flight sweep.
+// recovery loses at most the frames the sync policy had not yet made
+// durable.
 func OpenStateStore(dir string, opts ...StateOption) (*StateStore, error) {
 	if dir == "" {
 		return nil, errors.New("leakprof: state dir must be non-empty")
@@ -226,6 +383,8 @@ func OpenStateStore(dir string, opts ...StateOption) (*StateStore, error) {
 		now:          time.Now,
 		segmentBytes: DefaultStateSegmentBytes,
 		maxSegments:  DefaultStateMaxSegments,
+		syncPolicy:   SyncEverySweep,
+		codec:        StateCodecBinary,
 		db:           report.NewDB(),
 		tracker:      &TrendTracker{},
 	}
@@ -237,6 +396,11 @@ func OpenStateStore(dir string, opts ...StateOption) (*StateStore, error) {
 	s.tracker.TakeNew()
 	if err := s.recover(); err != nil {
 		return nil, err
+	}
+	if s.bugRetention > 0 {
+		// Replayed deltas resurrect aged-out closed bugs; re-apply the
+		// window so recovery and a live store agree on what exists.
+		s.db.DropAged(s.now().Add(-s.bugRetention))
 	}
 	return s, nil
 }
@@ -250,10 +414,28 @@ func (s *StateStore) recover() error {
 	}
 	if manifest != nil {
 		s.base = manifest.BaseSegment
+		// Codec negotiation: keep writing the journal's dialect unless
+		// the caller explicitly switched it.
+		if !s.codecExplicit && manifest.Codec.valid() {
+			s.codec = manifest.Codec
+		} else if !s.codecExplicit && manifest.FormatVersion <= stateVersionJSON {
+			// A v2 manifest predates the codec field: its journal is JSON.
+			s.codec = StateCodecJSON
+		}
 	}
 	seqs, err := s.listSegments()
 	if err != nil {
 		return err
+	}
+	// A fold that crashed mid-stage leaves its snapshot as a .segment-*
+	// temp file (the rename never happened); it was never referenced, so
+	// sweep it up.
+	if entries, derr := os.ReadDir(s.dir); derr == nil {
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasPrefix(e.Name(), ".segment-") {
+				os.Remove(filepath.Join(s.dir, e.Name()))
+			}
+		}
 	}
 	// Segments below the manifest pointer are pre-compaction leftovers —
 	// the fold completed (the pointer only swings after the snapshot
@@ -346,7 +528,13 @@ func (s *StateStore) readManifest() (*stateManifest, error) {
 }
 
 func (s *StateStore) writeManifest(base int) error {
-	body, err := json.Marshal(&stateManifest{FormatVersion: StateVersion, BaseSegment: base})
+	version := StateVersion
+	if s.codec == StateCodecJSON {
+		// While the journal speaks pure JSON, keep the manifest at the
+		// v2 dialect so older readers are not locked out needlessly.
+		version = stateVersionJSON
+	}
+	body, err := json.Marshal(&stateManifest{FormatVersion: version, BaseSegment: base, Codec: s.codec})
 	if err != nil {
 		return fmt.Errorf("leakprof: encoding state manifest: %w", err)
 	}
@@ -452,13 +640,13 @@ func (s *StateStore) replaySegment(seq int, isLast bool) error {
 		if err != nil {
 			return fmt.Errorf("leakprof: journal segment %s at offset %d: %w", path, off, err)
 		}
-		var rec journalRecord
-		if derr := json.Unmarshal(payload, &rec); derr != nil {
+		rec, derr := decodePayload(payload)
+		if derr != nil {
 			// The checksum matched, so this is not torn — it is a frame
 			// this version cannot understand.
 			return fmt.Errorf("leakprof: journal segment %s: decoding frame at offset %d: %w", path, off, derr)
 		}
-		if aerr := s.applyRecord(&rec); aerr != nil {
+		if aerr := s.applyRecord(rec); aerr != nil {
 			return fmt.Errorf("leakprof: journal segment %s: %w", path, aerr)
 		}
 		off += n
@@ -535,9 +723,10 @@ func readFrame(br *bufio.Reader, remaining int64) ([]byte, int64, error) {
 	return payload, frameLen, nil
 }
 
-// encodeFrame renders one record as a framed, checksummed byte slice.
-func encodeFrame(rec *journalRecord) ([]byte, error) {
-	payload, err := json.Marshal(rec)
+// encodeFrame renders one record as a framed, checksummed byte slice in
+// the given codec.
+func encodeFrame(rec *journalRecord, codec StateCodec) ([]byte, error) {
+	payload, err := encodePayload(rec, codec)
 	if err != nil {
 		return nil, fmt.Errorf("leakprof: encoding journal record: %w", err)
 	}
@@ -552,11 +741,19 @@ func encodeFrame(rec *journalRecord) ([]byte, error) {
 }
 
 // openActive ensures the active segment is open for appending, rolling to
-// a fresh segment when the current one has outgrown its size bound.
+// a fresh segment when the current one has outgrown its size bound. A
+// roll syncs the outgoing segment first when frames in it are still
+// unsynced: the sync-policy loss window must never silently extend to a
+// segment the store can no longer reach through its active handle.
 func (s *StateStore) openActive(incoming int64) error {
 	// Roll on size whether or not the handle is open: after a restart the
 	// recovered active segment may already be at its bound.
 	if s.activeSeq > 0 && s.activeSize > 0 && s.activeSize+incoming > s.segmentBytes {
+		if s.unsynced > 0 && s.active != nil {
+			if err := s.syncActiveLocked(); err != nil {
+				return err
+			}
+		}
 		if s.active != nil {
 			s.active.Close()
 			s.active = nil
@@ -586,10 +783,27 @@ func (s *StateStore) openActive(incoming int64) error {
 	return nil
 }
 
-// appendRecord appends one framed record to the active segment and syncs
-// it durable.
+// syncActiveLocked fsyncs the active segment and resets the group-commit
+// window.
+func (s *StateStore) syncActiveLocked() error {
+	if s.active == nil {
+		s.unsynced = 0
+		return nil
+	}
+	if err := s.active.Sync(); err != nil {
+		return fmt.Errorf("leakprof: syncing journal segment: %w", err)
+	}
+	s.syncs++
+	s.unsynced = 0
+	return nil
+}
+
+// appendRecord appends one framed record to the active segment and makes
+// it durable per the store's sync policy: immediately (SyncEverySweep),
+// when the group-commit window fills or its timer fires (SyncEvery), or
+// not until Flush/Close (SyncOnClose).
 func (s *StateStore) appendRecord(rec *journalRecord) error {
-	frame, err := encodeFrame(rec)
+	frame, err := encodeFrame(rec, s.codec)
 	if err != nil {
 		return err
 	}
@@ -599,12 +813,101 @@ func (s *StateStore) appendRecord(rec *journalRecord) error {
 	if _, err := s.active.Write(frame); err != nil {
 		return fmt.Errorf("leakprof: appending journal frame: %w", err)
 	}
-	if err := s.active.Sync(); err != nil {
-		return fmt.Errorf("leakprof: syncing journal segment: %w", err)
-	}
 	s.activeSize += int64(len(frame))
 	s.appended += int64(len(frame))
+	s.unsynced++
+	switch s.syncPolicy.mode {
+	case syncModeEverySweep:
+		return s.syncActiveLocked()
+	case syncModeWindow:
+		if s.syncPolicy.every > 0 && s.unsynced >= s.syncPolicy.every {
+			return s.syncActiveLocked()
+		}
+		if s.syncPolicy.window > 0 {
+			s.wakeCommitterLocked()
+		}
+	}
 	return nil
+}
+
+// wakeCommitterLocked starts the background committer on first use and
+// nudges it that unsynced frames exist; the committer issues one Sync
+// per time window off the critical path.
+func (s *StateStore) wakeCommitterLocked() {
+	if s.committerQuit == nil {
+		s.committerWake = make(chan struct{}, 1)
+		s.committerQuit = make(chan struct{})
+		s.committerDone = make(chan struct{})
+		go s.committer(s.committerWake, s.committerQuit, s.committerDone, s.syncPolicy.window)
+	}
+	select {
+	case s.committerWake <- struct{}{}:
+	default:
+	}
+}
+
+// committer is the group-commit background goroutine: woken by the first
+// unsynced append of a window, it waits the window out and issues one
+// Sync for everything appended meanwhile.
+func (s *StateStore) committer(wake, quit, done chan struct{}, window time.Duration) {
+	defer close(done)
+	timer := time.NewTimer(window)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		select {
+		case <-quit:
+			return
+		case <-wake:
+		}
+		timer.Reset(window)
+		select {
+		case <-quit:
+			timer.Stop()
+			return
+		case <-timer.C:
+		}
+		s.mu.Lock()
+		if s.unsynced > 0 {
+			if err := s.syncActiveLocked(); err != nil {
+				s.asyncErr = errors.Join(s.asyncErr, err)
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// stopCommitter shuts the background committer down, outside the store
+// lock (the committer takes it to sync).
+func (s *StateStore) stopCommitter() {
+	s.mu.Lock()
+	quit, done := s.committerQuit, s.committerDone
+	s.committerQuit, s.committerDone, s.committerWake = nil, nil, nil
+	s.mu.Unlock()
+	if quit != nil {
+		close(quit)
+		<-done
+	}
+}
+
+// takeAsyncErrLocked surfaces and clears errors recorded by background
+// work (the committer's sync, a concurrent fold).
+func (s *StateStore) takeAsyncErrLocked() error {
+	err := s.asyncErr
+	s.asyncErr = nil
+	return err
+}
+
+// waitFoldLocked blocks until no fold is in flight, releasing the lock
+// while waiting.
+func (s *StateStore) waitFoldLocked() {
+	for s.folding {
+		done := s.foldDone
+		s.mu.Unlock()
+		<-done
+		s.mu.Lock()
+	}
 }
 
 // Dir returns the store's directory.
@@ -621,18 +924,80 @@ func (s *StateStore) BugDB() *report.DB { return s.db }
 // returned tracker before the first sweep.
 func (s *StateStore) Tracker() *TrendTracker { return s.tracker }
 
-// Close releases the active segment handle. Open stores persist through
-// process exit without it; call it when a store's lifetime ends before
-// the process does (tests, long-lived embedders reopening dirs).
-func (s *StateStore) Close() error {
+// Flush makes the journal current and durable: it waits out any in-
+// flight compaction, appends a delta frame for state mutated since the
+// last recorded sweep (status transitions from an embedder, trend
+// observations a detached sink delivered late), fsyncs the unsynced
+// group-commit window, and surfaces any background errors. Tests and
+// shutdown paths call it to assert "everything I did is on disk" under
+// every sync policy.
+func (s *StateStore) Flush() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.active == nil {
+	s.waitFoldLocked()
+	var errs []error
+	errs = append(errs, s.appendPendingLocked())
+	if s.unsynced > 0 {
+		errs = append(errs, s.syncActiveLocked())
+	}
+	errs = append(errs, s.takeAsyncErrLocked())
+	return errors.Join(errs...)
+}
+
+// appendPendingLocked journals un-recorded state as a sweep-less delta
+// frame, if any exists. A store still carrying a v1 journal compacts
+// instead: a bare delta behind an unmigrated state.json would be lost to
+// recovery, which ignores v1 content once segments exist.
+func (s *StateStore) appendPendingLocked() error {
+	if s.db.DirtyCount() == 0 && !s.tracker.hasPending() {
 		return nil
 	}
-	err := s.active.Close()
-	s.active = nil
-	return err
+	if s.legacy {
+		return s.compactLocked()
+	}
+	rec := &journalRecord{
+		Kind:    recordDelta,
+		SavedAt: s.now(),
+		Bugs:    s.db.TakeDirty(),
+		Trend:   s.tracker.TakeNew(),
+	}
+	if err := s.appendRecord(rec); err != nil {
+		s.requeueDeltaLocked(rec)
+		return err
+	}
+	return nil
+}
+
+// requeueDeltaLocked hands a drained delta back to the DB and tracker
+// after a failed append, so a later persist still journals it.
+func (s *StateStore) requeueDeltaLocked(rec *journalRecord) {
+	keys := make([]string, len(rec.Bugs))
+	for i, b := range rec.Bugs {
+		keys[i] = b.Key
+	}
+	s.db.MarkDirty(keys...)
+	s.tracker.requeueNew(rec.Trend)
+}
+
+// Close flushes and releases the store: any in-flight fold completes,
+// pending deltas and the unsynced window are made durable (SyncOnClose's
+// contract), the committer stops, and the active segment handle closes.
+// The flush runs before the committer stops — a flush-time append may
+// wake (or spawn) the committer, and stopping afterwards guarantees no
+// goroutine outlives Close. Skipping Close under a relaxed sync policy
+// forfeits the unsynced window if the process dies before the OS writes
+// it back.
+func (s *StateStore) Close() error {
+	err := s.Flush()
+	s.stopCommitter()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var cerr error
+	if s.active != nil {
+		cerr = s.active.Close()
+		s.active = nil
+	}
+	return errors.Join(err, cerr)
 }
 
 // LastSweep returns a copy of the journaled previous sweep outcome, or
@@ -662,11 +1027,15 @@ func (s *StateStore) LastFailureCounts() map[string]int {
 // RecordSweep journals one completed sweep by appending a single delta
 // frame: the bugs the sweep filed or re-sighted (report.DB.TakeDirty),
 // the trend observations it added (TrendTracker.TakeNew), and the sweep
-// outcome. The pipeline calls it after the sweep's sinks have drained,
-// so the journal always reflects what the sinks saw — and the write cost
-// is O(the sweep's findings), not O(every key ever tracked). Crossing
-// the segment-count threshold (or a pending v1 migration) triggers a
-// compaction.
+// outcome. The write cost is O(the sweep's findings), not O(every key
+// ever tracked), and the frame is made durable per the sync policy —
+// under group commit the append returns without an fsync and one Sync
+// later covers the window. A concurrent compaction never blocks or
+// weakens this: while a fold is in flight, deltas append to a segment
+// numbered after the snapshot's slot, as durable as any other append
+// and replaying behind the snapshot on recovery. Crossing the
+// segment-count threshold starts that concurrent fold; a pending v1
+// migration compacts synchronously (one-time).
 func (s *StateStore) RecordSweep(sweep *Sweep) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -696,18 +1065,19 @@ func (s *StateStore) RecordSweep(sweep *Sweep) error {
 		// a later append (or compaction) still journals it — otherwise a
 		// transient disk error would silently drop this sweep's filings
 		// from the journal forever.
-		keys := make([]string, len(rec.Bugs))
-		for i, b := range rec.Bugs {
-			keys[i] = b.Key
-		}
-		s.db.MarkDirty(keys...)
-		s.tracker.requeueNew(rec.Trend)
-		return err
+		s.requeueDeltaLocked(rec)
+		return errors.Join(err, s.takeAsyncErrLocked())
 	}
-	if s.segCount > s.maxSegments {
-		return s.compactLocked()
+	if s.bugRetention > 0 {
+		// Age out after the append: a closing status transition must hit
+		// the journal before its bug leaves memory, or replay would
+		// resurrect the bug with its last journaled (open) status.
+		s.db.DropAged(s.now().Add(-s.bugRetention))
 	}
-	return nil
+	if !s.folding && s.segCount > s.maxSegments {
+		s.startFoldLocked()
+	}
+	return s.takeAsyncErrLocked()
 }
 
 // Save persists the full state as a snapshot, compacting the journal to
@@ -718,6 +1088,7 @@ func (s *StateStore) RecordSweep(sweep *Sweep) error {
 func (s *StateStore) Save() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.waitFoldLocked()
 	return s.compactLocked()
 }
 
@@ -727,14 +1098,47 @@ func (s *StateStore) Save() error {
 // migrated v1 state.json) are deleted. A crash before the pointer swing
 // leaves the old segments live and the half-written snapshot as a torn
 // tail to truncate; a crash after it leaves only already-folded leftovers
-// to sweep up — either way, recovery loses at most the in-flight sweep.
+// to sweep up — either way, recovery loses at most the unsynced window.
+// Compact runs the fold synchronously; the threshold-triggered folds
+// inside RecordSweep run the same steps on a background goroutine with
+// sweeps buffering aside (see StateStore's doc).
 func (s *StateStore) Compact() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.waitFoldLocked()
 	return s.compactLocked()
 }
 
-func (s *StateStore) compactLocked() error {
+// startFoldLocked launches the concurrent compaction. The fold inputs
+// are copied under the lock; the expensive encode and write happen off
+// it. Crucially, sweeps recorded during the fold stay exactly as durable
+// as the sync policy promises: the store reserves the next segment
+// number for the snapshot and rolls its appends onto the segment after
+// it, so mid-fold deltas hit disk through the normal append path and
+// replay behind the snapshot whether or not the fold survives. The
+// snapshot itself lands by atomic rename, so on disk it is either absent
+// or complete — never a torn middle segment.
+func (s *StateStore) startFoldLocked() {
+	if s.folding {
+		return
+	}
+	if s.bugRetention > 0 {
+		s.db.DropAged(s.now().Add(-s.bugRetention))
+	}
+	// Roll appends past the snapshot's reserved slot. The outgoing
+	// segment is synced first when needed, preserving the invariant
+	// that only the final segment can ever hold a torn frame. A sync
+	// failure abandons the fold before anything is drained or moved.
+	if s.unsynced > 0 && s.active != nil {
+		if err := s.syncActiveLocked(); err != nil {
+			s.asyncErr = errors.Join(s.asyncErr, err)
+			return
+		}
+	}
+	// Drain un-taken deltas into the fold: the snapshot view subsumes
+	// them. A failed fold requeues them; without the drain they would
+	// ride the next delta frame too and replay twice.
+	pending := &journalRecord{Bugs: s.db.TakeDirty(), Trend: s.tracker.TakeNew()}
 	rec := &journalRecord{
 		Kind:    recordSnapshot,
 		SavedAt: s.now(),
@@ -742,7 +1146,119 @@ func (s *StateStore) compactLocked() error {
 		Trend:   s.tracker.Export(),
 		Sweep:   s.last,
 	}
-	frame, err := encodeFrame(rec)
+	if s.active != nil {
+		s.active.Close()
+		s.active = nil
+	}
+	oldBase, oldCount, newSeq := s.base, s.segCount, s.activeSeq+1
+	if newSeq <= 1 {
+		newSeq = 1
+	}
+	s.activeSeq = newSeq + 1
+	s.activeSize = 0
+	s.segCount++ // the delta segment appends land in during/after the fold
+	s.folding = true
+	s.foldDone = make(chan struct{})
+	go s.fold(rec, pending, oldBase, oldCount, newSeq)
+}
+
+// fold is the background half of concurrent compaction.
+func (s *StateStore) fold(rec, pending *journalRecord, oldBase, oldCount, newSeq int) {
+	frame, err := encodeFrame(rec, s.codec)
+	if err == nil {
+		err = s.writeSnapshotSegment(newSeq, frame)
+	}
+	if err == nil {
+		err = s.writeManifest(newSeq)
+		if err != nil {
+			// The pointer never swung. The snapshot is safe to replay
+			// (mid-fold deltas live after it), but keeping it would pin
+			// the pre-fold segments forever; remove it and retry on the
+			// next threshold crossing.
+			os.Remove(s.segmentPath(newSeq))
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	defer close(s.foldDone)
+	s.folding = false
+	if err != nil {
+		s.requeueDeltaLocked(pending)
+		s.asyncErr = errors.Join(s.asyncErr, err)
+		return
+	}
+	// The fold is durable: retire the pre-fold segments. Appends rolled
+	// past the snapshot at fold start, so the active handle and the
+	// deltas recorded meanwhile are untouched.
+	for seq := oldBase; seq < newSeq; seq++ {
+		if seq > 0 {
+			os.Remove(s.segmentPath(seq))
+		}
+	}
+	if s.legacy {
+		os.Remove(filepath.Join(s.dir, StateFileName))
+		s.legacy = false
+	}
+	s.base = newSeq
+	s.segCount -= oldCount
+	s.segCount++ // the snapshot segment itself
+	s.appended += int64(len(frame))
+	s.syncs++
+	if s.active == nil && s.activeSize == 0 && s.activeSeq == newSeq+1 {
+		// Nothing was recorded during the fold: collapse onto the
+		// snapshot segment instead of leaving an empty reservation, so
+		// a quiet fold ends at exactly one live segment.
+		s.activeSeq = newSeq
+		s.segCount--
+		if fi, serr := os.Stat(s.segmentPath(newSeq)); serr == nil {
+			s.activeSize = fi.Size()
+		}
+	}
+}
+
+// writeSnapshotSegment stages one snapshot frame to a temp file, syncs
+// it, and renames it into place as segment seq: on disk the segment is
+// either absent or complete. It touches no store state (callers bump the
+// sync telemetry under their own locking), so the concurrent fold runs
+// it off the lock.
+func (s *StateStore) writeSnapshotSegment(seq int, frame []byte) error {
+	tmp, err := os.CreateTemp(s.dir, ".segment-*")
+	if err != nil {
+		return fmt.Errorf("leakprof: staging snapshot segment: %w", err)
+	}
+	_, werr := tmp.Write(frame)
+	if serr := tmp.Sync(); werr == nil {
+		werr = serr
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), s.segmentPath(seq))
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("leakprof: writing snapshot segment: %w", werr)
+	}
+	return nil
+}
+
+// compactLocked is the synchronous fold used by Compact, Save, and the
+// one-time v1 migration. The concurrent path (startFoldLocked) runs the
+// same sequence off the lock.
+func (s *StateStore) compactLocked() error {
+	if s.bugRetention > 0 {
+		s.db.DropAged(s.now().Add(-s.bugRetention))
+	}
+	rec := &journalRecord{
+		Kind:    recordSnapshot,
+		SavedAt: s.now(),
+		Bugs:    s.db.All(),
+		Trend:   s.tracker.Export(),
+		Sweep:   s.last,
+	}
+	frame, err := encodeFrame(rec, s.codec)
 	if err != nil {
 		return err
 	}
@@ -754,26 +1270,14 @@ func (s *StateStore) compactLocked() error {
 		s.active.Close()
 		s.active = nil
 	}
-	f, err := os.OpenFile(s.segmentPath(newSeq), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
-	if err != nil {
-		return fmt.Errorf("leakprof: creating snapshot segment: %w", err)
-	}
-	_, werr := f.Write(frame)
-	if serr := f.Sync(); werr == nil {
-		werr = serr
-	}
-	if werr != nil {
-		f.Close()
-		os.Remove(s.segmentPath(newSeq))
-		return fmt.Errorf("leakprof: writing snapshot segment: %w", werr)
+	if err := s.writeSnapshotSegment(newSeq, frame); err != nil {
+		return err
 	}
 	// The snapshot is durable; swing the manifest pointer. Everything
-	// before this line crashing leaves the previous segments live.
+	// before this line crashing leaves the previous segments live (the
+	// complete snapshot replays harmlessly by replacement, and is
+	// removed here so it cannot pin the old segments forever).
 	if err := s.writeManifest(newSeq); err != nil {
-		// Remove the orphan snapshot: the pointer never swung, so leaving
-		// it on disk would make the next open replay it *after* (and so
-		// over) every delta appended to the still-live segments meanwhile.
-		f.Close()
 		os.Remove(s.segmentPath(newSeq))
 		return err
 	}
@@ -793,9 +1297,11 @@ func (s *StateStore) compactLocked() error {
 		s.legacy = false
 	}
 	s.base, s.activeSeq = newSeq, newSeq
-	s.active, s.activeSize = f, int64(len(frame))
+	s.activeSize = int64(len(frame))
 	s.segCount = 1
 	s.appended += int64(len(frame))
+	s.syncs++
+	s.unsynced = 0
 	return nil
 }
 
@@ -805,6 +1311,15 @@ func (s *StateStore) journalBytesAppended() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.appended
+}
+
+// journalSyncs returns the number of fsyncs issued since open — the
+// group-commit acceptance probe: one per sweep under SyncEverySweep, one
+// per window under SyncEvery.
+func (s *StateStore) journalSyncs() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.syncs
 }
 
 // SegmentCount returns the number of live journal segments.

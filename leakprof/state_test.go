@@ -416,11 +416,11 @@ func readJournalFrames(t *testing.T, path string) []journalRecord {
 		if err != nil {
 			t.Fatalf("frame in %s: %v", path, err)
 		}
-		var rec journalRecord
-		if err := json.Unmarshal(payload, &rec); err != nil {
+		rec, err := decodePayload(payload)
+		if err != nil {
 			t.Fatal(err)
 		}
-		out = append(out, rec)
+		out = append(out, *rec)
 	}
 }
 
@@ -802,7 +802,11 @@ func TestStateStoreCompactionThreshold(t *testing.T) {
 	for day := 1; day <= 4; day++ {
 		journalSweep(t, store, day, map[string]int{"/k.go:1": 10 * day})
 	}
-	// Sweep 4 pushed the journal past 3 segments and triggered the fold.
+	// Sweep 4 pushed the journal past 3 segments and triggered the fold —
+	// concurrently, so Flush provides the barrier a test needs.
+	if err := store.Flush(); err != nil {
+		t.Fatal(err)
+	}
 	if got := store.SegmentCount(); got != 1 {
 		t.Errorf("segments after threshold crossing = %d, want 1 (compacted)", got)
 	}

@@ -1,0 +1,130 @@
+package leakprof
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/gprofile"
+	"repro/internal/report"
+	"repro/internal/stack"
+)
+
+// BenchmarkSweepCriticalPath measures what this package ultimately sells:
+// the wall-clock cost of one Pipeline.Sweep at a 100K-key steady state
+// with the production sink set attached — report (bug filing against the
+// durable DB), trend, and a write-through archive — and the state journal
+// recording every sweep.
+//
+// Two configurations bracket the durability critical path:
+//
+//   - attached-sync-every-sweep is the PR-4 baseline: JSON frames, one
+//     fsync inside every RecordSweep, and the sweep blocked at the sink
+//     drain barrier until the slowest sink (the archive disk) finishes.
+//   - detached-group-commit is the current fast path: binary frames,
+//     group commit (one fsync per 16-sweep window, off the critical
+//     path), and detached sinks whose lag spans sweeps.
+//
+// The fsyncs/op metric is the group-commit acceptance probe (one per
+// window, not one per sweep); journal-KB/op tracks the codec's frame
+// size on the same run.
+func BenchmarkSweepCriticalPath(b *testing.B) {
+	const (
+		trackedKeys = 100_000
+		sweepKeys   = 10
+		instances   = 8
+	)
+	baseTime := time.Unix(0, 0)
+
+	// seedState builds the steady state: a journal already tracking 100K
+	// keys, compacted to one snapshot segment.
+	seedState := func(b *testing.B, dir string, codec StateCodec) {
+		b.Helper()
+		store, err := OpenStateStore(dir, StateFrameCodec(codec), StateTrendRetention(30))
+		if err != nil {
+			b.Fatal(err)
+		}
+		findings := make([]*Finding, trackedKeys)
+		for i := range findings {
+			findings[i] = &Finding{
+				Service: "svc", Op: "send",
+				Location:     fmt.Sprintf("/svc/f%05d.go:1", i),
+				TotalBlocked: 1000,
+			}
+			store.BugDB().File(report.Bug{
+				Key: findings[i].Key(), Service: "svc", Op: "send",
+				Location: findings[i].Location, FiledAt: baseTime,
+				BlockedGoroutines: 1000,
+			})
+		}
+		store.Tracker().Observe(baseTime, findings)
+		if err := store.Save(); err != nil {
+			b.Fatal(err)
+		}
+		if err := store.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	// The sweep's input: a small fleet whose instances all report the
+	// same ten hot locations — the delta a quiet production day writes.
+	snaps := make([]*gprofile.Snapshot, instances)
+	for i := range snaps {
+		pre := make(map[stack.BlockedOp]int, sweepKeys)
+		for k := 0; k < sweepKeys; k++ {
+			pre[stack.BlockedOp{Op: "send", Function: "svc.leak", Location: fmt.Sprintf("/svc/f%05d.go:1", k)}] = 2000
+		}
+		snaps[i] = &gprofile.Snapshot{Service: "svc", Instance: fmt.Sprintf("i%02d", i), PreAggregated: pre}
+	}
+
+	run := func(b *testing.B, codec StateCodec, opts ...Option) {
+		stateDir, archiveDir := b.TempDir(), b.TempDir()
+		seedState(b, stateDir, codec)
+		day := 0
+		opts = append(opts,
+			WithThreshold(1000),
+			WithStateDir(stateDir),
+			WithStateCodec(codec),
+			WithTrendRetention(30),
+			WithClock(func() time.Time { return baseTime.Add(time.Duration(day) * 24 * time.Hour) }),
+		)
+		pipe := New(opts...)
+		store, err := pipe.State()
+		if err != nil {
+			b.Fatal(err)
+		}
+		archive, err := NewSweepArchiveSink(archiveDir, KeepSweeps(4))
+		if err != nil {
+			b.Fatal(err)
+		}
+		pipe.AddSinks(
+			&ReportSink{Reporter: &Reporter{DB: store.BugDB(), TopN: 10}},
+			&TrendSink{Tracker: store.Tracker()},
+			archive,
+		)
+		src := FromSnapshots(snaps)
+		startBytes, startSyncs := store.journalBytesAppended(), store.journalSyncs()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			day = i + 1
+			if _, err := pipe.Sweep(context.Background(), src); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if err := pipe.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(store.journalSyncs()-startSyncs)/float64(b.N), "fsyncs/op")
+		b.ReportMetric(float64(store.journalBytesAppended()-startBytes)/float64(b.N)/1024, "journal-KB/op")
+	}
+
+	b.Run("attached-sync-every-sweep", func(b *testing.B) {
+		run(b, StateCodecJSON, WithStateSync(SyncEverySweep))
+	})
+	b.Run("detached-group-commit", func(b *testing.B) {
+		run(b, StateCodecBinary, WithStateSync(SyncEvery(16, 0)), WithDetachedSinks())
+	})
+}

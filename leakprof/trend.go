@@ -3,6 +3,7 @@ package leakprof
 import (
 	"math"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -72,7 +73,12 @@ func (o observation) noise() float64 {
 	return math.Sqrt(variance*n) / float64(o.total)
 }
 
-// TrendTracker accumulates per-location counts across sweeps.
+// TrendTracker accumulates per-location counts across sweeps. Its
+// observation, export, and verdict methods are safe for concurrent use —
+// a detached TrendSink may still be recording sweep N's moments while the
+// state journal drains sweep N+1's delta — but the exported tuning
+// fields (MinObservations, StableBand, Retention) must be set before the
+// first observation.
 type TrendTracker struct {
 	// MinObservations before a verdict is issued; default 3.
 	MinObservations int
@@ -87,6 +93,7 @@ type TrendTracker struct {
 	// the first observation or restore.
 	Retention int
 
+	mu      sync.Mutex
 	history map[string][]observation
 	// pending holds the observations recorded since the last TakeNew:
 	// the per-sweep delta an append-only journal persists. Restored
@@ -132,6 +139,8 @@ func (t *TrendTracker) record(key string, o observation) {
 // totals; prefer ObserveMoments, which records per-instance variance and
 // pre-threshold groups as well.
 func (t *TrendTracker) Observe(at time.Time, findings []*Finding) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	for _, f := range findings {
 		t.record(f.Key(), observation{at: at, total: f.TotalBlocked})
 	}
@@ -164,6 +173,8 @@ func (t *TrendTracker) ObserveMoments(at time.Time, moments []Moment) {
 		}
 		merged[m.Key()] = o
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	for key, o := range merged {
 		t.record(key, o)
 	}
@@ -186,10 +197,11 @@ type TrendObservation struct {
 
 // Export returns the tracker's full cross-sweep history — already trimmed
 // to the retention window — in journalable form, keyed by finding key.
-// Not safe to call concurrently with Observe/ObserveMoments. This is what
-// a journal snapshot (compaction) persists; per-sweep deltas come from
-// TakeNew.
+// This is what a journal snapshot (compaction) persists; per-sweep deltas
+// come from TakeNew.
 func (t *TrendTracker) Export() map[string][]TrendObservation {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if len(t.history) == 0 {
 		return nil
 	}
@@ -209,6 +221,8 @@ func (t *TrendTracker) Export() map[string][]TrendObservation {
 // tracker at open. Restored observations are never returned — they came
 // from the journal in the first place.
 func (t *TrendTracker) TakeNew() map[string][]TrendObservation {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.pendingArmed = true
 	if len(t.pending) == 0 {
 		return nil
@@ -239,6 +253,8 @@ func (t *TrendTracker) Restore(history map[string][]TrendObservation) {
 	if len(history) == 0 {
 		return
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if t.history == nil {
 		t.history = make(map[string][]observation, len(history))
 	}
@@ -254,6 +270,8 @@ func (t *TrendTracker) requeueNew(delta map[string][]TrendObservation) {
 	if len(delta) == 0 {
 		return
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if t.pending == nil {
 		t.pending = make(map[string][]observation, len(delta))
 	}
@@ -266,8 +284,18 @@ func (t *TrendTracker) requeueNew(delta map[string][]TrendObservation) {
 // tracker's configuration — the journal-replay path uses it when a
 // snapshot record replaces accumulated state.
 func (t *TrendTracker) reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.history = nil
 	t.pending = nil
+}
+
+// hasPending reports whether observations await the next TakeNew — what
+// a journal Flush checks before deciding a delta frame is needed.
+func (t *TrendTracker) hasPending() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.pending) > 0
 }
 
 // restoreDelta appends previously exported observations to the existing
@@ -278,6 +306,8 @@ func (t *TrendTracker) restoreDelta(history map[string][]TrendObservation) {
 	if len(history) == 0 {
 		return
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if t.history == nil {
 		t.history = make(map[string][]observation, len(history))
 	}
@@ -296,6 +326,12 @@ func importObservations(obs []TrendObservation) []observation {
 
 // Verdict classifies one finding key's history.
 func (t *TrendTracker) Verdict(key string) TrendVerdict {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.verdictLocked(key)
+}
+
+func (t *TrendTracker) verdictLocked(key string) TrendVerdict {
 	min := t.MinObservations
 	if min == 0 {
 		min = 3
@@ -344,9 +380,11 @@ func (t *TrendTracker) Verdict(key string) TrendVerdict {
 
 // Growing returns the keys currently classified as growing, sorted.
 func (t *TrendTracker) Growing() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	var out []string
 	for key := range t.history {
-		if t.Verdict(key) == TrendGrowing {
+		if t.verdictLocked(key) == TrendGrowing {
 			out = append(out, key)
 		}
 	}
