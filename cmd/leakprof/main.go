@@ -31,14 +31,26 @@
 // stack scanner into a sharded fleet aggregator as it arrives, so memory
 // stays flat regardless of fleet and profile size. SIGINT cancels an
 // in-flight sweep cleanly.
+//
+// Distributed sweeps split one fleet across processes. A worker runs
+// with -shard K/N: it sweeps only the endpoints whose services hash to
+// shard K of N and, instead of filing findings, emits a folded shard
+// report — moments, not profiles — to a file (-report-out) or a
+// coordinator inbox URL (-report-url). A coordinator runs with
+// -merge-reports file1,file2,...: it merges the workers' reports into
+// one sweep carrying exactly the moments a single-process sweep of the
+// whole fleet would fold, and runs the normal alerting, sinks, and
+// state journal on the result.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -65,6 +77,11 @@ func main() {
 	bugKeep := flag.Duration("bug-keep", 0, "with -state-dir: age closed (fixed/rejected) bugs out of the bug DB and journal once unseen for this long (0 = keep forever)")
 	fsync := flag.String("fsync", "sweep", "state journal fsync policy: sweep (every sweep), close (only at exit), or N[/duration] group commit (one fsync per window)")
 	detached := flag.Bool("detached-sinks", false, "let sink lag span sweeps (bounded by the sink queue) instead of draining every sink before each sweep returns; sinks drain at exit")
+	shard := flag.String("shard", "", "worker mode: sweep partition K/N of the -endpoints fleet (services hashed across N shards) and emit a shard report instead of findings; requires -report-out or -report-url")
+	shardName := flag.String("shard-name", "", "worker mode: shard name in the report and in coordinator failure accounting (default shard-<K>)")
+	reportOut := flag.String("report-out", "", "worker mode: write the binary shard report to this file (atomic rename), for a coordinator's -merge-reports")
+	reportURL := flag.String("report-url", "", "worker mode: POST the binary shard report to this coordinator inbox URL")
+	mergeReports := flag.String("merge-reports", "", "coordinator mode: comma-separated shard report files to merge into one sweep, run through the normal sinks and state journal")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -94,6 +111,13 @@ func main() {
 			leakprof.WithBugRetention(*bugKeep),
 			leakprof.WithStateSync(syncPolicy),
 		)
+	}
+	if *shard != "" {
+		// Worker mode bypasses findings, sinks, and the journal entirely:
+		// the shard's contribution is its folded report, and the
+		// coordinator owns everything downstream of the merge.
+		runShardWorker(ctx, opts, *shard, *shardName, *endpoints, *reportOut, *reportURL)
+		return
 	}
 	pipe := leakprof.New(opts...)
 
@@ -132,6 +156,18 @@ func main() {
 
 	var sweeps []*leakprof.Sweep
 	switch {
+	case *mergeReports != "":
+		// Coordinator mode: merge the workers' handoff files into one
+		// sweep and run it through the normal sink fan-out and journal. A
+		// missing or corrupt file costs exactly that shard's contribution,
+		// surfaced as a per-endpoint failure named after the file.
+		var fetches []leakprof.ShardFetch
+		for _, path := range strings.Split(*mergeReports, ",") {
+			fetches = append(fetches, leakprof.ShardReportFromFile("", strings.TrimSpace(path)))
+		}
+		var sweep *leakprof.Sweep
+		sweep, err = pipe.Sweep(ctx, leakprof.MergedReports(fetches...))
+		sweeps = []*leakprof.Sweep{sweep}
 	case *endpoints != "":
 		var sweep *leakprof.Sweep
 		sweep, err = pipe.Sweep(ctx, leakprof.StaticEndpoints(parseEndpoints(*endpoints)...))
@@ -193,6 +229,66 @@ func main() {
 			fmt.Printf("trend: growing across sweeps: %q\n", key)
 		}
 	}
+}
+
+// runShardWorker is -shard mode: sweep partition K of the fleet's N
+// service-hash shards and hand the folded report off (file, HTTP, or
+// both) instead of filing findings.
+func runShardWorker(ctx context.Context, opts []leakprof.Option, spec, name, endpoints, out, url string) {
+	if endpoints == "" {
+		fatal(errors.New("-shard requires -endpoints"))
+	}
+	if out == "" && url == "" {
+		fatal(errors.New("-shard requires -report-out or -report-url"))
+	}
+	k, n, err := parseShardSpec(spec)
+	if err != nil {
+		fatal(err)
+	}
+	if name == "" {
+		name = fmt.Sprintf("shard-%d", k)
+	}
+	part := leakprof.PartitionEndpoints(parseEndpoints(endpoints), n)[k]
+	pipe := leakprof.New(opts...)
+	rep, err := pipe.ShardSweep(ctx, leakprof.StaticEndpoints(part...), name, nil)
+	if cerr := pipe.Close(); cerr != nil {
+		fmt.Fprintf(os.Stderr, "warn: %v\n", cerr)
+	}
+	// A source-level error still ships the partial report (it carries the
+	// error for the coordinator); only a failed handoff is fatal.
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "warn: %v\n", err)
+	}
+	for _, f := range rep.Failures {
+		fmt.Fprintf(os.Stderr, "warn: %s/%s: %v\n", f.Service, f.Instance, f.Err)
+	}
+	if out != "" {
+		if err := leakprof.WriteShardReportFile(out, rep); err != nil {
+			fatal(err)
+		}
+	}
+	if url != "" {
+		if err := leakprof.PostShardReport(ctx, nil, url, rep); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("shard %s (%d of %d): %d endpoints, %d profiles, %d errors, %d moment groups\n",
+		name, k, n, len(part), rep.Profiles, rep.Errors, len(rep.Moments))
+}
+
+// parseShardSpec decodes -shard's K/N.
+func parseShardSpec(s string) (k, n int, err error) {
+	ks, ns, ok := strings.Cut(s, "/")
+	if ok {
+		k, err = strconv.Atoi(strings.TrimSpace(ks))
+		if err == nil {
+			n, err = strconv.Atoi(strings.TrimSpace(ns))
+		}
+	}
+	if !ok || err != nil || n < 1 || k < 0 || k >= n {
+		return 0, 0, fmt.Errorf("malformed -shard %q (want K/N with 0 <= K < N, e.g. 0/4)", s)
+	}
+	return k, n, nil
 }
 
 // parseEndpoints decodes the -endpoints flag.

@@ -100,6 +100,14 @@ type Fleet struct {
 	Services []*Service
 	Day      int
 	origin   time.Time
+
+	// FetchLatency simulates the per-endpoint round trip a real sweep
+	// pays to fetch one instance's profile: the in-process sources sleep
+	// this long before emitting each snapshot. Zero (the default) keeps
+	// tests instant; benchmarks set it so sweep wall-clock reflects the
+	// collection latency that sharding parallelises, independent of how
+	// many cores the host happens to expose.
+	FetchLatency time.Duration
 }
 
 // New builds a fleet at day zero.
@@ -256,6 +264,9 @@ func (s fleetSource) Sweep(ctx context.Context, env *leakprof.SweepEnv) error {
 		for _, in := range svc.instances {
 			if err := ctx.Err(); err != nil {
 				return err
+			}
+			if s.f.FetchLatency > 0 {
+				time.Sleep(s.f.FetchLatency)
 			}
 			env.Emit(in.snapshotAggregated(at))
 		}

@@ -1,0 +1,138 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"time"
+
+	"repro/leakprof"
+)
+
+// In-process distributed topology: the simulator twin of a sharded
+// deployment. N shard-worker pipelines each sweep the fleet partition
+// their shard owns (services hashed by leakprof.ShardOfService, so every
+// service lives wholly in one shard) and hand their folded ShardReport
+// to a coordinator pipeline that merges them and runs the normal sink
+// fan-out and state journal. Everything runs under the pipelines'
+// injected clock, so topology sweeps are as deterministic as
+// single-process ones — the parity tests assert the merged moments are
+// byte-for-byte the single fold.
+
+// ShardSource returns a Source sweeping only the services owned by shard
+// (of shards total) on the fleet's current day — the partition a shard
+// worker would be configured with in a real deployment.
+func (f *Fleet) ShardSource(shard, shards int) leakprof.Source {
+	return shardFleetSource{f: f, shard: shard, shards: shards}
+}
+
+type shardFleetSource struct {
+	f             *Fleet
+	shard, shards int
+}
+
+func (s shardFleetSource) Name() string {
+	return fmt.Sprintf("fleet-shard-%d/%d", s.shard, s.shards)
+}
+
+func (s shardFleetSource) Sweep(ctx context.Context, env *leakprof.SweepEnv) error {
+	at := s.f.origin.Add(time.Duration(s.f.Day) * 24 * time.Hour)
+	for _, svc := range s.f.Services {
+		if leakprof.ShardOfService(svc.Cfg.Name, s.shards) != s.shard {
+			continue
+		}
+		for _, in := range svc.instances {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if s.f.FetchLatency > 0 {
+				time.Sleep(s.f.FetchLatency)
+			}
+			env.Emit(in.snapshotAggregated(at))
+		}
+	}
+	return nil
+}
+
+// Topology is an in-process multi-shard sweep plane over one simulated
+// fleet: shard workers plus a coordinator, all sharing the option set
+// (clock, threshold, filters) a real deployment would configure
+// identically on every node.
+type Topology struct {
+	// Coordinator merges shard reports and runs sinks/journal; add sinks
+	// and state options here.
+	Coordinator *leakprof.Pipeline
+	// Workers are the per-shard collection pipelines, Workers[i] owning
+	// shard i's partition.
+	Workers []*leakprof.Pipeline
+
+	fleet *Fleet
+	// Wire, when true (the default from NewTopology), round-trips every
+	// shard report through the binary wire codec before the coordinator
+	// merges it, so in-process sweeps exercise the exact bytes a
+	// networked deployment ships.
+	Wire bool
+	// FailShard, when non-negative, drops that shard's report on the
+	// floor (the crash simulation): the sweep completes with the shard's
+	// loss in the error accounting.
+	FailShard int
+}
+
+// NewTopology builds a coordinator and one worker pipeline per shard,
+// each configured with opts.
+func NewTopology(f *Fleet, shards int, opts ...leakprof.Option) *Topology {
+	if shards < 1 {
+		shards = 1
+	}
+	t := &Topology{
+		Coordinator: leakprof.New(opts...),
+		fleet:       f,
+		Wire:        true,
+		FailShard:   -1,
+	}
+	for i := 0; i < shards; i++ {
+		t.Workers = append(t.Workers, leakprof.New(opts...))
+	}
+	return t
+}
+
+// Sweep runs one distributed sweep of the fleet's current day: every
+// worker sweeps its partition concurrently (each producing a
+// ShardReport), the coordinator merges the reports and delivers the
+// merged sweep to its sinks and state journal exactly as a
+// single-process sweep would be delivered.
+func (t *Topology) Sweep(ctx context.Context) (*leakprof.Sweep, error) {
+	fetches := make([]leakprof.ShardFetch, len(t.Workers))
+	for i := range t.Workers {
+		i := i
+		name := fmt.Sprintf("shard-%d", i)
+		worker := t.Workers[i]
+		src := t.fleet.ShardSource(i, len(t.Workers))
+		fetches[i] = leakprof.ShardFetch{
+			Name: name,
+			Fetch: func(ctx context.Context, env *leakprof.SweepEnv) (*leakprof.ShardReport, error) {
+				if i == t.FailShard {
+					return nil, fmt.Errorf("fleet: shard %d crashed before reporting", i)
+				}
+				rep, err := worker.ShardSweep(ctx, src, name, env.PrevFailures())
+				if err != nil {
+					return rep, err
+				}
+				if t.Wire {
+					return roundTripReport(rep)
+				}
+				return rep, nil
+			},
+		}
+	}
+	return t.Coordinator.Sweep(ctx, leakprof.MergedReports(fetches...))
+}
+
+// roundTripReport pushes a report through the wire codec both ways.
+func roundTripReport(rep *leakprof.ShardReport) (*leakprof.ShardReport, error) {
+	var buf bytes.Buffer
+	if err := leakprof.WriteShardReport(&buf, rep); err != nil {
+		return nil, err
+	}
+	return leakprof.ReadShardReport(&buf)
+}

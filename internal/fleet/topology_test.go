@@ -1,0 +1,189 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/patterns"
+	"repro/leakprof"
+)
+
+// topoConfigs builds a deterministic multi-service fleet: services
+// spread across shards by name hash, a few carrying leaks hot enough to
+// cross the default threshold.
+func topoConfigs(services, instances int) []ServiceConfig {
+	cfgs := make([]ServiceConfig, services)
+	for i := range cfgs {
+		cfgs[i] = ServiceConfig{
+			Name:             fmt.Sprintf("svc-%02d", i),
+			Instances:        instances,
+			BenignGoroutines: 30,
+			Seed:             int64(100 + i),
+		}
+		if i%3 == 0 {
+			cfgs[i].Pattern = patterns.TimeoutLeak
+			cfgs[i].LeakFile = fmt.Sprintf("services/svc-%02d/worker.go", i)
+			cfgs[i].LeakLine = 40 + i
+			cfgs[i].LeakPerDay = 500 * (1 + i%4)
+			cfgs[i].HotInstances = 1
+			cfgs[i].HotLeakPerDay = 12000
+			cfgs[i].LeakStartDay = 1
+			cfgs[i].FixDay = -1
+		}
+	}
+	return cfgs
+}
+
+// TestTopologyParity is the distributed-correctness anchor: a sharded
+// sweep (workers folding partitions, reports round-tripped through the
+// wire codec, coordinator merging) must produce byte-for-byte the
+// moments, findings, and counts of a single-process sweep of the same
+// fleet under the same clock.
+func TestTopologyParity(t *testing.T) {
+	origin := time.Unix(0, 0).UTC()
+	clock := leakprof.WithClock(func() time.Time { return origin })
+	for _, shards := range []int{2, 3, 4, 8} {
+		f := New(origin, topoConfigs(12, 6))
+		for d := 0; d < 3; d++ {
+			f.AdvanceDay()
+		}
+
+		single := leakprof.New(clock)
+		want, err := single.Sweep(context.Background(), f.Source())
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		topo := NewTopology(f, shards, clock)
+		got, err := topo.Sweep(context.Background())
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+
+		if got.Profiles != want.Profiles || got.Errors != want.Errors {
+			t.Fatalf("shards=%d: profiles/errors = %d/%d, want %d/%d",
+				shards, got.Profiles, got.Errors, want.Profiles, want.Errors)
+		}
+		if !reflect.DeepEqual(got.Moments(), want.Moments()) {
+			t.Fatalf("shards=%d: merged moments diverge from the single fold", shards)
+		}
+		if !reflect.DeepEqual(got.Findings, want.Findings) {
+			t.Fatalf("shards=%d: findings diverge\ngot  %+v\nwant %+v",
+				shards, got.Findings, want.Findings)
+		}
+	}
+}
+
+// TestTopologyShardCrash loses one shard's report: the sweep must
+// complete, carrying the surviving shards' moments and the lost shard in
+// the error accounting.
+func TestTopologyShardCrash(t *testing.T) {
+	origin := time.Unix(0, 0).UTC()
+	clock := leakprof.WithClock(func() time.Time { return origin })
+	f := New(origin, topoConfigs(12, 6))
+	f.AdvanceDay()
+
+	topo := NewTopology(f, 4, clock)
+	topo.FailShard = 1
+	sweep, err := topo.Sweep(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweep.Errors != 1 {
+		t.Fatalf("Errors = %d, want 1 (the lost shard)", sweep.Errors)
+	}
+	if sweep.FailedByService["shard-1"] != 1 {
+		t.Fatalf("FailedByService = %v, want shard-1:1", sweep.FailedByService)
+	}
+	// The surviving shards' services are all present.
+	whole := leakprof.New(clock)
+	want, err := whole.Sweep(context.Background(), f.Source())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweep.Profiles >= want.Profiles || sweep.Profiles == 0 {
+		t.Fatalf("Profiles = %d, want partial coverage below %d", sweep.Profiles, want.Profiles)
+	}
+}
+
+// TestTopologyGlobalErrorBudget checks the coordinator's journaled
+// failure history reaches shard workers: FailedByService summed across
+// shard reports lands in the journal, and the next sweep's workers see
+// it through SweepEnv.PrevFailures.
+func TestTopologyGlobalErrorBudget(t *testing.T) {
+	origin := time.Unix(0, 0).UTC()
+	clock := leakprof.WithClock(func() time.Time { return origin })
+	f := New(origin, topoConfigs(8, 4))
+	f.AdvanceDay()
+
+	dir := t.TempDir()
+	topo := NewTopology(f, 2, clock, leakprof.WithStateDir(dir))
+	topo.FailShard = 0
+	if _, err := topo.Sweep(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	store, err := topo.Coordinator.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := store.LastFailureCounts(); got["shard-0"] != 1 {
+		t.Fatalf("journaled failure counts = %v, want shard-0:1", got)
+	}
+	// The next sweep's workers all receive the journaled counts.
+	seen := make(chan map[string]int, len(topo.Workers))
+	fetches := make([]leakprof.ShardFetch, len(topo.Workers))
+	for i := range topo.Workers {
+		name := fmt.Sprintf("probe-%d", i)
+		worker := topo.Workers[i]
+		src := f.ShardSource(i, len(topo.Workers))
+		fetches[i] = leakprof.ShardFetch{Name: name, Fetch: func(ctx context.Context, env *leakprof.SweepEnv) (*leakprof.ShardReport, error) {
+			seen <- env.PrevFailures()
+			return worker.ShardSweep(ctx, src, name, env.PrevFailures())
+		}}
+	}
+	if _, err := topo.Coordinator.Sweep(context.Background(), leakprof.MergedReports(fetches...)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(topo.Workers); i++ {
+		if prev := <-seen; prev["shard-0"] != 1 {
+			t.Fatalf("worker %d saw prevFailures %v, want shard-0:1", i, prev)
+		}
+	}
+}
+
+// BenchmarkShardedSweep measures one distributed sweep's wall-clock
+// against shard count at a fixed fleet size: the shards sweep their
+// partitions concurrently, so wall-clock should fall as shards grow
+// until coordinator merge overhead (and whatever CPU work the host
+// serialises) dominates. FetchLatency models the per-endpoint round
+// trip a real collection pays — the cost sharding actually
+// parallelises — so the scaling curve holds even on a single-core
+// host, where pure CPU folding could never speed up.
+func BenchmarkShardedSweep(b *testing.B) {
+	origin := time.Unix(0, 0).UTC()
+	cfgs := topoConfigs(64, 32)
+	for i := range cfgs {
+		// Production-shaped instances: a few hundred benign goroutines
+		// each, so per-shard collection work dominates merge overhead.
+		cfgs[i].BenignGoroutines = 300
+	}
+	f := New(origin, cfgs)
+	f.FetchLatency = 50 * time.Microsecond
+	f.AdvanceDay()
+	clock := leakprof.WithClock(func() time.Time { return origin })
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			topo := NewTopology(f, shards, clock)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := topo.Sweep(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -98,10 +98,14 @@ func (w *DirWriter) Write(s *Snapshot) error {
 	return nil
 }
 
-// WriteSnapshot renders the snapshot to w as a plain debug=2 dump,
-// expanding any pre-aggregated clusters into representative records. The
-// expansion streams: a 100K-goroutine cluster costs one record's worth of
-// buffer, not a 100K-record string.
+// WriteSnapshot renders the snapshot to w as a plain debug=2 dump. A
+// pre-aggregated cluster is written as one count-annotated record —
+// "goroutine N [chan send, 2000 times]:" — instead of being expanded
+// into 2000 identical blocks: a 100K-goroutine cluster costs one record
+// on disk and one record's worth of allocation to write and to scan
+// back (the scanner recovers the count via stack.Goroutine.Count). A
+// reader without count support still sees a well-formed record standing
+// for the cluster's location.
 func WriteSnapshot(w io.Writer, s *Snapshot) error {
 	if _, err := io.WriteString(w, stack.Format(s.Goroutines)); err != nil {
 		return err
@@ -112,13 +116,18 @@ func WriteSnapshot(w io.Writer, s *Snapshot) error {
 		if op.Op == "select" {
 			state = "select"
 		}
-		for i := 0; i < n; i++ {
-			if _, err := fmt.Fprintf(w, "\ngoroutine %d [%s]:\n%s()\n\t%s +0x1\n",
-				id, state, op.Function, op.Location); err != nil {
-				return err
-			}
-			id++
+		if op.NilChannel {
+			state += " (nil chan)"
 		}
+		ann := ""
+		if n > 1 {
+			ann = fmt.Sprintf(", %d times", n)
+		}
+		if _, err := fmt.Fprintf(w, "\ngoroutine %d [%s%s]:\n%s()\n\t%s +0x1\n",
+			id, state, ann, op.Function, op.Location); err != nil {
+			return err
+		}
+		id++
 	}
 	return nil
 }

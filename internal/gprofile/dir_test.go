@@ -54,16 +54,24 @@ func TestSaveLoadDirRoundTrip(t *testing.T) {
 	if pay == nil {
 		t.Fatal("pay snapshot missing")
 	}
-	// The pre-aggregated clusters were expanded into real records; the
-	// counts must survive through CountByLocation.
+	// The pre-aggregated clusters come back as count-annotated records —
+	// one physical record per cluster — and the counts must survive
+	// through CountByLocation via Goroutine.Multiplicity.
 	counts := pay.CountByLocation()
 	send := stack.BlockedOp{Op: "send", Function: "pay.leak", Location: "/pay/l.go:9"}
 	sel := stack.BlockedOp{Op: "select", Function: "pay.worker", Location: "/pay/w.go:22"}
 	if counts[send] != 3 || counts[sel] != 2 {
 		t.Errorf("counts = %v", counts)
 	}
-	if len(pay.Goroutines) != 1+3+2 {
+	if len(pay.Goroutines) != 1+1+1 {
 		t.Errorf("pay goroutines = %d", len(pay.Goroutines))
+	}
+	total := 0
+	for _, g := range pay.Goroutines {
+		total += g.Multiplicity()
+	}
+	if total != 1+3+2 {
+		t.Errorf("total multiplicity = %d", total)
 	}
 }
 

@@ -301,15 +301,19 @@ func scanSnapshotPartial(service, instance string, takenAt time.Time, r io.Reade
 	}
 	snap := &Snapshot{Service: service, Instance: instance, TakenAt: takenAt}
 	for sc.Scan() {
-		snap.TotalGoroutines++
-		op, ok := sc.Goroutine().BlockedChannelOp()
+		g := sc.Goroutine()
+		// A count-annotated record (a pre-aggregated cluster written by
+		// WriteSnapshot) stands for Multiplicity identical goroutines.
+		n := g.Multiplicity()
+		snap.TotalGoroutines += n
+		op, ok := g.BlockedChannelOp()
 		if !ok {
 			continue
 		}
 		if snap.PreAggregated == nil {
 			snap.PreAggregated = make(map[stack.BlockedOp]int)
 		}
-		snap.PreAggregated[op]++
+		snap.PreAggregated[op] += n
 	}
 	snap.Malformed = sc.Malformed()
 	if err := sc.Err(); err != nil {
@@ -337,7 +341,7 @@ func (s *Snapshot) CountByLocation() map[stack.BlockedOp]int {
 			continue
 		}
 		op.WaitTime = 0 // group irrespective of individual wait times
-		counts[op]++
+		counts[op] += g.Multiplicity()
 	}
 	return counts
 }

@@ -90,7 +90,7 @@ func parseHeaderLegacy(line string) (*Goroutine, error) {
 		return nil, fmt.Errorf("missing state brackets in %q", line)
 	}
 	g := &Goroutine{ID: id}
-	g.State, g.WaitTime, g.Locked = parseStateAnnotations(rest[open+1 : close])
+	g.State, g.WaitTime, g.Locked, g.Count = parseStateAnnotations(rest[open+1 : close])
 	return g, nil
 }
 

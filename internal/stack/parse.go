@@ -30,11 +30,14 @@ func Parse(dump string) ([]*Goroutine, error) {
 }
 
 // parseStateAnnotations splits the bracket region of a goroutine header —
-// "state[, wait duration][, locked to thread]" — into its parts. The state
-// itself may contain a comma-free parenthetical such as "chan receive
-// (nil chan)" or "select (no cases)"; unknown annotations are folded back
-// into the state so information is never silently dropped.
-func parseStateAnnotations(content string) (state string, wait time.Duration, locked bool) {
+// "state[, wait duration][, locked to thread][, N times]" — into its
+// parts. The state itself may contain a comma-free parenthetical such as
+// "chan receive (nil chan)" or "select (no cases)"; unknown annotations
+// are folded back into the state so information is never silently
+// dropped. The "N times" count annotation is not a runtime annotation:
+// archive writers emit it to carry a pre-aggregated cluster as one
+// counted record (see Goroutine.Count).
+func parseStateAnnotations(content string) (state string, wait time.Duration, locked bool, count int) {
 	parts := strings.Split(content, ", ")
 	state = parts[0]
 	for _, p := range parts[1:] {
@@ -43,11 +46,30 @@ func parseStateAnnotations(content string) (state string, wait time.Duration, lo
 			locked = true
 		case isWaitDuration(p):
 			wait = parseWaitDuration(p)
+		case isCountAnnotation(p):
+			count = parseCountAnnotation(p)
 		default:
 			state += ", " + p
 		}
 	}
-	return state, wait, locked
+	return state, wait, locked, count
+}
+
+// isCountAnnotation recognises "N times" with a positive integer N.
+func isCountAnnotation(s string) bool {
+	return parseCountAnnotation(s) > 0
+}
+
+func parseCountAnnotation(s string) int {
+	rest, ok := strings.CutSuffix(s, " times")
+	if !ok {
+		return 0
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n <= 0 {
+		return 0
+	}
+	return n
 }
 
 func isWaitDuration(s string) bool {
@@ -103,6 +125,9 @@ func writeGoroutine(b *strings.Builder, g *Goroutine) {
 	}
 	if g.Locked {
 		b.WriteString(", locked to thread")
+	}
+	if g.Count > 1 {
+		fmt.Fprintf(b, ", %d times", g.Count)
 	}
 	b.WriteString("]:\n")
 	for _, f := range g.Frames {

@@ -76,6 +76,7 @@ type headerInfo struct {
 	state  string
 	wait   time.Duration
 	locked bool
+	count  int
 }
 
 // maxLineBytes bounds a single dump line. Real dump lines are far
@@ -328,11 +329,11 @@ func (s *Scanner) parseHeader(line []byte) (*Goroutine, error) {
 	content := rest[open+1 : close]
 	info, ok := s.headers[string(content)]
 	if !ok {
-		state, wait, locked := parseStateAnnotations(string(content))
-		info = headerInfo{state: s.internString(state), wait: wait, locked: locked}
+		state, wait, locked, count := parseStateAnnotations(string(content))
+		info = headerInfo{state: s.internString(state), wait: wait, locked: locked, count: count}
 		s.headers[string(content)] = info
 	}
-	return &Goroutine{ID: id, State: info.state, WaitTime: info.wait, Locked: info.locked}, nil
+	return &Goroutine{ID: id, State: info.state, WaitTime: info.wait, Locked: info.locked, Count: info.count}, nil
 }
 
 // parseFrameLine parses a function line ("svc.leak(0x12, 0x34)") and arms

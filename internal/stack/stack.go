@@ -88,6 +88,22 @@ type Goroutine struct {
 	CreatorID int64
 	// Locked reports whether the goroutine is locked to an OS thread.
 	Locked bool
+	// Count is the number of identical goroutines this record stands
+	// for, carried as a "N times" header annotation ("goroutine 7 [chan
+	// send, 2000 times]:"). The runtime never emits it; archive writers
+	// use it to record a pre-aggregated leak cluster as one counted
+	// record instead of expanding it into N identical blocks. Zero or
+	// one both mean a single goroutine (see Multiplicity).
+	Count int
+}
+
+// Multiplicity returns how many goroutines the record represents: Count
+// when a count annotation was present, else one.
+func (g *Goroutine) Multiplicity() int {
+	if g.Count > 1 {
+		return g.Count
+	}
+	return 1
 }
 
 // Leaf returns the innermost non-runtime frame: the frame GOLEAK reports as

@@ -260,6 +260,85 @@ func (a *Aggregator) Moments() []Moment {
 	return out
 }
 
+// Merge combines two independently folded moment sets for the same group
+// key — two shards' statistics over disjoint instance populations — into
+// the moments a single fold over the union would have produced: totals,
+// instance counts, suspicious counts, sums of squares, and profiled-
+// instance denominators add, and the max representative is re-decided
+// under the single-fold tie-break (higher count wins; equal counts go to
+// the lexicographically smaller instance). Both folds must have used the
+// same suspicion threshold, or the merged Suspicious count is
+// meaningless. Merging is groupwise: ServiceProfiles adds, which is only
+// the union denominator when the group was observed in both folds — the
+// Aggregator.MergeMoments path recomputes denominators from per-service
+// profile counts instead, which is correct for any split.
+func (m Moment) Merge(o Moment) Moment {
+	m.Total += o.Total
+	m.Instances += o.Instances
+	m.ServiceProfiles += o.ServiceProfiles
+	m.Suspicious += o.Suspicious
+	m.SumSquares += o.SumSquares
+	if o.MaxCount > m.MaxCount || (o.MaxCount == m.MaxCount && o.MaxInstance < m.MaxInstance) {
+		m.MaxCount, m.MaxInstance = o.MaxCount, o.MaxInstance
+	}
+	return m
+}
+
+// ServiceProfiles returns the aggregator's per-service profiled-instance
+// counts (the RMS/mean denominators) — the second half of a shard's
+// mergeable state: a group's moments alone cannot say how many instances
+// of its service were profiled but showed nothing at the location.
+func (a *Aggregator) ServiceProfiles() map[string]int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]int, len(a.services))
+	for s, n := range a.services {
+		out[s] = n
+	}
+	return out
+}
+
+// MergeMoments folds another aggregator's exported state — its per-group
+// moments plus its per-service profiled-instance counts and total profile
+// count — into this one, as if every instance the other aggregator folded
+// had been added here directly: Findings and Moments on the merged
+// aggregator reproduce a single-process fold over the union, including
+// RMS/mean denominators (services' profile counts add, so an instance
+// profiled by exactly one shard is counted exactly once). The moments'
+// own ServiceProfiles fields are ignored; denominators come from
+// services. Both aggregators must use the same threshold for the merged
+// Suspicious counts to mean anything; filters do not apply (they already
+// ran during the shard's fold). Safe for concurrent use.
+func (a *Aggregator) MergeMoments(services map[string]int, profiles int, moments []Moment) {
+	a.mu.Lock()
+	for svc, n := range services {
+		a.services[svc] += n
+	}
+	a.profiles += profiles
+	a.mu.Unlock()
+	for i := range moments {
+		m := &moments[i]
+		k := locKey{service: m.Service, op: m.Op}
+		sh := &a.shards[shardOf(k, len(a.shards))]
+		sh.mu.Lock()
+		g := sh.groups[k]
+		if g == nil {
+			g = &locStats{}
+			sh.groups[k] = g
+		}
+		g.total += m.Total
+		g.instances += m.Instances
+		g.suspicious += m.Suspicious
+		g.sumSquares += m.SumSquares
+		// Same tie-break as addCount; a fresh group (maxCount 0) is taken
+		// over because every observed moment has MaxCount >= 1.
+		if m.MaxCount > g.maxCount || (m.MaxCount == g.maxCount && m.MaxInstance < g.maxInstance) {
+			g.maxCount, g.maxInstance = m.MaxCount, m.MaxInstance
+		}
+		sh.mu.Unlock()
+	}
+}
+
 // impactFromStats computes the ranking statistic from streaming moments.
 // The denominator for RMS and mean is the number of profiled instances of
 // the service (instances with zero blocked goroutines at this location
@@ -311,7 +390,7 @@ func filteredCounts(filters []OpFilter, snap *gprofile.Snapshot) map[stack.Block
 			continue
 		}
 		op.WaitTime = 0
-		counts[op]++
+		counts[op] += g.Multiplicity()
 	}
 	return counts
 }

@@ -155,6 +155,54 @@
 // replaying each sweep at its manifested timestamp, so trend verdicts
 // over replayed history match what the live sweeps produced.
 //
+// # Distributed sweeps
+//
+// One process sweeping a very large fleet is bounded by its own fetch
+// parallelism and NIC. The distributed plane splits the fleet across
+// shard workers and a coordinator, without changing anything downstream
+// of the merge:
+//
+//	// worker k of n: sweep the partition, ship folded moments
+//	part := leakprof.PartitionEndpoints(fleet, n)[k]
+//	rep, _ := pipe.ShardSweep(ctx, leakprof.StaticEndpoints(part...), name, prev)
+//	leakprof.PostShardReport(ctx, nil, coordinatorURL, rep) // or WriteShardReportFile
+//
+//	// coordinator: merge the reports and run the normal pipeline
+//	sweep, err := pipe.Sweep(ctx, leakprof.MergedReports(fetches...))
+//
+// Partitioning is by service (ShardOfService, FNV-1a) — never by
+// instance — so every aggregation group and every service's error
+// budget lives entirely within one shard. That is what makes the merge
+// exact: a ShardReport carries the shard's per-group streaming moments
+// (Moment, mergeable via Moment.Merge and Aggregator.MergeMoments) plus
+// the per-service profiled-instance counts that form the RMS/mean
+// denominators, and the coordinator's merged sweep is byte-for-byte the
+// moments, findings, and ranking a single-process sweep of the whole
+// fleet would produce. Reports are O(services x locations), independent
+// of fleet and profile size — shards ship statistics, not dumps.
+//
+// Transport is pluggable through ShardFetch: ShardReportFromFile reads
+// a worker's atomic file handoff (WriteShardReportFile), ShardInbox
+// accepts HTTP POSTs (PostShardReport) with natural backpressure, and
+// an in-process closure drives nested or test topologies
+// (internal/fleet.NewTopology). On the wire a report is one framed,
+// CRC-checksummed binary payload sharing the journal codec's
+// primitives, with one string table amortising every repeated service,
+// location, and function name across the report; bodies past a size
+// floor are flate-compressed.
+//
+// Failure semantics follow the existing sweep model. A shard whose
+// report is lost — worker crash, torn file, timed-out POST — costs
+// exactly that shard's contribution: the merged sweep completes, with
+// the loss recorded as one failed instance named after the shard. A
+// report that arrives carrying a shard-level sweep error merges its
+// partial moments and surfaces the error the same way. Error budgets
+// stay globally correct: each report's uncapped FailedByService tallies
+// are summed by the coordinator and journaled (WithStateDir), and the
+// next sweep's workers receive the journaled counts through
+// SweepEnv.PrevFailures, so a service that burned its budget yesterday
+// is probed gently today regardless of which worker owns it.
+//
 // # Migrating from the pre-Pipeline API
 //
 // The original five loosely-coupled structs remain as thin deprecated

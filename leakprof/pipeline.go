@@ -83,6 +83,10 @@ type Config struct {
 	// StateCodec pins the journal frame codec (see WithStateCodec);
 	// empty negotiates via the journal manifest, defaulting to binary.
 	StateCodec StateCodec
+	// SinkErr observes each sink error as the sink's worker hits it (see
+	// WithSinkErrorFunc); nil drops nothing — errors still accumulate for
+	// the barriers.
+	SinkErr func(Sink, error)
 	// BugRetention ages closed bugs out of the durable bug database (see
 	// WithBugRetention); zero keeps every bug ever filed.
 	BugRetention time.Duration
@@ -290,6 +294,18 @@ func WithStateCodec(c StateCodec) Option {
 	return func(cfg *Config) { cfg.StateCodec = c }
 }
 
+// WithSinkErrorFunc registers a per-sink error callback invoked from the
+// sink's worker goroutine the moment SweepDone fails. Under
+// WithDetachedSinks errors otherwise surface only at the Flush/Close
+// barriers — which a long periodic Run may not reach for days — so an
+// operator alerting on archive-disk failures observes them here, between
+// barriers, while the errors still accumulate for the barrier to return.
+// The callback must be safe for concurrent use: each sink's worker calls
+// it independently.
+func WithSinkErrorFunc(fn func(Sink, error)) Option {
+	return func(c *Config) { c.SinkErr = fn }
+}
+
 // WithBugRetention ages closed (fixed or rejected) bugs out of the
 // durable bug database once their last sighting is older than age — from
 // memory, from delta frames, and from compaction folds. Open bugs never
@@ -407,7 +423,7 @@ type sinkWorker struct {
 	err error // accumulated SweepDone errors since the last drain
 }
 
-func startSinkWorker(sink Sink, queue int) *sinkWorker {
+func startSinkWorker(sink Sink, queue int, onErr func(Sink, error)) *sinkWorker {
 	w := &sinkWorker{sink: sink, ch: make(chan sinkEvent, queue), done: make(chan struct{})}
 	go func() {
 		defer close(w.done)
@@ -420,6 +436,11 @@ func startSinkWorker(sink Sink, queue int) *sinkWorker {
 					w.mu.Lock()
 					w.err = errors.Join(w.err, err)
 					w.mu.Unlock()
+					// The callback fires between barriers; the
+					// accumulated error still reaches the next one.
+					if onErr != nil {
+						onErr(w.sink, err)
+					}
 				}
 			default:
 				w.sink.Snapshot(ev.snap)
@@ -466,7 +487,7 @@ func (p *Pipeline) Sweep(ctx context.Context, src Source) (*Sweep, error) {
 	} else {
 		workers = make([]*sinkWorker, len(p.sinks))
 		for i, s := range p.sinks {
-			workers[i] = startSinkWorker(s, p.cfg.sinkQueue())
+			workers[i] = startSinkWorker(s, p.cfg.sinkQueue(), p.cfg.SinkErr)
 		}
 	}
 	var mu sync.Mutex
@@ -496,7 +517,25 @@ func (p *Pipeline) Sweep(ctx context.Context, src Source) (*Sweep, error) {
 			}
 			mu.Unlock()
 		},
-		SetTime:      func(at time.Time) { sweep.At = at },
+		SetTime: func(at time.Time) { sweep.At = at },
+		MergeReport: func(rep *ShardReport) {
+			agg.MergeMoments(rep.Services, rep.Profiles, rep.Moments)
+			mu.Lock()
+			sweep.Errors += rep.Errors
+			for svc, n := range rep.FailedByService {
+				if sweep.FailedByService == nil {
+					sweep.FailedByService = make(map[string]int)
+				}
+				sweep.FailedByService[svc] += n
+			}
+			for _, f := range rep.Failures {
+				if len(sweep.Failures) >= maxSweepFailures {
+					break
+				}
+				sweep.Failures = append(sweep.Failures, f)
+			}
+			mu.Unlock()
+		},
 		prevFailures: prevFailures,
 	}
 	err := src.Sweep(ctx, env)
@@ -537,7 +576,7 @@ func (p *Pipeline) Sweep(ctx context.Context, src Source) (*Sweep, error) {
 // one for any sink that does not have its own yet.
 func (p *Pipeline) detachedWorkersLocked() []*sinkWorker {
 	for i := len(p.workers); i < len(p.sinks); i++ {
-		p.workers = append(p.workers, startSinkWorker(p.sinks[i], p.cfg.sinkQueue()))
+		p.workers = append(p.workers, startSinkWorker(p.sinks[i], p.cfg.sinkQueue(), p.cfg.SinkErr))
 	}
 	return p.workers
 }

@@ -32,12 +32,25 @@ type SweepEnv struct {
 	// original collection time, not the replay time. Nil-safe to skip;
 	// live sources never call it.
 	SetTime func(at time.Time)
+	// MergeReport folds one shard worker's report into the sweep: its
+	// moments merge into the aggregator (profiled-instance denominators
+	// included) and its error accounting — Errors, FailedByService, the
+	// capped failure detail — adds to the sweep's, so a coordinator
+	// source assembling a distributed sweep needs no private engine
+	// hooks. Safe for concurrent use alongside Emit and Fail.
+	MergeReport func(*ShardReport)
 
 	// prevFailures carries the previous sweep's journaled per-service
 	// failure counts into this sweep's error budget (set by the engine
 	// when a state store is attached).
 	prevFailures map[string]int
 }
+
+// PrevFailures returns the previous sweep's journaled per-service failure
+// counts, nil when the pipeline has no state store (or no history). A
+// coordinator hands these to its shard workers so per-shard error budgets
+// are seeded from the global journal, not per-shard state.
+func (env *SweepEnv) PrevFailures() map[string]int { return env.prevFailures }
 
 // Source is one origin of goroutine-profile snapshots: an HTTP fleet, an
 // on-disk archive, a simulated fleet, a synthetic dump. A Source streams

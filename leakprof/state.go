@@ -160,11 +160,13 @@ var SyncEverySweep = SyncPolicy{mode: syncModeEverySweep}
 var SyncOnClose = SyncPolicy{mode: syncModeOnClose}
 
 // SyncEvery returns a group-commit policy: one Sync per window of up to n
-// appended frames or d of wall-clock time since the window's first
-// unsynced append, whichever comes first. n <= 0 disables the count
-// trigger, d <= 0 the timer; both disabled is SyncOnClose in effect.
-// The timer runs on a background committer goroutine, so the sync it
-// issues never rides a sweep's critical path.
+// appended frames or d elapsed since the window's first unsynced append,
+// whichever comes first. n <= 0 disables the count trigger, d <= 0 the
+// timer; both disabled is SyncOnClose in effect. The window is measured
+// on the store's clock (StateClock — the pipeline's WithClock clock
+// flows through), so simulations drive the timed sync deterministically
+// by advancing their fake clock; the background committer goroutine only
+// schedules the off-critical-path sync, it does not define the window.
 func SyncEvery(n int, d time.Duration) SyncPolicy {
 	return SyncPolicy{mode: syncModeWindow, every: n, window: d}
 }
@@ -263,15 +265,16 @@ type StateStore struct {
 	tracker *TrendTracker
 	last    *SweepRecord
 
-	base       int      // first live segment (manifest pointer; 0 = none)
-	activeSeq  int      // highest live segment, where appends go (0 = none yet)
-	active     *os.File // open append handle for the active segment
-	activeSize int64
-	segCount   int   // live segments on disk
-	legacy     bool  // a v1 state.json is loaded/stale; next persist compacts it away
-	appended   int64 // total frame bytes appended since open (telemetry)
-	syncs      int64 // total fsyncs issued since open (telemetry)
-	unsynced   int   // frames appended to the active segment since its last sync
+	base        int      // first live segment (manifest pointer; 0 = none)
+	activeSeq   int      // highest live segment, where appends go (0 = none yet)
+	active      *os.File // open append handle for the active segment
+	activeSize  int64
+	segCount    int       // live segments on disk
+	legacy      bool      // a v1 state.json is loaded/stale; next persist compacts it away
+	appended    int64     // total frame bytes appended since open (telemetry)
+	syncs       int64     // total fsyncs issued since open (telemetry)
+	unsynced    int       // frames appended to the active segment since its last sync
+	windowStart time.Time // store-clock time of the window's first unsynced append
 
 	// Group-commit committer: a background goroutine issuing the
 	// time-window sync so it never rides a sweep's critical path.
@@ -795,6 +798,7 @@ func (s *StateStore) syncActiveLocked() error {
 	}
 	s.syncs++
 	s.unsynced = 0
+	s.windowStart = time.Time{}
 	return nil
 }
 
@@ -820,10 +824,21 @@ func (s *StateStore) appendRecord(rec *journalRecord) error {
 	case syncModeEverySweep:
 		return s.syncActiveLocked()
 	case syncModeWindow:
+		if s.unsynced == 1 {
+			s.windowStart = s.now()
+		}
 		if s.syncPolicy.every > 0 && s.unsynced >= s.syncPolicy.every {
 			return s.syncActiveLocked()
 		}
 		if s.syncPolicy.window > 0 {
+			// The window is measured on the store clock, so a fake-clock
+			// run syncs deterministically: an append past the window's
+			// store-clock deadline commits the window inline, and the
+			// committer only covers the real-time case where no later
+			// append arrives to observe the elapsed clock.
+			if s.now().Sub(s.windowStart) >= s.syncPolicy.window {
+				return s.syncActiveLocked()
+			}
 			s.wakeCommitterLocked()
 		}
 	}
@@ -848,7 +863,11 @@ func (s *StateStore) wakeCommitterLocked() {
 
 // committer is the group-commit background goroutine: woken by the first
 // unsynced append of a window, it waits the window out and issues one
-// Sync for everything appended meanwhile.
+// Sync for everything appended meanwhile. The window itself is defined
+// by the store clock: when the real-time timer fires but the store clock
+// (a simulation's fake clock) says the window has not elapsed, the
+// committer re-arms instead of syncing early, so fake-clock runs see
+// timed syncs only when their clock crosses the deadline.
 func (s *StateStore) committer(wake, quit, done chan struct{}, window time.Duration) {
 	defer close(done)
 	timer := time.NewTimer(window)
@@ -861,20 +880,29 @@ func (s *StateStore) committer(wake, quit, done chan struct{}, window time.Durat
 			return
 		case <-wake:
 		}
-		timer.Reset(window)
-		select {
-		case <-quit:
-			timer.Stop()
-			return
-		case <-timer.C:
-		}
-		s.mu.Lock()
-		if s.unsynced > 0 {
-			if err := s.syncActiveLocked(); err != nil {
-				s.asyncErr = errors.Join(s.asyncErr, err)
+		for armed := true; armed; {
+			timer.Reset(window)
+			select {
+			case <-quit:
+				timer.Stop()
+				return
+			case <-timer.C:
 			}
+			s.mu.Lock()
+			switch {
+			case s.unsynced == 0:
+				armed = false
+			case s.now().Sub(s.windowStart) < window:
+				// Store clock behind the deadline (fake clock not yet
+				// advanced, or a fresh window started meanwhile): re-arm.
+			default:
+				if err := s.syncActiveLocked(); err != nil {
+					s.asyncErr = errors.Join(s.asyncErr, err)
+				}
+				armed = false
+			}
+			s.mu.Unlock()
 		}
-		s.mu.Unlock()
 	}
 }
 

@@ -3,6 +3,8 @@ package leakprof
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -28,7 +30,11 @@ import (
 //
 // The fsyncs/op metric is the group-commit acceptance probe (one per
 // window, not one per sweep); journal-KB/op tracks the codec's frame
-// size on the same run.
+// size on the same run, and archive-KB/sweep the write-through archive's
+// on-disk cost per sweep — with pre-aggregated clusters written as
+// count-annotated records (one record per cluster instead of thousands
+// of expanded blocks), both this metric and the sweep's allocs/op fall
+// by orders of magnitude at bench fleet scale.
 func BenchmarkSweepCriticalPath(b *testing.B) {
 	const (
 		trackedKeys = 100_000
@@ -119,6 +125,30 @@ func BenchmarkSweepCriticalPath(b *testing.B) {
 		}
 		b.ReportMetric(float64(store.journalSyncs()-startSyncs)/float64(b.N), "fsyncs/op")
 		b.ReportMetric(float64(store.journalBytesAppended()-startBytes)/float64(b.N)/1024, "journal-KB/op")
+		// The archive keeps the last KeepSweeps sweep directories; the
+		// per-sweep metric averages over whatever is retained.
+		var archiveBytes int64
+		sweepDirs := 0
+		if entries, err := os.ReadDir(archiveDir); err == nil {
+			for _, e := range entries {
+				if !e.IsDir() {
+					continue
+				}
+				sweepDirs++
+				members, err := os.ReadDir(filepath.Join(archiveDir, e.Name()))
+				if err != nil {
+					continue
+				}
+				for _, m := range members {
+					if info, err := m.Info(); err == nil {
+						archiveBytes += info.Size()
+					}
+				}
+			}
+		}
+		if sweepDirs > 0 {
+			b.ReportMetric(float64(archiveBytes)/float64(sweepDirs)/1024, "archive-KB/sweep")
+		}
 	}
 
 	b.Run("attached-sync-every-sweep", func(b *testing.B) {
