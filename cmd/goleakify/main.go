@@ -10,29 +10,45 @@
 // Packages with a custom TestMain are reported as conflicts for manual
 // amendment; canonical `os.Exit(m.Run())` TestMains are rewritten in
 // place.
+//
+// Exit status: 0 when every package was instrumented (or already was),
+// 1 when any package conflicted or the tree could not be processed, 2 on
+// usage errors. -dry-run reports the same statuses and exit codes but
+// writes nothing.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/instrument"
 )
 
 func main() {
-	dryRun := flag.Bool("dry-run", false, "report what would change without writing")
-	importPath := flag.String("import", "repro/goleak", "goleak import path to inject")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: goleakify [-dry-run] [-import path] <tree>")
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment abstracted, so the exit-status
+// contract is testable in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("goleakify", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dryRun := fs.Bool("dry-run", false, "report what would change without writing")
+	importPath := fs.String("import", "repro/goleak", "goleak import path to inject")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: goleakify [-dry-run] [-import path] <tree>")
+		return 2
 	}
 	in := &instrument.Instrumenter{GoleakImport: *importPath, DryRun: *dryRun}
-	results, err := in.Tree(flag.Arg(0))
+	results, err := in.Tree(fs.Arg(0))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "goleakify:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "goleakify:", err)
+		return 1
 	}
 	conflicts := 0
 	for _, r := range results {
@@ -41,12 +57,13 @@ func main() {
 			continue
 		case instrument.StatusConflict:
 			conflicts++
-			fmt.Printf("%-22s %s: %s\n", r.Status, r.Dir, r.Detail)
+			fmt.Fprintf(stdout, "%-22s %s: %s\n", r.Status, r.Dir, r.Detail)
 		default:
-			fmt.Printf("%-22s %s\n", r.Status, r.Dir)
+			fmt.Fprintf(stdout, "%-22s %s\n", r.Status, r.Dir)
 		}
 	}
 	if conflicts > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

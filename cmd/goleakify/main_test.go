@@ -1,0 +1,109 @@
+package main
+
+// CLI-level tests of the exit-status contract: conflicts exit 1,
+// -dry-run writes nothing, clean trees exit 0 and write the companion
+// file.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/instrument"
+)
+
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, src := range files {
+		p := filepath.Join(root, name)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+const plainTest = `package pkg
+
+import "testing"
+
+func TestOK(t *testing.T) {}
+`
+
+const customTestMain = `package pkg
+
+import (
+	"os"
+	"testing"
+)
+
+func setup() {}
+
+func TestMain(m *testing.M) {
+	setup()
+	code := m.Run()
+	os.Exit(code)
+}
+`
+
+func TestRunInjectsAndExitsZero(t *testing.T) {
+	root := writeTree(t, map[string]string{"a/x_test.go": plainTest})
+	var out, errOut bytes.Buffer
+	if code := run([]string{root}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d, stderr %q", code, errOut.String())
+	}
+	gen := filepath.Join(root, "a", instrument.GeneratedFileName)
+	if _, err := os.Stat(gen); err != nil {
+		t.Fatalf("companion file not written: %v", err)
+	}
+	if !strings.Contains(out.String(), "a") {
+		t.Fatalf("stdout did not report the package: %q", out.String())
+	}
+}
+
+func TestRunConflictExitsOne(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"a/x_test.go": plainTest,
+		"b/y_test.go": customTestMain,
+	})
+	var out, errOut bytes.Buffer
+	if code := run([]string{root}, &out, &errOut); code != 1 {
+		t.Fatalf("exit = %d, want 1 for a tree with a conflicting TestMain (stdout %q)", code, out.String())
+	}
+	if !strings.Contains(out.String(), "amend manually") {
+		t.Fatalf("conflict detail missing from output: %q", out.String())
+	}
+	// The conflict in b must not block instrumentation of a.
+	if _, err := os.Stat(filepath.Join(root, "a", instrument.GeneratedFileName)); err != nil {
+		t.Fatalf("clean sibling package not instrumented: %v", err)
+	}
+}
+
+func TestDryRunWritesNothing(t *testing.T) {
+	root := writeTree(t, map[string]string{"a/x_test.go": plainTest})
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-dry-run", root}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d, stderr %q", code, errOut.String())
+	}
+	if _, err := os.Stat(filepath.Join(root, "a", instrument.GeneratedFileName)); !os.IsNotExist(err) {
+		t.Fatalf("-dry-run wrote the companion file (stat err = %v)", err)
+	}
+	// And the dry-run of a conflict still exits 1: CI can gate on it.
+	root2 := writeTree(t, map[string]string{"b/y_test.go": customTestMain})
+	if code := run([]string{"-dry-run", root2}, &out, &errOut); code != 1 {
+		t.Fatalf("dry-run conflict exit = %d, want 1", code)
+	}
+}
+
+func TestUsageExitsTwo(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Fatalf("exit = %d, want 2 with no tree argument", code)
+	}
+}

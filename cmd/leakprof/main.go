@@ -30,7 +30,10 @@
 // drive the same streaming pipeline: each profile flows through the
 // stack scanner into a sharded fleet aggregator as it arrives, so memory
 // stays flat regardless of fleet and profile size. SIGINT cancels an
-// in-flight sweep cleanly.
+// in-flight sweep cleanly. With -static-index pointing at a findings
+// index written by leakrank, every filed bug is decorated with the
+// static alarm for its site ("static: gcatch-like,goat-like: ..." in
+// the alert) — the static↔dynamic loop's production half.
 //
 // Distributed sweeps split one fleet across processes. A worker runs
 // with -shard K/N: it sweeps only the endpoints whose services hash to
@@ -56,6 +59,7 @@ import (
 	"time"
 
 	"repro/internal/report"
+	"repro/internal/staticindex"
 	"repro/leakprof"
 )
 
@@ -82,6 +86,7 @@ func main() {
 	reportOut := flag.String("report-out", "", "worker mode: write the binary shard report to this file (atomic rename), for a coordinator's -merge-reports")
 	reportURL := flag.String("report-url", "", "worker mode: POST the binary shard report to this coordinator inbox URL")
 	mergeReports := flag.String("merge-reports", "", "coordinator mode: comma-separated shard report files to merge into one sweep, run through the normal sinks and state journal")
+	staticIndex := flag.String("static-index", "", "findings index written by leakrank: filed bugs and alerts are decorated with the static alarm for their site")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -138,7 +143,15 @@ func main() {
 				last.Source, last.At.Format(time.RFC3339), last.Profiles, last.Errors)
 		}
 	}
-	reportSink = &leakprof.ReportSink{Reporter: &leakprof.Reporter{DB: db, TopN: *top}}
+	reporter := &leakprof.Reporter{DB: db, TopN: *top}
+	if *staticIndex != "" {
+		idx, err := staticindex.Load(*staticIndex)
+		if err != nil {
+			fatal(err)
+		}
+		reporter.StaticAlarm = idx.AlarmFunc()
+	}
+	reportSink = &leakprof.ReportSink{Reporter: reporter}
 	pipe.AddSinks(reportSink)
 	if tracker != nil {
 		pipe.AddSinks(&leakprof.TrendSink{Tracker: tracker})

@@ -1,0 +1,135 @@
+// Command leakrank is the static↔dynamic join surface: it runs the full
+// static detector suite over a source tree (or loads a saved findings
+// index), links the alarms against a leakprof state journal's bug
+// database and trend verdicts, and emits evidence-ranked findings,
+// machine-generated goleak suppressions, and CI baselines.
+//
+// Usage:
+//
+//	leakrank -root path/to/src [-index findings.idx]      # scan (and save)
+//	leakrank -index findings.idx                          # load a saved scan
+//	leakrank -root . -state /var/leakprof/state -top 20   # rank by evidence
+//	leakrank -root . -state ... -suppress goleak.supp     # emit suppressions
+//	leakrank -root . -write-baseline lint/selfscan-baseline
+//	leakrank -root . -baseline lint/selfscan-baseline     # CI self-scan gate
+//
+// Exit status: 0 clean, 1 when -baseline is given and the scan has
+// findings the baseline does not cover, 2 on usage or I/O errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/staticindex"
+	"repro/leakprof"
+)
+
+func main() {
+	root := flag.String("root", "", "source tree to scan with the full detector suite")
+	indexPath := flag.String("index", "", "findings index file: written after a -root scan, loaded when no -root is given")
+	statePath := flag.String("state", "", "leakprof state journal directory to join production evidence from")
+	suppress := flag.String("suppress", "", "write machine-generated goleak suppressions here (requires -state)")
+	baseline := flag.String("baseline", "", "diff the scan against this baseline; new findings print and exit 1")
+	writeBaseline := flag.String("write-baseline", "", "write the scan's line-free baseline here and exit")
+	top := flag.Int("top", 10, "ranked findings to print with -state")
+	flag.Parse()
+
+	var idx *staticindex.Index
+	var err error
+	switch {
+	case *root != "":
+		if idx, err = staticindex.ScanTree(*root); err != nil {
+			fatal(err)
+		}
+		if *indexPath != "" {
+			if err := idx.Save(*indexPath); err != nil {
+				fatal(err)
+			}
+		}
+	case *indexPath != "":
+		if idx, err = staticindex.Load(*indexPath); err != nil {
+			fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: leakrank (-root <tree> | -index <file>) [-state <dir>] [-suppress <file>] [-baseline <file>] [-write-baseline <file>]")
+		os.Exit(2)
+	}
+
+	byDetector := map[string]int{}
+	for _, f := range idx.Findings {
+		byDetector[f.Detector]++
+	}
+	fmt.Printf("scanned %s: %d findings", idx.Root, len(idx.Findings))
+	for _, det := range []string{
+		staticindex.DetectorGCatch, staticindex.DetectorGoat, staticindex.DetectorGomela,
+		staticindex.DetectorRangeLint, staticindex.DetectorDblSend, staticindex.DetectorTimerLoop,
+		staticindex.DetectorTransient,
+	} {
+		if n := byDetector[det]; n > 0 {
+			fmt.Printf(" %s=%d", det, n)
+		}
+	}
+	fmt.Println()
+
+	if *writeBaseline != "" {
+		if err := staticindex.SaveBaseline(*writeBaseline, idx); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("baseline written to %s\n", *writeBaseline)
+		return
+	}
+
+	exit := 0
+	if *baseline != "" {
+		bl, err := staticindex.LoadBaselineFile(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		fresh := bl.NewFindings(idx)
+		if len(fresh) > 0 {
+			fmt.Fprintf(os.Stderr, "%d findings not covered by %s:\n", len(fresh), *baseline)
+			for _, f := range fresh {
+				fmt.Fprintf(os.Stderr, "  %s\n", f)
+			}
+			exit = 1
+		} else {
+			fmt.Printf("clean against baseline %s (%d entries)\n", *baseline, bl.Len())
+		}
+	}
+
+	if *statePath != "" {
+		store, err := leakprof.OpenStateStore(*statePath)
+		if err != nil {
+			fatal(err)
+		}
+		defer store.Close()
+		rep := staticindex.Link(idx, store.BugDB(), store.Tracker().Verdict)
+		fmt.Printf("linked against %s: %d confirmed, %d never sighted, %d dynamic-only\n",
+			*statePath, len(rep.Confirmed), len(rep.Unsighted), len(rep.DynamicOnly))
+		act := rep.Actionable()
+		for i, rf := range act {
+			if i >= *top {
+				fmt.Printf("  ... and %d more\n", len(act)-i)
+				break
+			}
+			fmt.Printf("  %2d. %s\n", i+1, rf.Render())
+		}
+		if *suppress != "" {
+			if err := rep.WriteSuppressions(*suppress); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("suppressions written to %s (%d entries)\n", *suppress, rep.Suppressions().Len())
+		}
+	} else if *suppress != "" {
+		fatal(fmt.Errorf("-suppress requires -state: without production evidence every alarm would be suppressed"))
+	}
+
+	os.Exit(exit)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "leakrank:", err)
+	os.Exit(2)
+}

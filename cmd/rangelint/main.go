@@ -1,16 +1,32 @@
 // Command rangelint is the paper's Section-VIII future-work linter, built:
 // it reports local, lexically scoped channels used with the range
 // construct that may never be closed (the Listing-3 defect class), plus
-// the companion double-send check.
+// the companion double-send and timer-loop checks.
 //
 // Usage:
 //
-//	rangelint [-checks rangelint,doublesend] path/to/src [more paths...]
+//	rangelint [-checks rangelint,doublesend,timerloop] [-json] path/to/src [more paths...]
 //
-// Exit status 1 when findings exist.
+// The default -checks set is exactly the defect-claiming lints. The
+// transient-select analysis is deliberately NOT in it: it is an
+// annotation, not a defect — it marks select sites whose blocking arms
+// are all provably transient (time.After, ctx.Done), i.e. sites where a
+// blocked goroutine in a profile is expected and harmless. Its consumers
+// are machines (the staticindex cross-linker treats it as exculpatory
+// evidence when joining production sightings), not humans reading lint
+// output, so it is opt-in: add transient-select to -checks to see the
+// annotations. Whatever -checks says, transient-select findings never
+// affect the exit status.
+//
+// -json emits the findings as a JSON array ({check, file, line, column,
+// message}) for toolchain consumers; the exit-status contract is
+// unchanged.
+//
+// Exit status 1 when defect findings exist, 2 on usage or parse errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,11 +35,21 @@ import (
 	"repro/internal/astcheck"
 )
 
+// jsonFinding is the -json output shape, one object per finding.
+type jsonFinding struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Message string `json:"message"`
+}
+
 func main() {
-	checks := flag.String("checks", "rangelint,doublesend,timerloop", "comma-separated checks to run")
+	checks := flag.String("checks", "rangelint,doublesend,timerloop", "comma-separated checks to run (add transient-select for the opt-in annotation pass)")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of text lines")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: rangelint [-checks ...] <path> [path...]")
+		fmt.Fprintln(os.Stderr, "usage: rangelint [-checks ...] [-json] <path> [path...]")
 		os.Exit(2)
 	}
 	enabled := map[string]bool{}
@@ -32,6 +58,7 @@ func main() {
 	}
 
 	exit := 0
+	var all []astcheck.Finding
 	for _, root := range flag.Args() {
 		files, err := astcheck.ParseDir(root)
 		if err != nil {
@@ -53,9 +80,32 @@ func main() {
 				findings = append(findings, astcheck.TransientSelects(f)...)
 			}
 			for _, finding := range findings {
-				fmt.Println(finding)
-				exit = 1
+				all = append(all, finding)
+				// Annotations inform tools; only defect claims gate CI.
+				if finding.Check != "transient-select" {
+					exit = 1
+				}
 			}
+		}
+	}
+
+	if *jsonOut {
+		out := make([]jsonFinding, 0, len(all))
+		for _, f := range all {
+			out = append(out, jsonFinding{
+				Check: f.Check, File: f.Pos.Filename, Line: f.Pos.Line,
+				Column: f.Pos.Column, Message: f.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "rangelint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, finding := range all {
+			fmt.Println(finding)
 		}
 	}
 	os.Exit(exit)

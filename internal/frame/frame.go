@@ -1,0 +1,279 @@
+// Package frame holds the on-disk framing and binary-body primitives the
+// leakprof journal introduced and every other persisted format in the
+// repo now shares: the durable state journal's segment frames, the
+// distributed sweep plane's shard-report wire format, and the static-
+// analysis findings index.
+//
+// A frame is a 4-byte big-endian payload length followed by a 4-byte
+// CRC-32 (IEEE) of the payload, then the payload itself — enough to
+// detect a torn append (a crash mid-write) or a bit-flipped record
+// before any decoder runs. Read distinguishes the two: a damaged frame
+// at the very end of its input is torn (recoverable by truncation),
+// while a damaged frame with data following it is corruption a caller
+// must refuse to silently drop.
+//
+// The body primitives are the binary-codec building blocks: varints
+// (zigzag for signed), 8-byte little-endian IEEE floats, presence-byte
+// timestamps (so the zero time survives a round trip), and a
+// deduplicating string table serialized ahead of the sections that
+// reference it. Reader walks such a body with bounds checking: corrupt
+// input (which the CRC should have caught, but defense costs little)
+// must produce an error, never a panic or an absurd allocation.
+package frame
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"time"
+)
+
+// HeaderSize is the per-frame framing overhead: a 4-byte big-endian
+// payload length followed by a 4-byte CRC-32 (IEEE) of the payload.
+const HeaderSize = 8
+
+// MaxPayload bounds one frame's payload; a length prefix beyond it is
+// treated as corruption rather than an allocation request.
+const MaxPayload = 1 << 30
+
+// ErrTorn marks a frame consistent with a crash mid-append: it stops at
+// the end of the input, so a recovering reader may truncate it away.
+var ErrTorn = errors.New("torn journal frame")
+
+// ErrCorrupt marks a frame that fails its checksum while complete data
+// follows it — bit rot, not a torn tail — which a reader must surface
+// rather than silently truncate.
+var ErrCorrupt = errors.New("corrupt journal frame")
+
+// ErrTruncated reports a binary body that ended mid-field.
+var ErrTruncated = errors.New("frame: truncated binary record")
+
+// New renders payload as one framed, checksummed byte slice.
+func New(payload []byte) []byte {
+	out := make([]byte, HeaderSize+len(payload))
+	binary.BigEndian.PutUint32(out[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(out[4:8], crc32.ChecksumIEEE(payload))
+	copy(out[HeaderSize:], payload)
+	return out
+}
+
+// Write frames payload and writes it to w in two writes (header, body).
+func Write(w io.Writer, payload []byte) error {
+	var header [HeaderSize]byte
+	binary.BigEndian.PutUint32(header[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(header[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(header[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// Read decodes one frame from br, with remaining the bytes left in the
+// input from the frame's start. It returns (payload, total frame length,
+// error): io.EOF means a clean end, ErrTorn a frame that stops at
+// end-of-file (a crash mid-append), and ErrCorrupt a checksum failure
+// with data following it (bit rot, not a torn tail). A frame whose
+// claimed length extends past the end of the input is torn by
+// construction, so no allocation is made for it — a corrupt length
+// prefix must not become a gigabyte allocation during recovery.
+func Read(br *bufio.Reader, remaining int64) ([]byte, int64, error) {
+	var header [HeaderSize]byte
+	if _, err := io.ReadFull(br, header[:]); err != nil {
+		if err == io.EOF {
+			return nil, 0, io.EOF
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, 0, ErrTorn
+		}
+		return nil, 0, err
+	}
+	length := binary.BigEndian.Uint32(header[0:4])
+	sum := binary.BigEndian.Uint32(header[4:8])
+	frameLen := HeaderSize + int64(length)
+	if length == 0 || length > MaxPayload {
+		return nil, 0, fmt.Errorf("%w: implausible frame length %d", ErrTorn, length)
+	}
+	if frameLen > remaining {
+		return nil, 0, fmt.Errorf("%w: frame of %d bytes extends past end of segment", ErrTorn, frameLen)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, 0, ErrTorn
+		}
+		return nil, 0, err
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		if frameLen == remaining {
+			// The damaged frame is the input's last: a torn append.
+			return nil, 0, fmt.Errorf("%w: checksum mismatch on the tail frame", ErrTorn)
+		}
+		return nil, 0, fmt.Errorf("%w: checksum mismatch with %d bytes of journal following", ErrCorrupt, remaining-frameLen)
+	}
+	return payload, frameLen, nil
+}
+
+// StringTable deduplicates strings across one record: the service, op,
+// and stack-key strings a large record repeats thousands of times are
+// stored once and referenced by index.
+type StringTable struct {
+	index map[string]uint64
+	strs  []string
+}
+
+// Ref returns the table index for s, interning it on first use.
+func (t *StringTable) Ref(s string) uint64 {
+	if i, ok := t.index[s]; ok {
+		return i
+	}
+	if t.index == nil {
+		t.index = make(map[string]uint64)
+	}
+	i := uint64(len(t.strs))
+	t.index[s] = i
+	t.strs = append(t.strs, s)
+	return i
+}
+
+// AppendTo serializes the table (count, then length-prefixed strings).
+// It must precede the sections that reference it so decoding is one pass.
+func (t *StringTable) AppendTo(b []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(t.strs)))
+	for _, s := range t.strs {
+		b = binary.AppendUvarint(b, uint64(len(s)))
+		b = append(b, s...)
+	}
+	return b
+}
+
+// AppendTime appends a presence byte plus a zigzag varint of UnixNano,
+// so the zero time survives a round trip.
+func AppendTime(b []byte, at time.Time) []byte {
+	if at.IsZero() {
+		return append(b, 0)
+	}
+	b = append(b, 1)
+	return binary.AppendVarint(b, at.UnixNano())
+}
+
+// AppendFloat appends the 8-byte little-endian IEEE bits of f.
+func AppendFloat(b []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+}
+
+// Reader walks a binary body with bounds checking.
+type Reader struct {
+	b   []byte
+	off int
+}
+
+// NewReader returns a Reader over body.
+func NewReader(body []byte) *Reader { return &Reader{b: body} }
+
+// Uvarint decodes one unsigned varint.
+func (r *Reader) Uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		return 0, ErrTruncated
+	}
+	r.off += n
+	return v, nil
+}
+
+// Varint decodes one zigzag varint.
+func (r *Reader) Varint() (int64, error) {
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		return 0, ErrTruncated
+	}
+	r.off += n
+	return v, nil
+}
+
+// Count decodes an element count, refusing counts that could not fit in
+// the remaining bytes at elemMin bytes per element.
+func (r *Reader) Count(elemMin int) (int, error) {
+	v, err := r.Uvarint()
+	if err != nil {
+		return 0, err
+	}
+	// A count cannot exceed the bytes left to encode its elements.
+	if max := len(r.b) - r.off; elemMin > 0 && v > uint64(max/elemMin)+1 {
+		return 0, fmt.Errorf("frame: binary record claims %d elements with %d bytes left", v, max)
+	}
+	return int(v), nil
+}
+
+// Take returns the next n raw bytes.
+func (r *Reader) Take(n int) ([]byte, error) {
+	if n < 0 || r.off+n > len(r.b) {
+		return nil, ErrTruncated
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out, nil
+}
+
+// Float64 decodes an 8-byte little-endian IEEE float.
+func (r *Reader) Float64() (float64, error) {
+	raw, err := r.Take(8)
+	if err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(raw)), nil
+}
+
+// Time decodes a presence-byte timestamp written by AppendTime.
+func (r *Reader) Time() (time.Time, error) {
+	flag, err := r.Take(1)
+	if err != nil {
+		return time.Time{}, err
+	}
+	if flag[0] == 0 {
+		return time.Time{}, nil
+	}
+	n, err := r.Varint()
+	if err != nil {
+		return time.Time{}, err
+	}
+	return time.Unix(0, n).UTC(), nil
+}
+
+// Str decodes a string-table reference against tbl.
+func (r *Reader) Str(tbl []string) (string, error) {
+	i, err := r.Uvarint()
+	if err != nil {
+		return "", err
+	}
+	if i >= uint64(len(tbl)) {
+		return "", fmt.Errorf("frame: binary record references string %d of %d", i, len(tbl))
+	}
+	return tbl[i], nil
+}
+
+// StringTable decodes a serialized table (the AppendTo layout) from the
+// reader's current position.
+func (r *Reader) StringTable() ([]string, error) {
+	n, err := r.Count(1)
+	if err != nil {
+		return nil, err
+	}
+	tbl := make([]string, n)
+	for i := range tbl {
+		length, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		raw, err := r.Take(int(length))
+		if err != nil {
+			return nil, err
+		}
+		tbl[i] = string(raw)
+	}
+	return tbl, nil
+}

@@ -1,0 +1,176 @@
+package frame
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"testing"
+	"time"
+)
+
+func readAll(t *testing.T, data []byte) ([][]byte, error) {
+	t.Helper()
+	br := bufio.NewReader(bytes.NewReader(data))
+	remaining := int64(len(data))
+	var payloads [][]byte
+	for {
+		payload, n, err := Read(br, remaining)
+		if err == io.EOF {
+			return payloads, nil
+		}
+		if err != nil {
+			return payloads, err
+		}
+		payloads = append(payloads, payload)
+		remaining -= n
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	want := [][]byte{[]byte("a"), bytes.Repeat([]byte{0xAB}, 4096), []byte("tail")}
+	for _, p := range want {
+		if err := Write(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// New must produce the identical encoding Write streams.
+	var manual []byte
+	for _, p := range want {
+		manual = append(manual, New(p)...)
+	}
+	if !bytes.Equal(manual, buf.Bytes()) {
+		t.Fatal("New and Write disagree on the frame encoding")
+	}
+	got, err := readAll(t, buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read %d frames, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("frame %d mismatch", i)
+		}
+	}
+}
+
+func TestFrameTornTail(t *testing.T) {
+	full := New([]byte("complete"))
+	next := New([]byte("the-next"))
+	for cut := 1; cut < len(next); cut++ {
+		torn := append(append([]byte{}, full...), next[:cut]...)
+		got, err := readAll(t, torn)
+		if !errors.Is(err, ErrTorn) {
+			t.Fatalf("cut=%d: err = %v, want ErrTorn", cut, err)
+		}
+		if len(got) != 1 {
+			t.Fatalf("cut=%d: the complete frame before the tear must decode", cut)
+		}
+	}
+}
+
+func TestFrameCorruptMiddle(t *testing.T) {
+	data := append(New([]byte("first")), New([]byte("second"))...)
+	data[HeaderSize+2] ^= 0xFF // flip a payload bit in the first frame
+	_, err := readAll(t, data)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt for a damaged frame with data following", err)
+	}
+	// The same damage on the last frame is a torn append, not corruption.
+	tail := New([]byte("only"))
+	tail[HeaderSize] ^= 0xFF
+	if _, err := readAll(t, tail); !errors.Is(err, ErrTorn) {
+		t.Fatalf("err = %v, want ErrTorn for a damaged tail frame", err)
+	}
+}
+
+func TestFrameImplausibleLengthDoesNotAllocate(t *testing.T) {
+	header := make([]byte, HeaderSize)
+	header[0], header[1], header[2], header[3] = 0xFF, 0xFF, 0xFF, 0xFF
+	if _, err := readAll(t, header); !errors.Is(err, ErrTorn) {
+		t.Fatalf("err = %v, want ErrTorn for a length past MaxPayload", err)
+	}
+}
+
+func TestBodyPrimitivesRoundTrip(t *testing.T) {
+	at := time.Date(2026, 8, 7, 12, 0, 0, 42, time.UTC)
+	var tbl StringTable
+	refs := []uint64{tbl.Ref("svc"), tbl.Ref("op"), tbl.Ref("svc")}
+	if refs[0] != refs[2] {
+		t.Fatal("Ref did not deduplicate")
+	}
+	body := tbl.AppendTo(nil)
+	for _, r := range refs {
+		body = appendUvarint(body, r)
+	}
+	body = appendVarint(body, -7)
+	body = AppendFloat(body, math.Pi)
+	body = AppendTime(body, at)
+	body = AppendTime(body, time.Time{})
+
+	r := NewReader(body)
+	strs, err := r.StringTable()
+	if err != nil || len(strs) != 2 {
+		t.Fatalf("StringTable: %v (%d strings)", err, len(strs))
+	}
+	for i, want := range []string{"svc", "op", "svc"} {
+		got, err := r.Str(strs)
+		if err != nil || got != want {
+			t.Fatalf("ref %d: got %q err %v", i, got, err)
+		}
+	}
+	if v, err := r.Varint(); err != nil || v != -7 {
+		t.Fatalf("Varint: %d, %v", v, err)
+	}
+	if f, err := r.Float64(); err != nil || f != math.Pi {
+		t.Fatalf("Float64: %v, %v", f, err)
+	}
+	if ts, err := r.Time(); err != nil || !ts.Equal(at) {
+		t.Fatalf("Time: %v, %v", ts, err)
+	}
+	if ts, err := r.Time(); err != nil || !ts.IsZero() {
+		t.Fatalf("zero Time did not survive: %v, %v", ts, err)
+	}
+}
+
+func TestReaderRejectsCorruptBodies(t *testing.T) {
+	// A truncated varint.
+	if _, err := NewReader([]byte{0x80}).Uvarint(); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("Uvarint on a dangling continuation byte: %v", err)
+	}
+	// A count that cannot fit in the remaining bytes.
+	body := appendUvarint(nil, 1<<20)
+	if _, err := NewReader(body).Count(8); err == nil {
+		t.Fatal("Count accepted an implausible element count")
+	}
+	// A string reference past the table.
+	if _, err := NewReader(appendUvarint(nil, 9)).Str([]string{"only"}); err == nil {
+		t.Fatal("Str accepted an out-of-range table reference")
+	}
+	// Take past the end.
+	if _, err := NewReader([]byte{1, 2}).Take(3); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("Take past end: %v", err)
+	}
+}
+
+// appendUvarint/appendVarint mirror encoding/binary's helpers locally so
+// the test exercises the exact byte layout Reader expects.
+func appendUvarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+func appendVarint(b []byte, v int64) []byte {
+	uv := uint64(v) << 1
+	if v < 0 {
+		uv = ^uv
+	}
+	return appendUvarint(b, uv)
+}

@@ -68,6 +68,12 @@ type Bug struct {
 	Status Status
 	// Sightings counts how many sweeps re-observed the defect.
 	Sightings int
+	// StaticAlarm is the static-analysis annotation for the bug's site,
+	// when a findings index was linked at filing time: which detectors
+	// flagged the location and why (e.g. "gcatch-like,goat-like: send on
+	// chan with no reachable receiver"). Empty when no static index was
+	// consulted or no detector flagged the site.
+	StaticAlarm string `json:",omitempty"`
 }
 
 // closed reports whether the bug's lifecycle is over: fixed or triaged
@@ -118,6 +124,11 @@ func (db *DB) File(b Bug) (*Bug, bool) {
 		}
 		if seen.After(existing.LastSeen) {
 			existing.LastSeen = seen
+		}
+		if b.StaticAlarm != "" {
+			// A re-sighting filed with a fresher static index wins: the
+			// annotation tracks the current scan, not the first one.
+			existing.StaticAlarm = b.StaticAlarm
 		}
 		return existing, false
 	}
@@ -337,6 +348,9 @@ func (a *Alert) Render() string {
 	fmt.Fprintf(&b, "  representative: %s with %d blocked goroutines\n", a.RepresentativeInstance, a.RepresentativeCount)
 	if a.MemoryFootprint != "" {
 		fmt.Fprintf(&b, "  memory:         %s\n", a.MemoryFootprint)
+	}
+	if a.Bug.StaticAlarm != "" {
+		fmt.Fprintf(&b, "  static:         %s\n", a.Bug.StaticAlarm)
 	}
 	fmt.Fprintf(&b, "  status:         %s (sightings: %d)\n", a.Bug.Status, a.Bug.Sightings)
 	return b.String()

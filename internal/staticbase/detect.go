@@ -63,6 +63,11 @@ type funcSummary struct {
 	selects     []selectInfo
 	starts      []startCall
 	doubleSends []token.Pos
+
+	// inlined bounds function-value inlining: each stored literal is
+	// followed at most once per summary, so self- and mutually-recursive
+	// closures (`var f func(); f = func(){ ...; f() }`) terminate.
+	inlined map[*ast.FuncLit]bool
 }
 
 // fileInfo carries cross-declaration facts within one file.
@@ -96,7 +101,7 @@ func collectFileInfo(file *ast.File) *fileInfo {
 // summarize extracts the channel-protocol summary for one function under
 // the analyzer's visibility rules (wrapper awareness etc.).
 func summarize(fn *ast.FuncDecl, cfg Config) *funcSummary {
-	s := &funcSummary{chans: map[string]*chanSummary{}}
+	s := &funcSummary{chans: map[string]*chanSummary{}, inlined: map[*ast.FuncLit]bool{}}
 	// funcValues maps local identifiers bound to function literals, for
 	// close-through-alias detection.
 	funcValues := map[string]*ast.FuncLit{}
@@ -285,9 +290,13 @@ func (s *funcSummary) scanCall(x *ast.CallExpr, cfg Config, funcValues map[strin
 		case funcValues[fun.Name] != nil:
 			// Invocation of a local function value: follow the body
 			// but attribute closes to the alias channel only for
-			// points-to-capable analyzers.
+			// points-to-capable analyzers. Each literal is inlined at
+			// most once — a recursive closure calls itself (or a
+			// partner) from inside its own body, and re-entering there
+			// would never terminate.
 			lit := funcValues[fun.Name]
-			if cfg.FuncValueCloseAware {
+			if cfg.FuncValueCloseAware && !s.inlined[lit] {
+				s.inlined[lit] = true
 				walk(lit.Body, inSpawn, loopDepth, rangeChan, selectArms)
 			}
 			return

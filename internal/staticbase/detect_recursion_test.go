@@ -1,0 +1,58 @@
+package staticbase
+
+import "testing"
+
+// Regression: function-value inlining must terminate on recursive
+// closures. The repo's own detect.go uses the `var walk func(); walk =
+// func(){ ...; walk() }` shape, and before the inlined-set bound the
+// points-to-capable configs re-entered the literal's body on every call
+// they found inside it — including the recursive one — and overflowed
+// the stack when leakrank self-scanned the repo.
+func TestAnalyzeSourceRecursiveClosureTerminates(t *testing.T) {
+	cases := map[string]string{
+		"self-recursive": `package p
+
+func f() {
+	ch := make(chan int)
+	done := func() { close(ch) }
+	var rec func(n int)
+	rec = func(n int) {
+		if n > 0 {
+			rec(n - 1)
+			return
+		}
+		done()
+	}
+	rec(3)
+	<-ch
+}
+`,
+		"mutually-recursive": `package p
+
+func g() {
+	ch := make(chan int)
+	var even, odd func(n int)
+	even = func(n int) {
+		if n > 0 {
+			odd(n - 1)
+		}
+	}
+	odd = func(n int) {
+		if n > 0 {
+			even(n - 1)
+		}
+		close(ch)
+	}
+	even(4)
+	<-ch
+}
+`,
+	}
+	for name, src := range cases {
+		for _, cfg := range []Config{GCatchLike(), GoatLike(), GomelaLike()} {
+			if _, err := (&Analyzer{Cfg: cfg}).AnalyzeSource(name+".go", src); err != nil {
+				t.Fatalf("%s under %s: %v", name, cfg.Name, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package staticbase
+
+import (
+	"testing"
+
+	"repro/internal/astcheck"
+)
+
+// FuzzAnalyzeSource fuzzes the full detector suite — the three
+// staticbase configurations plus the astcheck lints, i.e. everything the
+// staticindex driver runs — over arbitrary source. The invariants: no
+// detector panics on any input, unparseable source surfaces as an error
+// (staticbase) or is tolerated (astcheck), and every finding carries the
+// file path it was produced from. The seeds cover the planted-pattern
+// shapes plus deliberately torn and garbled Go.
+func FuzzAnalyzeSource(f *testing.F) {
+	seeds := []string{
+		"package p\n",
+		"package p\n\nfunc leak(ch chan int) {\n\tgo func() { ch <- 1 }()\n}\n",
+		"package p\n\nfunc safe() {\n\tch := make(chan int, 1)\n\tch <- 1\n}\n",
+		"package p\n\nfunc r(ch chan int) {\n\tfor v := range ch {\n\t\t_ = v\n\t}\n}\n",
+		"package p\n\nimport \"time\"\n\nfunc t() {\n\tfor {\n\t\tselect {\n\t\tcase <-time.After(time.Second):\n\t\t}\n\t}\n}\n",
+		"package p\n\nfunc d(ch chan int) {\n\tch <- 1\n\tch <- 2\n}\n",
+		"package p\n\nfunc c() {\n\tvar rec func(int)\n\trec = func(n int) {\n\t\tif n > 0 {\n\t\t\trec(n - 1)\n\t\t}\n\t}\n\trec(3)\n}\n", // recursive closure
+		"package p\n\nfunc broken( {\n",       // parse error
+		"package p\n\nfunc f() { select {} }", // empty select
+		"packag",                              // torn keyword
+		"package p\n//" + "\x00\xff",          // garbage bytes in a comment
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	configs := []Config{GCatchLike(), GoatLike(), GomelaLike()}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<18 {
+			t.Skip("bounded corpus")
+		}
+		for _, cfg := range configs {
+			a := &Analyzer{Cfg: cfg}
+			findings, err := a.AnalyzeSource("fuzz.go", src)
+			if err != nil {
+				continue // unparseable input is a legitimate outcome
+			}
+			for _, fd := range findings {
+				if fd.File != "fuzz.go" {
+					t.Fatalf("%s finding carries file %q, want fuzz.go", cfg.Name, fd.File)
+				}
+				if fd.Reason == "" {
+					t.Fatalf("%s finding has no reason: %+v", cfg.Name, fd)
+				}
+			}
+		}
+		// The astcheck half of the staticindex driver must hold the same
+		// no-panic bar on the same input.
+		af, err := astcheck.ParseSource("fuzz.go", src)
+		if err != nil {
+			return
+		}
+		var lints []astcheck.Finding
+		lints = append(lints, astcheck.RangeLint(af)...)
+		lints = append(lints, astcheck.DoubleSendLint(af)...)
+		lints = append(lints, astcheck.TimerLoopLint(af)...)
+		lints = append(lints, astcheck.TransientSelects(af)...)
+		for _, lf := range lints {
+			if lf.Check == "" || lf.Message == "" {
+				t.Fatalf("astcheck finding missing check/message: %+v", lf)
+			}
+		}
+	})
+}

@@ -1,0 +1,344 @@
+package staticindex
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/report"
+	"repro/leakprof"
+)
+
+// Site is one static-alarm site: the index's findings grouped by
+// (file, function, line-for-site-lints), the granularity production
+// bugs join at.
+type Site struct {
+	// File and Function locate the site; Function is empty for the
+	// astcheck site lints, which are joined by line instead.
+	File     string
+	Function string
+	// Line is the first flagged line at the site.
+	Line int
+	// Detectors lists the alarm detectors that flagged the site, sorted.
+	Detectors []string
+	// Reasons holds one representative reason per detector, aligned with
+	// Detectors.
+	Reasons []string
+	// Transient marks sites the transient-select annotation covers:
+	// production sightings there are expected and harmless.
+	Transient bool
+}
+
+// Alarm renders the site's static annotation the way filed bugs carry
+// it: "detector1,detector2: reason".
+func (s *Site) Alarm() string {
+	if len(s.Detectors) == 0 {
+		return ""
+	}
+	return strings.Join(s.Detectors, ",") + ": " + s.Reasons[0]
+}
+
+// RankedFinding is one evidence-ranked result of the cross-link.
+type RankedFinding struct {
+	Site
+	// Confirmed marks sites production has sighted.
+	Confirmed bool
+	// Sightings, BlockedGoroutines, and Impact accumulate the linked
+	// bugs' production evidence (max blocked / max impact across bugs).
+	Sightings         int
+	BlockedGoroutines int
+	Impact            float64
+	// Trend is the strongest linked trend verdict (growing dominates,
+	// then stable, unknown, oscillating — a site both growing and
+	// oscillating across services is still a leak somewhere).
+	Trend leakprof.TrendVerdict
+	// BugKeys are the linked production bug keys, sorted.
+	BugKeys []string
+}
+
+// Report is the cross-linker's output: the three populations the
+// static↔dynamic join produces.
+type Report struct {
+	// Confirmed are static alarms with production sightings, sorted by
+	// evidence: sightings, then blocked goroutines, then trend.
+	Confirmed []RankedFinding
+	// Unsighted are static alarms production has never sighted — the
+	// suppression candidates — sorted by file/function.
+	Unsighted []RankedFinding
+	// DynamicOnly are production bugs no static detector flagged:
+	// the dynamic half earning its keep.
+	DynamicOnly []report.Bug
+	// verdict is retained for DynamicOnly trend lookups in Actionable.
+	verdict func(key string) leakprof.TrendVerdict
+}
+
+// TrendFunc adapts a TrendTracker to the linker; nil means no trend
+// evidence (every verdict TrendUnknown).
+type TrendFunc func(key string) leakprof.TrendVerdict
+
+// Sites groups the index's alarm findings into join-ready sites.
+// Transient-select annotations do not create sites; they mark
+// co-located sites (same file, same line) as transient.
+func (idx *Index) Sites() []*Site {
+	type key struct {
+		file, fn string
+		line     int
+	}
+	sites := map[key]*Site{}
+	order := []*Site{}
+	for _, f := range idx.Findings {
+		if !IsAlarm(f.Detector) {
+			continue
+		}
+		k := key{file: f.File, fn: f.Function}
+		if f.Function == "" {
+			k.line = f.Line // site lints join by line
+		}
+		s, ok := sites[k]
+		if !ok {
+			s = &Site{File: f.File, Function: f.Function, Line: f.Line}
+			sites[k] = s
+			order = append(order, s)
+		}
+		if f.Line < s.Line {
+			s.Line = f.Line
+		}
+		if i := sort.SearchStrings(s.Detectors, f.Detector); i == len(s.Detectors) || s.Detectors[i] != f.Detector {
+			s.Detectors = append(s.Detectors, "")
+			copy(s.Detectors[i+1:], s.Detectors[i:])
+			s.Detectors[i] = f.Detector
+			s.Reasons = append(s.Reasons, "")
+			copy(s.Reasons[i+1:], s.Reasons[i:])
+			s.Reasons[i] = f.Reason
+		}
+	}
+	// Second pass: transient annotations exculpate sites on their line.
+	for _, f := range idx.Findings {
+		if f.Detector != DetectorTransient {
+			continue
+		}
+		for _, s := range order {
+			if s.File == f.File && (s.Line == f.Line || (s.Function != "" && f.Function == s.Function)) {
+				s.Transient = true
+			}
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].File != order[j].File {
+			return order[i].File < order[j].File
+		}
+		if order[i].Function != order[j].Function {
+			return order[i].Function < order[j].Function
+		}
+		return order[i].Line < order[j].Line
+	})
+	return order
+}
+
+// AlarmFunc returns the lookup cmd/leakprof wires into
+// Reporter.StaticAlarm: given a production finding's function and
+// location ("file:line"), it returns the site's static annotation, or
+// "" when no detector flagged it.
+func (idx *Index) AlarmFunc() func(function, location string) string {
+	sites := idx.Sites()
+	return func(function, location string) string {
+		file, line := splitLocation(location)
+		for _, s := range sites {
+			if s.matches(function, file, line) {
+				return s.Alarm()
+			}
+		}
+		return ""
+	}
+}
+
+// matches reports whether a production sighting (function, file, line)
+// lands on the site. Production function names are package-qualified
+// ("svc003.leaky5", "pkg.(*T).run"); static names are bare declarations.
+// Paths match on slash-boundary suffixes, so a repo-relative index joins
+// against absolute production paths.
+func (s *Site) matches(function, file string, line int) bool {
+	if !pathsMatch(s.File, file) {
+		return false
+	}
+	if s.Function == "" {
+		return s.Line == line
+	}
+	return functionMatches(function, s.Function)
+}
+
+func functionMatches(prod, static string) bool {
+	if prod == "" || static == "" {
+		return false
+	}
+	return prod == static || strings.HasSuffix(prod, "."+static)
+}
+
+// pathsMatch reports whether one path is a slash-boundary suffix of the
+// other ("svc003/file1.go" joins "/builds/repo/svc003/file1.go").
+func pathsMatch(a, b string) bool {
+	if a == "" || b == "" {
+		return false
+	}
+	if a == b {
+		return true
+	}
+	if strings.HasSuffix(a, "/"+b) || strings.HasSuffix(b, "/"+a) {
+		return true
+	}
+	return false
+}
+
+func splitLocation(loc string) (file string, line int) {
+	i := strings.LastIndexByte(loc, ':')
+	if i < 0 {
+		return loc, 0
+	}
+	n, err := strconv.Atoi(loc[i+1:])
+	if err != nil {
+		return loc, 0
+	}
+	return loc[:i], n
+}
+
+// trendRank orders verdicts by how alarming they are.
+func trendRank(v leakprof.TrendVerdict) int {
+	switch v {
+	case leakprof.TrendGrowing:
+		return 3
+	case leakprof.TrendStable:
+		return 2
+	case leakprof.TrendUnknown:
+		return 1
+	default: // TrendOscillating: production says congestion
+		return 0
+	}
+}
+
+// Link joins the index against the production bug database and trend
+// verdicts. Every bug is matched against every alarm site (function
+// match for analyzer findings, file:line match for site lints); the
+// result partitions the world into production-confirmed alarms (ranked
+// by evidence), never-sighted alarms (suppression candidates), and
+// dynamic-only bugs.
+func Link(idx *Index, db *report.DB, verdict TrendFunc) *Report {
+	if verdict == nil {
+		verdict = func(string) leakprof.TrendVerdict { return leakprof.TrendUnknown }
+	}
+	sites := idx.Sites()
+	ranked := make([]*RankedFinding, len(sites))
+	for i, s := range sites {
+		ranked[i] = &RankedFinding{Site: *s, Trend: leakprof.TrendUnknown}
+	}
+
+	rep := &Report{verdict: verdict}
+	for _, bug := range db.All() {
+		file, line := splitLocation(bug.Location)
+		matched := false
+		for i, s := range sites {
+			if !s.matches(bug.Function, file, line) {
+				continue
+			}
+			matched = true
+			rf := ranked[i]
+			rf.Confirmed = true
+			rf.Sightings += bug.Sightings
+			if bug.BlockedGoroutines > rf.BlockedGoroutines {
+				rf.BlockedGoroutines = bug.BlockedGoroutines
+			}
+			if bug.Impact > rf.Impact {
+				rf.Impact = bug.Impact
+			}
+			// The first linked bug sets the trend outright — the zero
+			// value TrendUnknown outranks Oscillating and must not mask
+			// it — later links take the strongest verdict.
+			if v := verdict(bug.Key); len(rf.BugKeys) == 0 || trendRank(v) > trendRank(rf.Trend) {
+				rf.Trend = v
+			}
+			rf.BugKeys = append(rf.BugKeys, bug.Key)
+		}
+		if !matched {
+			rep.DynamicOnly = append(rep.DynamicOnly, bug)
+		}
+	}
+
+	for _, rf := range ranked {
+		sort.Strings(rf.BugKeys)
+		if rf.Confirmed {
+			rep.Confirmed = append(rep.Confirmed, *rf)
+		} else {
+			rep.Unsighted = append(rep.Unsighted, *rf)
+		}
+	}
+	sort.Slice(rep.Confirmed, func(i, j int) bool {
+		a, b := &rep.Confirmed[i], &rep.Confirmed[j]
+		if a.Sightings != b.Sightings {
+			return a.Sightings > b.Sightings
+		}
+		if a.BlockedGoroutines != b.BlockedGoroutines {
+			return a.BlockedGoroutines > b.BlockedGoroutines
+		}
+		if ta, tb := trendRank(a.Trend), trendRank(b.Trend); ta != tb {
+			return ta > tb
+		}
+		return a.File+"\x00"+a.Function < b.File+"\x00"+b.Function
+	})
+	return rep
+}
+
+// Actionable is the evidence-ranked combined alarm set — the product of
+// the static↔dynamic join that the precision/recall harness scores
+// against either half alone:
+//
+//   - confirmed static alarms whose trend is not oscillating and whose
+//     site is not transient (production sighted them, and the sightings
+//     look like a leak, not diurnal congestion);
+//   - dynamic-only bugs whose trend verdict is growing (no static
+//     detector saw them, but monotonic cross-sweep growth is the
+//     strongest dynamic evidence there is).
+//
+// Never-sighted static alarms are excluded by construction — they are
+// the suppression candidates (see Suppressions).
+func (r *Report) Actionable() []RankedFinding {
+	var out []RankedFinding
+	for _, rf := range r.Confirmed {
+		if rf.Trend == leakprof.TrendOscillating || rf.Transient {
+			continue
+		}
+		out = append(out, rf)
+	}
+	for _, bug := range r.DynamicOnly {
+		if r.verdict(bug.Key) != leakprof.TrendGrowing {
+			continue
+		}
+		file, line := splitLocation(bug.Location)
+		out = append(out, RankedFinding{
+			Site:              Site{File: file, Function: bug.Function, Line: line},
+			Confirmed:         true,
+			Sightings:         bug.Sightings,
+			BlockedGoroutines: bug.BlockedGoroutines,
+			Impact:            bug.Impact,
+			Trend:             leakprof.TrendGrowing,
+			BugKeys:           []string{bug.Key},
+		})
+	}
+	return out
+}
+
+// Render formats one ranked finding as a report line.
+func (rf *RankedFinding) Render() string {
+	evidence := "never sighted in production"
+	if rf.Confirmed {
+		evidence = fmt.Sprintf("sightings=%d blocked=%d trend=%s", rf.Sightings, rf.BlockedGoroutines, rf.Trend)
+	}
+	det := strings.Join(rf.Detectors, ",")
+	if det == "" {
+		det = "dynamic-only"
+	}
+	fn := rf.Function
+	if fn == "" {
+		fn = "-"
+	}
+	return fmt.Sprintf("%s:%d %s [%s] %s", rf.File, rf.Line, fn, det, evidence)
+}

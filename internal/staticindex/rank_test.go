@@ -1,0 +1,173 @@
+package staticindex
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/report"
+	"repro/leakprof"
+)
+
+// linkFixture builds a hand-authored index exercising every join shape:
+// a multi-detector function site, a never-sighted site, a function-less
+// site lint, a transient-annotated site, and an oscillating site.
+func linkFixture() *Index {
+	return &Index{Findings: []Finding{
+		{Detector: DetectorGCatch, File: "svc/a/a.go", Function: "leakSend", Line: 10, Reason: "send on chan with no receiver"},
+		{Detector: DetectorGoat, File: "svc/a/a.go", Function: "leakSend", Line: 12, Reason: "goroutine blocks forever"},
+		{Detector: DetectorGomela, File: "svc/b/b.go", Function: "neverRuns", Line: 5, Reason: "unbuffered send may block"},
+		{Detector: DetectorDblSend, File: "svc/c/c.go", Function: "", Line: 7, Reason: "double send on same chan"},
+		{Detector: DetectorGCatch, File: "svc/d/d.go", Function: "poll", Line: 3, Reason: "select may block"},
+		{Detector: DetectorTransient, File: "svc/d/d.go", Function: "poll", Line: 3, Reason: "all blocking arms transient"},
+		{Detector: DetectorGomela, File: "svc/f/f.go", Function: "cong", Line: 8, Reason: "send may block"},
+	}}
+}
+
+func fileBug(db *report.DB, key, fn, loc string, sightings, blocked int) {
+	for i := 0; i < sightings; i++ {
+		db.File(report.Bug{
+			Key: key, Service: "svc", Op: "send", Location: loc, Function: fn,
+			BlockedGoroutines: blocked, FiledAt: time.Unix(int64(1000+i), 0),
+		})
+	}
+}
+
+func TestSitesGroupingAndAlarm(t *testing.T) {
+	sites := linkFixture().Sites()
+	var a *Site
+	for _, s := range sites {
+		if s.File == "svc/a/a.go" {
+			a = s
+		}
+	}
+	if a == nil {
+		t.Fatal("no site for svc/a/a.go")
+	}
+	if len(a.Detectors) != 2 || a.Detectors[0] != DetectorGCatch || a.Detectors[1] != DetectorGoat {
+		t.Fatalf("detectors = %v", a.Detectors)
+	}
+	if a.Line != 10 {
+		t.Fatalf("site line = %d, want the first flagged line 10", a.Line)
+	}
+	if got := a.Alarm(); got != "gcatch-like,goat-like: send on chan with no receiver" {
+		t.Fatalf("Alarm() = %q", got)
+	}
+	// Transient annotation marks the co-located alarm site, and the
+	// annotation itself creates no site.
+	for _, s := range sites {
+		if s.File == "svc/d/d.go" && !s.Transient {
+			t.Fatal("transient-select annotation did not mark the svc/d site")
+		}
+		for _, d := range s.Detectors {
+			if d == DetectorTransient {
+				t.Fatal("transient-select must not appear as an alarm detector")
+			}
+		}
+	}
+}
+
+func TestAlarmFunc(t *testing.T) {
+	lookup := linkFixture().AlarmFunc()
+	if got := lookup("a.leakSend", "/abs/build/svc/a/a.go:10"); !strings.Contains(got, "gcatch-like") {
+		t.Fatalf("qualified function + absolute path should match, got %q", got)
+	}
+	if got := lookup("c.init", "svc/c/c.go:7"); !strings.Contains(got, "doublesend") {
+		t.Fatalf("site lint should match by exact line, got %q", got)
+	}
+	if got := lookup("c.init", "svc/c/c.go:8"); got != "" {
+		t.Fatalf("site lint must not match other lines, got %q", got)
+	}
+	if got := lookup("x.unknown", "svc/x/x.go:1"); got != "" {
+		t.Fatalf("unknown site should return empty, got %q", got)
+	}
+}
+
+func TestLinkPopulationsRankingAndActionable(t *testing.T) {
+	idx := linkFixture()
+	db := report.NewDB()
+	fileBug(db, "k-leak", "a.leakSend", "/builds/x/svc/a/a.go:10", 5, 400)
+	fileBug(db, "k-lint", "c.init", "svc/c/c.go:7", 2, 50)
+	fileBug(db, "k-dyn", "e.leak", "svc/e/e.go:9", 3, 120)
+	fileBug(db, "k-trans", "d.poll", "svc/d/d.go:3", 7, 30)
+	fileBug(db, "k-cong", "f.cong", "svc/f/f.go:8", 4, 900)
+
+	verdicts := map[string]leakprof.TrendVerdict{
+		"k-leak":  leakprof.TrendGrowing,
+		"k-lint":  leakprof.TrendStable,
+		"k-dyn":   leakprof.TrendGrowing,
+		"k-trans": leakprof.TrendGrowing,
+		"k-cong":  leakprof.TrendOscillating,
+	}
+	rep := Link(idx, db, func(key string) leakprof.TrendVerdict { return verdicts[key] })
+
+	if len(rep.Confirmed) != 4 {
+		t.Fatalf("confirmed = %d (%v), want 4", len(rep.Confirmed), rep.Confirmed)
+	}
+	// Ranking: sightings desc — k-trans (7) > k-leak (5) > k-cong (4) > k-lint (2).
+	order := []string{"d.poll", "a.leakSend", "f.cong", ""}
+	for i, want := range order {
+		got := rep.Confirmed[i]
+		if want == "" {
+			if got.Function != "" {
+				t.Fatalf("confirmed[%d] = %q, want the function-less lint site", i, got.Function)
+			}
+			continue
+		}
+		if !strings.HasSuffix(want, "."+got.Function) {
+			t.Fatalf("confirmed[%d] = %q, want site of %q", i, got.Function, want)
+		}
+	}
+	if len(rep.Unsighted) != 1 || rep.Unsighted[0].Function != "neverRuns" {
+		t.Fatalf("unsighted = %v, want exactly neverRuns", rep.Unsighted)
+	}
+	if len(rep.DynamicOnly) != 1 || rep.DynamicOnly[0].Key != "k-dyn" {
+		t.Fatalf("dynamic-only = %v, want exactly k-dyn", rep.DynamicOnly)
+	}
+
+	act := rep.Actionable()
+	got := map[string]bool{}
+	for _, rf := range act {
+		got[rf.File] = true
+	}
+	for _, want := range []string{"svc/a/a.go", "svc/c/c.go", "svc/e/e.go"} {
+		if !got[want] {
+			t.Errorf("actionable missing %s", want)
+		}
+	}
+	if got["svc/d/d.go"] {
+		t.Error("transient site must not be actionable")
+	}
+	if got["svc/f/f.go"] {
+		t.Error("oscillating site must not be actionable")
+	}
+}
+
+func TestSuppressions(t *testing.T) {
+	idx := linkFixture()
+	db := report.NewDB()
+	fileBug(db, "k-leak", "a.leakSend", "svc/a/a.go:10", 5, 400)
+	fileBug(db, "k-cong", "f.cong", "svc/f/f.go:8", 4, 900)
+	verdicts := map[string]leakprof.TrendVerdict{
+		"k-leak": leakprof.TrendGrowing,
+		"k-cong": leakprof.TrendOscillating,
+	}
+	rep := Link(idx, db, func(key string) leakprof.TrendVerdict { return verdicts[key] })
+
+	sup := rep.Suppressions()
+	fns := sup.Functions()
+	want := map[string]bool{"b.neverRuns": false, "d.poll": false, "f.cong": false}
+	for _, fn := range fns {
+		if fn == "a.leakSend" {
+			t.Fatal("the production-confirmed growing leak must never be suppressed")
+		}
+		if _, ok := want[fn]; ok {
+			want[fn] = true
+		}
+	}
+	for fn, seen := range want {
+		if !seen {
+			t.Errorf("suppressions missing %s (got %v)", fn, fns)
+		}
+	}
+}

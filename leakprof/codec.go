@@ -7,9 +7,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"math"
-	"time"
 
+	"repro/internal/frame"
 	"repro/internal/report"
 )
 
@@ -54,10 +53,17 @@ func (c StateCodec) valid() bool {
 // 8-byte little-endian IEEE bits, timestamps as a presence byte plus a
 // zigzag varint of UnixNano (so the zero time survives a round trip),
 // and strings as uvarint references into a deduplicating string table
-// serialized ahead of the sections that reference it.
+// serialized ahead of the sections that reference it — the shared
+// internal/frame primitives.
+//
+// Version history: 1 carried bugs through Sightings; 2 appends the
+// bug's StaticAlarm (the static-analysis annotation the cross-linker
+// decorates filed bugs with). A version-1 reader refuses version-2
+// frames (it cannot know what the extra field means); this reader
+// decodes both.
 const (
 	binaryFrameMagic   = 0xB1
-	binaryFrameVersion = 1
+	binaryFrameVersion = 2
 	binaryFlagFlate    = 1 << 0
 )
 
@@ -84,57 +90,15 @@ func decodePayload(payload []byte) (*journalRecord, error) {
 	return &rec, nil
 }
 
-// stringTable deduplicates strings across one record: the service, op,
-// and stack-key strings a 100K-bug snapshot repeats thousands of times
-// are stored once and referenced by index.
-type stringTable struct {
-	index map[string]uint64
-	strs  []string
-}
-
-func (t *stringTable) ref(s string) uint64 {
-	if i, ok := t.index[s]; ok {
-		return i
-	}
-	if t.index == nil {
-		t.index = make(map[string]uint64)
-	}
-	i := uint64(len(t.strs))
-	t.index[s] = i
-	t.strs = append(t.strs, s)
-	return i
-}
-
-func (t *stringTable) appendTo(b []byte) []byte {
-	b = binary.AppendUvarint(b, uint64(len(t.strs)))
-	for _, s := range t.strs {
-		b = binary.AppendUvarint(b, uint64(len(s)))
-		b = append(b, s...)
-	}
-	return b
-}
-
-func appendTime(b []byte, at time.Time) []byte {
-	if at.IsZero() {
-		return append(b, 0)
-	}
-	b = append(b, 1)
-	return binary.AppendVarint(b, at.UnixNano())
-}
-
-func appendFloat(b []byte, f float64) []byte {
-	return binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
-}
-
 // encodeBinaryRecord renders rec as a binary frame payload. Snapshot
 // bodies are flate-compressed: they carry the whole journal's state, and
 // their string-heavy sections (locations, keys) compress several-fold.
 func encodeBinaryRecord(rec *journalRecord) ([]byte, error) {
-	var tbl stringTable
+	var tbl frame.StringTable
 	body := encodeBinaryBody(rec, &tbl)
 	// The table precedes the sections that reference it so decoding is
 	// one pass.
-	full := tbl.appendTo(make([]byte, 0, len(body)+64))
+	full := tbl.AppendTo(make([]byte, 0, len(body)+64))
 	full = append(full, body...)
 
 	payload := []byte{binaryFrameMagic, binaryFrameVersion, 0}
@@ -156,41 +120,42 @@ func encodeBinaryRecord(rec *journalRecord) ([]byte, error) {
 	return append(payload, full...), nil
 }
 
-func encodeBinaryBody(rec *journalRecord, tbl *stringTable) []byte {
+func encodeBinaryBody(rec *journalRecord, tbl *frame.StringTable) []byte {
 	b := make([]byte, 0, 256)
 	kind := uint64(1)
 	if rec.Kind == recordSnapshot {
 		kind = 2
 	}
 	b = binary.AppendUvarint(b, kind)
-	b = appendTime(b, rec.SavedAt)
+	b = frame.AppendTime(b, rec.SavedAt)
 
 	b = binary.AppendUvarint(b, uint64(len(rec.Bugs)))
 	for i := range rec.Bugs {
 		bug := &rec.Bugs[i]
-		b = binary.AppendUvarint(b, tbl.ref(bug.Key))
-		b = binary.AppendUvarint(b, tbl.ref(bug.Service))
-		b = binary.AppendUvarint(b, tbl.ref(bug.Op))
-		b = binary.AppendUvarint(b, tbl.ref(bug.Location))
-		b = binary.AppendUvarint(b, tbl.ref(bug.Function))
-		b = binary.AppendUvarint(b, tbl.ref(bug.Owner))
+		b = binary.AppendUvarint(b, tbl.Ref(bug.Key))
+		b = binary.AppendUvarint(b, tbl.Ref(bug.Service))
+		b = binary.AppendUvarint(b, tbl.Ref(bug.Op))
+		b = binary.AppendUvarint(b, tbl.Ref(bug.Location))
+		b = binary.AppendUvarint(b, tbl.Ref(bug.Function))
+		b = binary.AppendUvarint(b, tbl.Ref(bug.Owner))
 		b = binary.AppendVarint(b, int64(bug.BlockedGoroutines))
-		b = appendFloat(b, bug.Impact)
-		b = appendTime(b, bug.FiledAt)
-		b = appendTime(b, bug.LastSeen)
+		b = frame.AppendFloat(b, bug.Impact)
+		b = frame.AppendTime(b, bug.FiledAt)
+		b = frame.AppendTime(b, bug.LastSeen)
 		b = binary.AppendUvarint(b, uint64(bug.Status))
 		b = binary.AppendVarint(b, int64(bug.Sightings))
+		b = binary.AppendUvarint(b, tbl.Ref(bug.StaticAlarm)) // version 2
 	}
 
 	b = binary.AppendUvarint(b, uint64(len(rec.Trend)))
 	for key, obs := range rec.Trend {
-		b = binary.AppendUvarint(b, tbl.ref(key))
+		b = binary.AppendUvarint(b, tbl.Ref(key))
 		b = binary.AppendUvarint(b, uint64(len(obs)))
 		for _, o := range obs {
-			b = appendTime(b, o.At)
+			b = frame.AppendTime(b, o.At)
 			b = binary.AppendVarint(b, int64(o.Total))
 			b = binary.AppendVarint(b, int64(o.Profiles))
-			b = appendFloat(b, o.SumSquares)
+			b = frame.AppendFloat(b, o.SumSquares)
 		}
 	}
 
@@ -199,108 +164,30 @@ func encodeBinaryBody(rec *journalRecord, tbl *stringTable) []byte {
 	}
 	b = append(b, 1)
 	sw := rec.Sweep
-	b = appendTime(b, sw.At)
-	b = binary.AppendUvarint(b, tbl.ref(sw.Source))
+	b = frame.AppendTime(b, sw.At)
+	b = binary.AppendUvarint(b, tbl.Ref(sw.Source))
 	b = binary.AppendVarint(b, int64(sw.Profiles))
 	b = binary.AppendVarint(b, int64(sw.Errors))
 	b = binary.AppendVarint(b, int64(sw.Findings))
 	b = binary.AppendUvarint(b, uint64(len(sw.FailedByService)))
 	for svc, n := range sw.FailedByService {
-		b = binary.AppendUvarint(b, tbl.ref(svc))
+		b = binary.AppendUvarint(b, tbl.Ref(svc))
 		b = binary.AppendVarint(b, int64(n))
 	}
 	return b
 }
 
-// binReader walks a binary body with bounds checking: a corrupt frame
-// (which the CRC should have caught, but defense costs little) must
-// produce an error, never a panic or an absurd allocation.
-type binReader struct {
-	b   []byte
-	off int
-}
-
-var errBinaryTruncated = fmt.Errorf("leakprof: binary record truncated")
-
-func (r *binReader) uvarint() (uint64, error) {
-	v, n := binary.Uvarint(r.b[r.off:])
-	if n <= 0 {
-		return 0, errBinaryTruncated
-	}
-	r.off += n
-	return v, nil
-}
-
-func (r *binReader) varint() (int64, error) {
-	v, n := binary.Varint(r.b[r.off:])
-	if n <= 0 {
-		return 0, errBinaryTruncated
-	}
-	r.off += n
-	return v, nil
-}
-
-func (r *binReader) count(elemMin int) (int, error) {
-	v, err := r.uvarint()
-	if err != nil {
-		return 0, err
-	}
-	// A count cannot exceed the bytes left to encode its elements.
-	if max := len(r.b) - r.off; elemMin > 0 && v > uint64(max/elemMin)+1 {
-		return 0, fmt.Errorf("leakprof: binary record claims %d elements with %d bytes left", v, max)
-	}
-	return int(v), nil
-}
-
-func (r *binReader) take(n int) ([]byte, error) {
-	if n < 0 || r.off+n > len(r.b) {
-		return nil, errBinaryTruncated
-	}
-	out := r.b[r.off : r.off+n]
-	r.off += n
-	return out, nil
-}
-
-func (r *binReader) float64() (float64, error) {
-	raw, err := r.take(8)
-	if err != nil {
-		return 0, err
-	}
-	return math.Float64frombits(binary.LittleEndian.Uint64(raw)), nil
-}
-
-func (r *binReader) time() (time.Time, error) {
-	flag, err := r.take(1)
-	if err != nil {
-		return time.Time{}, err
-	}
-	if flag[0] == 0 {
-		return time.Time{}, nil
-	}
-	n, err := r.varint()
-	if err != nil {
-		return time.Time{}, err
-	}
-	return time.Unix(0, n).UTC(), nil
-}
-
-func (r *binReader) str(tbl []string) (string, error) {
-	i, err := r.uvarint()
-	if err != nil {
-		return "", err
-	}
-	if i >= uint64(len(tbl)) {
-		return "", fmt.Errorf("leakprof: binary record references string %d of %d", i, len(tbl))
-	}
-	return tbl[i], nil
-}
+// errBinaryTruncated aliases the shared primitive's truncation error so
+// in-package codec paths (and their tests) keep one name for it.
+var errBinaryTruncated = frame.ErrTruncated
 
 func decodeBinaryRecord(payload []byte) (*journalRecord, error) {
 	if len(payload) < 3 {
 		return nil, errBinaryTruncated
 	}
-	if payload[1] > binaryFrameVersion {
-		return nil, fmt.Errorf("leakprof: binary record version %d, newer than supported %d", payload[1], binaryFrameVersion)
+	ver := payload[1]
+	if ver > binaryFrameVersion {
+		return nil, fmt.Errorf("leakprof: binary record version %d, newer than supported %d", ver, binaryFrameVersion)
 	}
 	flags, body := payload[2], payload[3:]
 	if flags&binaryFlagFlate != 0 {
@@ -309,27 +196,15 @@ func decodeBinaryRecord(payload []byte) (*journalRecord, error) {
 			return nil, fmt.Errorf("leakprof: inflating binary record: %w", err)
 		}
 	}
-	r := &binReader{b: body}
+	r := frame.NewReader(body)
 
-	nStrs, err := r.count(1)
+	tbl, err := r.StringTable()
 	if err != nil {
 		return nil, err
 	}
-	tbl := make([]string, nStrs)
-	for i := range tbl {
-		n, err := r.uvarint()
-		if err != nil {
-			return nil, err
-		}
-		raw, err := r.take(int(n))
-		if err != nil {
-			return nil, err
-		}
-		tbl[i] = string(raw)
-	}
 
 	rec := &journalRecord{}
-	kind, err := r.uvarint()
+	kind, err := r.Uvarint()
 	if err != nil {
 		return nil, err
 	}
@@ -341,11 +216,11 @@ func decodeBinaryRecord(payload []byte) (*journalRecord, error) {
 	default:
 		return nil, fmt.Errorf("leakprof: binary record kind %d unknown", kind)
 	}
-	if rec.SavedAt, err = r.time(); err != nil {
+	if rec.SavedAt, err = r.Time(); err != nil {
 		return nil, err
 	}
 
-	nBugs, err := r.count(10)
+	nBugs, err := r.Count(10)
 	if err != nil {
 		return nil, err
 	}
@@ -354,50 +229,55 @@ func decodeBinaryRecord(payload []byte) (*journalRecord, error) {
 	}
 	for i := range rec.Bugs {
 		bug := &rec.Bugs[i]
-		if bug.Key, err = r.str(tbl); err != nil {
+		if bug.Key, err = r.Str(tbl); err != nil {
 			return nil, err
 		}
-		if bug.Service, err = r.str(tbl); err != nil {
+		if bug.Service, err = r.Str(tbl); err != nil {
 			return nil, err
 		}
-		if bug.Op, err = r.str(tbl); err != nil {
+		if bug.Op, err = r.Str(tbl); err != nil {
 			return nil, err
 		}
-		if bug.Location, err = r.str(tbl); err != nil {
+		if bug.Location, err = r.Str(tbl); err != nil {
 			return nil, err
 		}
-		if bug.Function, err = r.str(tbl); err != nil {
+		if bug.Function, err = r.Str(tbl); err != nil {
 			return nil, err
 		}
-		if bug.Owner, err = r.str(tbl); err != nil {
+		if bug.Owner, err = r.Str(tbl); err != nil {
 			return nil, err
 		}
 		var blocked, sightings int64
-		if blocked, err = r.varint(); err != nil {
+		if blocked, err = r.Varint(); err != nil {
 			return nil, err
 		}
 		bug.BlockedGoroutines = int(blocked)
-		if bug.Impact, err = r.float64(); err != nil {
+		if bug.Impact, err = r.Float64(); err != nil {
 			return nil, err
 		}
-		if bug.FiledAt, err = r.time(); err != nil {
+		if bug.FiledAt, err = r.Time(); err != nil {
 			return nil, err
 		}
-		if bug.LastSeen, err = r.time(); err != nil {
+		if bug.LastSeen, err = r.Time(); err != nil {
 			return nil, err
 		}
-		status, err := r.uvarint()
+		status, err := r.Uvarint()
 		if err != nil {
 			return nil, err
 		}
 		bug.Status = report.Status(status)
-		if sightings, err = r.varint(); err != nil {
+		if sightings, err = r.Varint(); err != nil {
 			return nil, err
 		}
 		bug.Sightings = int(sightings)
+		if ver >= 2 {
+			if bug.StaticAlarm, err = r.Str(tbl); err != nil {
+				return nil, err
+			}
+		}
 	}
 
-	nKeys, err := r.count(3)
+	nKeys, err := r.Count(3)
 	if err != nil {
 		return nil, err
 	}
@@ -405,36 +285,36 @@ func decodeBinaryRecord(payload []byte) (*journalRecord, error) {
 		rec.Trend = make(map[string][]TrendObservation, nKeys)
 	}
 	for i := 0; i < nKeys; i++ {
-		key, err := r.str(tbl)
+		key, err := r.Str(tbl)
 		if err != nil {
 			return nil, err
 		}
-		nObs, err := r.count(11)
+		nObs, err := r.Count(11)
 		if err != nil {
 			return nil, err
 		}
 		obs := make([]TrendObservation, nObs)
 		for j := range obs {
-			if obs[j].At, err = r.time(); err != nil {
+			if obs[j].At, err = r.Time(); err != nil {
 				return nil, err
 			}
 			var total, profiles int64
-			if total, err = r.varint(); err != nil {
+			if total, err = r.Varint(); err != nil {
 				return nil, err
 			}
 			obs[j].Total = int(total)
-			if profiles, err = r.varint(); err != nil {
+			if profiles, err = r.Varint(); err != nil {
 				return nil, err
 			}
 			obs[j].Profiles = int(profiles)
-			if obs[j].SumSquares, err = r.float64(); err != nil {
+			if obs[j].SumSquares, err = r.Float64(); err != nil {
 				return nil, err
 			}
 		}
 		rec.Trend[key] = obs
 	}
 
-	present, err := r.take(1)
+	present, err := r.Take(1)
 	if err != nil {
 		return nil, err
 	}
@@ -442,26 +322,26 @@ func decodeBinaryRecord(payload []byte) (*journalRecord, error) {
 		return rec, nil
 	}
 	sw := &SweepRecord{}
-	if sw.At, err = r.time(); err != nil {
+	if sw.At, err = r.Time(); err != nil {
 		return nil, err
 	}
-	if sw.Source, err = r.str(tbl); err != nil {
+	if sw.Source, err = r.Str(tbl); err != nil {
 		return nil, err
 	}
 	var profiles, errCount, findings int64
-	if profiles, err = r.varint(); err != nil {
+	if profiles, err = r.Varint(); err != nil {
 		return nil, err
 	}
 	sw.Profiles = int(profiles)
-	if errCount, err = r.varint(); err != nil {
+	if errCount, err = r.Varint(); err != nil {
 		return nil, err
 	}
 	sw.Errors = int(errCount)
-	if findings, err = r.varint(); err != nil {
+	if findings, err = r.Varint(); err != nil {
 		return nil, err
 	}
 	sw.Findings = int(findings)
-	nFailed, err := r.count(2)
+	nFailed, err := r.Count(2)
 	if err != nil {
 		return nil, err
 	}
@@ -469,11 +349,11 @@ func decodeBinaryRecord(payload []byte) (*journalRecord, error) {
 		sw.FailedByService = make(map[string]int, nFailed)
 	}
 	for i := 0; i < nFailed; i++ {
-		svc, err := r.str(tbl)
+		svc, err := r.Str(tbl)
 		if err != nil {
 			return nil, err
 		}
-		n, err := r.varint()
+		n, err := r.Varint()
 		if err != nil {
 			return nil, err
 		}

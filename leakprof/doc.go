@@ -203,6 +203,42 @@
 // SweepEnv.PrevFailures, so a service that burned its budget yesterday
 // is probed gently today regardless of which worker owns it.
 //
+// # Static↔dynamic loop
+//
+// The paper's two halves — production profiling (this package) and
+// static leak detection (internal/staticbase, internal/astcheck, the
+// goleak suppressions) — meet in internal/staticindex. A scan persists
+// every static alarm in a findings index with stable keys (file,
+// function, line, detector, reason), and the cross-linker joins that
+// index against this package's production evidence:
+//
+//	idx, _ := staticindex.ScanTree(srcRoot)       // or cmd/leakrank
+//	rep := staticindex.Link(idx, store.BugDB(), store.Tracker().Verdict)
+//	actionable := rep.Actionable()                // evidence-ranked alarms
+//	rep.WriteSuppressions("goleak.supp")          // demoted false positives
+//
+// The join partitions the alarm space by evidence. A static alarm the
+// bug DB has sighted, with a growing or stable trend verdict, is
+// near-certainly real and ranks by sightings and blocked-goroutine
+// counts. An alarm production has never sighted across the journal's
+// history is a suppression candidate: the emitted goleak.SuppressionList
+// carries a machine-generated Reason line with the evidence, so owners
+// reviewing the file see why each alarm was demoted. A confirmed site
+// whose trend oscillates is congestion, not a leak, and is demoted the
+// same way. Sightings with no static alarm stay ranked on dynamic
+// evidence alone.
+//
+// The loop closes in both directions. Reporter.StaticAlarm (wired from
+// staticindex.Index.AlarmFunc, or cmd/leakprof's -static-index flag)
+// decorates every filed report.Bug with the static annotation for its
+// site, which the alert renders as a "static:" line — an owner reading
+// a production alert sees immediately that three analyzers also flagged
+// the function. The precision/recall harness over the synth corpus
+// (internal/staticindex's TestCombinedRankerDominatesEitherHalf) shows
+// the combined ranker strictly beating either half alone on precision
+// at equal recall: static pays for hard negatives, dynamic pays for
+// congestion, and the join dismisses both failure modes.
+//
 // # Migrating from the pre-Pipeline API
 //
 // The original five loosely-coupled structs remain as thin deprecated

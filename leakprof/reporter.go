@@ -21,6 +21,12 @@ type Reporter struct {
 	TopN int
 	// Now supplies filing timestamps; nil means time.Now.
 	Now func() time.Time
+	// StaticAlarm, when set, annotates each filed bug with the static-
+	// analysis verdict for its site: it receives the finding's function
+	// and location ("file:line") and returns the alarm summary, or ""
+	// when no detector flagged the site. staticindex.Index.AlarmFunc is
+	// the standard implementation.
+	StaticAlarm func(function, location string) string
 }
 
 // Report files the findings and returns the alerts for newly discovered
@@ -44,6 +50,10 @@ func (r *Reporter) Report(findings []*Finding) []*report.Alert {
 		if r.Owners != nil {
 			owner = r.Owners.OwnerOf(f.Location)
 		}
+		alarm := ""
+		if r.StaticAlarm != nil {
+			alarm = r.StaticAlarm(f.Function, f.Location)
+		}
 		bug, isNew := r.DB.File(report.Bug{
 			Key:               f.Key(),
 			Service:           f.Service,
@@ -54,6 +64,7 @@ func (r *Reporter) Report(findings []*Finding) []*report.Alert {
 			BlockedGoroutines: f.TotalBlocked,
 			Impact:            f.Impact,
 			FiledAt:           now(),
+			StaticAlarm:       alarm,
 		})
 		if !isNew {
 			continue

@@ -2,11 +2,9 @@ package leakprof
 
 import (
 	"bufio"
-	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
@@ -16,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/frame"
 	"repro/internal/report"
 )
 
@@ -54,12 +53,15 @@ const (
 )
 
 // maxFrameBytes bounds one journal frame; a length prefix beyond it is
-// treated as corruption rather than an allocation request.
-const maxFrameBytes = 1 << 30
+// treated as corruption rather than an allocation request. It, the
+// frame header, and the torn/corrupt distinction live in internal/frame,
+// which the shard-report wire format and the static findings index
+// share.
+const maxFrameBytes = frame.MaxPayload
 
 // frameHeaderSize is the per-frame framing overhead: a 4-byte big-endian
 // payload length followed by a 4-byte CRC-32 (IEEE) of the payload.
-const frameHeaderSize = 8
+const frameHeaderSize = frame.HeaderSize
 
 // journalRecord is one frame's payload. A "delta" frame carries what one
 // sweep changed — the dirty bugs, the new trend observations, the sweep
@@ -596,14 +598,14 @@ func (s *StateStore) listSegments() ([]int, error) {
 
 // errTornFrame marks a frame consistent with a crash mid-append: it
 // ends at (or claims to extend past) the end of the segment.
-var errTornFrame = errors.New("torn journal frame")
+var errTornFrame = frame.ErrTorn
 
 // errCorruptFrame marks a frame that fails its checksum while complete
 // frames follow it: that cannot be a torn append (the store is a single
 // O_APPEND writer, so only the final frame can be half-written) — it is
 // bit rot over durable data, and truncating it would silently discard
 // the valid frames behind it.
-var errCorruptFrame = errors.New("corrupt journal frame")
+var errCorruptFrame = frame.ErrCorrupt
 
 // replaySegment replays one segment's frames into the in-memory state.
 // In the final (active) segment a torn tail frame — one that stops at
@@ -690,40 +692,7 @@ func (s *StateStore) applyRecord(rec *journalRecord) error {
 // torn by construction, so no allocation is made for it — a corrupt
 // length prefix must not become a gigabyte allocation during recovery.
 func readFrame(br *bufio.Reader, remaining int64) ([]byte, int64, error) {
-	var header [frameHeaderSize]byte
-	if _, err := io.ReadFull(br, header[:]); err != nil {
-		if err == io.EOF {
-			return nil, 0, io.EOF
-		}
-		if errors.Is(err, io.ErrUnexpectedEOF) {
-			return nil, 0, errTornFrame
-		}
-		return nil, 0, err
-	}
-	length := binary.BigEndian.Uint32(header[0:4])
-	sum := binary.BigEndian.Uint32(header[4:8])
-	frameLen := frameHeaderSize + int64(length)
-	if length == 0 || length > maxFrameBytes {
-		return nil, 0, fmt.Errorf("%w: implausible frame length %d", errTornFrame, length)
-	}
-	if frameLen > remaining {
-		return nil, 0, fmt.Errorf("%w: frame of %d bytes extends past end of segment", errTornFrame, frameLen)
-	}
-	payload := make([]byte, length)
-	if _, err := io.ReadFull(br, payload); err != nil {
-		if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
-			return nil, 0, errTornFrame
-		}
-		return nil, 0, err
-	}
-	if crc32.ChecksumIEEE(payload) != sum {
-		if frameLen == remaining {
-			// The damaged frame is the segment's last: a torn append.
-			return nil, 0, fmt.Errorf("%w: checksum mismatch on the tail frame", errTornFrame)
-		}
-		return nil, 0, fmt.Errorf("%w: checksum mismatch with %d bytes of journal following", errCorruptFrame, remaining-frameLen)
-	}
-	return payload, frameLen, nil
+	return frame.Read(br, remaining)
 }
 
 // encodeFrame renders one record as a framed, checksummed byte slice in
@@ -736,11 +705,7 @@ func encodeFrame(rec *journalRecord, codec StateCodec) ([]byte, error) {
 	if len(payload) > maxFrameBytes {
 		return nil, fmt.Errorf("leakprof: journal record of %d bytes exceeds frame bound", len(payload))
 	}
-	frame := make([]byte, frameHeaderSize+len(payload))
-	binary.BigEndian.PutUint32(frame[0:4], uint32(len(payload)))
-	binary.BigEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
-	copy(frame[frameHeaderSize:], payload)
-	return frame, nil
+	return frame.New(payload), nil
 }
 
 // openActive ensures the active segment is open for appending, rolling to

@@ -9,6 +9,8 @@ import (
 	"hash/crc32"
 	"io"
 	"time"
+
+	"repro/internal/frame"
 )
 
 // ShardReport is one shard worker's folded contribution to a distributed
@@ -114,9 +116,9 @@ const wireFlateMin = 4 << 10
 
 // encodeShardReport renders the frame payload (magic through body).
 func encodeShardReport(rep *ShardReport) ([]byte, error) {
-	var tbl stringTable
+	var tbl frame.StringTable
 	body := encodeShardBody(rep, &tbl)
-	full := tbl.appendTo(make([]byte, 0, len(body)+64))
+	full := tbl.AppendTo(make([]byte, 0, len(body)+64))
 	full = append(full, body...)
 
 	if len(full) < wireFlateMin {
@@ -137,41 +139,41 @@ func encodeShardReport(rep *ShardReport) ([]byte, error) {
 	return append(payload, buf.Bytes()...), nil
 }
 
-func encodeShardBody(rep *ShardReport, tbl *stringTable) []byte {
+func encodeShardBody(rep *ShardReport, tbl *frame.StringTable) []byte {
 	b := make([]byte, 0, 256)
-	b = binary.AppendUvarint(b, tbl.ref(rep.Shard))
-	b = appendTime(b, rep.At)
+	b = binary.AppendUvarint(b, tbl.Ref(rep.Shard))
+	b = frame.AppendTime(b, rep.At)
 	b = binary.AppendVarint(b, int64(rep.Profiles))
 	b = binary.AppendVarint(b, int64(rep.Errors))
-	b = binary.AppendUvarint(b, tbl.ref(rep.Err))
+	b = binary.AppendUvarint(b, tbl.Ref(rep.Err))
 
 	b = binary.AppendUvarint(b, uint64(len(rep.Services)))
 	for svc, n := range rep.Services {
-		b = binary.AppendUvarint(b, tbl.ref(svc))
+		b = binary.AppendUvarint(b, tbl.Ref(svc))
 		b = binary.AppendVarint(b, int64(n))
 	}
 	b = binary.AppendUvarint(b, uint64(len(rep.FailedByService)))
 	for svc, n := range rep.FailedByService {
-		b = binary.AppendUvarint(b, tbl.ref(svc))
+		b = binary.AppendUvarint(b, tbl.Ref(svc))
 		b = binary.AppendVarint(b, int64(n))
 	}
 	b = binary.AppendUvarint(b, uint64(len(rep.Failures)))
 	for _, f := range rep.Failures {
-		b = binary.AppendUvarint(b, tbl.ref(f.Service))
-		b = binary.AppendUvarint(b, tbl.ref(f.Instance))
+		b = binary.AppendUvarint(b, tbl.Ref(f.Service))
+		b = binary.AppendUvarint(b, tbl.Ref(f.Instance))
 		msg := ""
 		if f.Err != nil {
 			msg = f.Err.Error()
 		}
-		b = binary.AppendUvarint(b, tbl.ref(msg))
+		b = binary.AppendUvarint(b, tbl.Ref(msg))
 	}
 	b = binary.AppendUvarint(b, uint64(len(rep.Moments)))
 	for i := range rep.Moments {
 		m := &rep.Moments[i]
-		b = binary.AppendUvarint(b, tbl.ref(m.Service))
-		b = binary.AppendUvarint(b, tbl.ref(m.Op.Op))
-		b = binary.AppendUvarint(b, tbl.ref(m.Op.Location))
-		b = binary.AppendUvarint(b, tbl.ref(m.Op.Function))
+		b = binary.AppendUvarint(b, tbl.Ref(m.Service))
+		b = binary.AppendUvarint(b, tbl.Ref(m.Op.Op))
+		b = binary.AppendUvarint(b, tbl.Ref(m.Op.Location))
+		b = binary.AppendUvarint(b, tbl.Ref(m.Op.Function))
 		nilCh := byte(0)
 		if m.Op.NilChannel {
 			nilCh = 1
@@ -182,9 +184,9 @@ func encodeShardBody(rep *ShardReport, tbl *stringTable) []byte {
 		b = binary.AppendVarint(b, int64(m.Instances))
 		b = binary.AppendVarint(b, int64(m.ServiceProfiles))
 		b = binary.AppendVarint(b, int64(m.Suspicious))
-		b = appendFloat(b, m.SumSquares)
+		b = frame.AppendFloat(b, m.SumSquares)
 		b = binary.AppendVarint(b, int64(m.MaxCount))
-		b = binary.AppendUvarint(b, tbl.ref(m.MaxInstance))
+		b = binary.AppendUvarint(b, tbl.Ref(m.MaxInstance))
 	}
 	return b
 }
@@ -206,47 +208,35 @@ func decodeShardReport(payload []byte) (*ShardReport, error) {
 			return nil, fmt.Errorf("leakprof: inflating shard report: %w", err)
 		}
 	}
-	r := &binReader{b: body}
+	r := frame.NewReader(body)
 
-	nStrs, err := r.count(1)
+	tbl, err := r.StringTable()
 	if err != nil {
 		return nil, err
 	}
-	tbl := make([]string, nStrs)
-	for i := range tbl {
-		n, err := r.uvarint()
-		if err != nil {
-			return nil, err
-		}
-		raw, err := r.take(int(n))
-		if err != nil {
-			return nil, err
-		}
-		tbl[i] = string(raw)
-	}
 
 	rep := &ShardReport{}
-	if rep.Shard, err = r.str(tbl); err != nil {
+	if rep.Shard, err = r.Str(tbl); err != nil {
 		return nil, err
 	}
-	if rep.At, err = r.time(); err != nil {
+	if rep.At, err = r.Time(); err != nil {
 		return nil, err
 	}
 	var v int64
-	if v, err = r.varint(); err != nil {
+	if v, err = r.Varint(); err != nil {
 		return nil, err
 	}
 	rep.Profiles = int(v)
-	if v, err = r.varint(); err != nil {
+	if v, err = r.Varint(); err != nil {
 		return nil, err
 	}
 	rep.Errors = int(v)
-	if rep.Err, err = r.str(tbl); err != nil {
+	if rep.Err, err = r.Str(tbl); err != nil {
 		return nil, err
 	}
 
 	for _, dst := range []*map[string]int{&rep.Services, &rep.FailedByService} {
-		n, err := r.count(2)
+		n, err := r.Count(2)
 		if err != nil {
 			return nil, err
 		}
@@ -254,11 +244,11 @@ func decodeShardReport(payload []byte) (*ShardReport, error) {
 			*dst = make(map[string]int, n)
 		}
 		for i := 0; i < n; i++ {
-			svc, err := r.str(tbl)
+			svc, err := r.Str(tbl)
 			if err != nil {
 				return nil, err
 			}
-			v, err := r.varint()
+			v, err := r.Varint()
 			if err != nil {
 				return nil, err
 			}
@@ -266,7 +256,7 @@ func decodeShardReport(payload []byte) (*ShardReport, error) {
 		}
 	}
 
-	nFail, err := r.count(3)
+	nFail, err := r.Count(3)
 	if err != nil {
 		return nil, err
 	}
@@ -275,13 +265,13 @@ func decodeShardReport(payload []byte) (*ShardReport, error) {
 	}
 	for i := range rep.Failures {
 		f := &rep.Failures[i]
-		if f.Service, err = r.str(tbl); err != nil {
+		if f.Service, err = r.Str(tbl); err != nil {
 			return nil, err
 		}
-		if f.Instance, err = r.str(tbl); err != nil {
+		if f.Instance, err = r.Str(tbl); err != nil {
 			return nil, err
 		}
-		msg, err := r.str(tbl)
+		msg, err := r.Str(tbl)
 		if err != nil {
 			return nil, err
 		}
@@ -290,7 +280,7 @@ func decodeShardReport(payload []byte) (*ShardReport, error) {
 		}
 	}
 
-	nMom, err := r.count(16)
+	nMom, err := r.Count(16)
 	if err != nil {
 		return nil, err
 	}
@@ -299,51 +289,51 @@ func decodeShardReport(payload []byte) (*ShardReport, error) {
 	}
 	for i := range rep.Moments {
 		m := &rep.Moments[i]
-		if m.Service, err = r.str(tbl); err != nil {
+		if m.Service, err = r.Str(tbl); err != nil {
 			return nil, err
 		}
-		if m.Op.Op, err = r.str(tbl); err != nil {
+		if m.Op.Op, err = r.Str(tbl); err != nil {
 			return nil, err
 		}
-		if m.Op.Location, err = r.str(tbl); err != nil {
+		if m.Op.Location, err = r.Str(tbl); err != nil {
 			return nil, err
 		}
-		if m.Op.Function, err = r.str(tbl); err != nil {
+		if m.Op.Function, err = r.Str(tbl); err != nil {
 			return nil, err
 		}
-		nilCh, err := r.take(1)
+		nilCh, err := r.Take(1)
 		if err != nil {
 			return nil, err
 		}
 		m.Op.NilChannel = nilCh[0] != 0
-		if v, err = r.varint(); err != nil {
+		if v, err = r.Varint(); err != nil {
 			return nil, err
 		}
 		m.Op.WaitTime = v
-		if v, err = r.varint(); err != nil {
+		if v, err = r.Varint(); err != nil {
 			return nil, err
 		}
 		m.Total = int(v)
-		if v, err = r.varint(); err != nil {
+		if v, err = r.Varint(); err != nil {
 			return nil, err
 		}
 		m.Instances = int(v)
-		if v, err = r.varint(); err != nil {
+		if v, err = r.Varint(); err != nil {
 			return nil, err
 		}
 		m.ServiceProfiles = int(v)
-		if v, err = r.varint(); err != nil {
+		if v, err = r.Varint(); err != nil {
 			return nil, err
 		}
 		m.Suspicious = int(v)
-		if m.SumSquares, err = r.float64(); err != nil {
+		if m.SumSquares, err = r.Float64(); err != nil {
 			return nil, err
 		}
-		if v, err = r.varint(); err != nil {
+		if v, err = r.Varint(); err != nil {
 			return nil, err
 		}
 		m.MaxCount = int(v)
-		if m.MaxInstance, err = r.str(tbl); err != nil {
+		if m.MaxInstance, err = r.Str(tbl); err != nil {
 			return nil, err
 		}
 	}
