@@ -11,19 +11,36 @@
 // Pipeline — prints the findings, and exits. With -sweep -direct the
 // same pipeline pulls from the fleet simulator source directly (no
 // HTTP), demonstrating that both origins drive the identical engine.
+//
+// With -post http://host:6061 fleetsim becomes a load generator for a
+// push-ingestion endpoint (cmd/leakprof -ingest): it renders the
+// fleet's current-day debug=2 dump bodies once, then -posters
+// concurrent posters each POST -posts of them (round-robin, optionally
+// -gzip compressed) and the run prints accepted/rejected counts,
+// posts/sec, and admission-latency percentiles. Rejections (429) are
+// expected under deliberate overload — the point of the mode is to
+// watch the endpoint shed load without stalling admitted dumps.
 package main
 
 import (
+	"bytes"
+	"compress/gzip"
 	"context"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"repro/internal/fleet"
+	"repro/internal/gprofile"
 	"repro/internal/patterns"
 	"repro/leakprof"
 )
@@ -41,6 +58,10 @@ func main() {
 	bugKeep := flag.Duration("bug-keep", 0, "with -state-dir: age closed (fixed/rejected) bugs out once unseen for this long (0 = keep forever)")
 	fsync := flag.String("fsync", "sweep", "with -state-dir: journal fsync policy — sweep, close, or N[/duration] group commit")
 	detached := flag.Bool("detached-sinks", false, "with -sweep: detach sink draining from the sweep (sinks drain at exit)")
+	post := flag.String("post", "", "load-generator mode: POST the fleet's dump bodies to this ingest endpoint URL (cmd/leakprof -ingest) instead of serving or sweeping")
+	posters := flag.Int("posters", 256, "with -post: concurrent posting goroutines")
+	posts := flag.Int("posts", 10, "with -post: POSTs per poster")
+	gz := flag.Bool("gzip", false, "with -post: gzip-compress each dump body (Content-Encoding: gzip)")
 	flag.Parse()
 
 	pats := []*patterns.Pattern{
@@ -89,6 +110,14 @@ func main() {
 			leakprof.WithBugRetention(*bugKeep),
 			leakprof.WithStateSync(syncPolicy),
 		)
+	}
+
+	if *post != "" {
+		if err := runLoadGen(f, *post, *posters, *posts, *gz); err != nil {
+			fmt.Fprintln(os.Stderr, "fleetsim:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *sweep && *direct {
@@ -170,4 +199,149 @@ func runSweep(src leakprof.Source, threshold int, stateDir string, extra []leakp
 		fmt.Printf("state: %d new alerts this sweep; previously filed findings deduplicate against %s\n",
 			len(reportSink.LastAlerts()), stateDir)
 	}
+}
+
+// captureSource wraps a Source and records every emitted snapshot, so
+// the load generator can render the fleet's dump bodies once instead of
+// re-simulating them per POST. Emission still reaches the pipeline so
+// the capture sweep completes normally.
+type captureSource struct {
+	inner leakprof.Source
+	mu    sync.Mutex
+	snaps []*gprofile.Snapshot
+}
+
+func (c *captureSource) Name() string { return c.inner.Name() }
+
+func (c *captureSource) Sweep(ctx context.Context, env *leakprof.SweepEnv) error {
+	orig := env.Emit
+	env.Emit = func(s *gprofile.Snapshot) {
+		c.mu.Lock()
+		c.snaps = append(c.snaps, s)
+		c.mu.Unlock()
+		orig(s)
+	}
+	return c.inner.Sweep(ctx, env)
+}
+
+// dumpBody is one pre-rendered POST payload: the debug=2 text (possibly
+// gzipped) plus the origin headers the ingest endpoint reads.
+type dumpBody struct {
+	service, instance string
+	body              []byte
+}
+
+// runLoadGen renders the fleet's current-day dump bodies and hammers
+// the ingest endpoint with them: posters×posts concurrent POSTs,
+// round-robin over the bodies. Overload is deliberate — 429s measure
+// the endpoint's shedding, not a failure of the run.
+func runLoadGen(f *fleet.Fleet, url string, posters, posts int, gz bool) error {
+	if posters < 1 {
+		posters = 1
+	}
+	if posts < 1 {
+		posts = 1
+	}
+
+	// Render every instance's dump once, up front, so the posting loop
+	// measures the endpoint and not the simulator.
+	capture := &captureSource{inner: f.Source()}
+	pipe := leakprof.New(leakprof.WithThreshold(1 << 30))
+	if _, err := pipe.Sweep(context.Background(), capture); err != nil {
+		return fmt.Errorf("rendering fleet dumps: %w", err)
+	}
+	bodies := make([]dumpBody, 0, len(capture.snaps))
+	for _, s := range capture.snaps {
+		var buf bytes.Buffer
+		var w io.Writer = &buf
+		var zw *gzip.Writer
+		if gz {
+			zw = gzip.NewWriter(&buf)
+			w = zw
+		}
+		if err := gprofile.WriteSnapshot(w, s); err != nil {
+			return fmt.Errorf("rendering %s/%s: %w", s.Service, s.Instance, err)
+		}
+		if zw != nil {
+			if err := zw.Close(); err != nil {
+				return err
+			}
+		}
+		bodies = append(bodies, dumpBody{service: s.Service, instance: s.Instance, body: buf.Bytes()})
+	}
+	if len(bodies) == 0 {
+		return fmt.Errorf("fleet rendered no dump bodies")
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	var accepted, rejected, other, errs atomic.Int64
+	latencies := make([][]time.Duration, posters)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for p := 0; p < posters; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lat := make([]time.Duration, 0, posts)
+			for i := 0; i < posts; i++ {
+				d := bodies[(p*posts+i)%len(bodies)]
+				req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(d.body))
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				req.Header.Set("X-Leakprof-Service", d.service)
+				req.Header.Set("X-Leakprof-Instance", fmt.Sprintf("%s-p%d", d.instance, p))
+				if gz {
+					req.Header.Set("Content-Encoding", "gzip")
+				}
+				t0 := time.Now()
+				resp, err := client.Do(req)
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				lat = append(lat, time.Since(t0))
+				switch resp.StatusCode {
+				case http.StatusAccepted:
+					accepted.Add(1)
+				case http.StatusTooManyRequests:
+					rejected.Add(1)
+				default:
+					other.Add(1)
+				}
+			}
+			latencies[p] = lat
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var all []time.Duration
+	for _, lat := range latencies {
+		all = append(all, lat...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(q float64) time.Duration {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(q * float64(len(all)-1))
+		return all[i]
+	}
+
+	total := int64(posters) * int64(posts)
+	fmt.Printf("posted %d dumps (%d bodies, %d posters × %d posts, gzip=%v) in %v\n",
+		total, len(bodies), posters, posts, gz, wall.Round(time.Millisecond))
+	fmt.Printf("  accepted=%d rejected-429=%d other=%d errors=%d\n",
+		accepted.Load(), rejected.Load(), other.Load(), errs.Load())
+	fmt.Printf("  %.0f posts/sec, admission latency p50=%v p99=%v\n",
+		float64(total)/wall.Seconds(), pct(0.50).Round(time.Microsecond), pct(0.99).Round(time.Microsecond))
+	if errs.Load() > 0 {
+		return fmt.Errorf("%d POSTs failed outright", errs.Load())
+	}
+	return nil
 }

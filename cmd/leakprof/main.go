@@ -43,7 +43,19 @@
 // -merge-reports file1,file2,...: it merges the workers' reports into
 // one sweep carrying exactly the moments a single-process sweep of the
 // whole fleet would fold, and runs the normal alerting, sinks, and
-// state journal on the result.
+// state journal on the result. -merge-deadline bounds the merge: a
+// shard that has not reported when the deadline passes is written off
+// as one failed instance instead of holding the sweep open.
+//
+// Streaming ingestion inverts the pull model entirely: -ingest :6061
+// serves a push endpoint where instances POST their own debug=2 dump
+// bodies (plain or gzip), each body streaming through the scanner on
+// arrival. Arrivals fold into tumbling windows (-window, default 1m);
+// each closed window emits one normal sweep through the same alerting,
+// archive, and state-journal tail the pull modes use. Admission is
+// bounded (-ingest-queue): overflow POSTs get 429 + Retry-After and the
+// rejection is charged to the service's error accounting. SIGINT drains
+// everything admitted into a final partial window before exiting.
 package main
 
 import (
@@ -51,10 +63,12 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -86,6 +100,10 @@ func main() {
 	reportOut := flag.String("report-out", "", "worker mode: write the binary shard report to this file (atomic rename), for a coordinator's -merge-reports")
 	reportURL := flag.String("report-url", "", "worker mode: POST the binary shard report to this coordinator inbox URL")
 	mergeReports := flag.String("merge-reports", "", "coordinator mode: comma-separated shard report files to merge into one sweep, run through the normal sinks and state journal")
+	mergeDeadline := flag.Duration("merge-deadline", 0, "coordinator mode: close the merge after this wait, counting each unreported shard as one failed instance (0 = wait for the slowest shard)")
+	ingest := flag.String("ingest", "", "push-ingestion mode: serve an ingest endpoint on this address (e.g. :6061); instances POST debug=2 dump bodies, windowed sweeps run until SIGINT")
+	window := flag.Duration("window", 0, "with -ingest: tumbling-window duration between emitted sweeps (0 = 1m default)")
+	ingestQueue := flag.Int("ingest-queue", 0, "with -ingest: bound on dumps in flight before POSTs are rejected with 429 (0 = 1024 default)")
 	staticIndex := flag.String("static-index", "", "findings index written by leakrank: filed bugs and alerts are decorated with the static alarm for their site")
 	flag.Parse()
 
@@ -107,6 +125,21 @@ func main() {
 	}
 	if *detached {
 		opts = append(opts, leakprof.WithDetachedSinks())
+	}
+	if *window > 0 {
+		opts = append(opts, leakprof.WithWindow(*window))
+	}
+	// Ingest mode's sweeps are emitted by the window loop, not returned
+	// from a Sweep call; collect them through the observer so the summary
+	// and alert rendering below work unchanged.
+	var winMu sync.Mutex
+	var winSweeps []*leakprof.Sweep
+	if *ingest != "" {
+		opts = append(opts, leakprof.WithOnSweep(func(s *leakprof.Sweep) {
+			winMu.Lock()
+			winSweeps = append(winSweeps, s)
+			winMu.Unlock()
+		}))
 	}
 	if *stateDir != "" {
 		opts = append(opts,
@@ -179,8 +212,17 @@ func main() {
 			fetches = append(fetches, leakprof.ShardReportFromFile("", strings.TrimSpace(path)))
 		}
 		var sweep *leakprof.Sweep
-		sweep, err = pipe.Sweep(ctx, leakprof.MergedReports(fetches...))
+		if *mergeDeadline > 0 {
+			sweep, err = pipe.Sweep(ctx, leakprof.MergedReportsWithin(*mergeDeadline, fetches...))
+		} else {
+			sweep, err = pipe.Sweep(ctx, leakprof.MergedReports(fetches...))
+		}
 		sweeps = []*leakprof.Sweep{sweep}
+	case *ingest != "":
+		err = runIngest(ctx, pipe, *ingest, *ingestQueue)
+		winMu.Lock()
+		sweeps = winSweeps
+		winMu.Unlock()
 	case *endpoints != "":
 		var sweep *leakprof.Sweep
 		sweep, err = pipe.Sweep(ctx, leakprof.StaticEndpoints(parseEndpoints(*endpoints)...))
@@ -242,6 +284,52 @@ func main() {
 			fmt.Printf("trend: growing across sweeps: %q\n", key)
 		}
 	}
+}
+
+// runIngest is -ingest mode: serve the push endpoint and run the window
+// loop until the context is cancelled (SIGINT), then drain — everything
+// admitted folds into a final partial-window sweep before the listener
+// and pipeline shut down.
+func runIngest(ctx context.Context, pipe *leakprof.Pipeline, addr string, queue int) error {
+	var iopts []leakprof.IngestOption
+	if queue > 0 {
+		iopts = append(iopts, leakprof.IngestQueue(queue))
+	}
+	srv := leakprof.NewIngestServer(pipe, iopts...)
+	hs := &http.Server{Addr: addr, Handler: srv}
+	// A listener that dies (port in use, NIC gone) must stop the window
+	// loop too — otherwise the process sits headless until SIGINT.
+	ictx, icancel := context.WithCancel(ctx)
+	defer icancel()
+	serveErr := make(chan error, 1)
+	go func() {
+		err := hs.ListenAndServe()
+		serveErr <- err
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			icancel()
+		}
+	}()
+	w := pipe.Config().Window
+	if w <= 0 {
+		w = leakprof.DefaultWindow
+	}
+	fmt.Fprintf(os.Stderr, "ingest: listening on %s, one sweep per %s window; POST debug=2 bodies with ?service= (Ctrl-C drains and exits)\n", addr, w)
+	runErr := srv.Run(ictx)
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	hs.Shutdown(sctx)
+	st := srv.Stats()
+	fmt.Fprintf(os.Stderr, "ingest: %d admitted (%d folded), %d rejected, %d scan errors, %d windows closed\n",
+		st.Admitted, st.Folded, st.Rejected, st.ScanErrors, st.Windows)
+	// ListenAndServe returns exactly once; after Shutdown this receive
+	// is immediate.
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if errors.Is(runErr, context.Canceled) && ctx.Err() != nil {
+		return nil // SIGINT is the intended shutdown path
+	}
+	return runErr
 }
 
 // runShardWorker is -shard mode: sweep partition K of the fleet's N

@@ -76,6 +76,11 @@ type Topology struct {
 	// floor (the crash simulation): the sweep completes with the shard's
 	// loss in the error accounting.
 	FailShard int
+	// StragglerDeadline, when positive, closes each merge after that
+	// wait: a worker still sweeping is written off as one failed
+	// instance and the coordinator merges the reports that made it
+	// (leakprof.MergedReportsWithin). Zero waits for the slowest worker.
+	StragglerDeadline time.Duration
 }
 
 // NewTopology builds a coordinator and one worker pipeline per shard,
@@ -124,6 +129,9 @@ func (t *Topology) Sweep(ctx context.Context) (*leakprof.Sweep, error) {
 				return rep, nil
 			},
 		}
+	}
+	if t.StragglerDeadline > 0 {
+		return t.Coordinator.Sweep(ctx, leakprof.MergedReportsWithin(t.StragglerDeadline, fetches...))
 	}
 	return t.Coordinator.Sweep(ctx, leakprof.MergedReports(fetches...))
 }

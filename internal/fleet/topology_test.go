@@ -187,3 +187,101 @@ func BenchmarkShardedSweep(b *testing.B) {
 		})
 	}
 }
+
+// TestNestedTopologyParity is the two-level tree: four leaf workers
+// sweep their fleet partitions, two regional coordinators each fold a
+// pair of leaf reports through their own SweepEnv.MergeReport
+// (ShardSweep over MergedReports) into a regional report, and the root
+// merges the two regional reports. Every report — leaf and regional —
+// rides the wire codec, and the result must match the flat
+// single-process fold byte for byte, because moment merging is
+// associative: merge(merge(a,b), merge(c,d)) = fold(a ∪ b ∪ c ∪ d).
+func TestNestedTopologyParity(t *testing.T) {
+	origin := time.Unix(0, 0).UTC()
+	clock := leakprof.WithClock(func() time.Time { return origin })
+	f := New(origin, topoConfigs(12, 6))
+	for d := 0; d < 2; d++ {
+		f.AdvanceDay()
+	}
+	const leaves = 4
+
+	leaf := func(i int) leakprof.ShardFetch {
+		name := fmt.Sprintf("worker-%d", i)
+		worker := leakprof.New(clock)
+		src := f.ShardSource(i, leaves)
+		return leakprof.ShardFetch{Name: name, Fetch: func(ctx context.Context, env *leakprof.SweepEnv) (*leakprof.ShardReport, error) {
+			rep, err := worker.ShardSweep(ctx, src, name, env.PrevFailures())
+			if err != nil {
+				return rep, err
+			}
+			return roundTripReport(rep)
+		}}
+	}
+	regional := func(name string, pair ...leakprof.ShardFetch) leakprof.ShardFetch {
+		mid := leakprof.New(clock)
+		return leakprof.ShardFetch{Name: name, Fetch: func(ctx context.Context, env *leakprof.SweepEnv) (*leakprof.ShardReport, error) {
+			rep, err := mid.ShardSweep(ctx, leakprof.MergedReports(pair...), name, env.PrevFailures())
+			if err != nil {
+				return rep, err
+			}
+			return roundTripReport(rep)
+		}}
+	}
+
+	root := leakprof.New(clock)
+	nested, err := root.Sweep(context.Background(), leakprof.MergedReports(
+		regional("region-a", leaf(0), leaf(1)),
+		regional("region-b", leaf(2), leaf(3)),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	flat := leakprof.New(clock)
+	want, err := flat.Sweep(context.Background(), f.Source())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if nested.Profiles != want.Profiles || nested.Errors != want.Errors {
+		t.Fatalf("nested profiles/errors = %d/%d, want %d/%d",
+			nested.Profiles, nested.Errors, want.Profiles, want.Errors)
+	}
+	if !reflect.DeepEqual(nested.Moments(), want.Moments()) {
+		t.Fatal("nested merge's moments diverge from the flat fold")
+	}
+	if !reflect.DeepEqual(nested.Findings, want.Findings) {
+		t.Fatalf("nested findings diverge\ngot  %+v\nwant %+v", nested.Findings, want.Findings)
+	}
+	if len(want.Findings) == 0 {
+		t.Fatal("parity vacuous: flat sweep found nothing")
+	}
+}
+
+// TestTopologyStragglerDeadline slows every fetch far past the
+// coordinator's straggler deadline: each shard is written off as one
+// failed instance and the sweep still completes, bounded by the
+// deadline instead of the slowest worker.
+func TestTopologyStragglerDeadline(t *testing.T) {
+	origin := time.Unix(0, 0).UTC()
+	clock := leakprof.WithClock(func() time.Time { return origin })
+	f := New(origin, topoConfigs(4, 3))
+	f.AdvanceDay()
+	// ~12 instances x 50ms dwarfs the 30ms deadline.
+	f.FetchLatency = 50 * time.Millisecond
+
+	topo := NewTopology(f, 2, clock)
+	topo.StragglerDeadline = 30 * time.Millisecond
+	start := time.Now()
+	sweep, err := topo.Sweep(context.Background())
+	if err != nil {
+		t.Fatalf("stragglers failed the sweep: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("sweep took %v, the deadline never cut the stragglers loose", elapsed)
+	}
+	if sweep.Errors != 2 || sweep.FailedByService["shard-0"] != 1 || sweep.FailedByService["shard-1"] != 1 {
+		t.Fatalf("Errors=%d FailedByService=%v, want both shards written off",
+			sweep.Errors, sweep.FailedByService)
+	}
+}

@@ -203,6 +203,59 @@
 // SweepEnv.PrevFailures, so a service that burned its budget yesterday
 // is probed gently today regardless of which worker owns it.
 //
+// Two refinements harden the merge against real networks. Reports are
+// sequenced: each worker stamps ShardReport.Seq from a per-pipeline
+// counter, and ShardInbox rejects a (shard, seq) pair it has already
+// accepted with 409 Conflict, so a worker that retries a POST whose
+// response was lost cannot double-count its moments. And the merge can
+// be deadlined: MergedReportsWithin(wait, fetches...) closes the sweep
+// after the wait, writing off each shard still fetching as one failed
+// instance — a straggler costs its shard's contribution, exactly like
+// a crash, instead of holding every other shard's findings hostage.
+//
+// # Streaming ingestion
+//
+// Both modes above pull: a sweep visits every endpoint on the
+// collector's schedule. IngestServer inverts that into push — each
+// instance POSTs its own debug=2 dump body (plain or gzip, origin named
+// by ?service=/?instance= or the X-Leakprof-* headers) whenever its own
+// trigger fires, which suits fleets behind NAT, short-lived batch jobs
+// that exit before any puller arrives, and crash handlers dumping on
+// the way down:
+//
+//	srv := leakprof.NewIngestServer(pipe, leakprof.IngestQueue(4096))
+//	go http.ListenAndServe(addr, srv)  // instances POST dump bodies
+//	err := srv.Run(ctx)                // one Sweep per closed window
+//
+// Every body streams through the same stack scanner on arrival and
+// folds straight into the sharded aggregator — no dump is ever
+// buffered whole, so ingest memory is bounded by the admission queue
+// times the per-dump folded state (O(locations)), not by fleet size or
+// dump length. Arrivals accumulate into clock-driven tumbling windows
+// (WithWindow; a late arrival credits the next window), and each window
+// close emits one ordinary Sweep: alerting, trend tracking, archives,
+// and the state journal run unchanged, they simply see "windows"
+// instead of "collection rounds".
+//
+// Backpressure is first-class rather than emergent. Admission is
+// bounded by IngestQueue: a POST past the bound is rejected immediately
+// with 429 and a Retry-After hint — never queued, never blocking the
+// dumps already admitted — and the rejection is charged to the
+// service's failure accounting in the closing window, where it feeds
+// the same error budgets a pull sweep's fetch failures feed. Closing
+// the server (context cancellation) drains: everything admitted folds
+// into a final partial window before Run returns.
+//
+// Durability interacts with windows through the fsync policy
+// (WithStateSync), and the loss bound on a crash is per-policy exactly
+// as in batch mode, with "window" substituted for "sweep":
+// SyncEverySweep loses at most the arrivals of the current, not yet
+// closed window; SyncEvery(n, w) loses at most the n most recent closed
+// windows (or the fsync interval w, whichever lands first); SyncOnClose
+// loses everything since the server started. Rejected POSTs are not a
+// durability loss — the instance still holds its dump and the 429
+// tells it to retry after the hint.
+//
 // # Static↔dynamic loop
 //
 // The paper's two halves — production profiling (this package) and

@@ -1,0 +1,430 @@
+package leakprof
+
+import (
+	"compress/gzip"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/gprofile"
+)
+
+// Always-on streaming ingestion. The pull plane (Endpoints, the paper's
+// daily sweep) fans a fetch out to every instance, so fleet growth
+// multiplies per-sweep fan-out and peak collection latency. The push
+// plane inverts it: instances POST their own debug=2 dumps to an
+// IngestServer whenever they like (on a timer, on a deploy, on an SLO
+// breach), each body streams through the stack scanner on arrival, and
+// the compact per-location snapshot folds into clock-driven tumbling
+// windows. When a window closes, the server emits one normal Sweep
+// through the owning Pipeline — ReportSink dedup, TrendSink verdicts,
+// ArchiveSink manifests, and the StateStore journal all run unchanged,
+// one delta frame per window. No dump is ever buffered whole: peak
+// memory is O(queue x distinct blocked locations), independent of fleet
+// size and dump size.
+
+// DefaultIngestQueue bounds the admission queue (in-flight scans plus
+// scanned-but-unfolded snapshots) when IngestQueue is unset.
+const DefaultIngestQueue = 1024
+
+// ingestDrainGrace bounds how long the shutdown drain waits for scans
+// still in flight when Run's context is cancelled; dumps already queued
+// always fold.
+const ingestDrainGrace = 2 * time.Second
+
+// ErrIngestOverflow is the admission failure recorded for each dump
+// rejected with 429 because the ingest queue was full. The rejections
+// are credited to the window that closes next, per service, so the
+// existing error accounting (Sweep.FailedByService, journaled budget
+// seeds) sees push-plane loss exactly as it sees pull-plane fetch
+// failures.
+var ErrIngestOverflow = errors.New("leakprof: ingest queue full")
+
+// ingestItem is one admitted dump: the compact scanned snapshot plus
+// the salvage diagnostic, if the scan resynced past malformed members.
+type ingestItem struct {
+	snap *gprofile.Snapshot
+}
+
+// pendingFail is one admission-time failure (scan error, salvage,
+// over-limit body) awaiting the next window close.
+type pendingFail struct {
+	service, instance string
+	err               error
+}
+
+// IngestServer is the push-ingestion endpoint: an http.Handler
+// accepting POSTed goroutine-profile dump bodies (?debug=2 text, plain
+// or gzip Content-Encoding), and a Run loop folding admissions into
+// windowed sweeps on the owning pipeline.
+//
+//	pipe := leakprof.New(leakprof.WithWindow(time.Minute), leakprof.WithStateDir(dir))
+//	pipe.AddSinks(&leakprof.ReportSink{Reporter: rep})
+//	srv := leakprof.NewIngestServer(pipe)
+//	go http.ListenAndServe(addr, srv)   // instances POST here
+//	srv.Run(ctx)                        // one Sweep per closed window
+//
+// Requests carry the profile's origin as ?service= and ?instance=
+// query parameters (or X-Leakprof-Service / X-Leakprof-Instance
+// headers). Admission is bounded: once IngestQueue dumps are in flight
+// or queued, further POSTs are rejected with 429 and a Retry-After
+// hint instead of buffering — admitted dumps keep folding, rejected
+// ones are counted against their service in the closing window. A body
+// that fails to scan is a 400 and a recorded failure; a salvaged body
+// (scanner resynced past malformed members) is admitted and the
+// salvage diagnostic rides the window's error accounting, mirroring
+// the pull path.
+type IngestServer struct {
+	pipe  *Pipeline
+	queue chan ingestItem
+	slots chan struct{} // admission bound: in-flight scans + queued items
+	ticks <-chan time.Time
+
+	// retryAfter is the 429 Retry-After hint in seconds: half a window,
+	// when the queue has likely drained.
+	retryAfter string
+
+	mu       sync.Mutex
+	rejected map[string]int // per-service 429 counts awaiting the next window
+	fails    []pendingFail  // admission failures awaiting the next window, capped
+	dropped  map[string]int // per-service failures beyond the fails cap
+
+	// closeStart marks when the current window began closing, for the
+	// window-close pause statistic (real time, not the pipeline clock:
+	// it measures this process's fold unavailability).
+	closeStart atomic.Int64
+
+	closed    atomic.Bool
+	admitted  atomic.Uint64
+	folded    atomic.Uint64
+	rejects   atomic.Uint64
+	scanFails atomic.Uint64
+	windows   atomic.Uint64
+	pauseNS   atomic.Int64
+	lastPause atomic.Int64
+}
+
+// IngestOption tunes an IngestServer.
+type IngestOption func(*IngestServer)
+
+// IngestQueue bounds admission: at most n dumps may be in flight
+// (scanning) or scanned-and-queued at once; POSTs beyond the bound get
+// 429. Default DefaultIngestQueue.
+func IngestQueue(n int) IngestOption {
+	return func(s *IngestServer) {
+		if n > 0 {
+			s.queue = make(chan ingestItem, n)
+			s.slots = make(chan struct{}, n)
+		}
+	}
+}
+
+// IngestTicks overrides the window wake-up channel — the test seam that
+// makes window closing deterministic under a fake pipeline clock. Each
+// receive re-evaluates the window deadline against the pipeline clock;
+// without arrivals or ticks a window never closes. Unset, Run wakes
+// itself on a real-time ticker.
+func IngestTicks(ticks <-chan time.Time) IngestOption {
+	return func(s *IngestServer) { s.ticks = ticks }
+}
+
+// NewIngestServer builds the push endpoint over pipe. The pipeline's
+// options govern ingestion the way they govern pull sweeps: WithWindow
+// paces window closes on the pipeline clock, WithMaxProfileBytes bounds
+// one POSTed body, WithSharedIntern dedups strings across bodies, and
+// WithThreshold/WithRanking/sinks/state shape every emitted Sweep.
+func NewIngestServer(pipe *Pipeline, opts ...IngestOption) *IngestServer {
+	s := &IngestServer{
+		pipe:     pipe,
+		queue:    make(chan ingestItem, DefaultIngestQueue),
+		slots:    make(chan struct{}, DefaultIngestQueue),
+		rejected: make(map[string]int),
+		dropped:  make(map[string]int),
+	}
+	retry := int(pipe.cfg.window().Seconds() / 2)
+	if retry < 1 {
+		retry = 1
+	}
+	s.retryAfter = strconv.Itoa(retry)
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// ServeHTTP admits one POSTed dump: reserve a queue slot (429 +
+// Retry-After when none is free), stream the body through the scanner,
+// and queue the compact snapshot for the current window. 202 on
+// admission; the fold itself is asynchronous.
+func (s *IngestServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a goroutine-profile dump body (?debug=2 text)", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.closed.Load() {
+		http.Error(w, "ingest server draining", http.StatusServiceUnavailable)
+		return
+	}
+	service := firstOf(r.URL.Query().Get("service"), r.Header.Get("X-Leakprof-Service"))
+	if service == "" {
+		http.Error(w, "missing service (?service= or X-Leakprof-Service)", http.StatusBadRequest)
+		return
+	}
+	instance := firstOf(r.URL.Query().Get("instance"), r.Header.Get("X-Leakprof-Instance"))
+	if instance == "" {
+		instance = r.RemoteAddr
+	}
+
+	// Admission control comes before the body is read: a full queue
+	// must shed load at the door, not after paying for a scan.
+	select {
+	case s.slots <- struct{}{}:
+	default:
+		s.rejects.Add(1)
+		s.mu.Lock()
+		s.rejected[service]++
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", s.retryAfter)
+		http.Error(w, ErrIngestOverflow.Error(), http.StatusTooManyRequests)
+		return
+	}
+
+	body := io.Reader(r.Body)
+	if r.Header.Get("Content-Encoding") == "gzip" {
+		zr, err := gzip.NewReader(body)
+		if err != nil {
+			<-s.slots
+			s.noteScanFail(service, instance, fmt.Errorf("leakprof: ingest %s/%s: bad gzip body: %w", service, instance, err))
+			http.Error(w, "bad gzip body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		defer zr.Close()
+		body = zr
+	}
+	// Stream straight through the scanner — the dump is never
+	// materialised. One byte past the limit means the profile is over
+	// budget and must fail rather than fold truncated counts.
+	limit := s.pipe.cfg.MaxProfileBytes
+	if limit <= 0 {
+		limit = DefaultMaxProfileBytes
+	}
+	lr := &io.LimitedReader{R: body, N: limit + 1}
+	snap, err := gprofile.ScanSnapshotWith(service, instance, s.pipe.cfg.now(), lr, s.pipe.cfg.Intern)
+	switch {
+	case err != nil:
+		<-s.slots
+		s.noteScanFail(service, instance, err)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	case lr.N <= 0:
+		<-s.slots
+		err := fmt.Errorf("leakprof: ingest %s/%s: dump exceeds %d bytes", service, instance, limit)
+		s.noteScanFail(service, instance, err)
+		http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+		return
+	}
+	if snap.Malformed > 0 {
+		// Salvage is a diagnostic, not a rejection: the snapshot folds,
+		// and the window's error accounting records the resync exactly
+		// as the pull path does (ErrSalvaged exempts it from budget
+		// seeding).
+		s.notePending(pendingFail{service, instance,
+			fmt.Errorf("leakprof: %w: skipped %d malformed goroutine members", gprofile.ErrSalvaged, snap.Malformed)})
+	}
+	s.queue <- ingestItem{snap: snap} // cannot block: a slot is held
+	s.admitted.Add(1)
+	w.WriteHeader(http.StatusAccepted)
+}
+
+func firstOf(vals ...string) string {
+	for _, v := range vals {
+		if v != "" {
+			return v
+		}
+	}
+	return ""
+}
+
+// noteScanFail records an admission-time scan failure for the closing
+// window.
+func (s *IngestServer) noteScanFail(service, instance string, err error) {
+	s.scanFails.Add(1)
+	s.notePending(pendingFail{service, instance, err})
+}
+
+func (s *IngestServer) notePending(f pendingFail) {
+	s.mu.Lock()
+	if len(s.fails) < maxSweepFailures {
+		s.fails = append(s.fails, f)
+	} else {
+		s.dropped[f.service]++
+	}
+	s.mu.Unlock()
+}
+
+// flushAccounting credits the failures and rejections recorded since
+// the previous window close to env — the per-service admission
+// accounting that feeds Sweep.FailedByService and, through the journal,
+// the next sweep's error budgets.
+func (s *IngestServer) flushAccounting(env *SweepEnv) {
+	s.mu.Lock()
+	fails := s.fails
+	dropped := s.dropped
+	rejected := s.rejected
+	s.fails = nil
+	s.dropped = make(map[string]int)
+	s.rejected = make(map[string]int)
+	s.mu.Unlock()
+	for _, f := range fails {
+		env.Fail(f.service, f.instance, f.err)
+	}
+	for svc, n := range dropped {
+		err := fmt.Errorf("leakprof: ingest %s: further dumps failed to scan", svc)
+		for i := 0; i < n; i++ {
+			env.Fail(svc, "ingest", err)
+		}
+	}
+	for svc, n := range rejected {
+		for i := 0; i < n; i++ {
+			env.Fail(svc, "ingest", ErrIngestOverflow)
+		}
+	}
+}
+
+// Run is the window loop: it folds admitted dumps into tumbling windows
+// paced by the pipeline clock and emits one normal Sweep per closed
+// window until ctx is cancelled. Cancellation is the drain barrier:
+// admission stops (further POSTs get 503), everything already admitted
+// is folded into one final partial-window sweep — delivered to sinks
+// and journal like any other — and Run returns ctx's error. Callers
+// still own the usual pipeline barriers (Pipeline.Flush/Close) for
+// detached sinks and deferred fsync windows, exactly as after pull
+// sweeps.
+func (s *IngestServer) Run(ctx context.Context) error {
+	ticks := s.ticks
+	if ticks == nil {
+		period := s.pipe.cfg.window() / 4
+		if period < 10*time.Millisecond {
+			period = 10 * time.Millisecond
+		}
+		ticker := time.NewTicker(period)
+		defer ticker.Stop()
+		ticks = ticker.C
+	}
+	for {
+		if start := s.closeStart.Swap(0); start != 0 {
+			pause := time.Since(time.Unix(0, start))
+			s.pauseNS.Add(int64(pause))
+			s.lastPause.Store(int64(pause))
+		}
+		s.pipe.Sweep(ctx, ingestWindow{s: s, ticks: ticks})
+		s.windows.Add(1)
+		if ctx.Err() != nil {
+			s.closed.Store(true)
+			// A window that closed normally in the same instant the
+			// context was cancelled leaves its late arrivals queued; one
+			// final sweep — the source goes straight to its shutdown
+			// drain under the cancelled context — folds them so nothing
+			// admitted is lost.
+			if len(s.slots) > 0 {
+				s.pipe.Sweep(ctx, ingestWindow{s: s, ticks: ticks})
+				s.windows.Add(1)
+			}
+			return ctx.Err()
+		}
+	}
+}
+
+// ingestWindow is the Source one window sweep drains: queued snapshots
+// are emitted until the pipeline clock crosses the window deadline,
+// then the source returns — closing the window — leaving later arrivals
+// queued for the next window. Context cancellation drains whatever is
+// already queued (the shutdown barrier) and returns.
+type ingestWindow struct {
+	s     *IngestServer
+	ticks <-chan time.Time
+}
+
+func (ingestWindow) Name() string { return "ingest" }
+
+func (w ingestWindow) Sweep(ctx context.Context, env *SweepEnv) error {
+	s := w.s
+	deadline := env.Config.now().Add(env.Config.window())
+	for {
+		select {
+		case item := <-s.queue:
+			<-s.slots
+			env.Emit(item.snap)
+			s.folded.Add(1)
+		case <-w.ticks:
+		case <-ctx.Done():
+			// Shutdown: stop admitting, then fold everything already
+			// admitted so no accepted dump is lost. A held slot without
+			// a queued item is a scan still in flight — wait for it to
+			// land (or fail, releasing the slot), bounded by a grace
+			// period so a stalled client cannot pin shutdown.
+			s.closed.Store(true)
+			deadline := time.After(ingestDrainGrace)
+			poll := time.NewTicker(time.Millisecond)
+			defer poll.Stop()
+		drain:
+			for len(s.slots) > 0 {
+				select {
+				case item := <-s.queue:
+					<-s.slots
+					env.Emit(item.snap)
+					s.folded.Add(1)
+				case <-poll.C:
+				case <-deadline:
+					break drain
+				}
+			}
+			s.flushAccounting(env)
+			return nil
+		}
+		if !env.Config.now().Before(deadline) {
+			s.closeStart.Store(time.Now().UnixNano())
+			s.flushAccounting(env)
+			return nil
+		}
+	}
+}
+
+// IngestStats is a point-in-time snapshot of the server's counters.
+type IngestStats struct {
+	// Admitted counts dumps accepted (202) and queued; Folded counts
+	// those already folded into a window's aggregator.
+	Admitted, Folded uint64
+	// Rejected counts 429s (queue full); ScanErrors counts bodies that
+	// failed to scan or exceeded the byte limit.
+	Rejected, ScanErrors uint64
+	// Windows counts closed windows (sweeps emitted).
+	Windows uint64
+	// QueueLen is the current number of scanned-but-unfolded snapshots.
+	QueueLen int
+	// WindowPause is the cumulative real time the fold loop spent
+	// between closing one window (sink handoff, journal append) and
+	// draining the next; LastWindowPause is the most recent close's.
+	// Admission continues during the pause — only folding waits.
+	WindowPause, LastWindowPause time.Duration
+}
+
+// Stats returns current counters; safe for concurrent use.
+func (s *IngestServer) Stats() IngestStats {
+	return IngestStats{
+		Admitted:        s.admitted.Load(),
+		Folded:          s.folded.Load(),
+		Rejected:        s.rejects.Load(),
+		ScanErrors:      s.scanFails.Load(),
+		Windows:         s.windows.Load(),
+		QueueLen:        len(s.queue),
+		WindowPause:     time.Duration(s.pauseNS.Load()),
+		LastWindowPause: time.Duration(s.lastPause.Load()),
+	}
+}

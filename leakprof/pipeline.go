@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/gprofile"
@@ -90,6 +91,11 @@ type Config struct {
 	// BugRetention ages closed bugs out of the durable bug database (see
 	// WithBugRetention); zero keeps every bug ever filed.
 	BugRetention time.Duration
+	// Window is the streaming-ingest tumbling-window duration (see
+	// WithWindow); zero means DefaultWindow. Only the push-ingestion
+	// plane (IngestServer) consumes it — pull sweeps are paced by
+	// Interval instead.
+	Window time.Duration
 
 	// sleep and randFloat are test seams for the backoff path.
 	sleep     func(context.Context, time.Duration) error
@@ -99,6 +105,10 @@ type Config struct {
 // DefaultSinkQueue is the per-sink event queue capacity when SinkQueue
 // is unset.
 const DefaultSinkQueue = 1024
+
+// DefaultWindow is the streaming-ingest tumbling-window duration when
+// WithWindow is unset.
+const DefaultWindow = time.Minute
 
 func (c *Config) httpClient() *http.Client {
 	if c.Client != nil {
@@ -144,6 +154,13 @@ func (c *Config) sinkQueue() int {
 		return DefaultSinkQueue
 	}
 	return c.SinkQueue
+}
+
+func (c *Config) window() time.Duration {
+	if c.Window <= 0 {
+		return DefaultWindow
+	}
+	return c.Window
 }
 
 // Option configures a Pipeline.
@@ -306,6 +323,16 @@ func WithSinkErrorFunc(fn func(Sink, error)) Option {
 	return func(c *Config) { c.SinkErr = fn }
 }
 
+// WithWindow sets the streaming-ingest tumbling-window duration: an
+// IngestServer folding pushed dumps closes one window — and emits one
+// normal Sweep through the pipeline's sinks and state journal — every d
+// on the pipeline clock. Dumps arriving while a window closes are
+// credited to the next window. Pull sweeps ignore it (their cadence is
+// WithInterval). Default DefaultWindow.
+func WithWindow(d time.Duration) Option {
+	return func(c *Config) { c.Window = d }
+}
+
 // WithBugRetention ages closed (fixed or rejected) bugs out of the
 // durable bug database once their last sighting is older than age — from
 // memory, from delta frames, and from compaction folds. Open bugs never
@@ -351,6 +378,10 @@ type Pipeline struct {
 	stateOnce sync.Once
 	store     *StateStore
 	stateErr  error
+
+	// shardSeq numbers this pipeline's ShardSweep reports so a
+	// coordinator inbox can drop a report the worker shipped twice.
+	shardSeq atomic.Uint64
 }
 
 // New builds a Pipeline from functional options.

@@ -70,7 +70,7 @@ func (p *Pipeline) ShardSweep(ctx context.Context, src Source, shard string, pre
 	defer p.mu.Unlock()
 
 	agg := NewAggregator(p.cfg.Threshold, p.cfg.Filters...)
-	rep := &ShardReport{Shard: shard, At: p.cfg.now()}
+	rep := &ShardReport{Shard: shard, At: p.cfg.now(), Seq: p.shardSeq.Add(1)}
 	var mu sync.Mutex
 	fail := func(service, instance string, err error) {
 		mu.Lock()
@@ -148,20 +148,40 @@ type ShardFetch struct {
 // shard. A report that arrives carrying a shard-level sweep error merges
 // its partial moments and surfaces the error the same way.
 func MergedReports(shards ...ShardFetch) Source {
-	return mergedSource(shards)
+	return mergedSource{shards: shards}
 }
 
-type mergedSource []ShardFetch
+// MergedReportsWithin is MergedReports with a straggler deadline: the
+// merge closes after wait, and a shard that has not reported by then is
+// written off as one failed instance (named after the shard) while the
+// reports that did arrive merge normally. Without it a single hung
+// worker holds the coordinator's sweep open until the sweep context
+// itself expires — the partial merge trades that shard's contribution
+// for a bounded sweep. A non-positive wait means no deadline.
+func MergedReportsWithin(wait time.Duration, shards ...ShardFetch) Source {
+	return mergedSource{shards: shards, wait: wait}
+}
+
+type mergedSource struct {
+	shards []ShardFetch
+	wait   time.Duration
+}
 
 func (mergedSource) Name() string { return "shards" }
 
 func (s mergedSource) Sweep(ctx context.Context, env *SweepEnv) error {
+	fctx := ctx
+	if s.wait > 0 {
+		var cancel context.CancelFunc
+		fctx, cancel = context.WithTimeout(ctx, s.wait)
+		defer cancel()
+	}
 	var wg sync.WaitGroup
-	for _, sf := range s {
+	for _, sf := range s.shards {
 		wg.Add(1)
 		go func(sf ShardFetch) {
 			defer wg.Done()
-			rep, err := sf.Fetch(ctx, env)
+			rep, err := sf.Fetch(fctx, env)
 			if err != nil {
 				env.Fail(sf.Name, sf.Name, fmt.Errorf("leakprof: shard report lost: %w", err))
 				return
@@ -173,6 +193,9 @@ func (s mergedSource) Sweep(ctx context.Context, env *SweepEnv) error {
 		}(sf)
 	}
 	wg.Wait()
+	// The straggler deadline expiring is a per-shard loss (already
+	// recorded above), not a sweep failure; only the caller's context
+	// fails the sweep.
 	return ctx.Err()
 }
 
@@ -252,8 +275,19 @@ func PostShardReport(ctx context.Context, client *http.Client, url string, rep *
 // it. Reports are consumed in arrival order, not shard order — merging
 // is commutative, so order does not matter; the fetch name only labels a
 // timeout or cancellation.
+//
+// The inbox deduplicates on (Shard, Seq): a worker whose POST succeeded
+// but whose response was lost will retry, and without dedup the retry
+// would double-count the shard's moments. A sequenced report (Seq != 0,
+// as ShardSweep assigns) at or below the highest sequence already
+// accepted from its shard is dropped with 409 Conflict — the worker
+// learns its report landed and stops retrying. Unsequenced or unnamed
+// reports (v1 frames, hand-built reports) are never deduplicated.
 type ShardInbox struct {
 	ch chan *ShardReport
+
+	mu      sync.Mutex
+	lastSeq map[string]uint64
 }
 
 // NewShardInbox returns an inbox buffering up to capacity reports.
@@ -261,10 +295,14 @@ func NewShardInbox(capacity int) *ShardInbox {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &ShardInbox{ch: make(chan *ShardReport, capacity)}
+	return &ShardInbox{
+		ch:      make(chan *ShardReport, capacity),
+		lastSeq: make(map[string]uint64),
+	}
 }
 
-// ServeHTTP accepts one POSTed report frame.
+// ServeHTTP accepts one POSTed report frame, dropping a duplicate
+// (shard, sequence) delivery with 409.
 func (in *ShardInbox) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST a shard report frame", http.StatusMethodNotAllowed)
@@ -274,6 +312,19 @@ func (in *ShardInbox) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
+	}
+	if rep.Shard != "" && rep.Seq != 0 {
+		in.mu.Lock()
+		last, seen := in.lastSeq[rep.Shard]
+		dup := seen && rep.Seq <= last
+		if !dup {
+			in.lastSeq[rep.Shard] = rep.Seq
+		}
+		in.mu.Unlock()
+		if dup {
+			http.Error(w, fmt.Sprintf("leakprof: duplicate report: shard %q sweep %d already accepted", rep.Shard, rep.Seq), http.StatusConflict)
+			return
+		}
 	}
 	in.ch <- rep
 	w.WriteHeader(http.StatusNoContent)

@@ -3,10 +3,13 @@ package leakprof
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"math/rand"
 	"net/http/httptest"
 	"reflect"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -93,6 +96,7 @@ func TestShardReportWireRoundTrip(t *testing.T) {
 	agg := foldAll(50, randomSweep(rng))
 	rep := &ShardReport{
 		Shard:           "shard-3",
+		Seq:             7,
 		At:              time.Unix(1000, 500).UTC(),
 		Profiles:        agg.Profiles(),
 		Errors:          2,
@@ -318,5 +322,160 @@ func TestSyncWindowFollowsStoreClock(t *testing.T) {
 	}
 	if got := store.journalSyncs(); got != 1 {
 		t.Fatalf("syncs after the clock crossed the window = %d, want exactly 1", got)
+	}
+}
+
+// TestShardInboxDedupsDuplicatePost retries a worker's POST after it
+// already landed: the inbox must drop the duplicate (shard, sequence)
+// with 409 so the coordinator never double-counts the shard's moments,
+// while new sequences, other shards, and unsequenced legacy reports
+// still flow.
+func TestShardInboxDedupsDuplicatePost(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	snaps := randomSweep(rng)
+	ctx := context.Background()
+
+	worker := New()
+	rep1, err := worker.ShardSweep(ctx, FromSnapshots(snaps), "shard-0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.Seq != 1 {
+		t.Fatalf("first ShardSweep Seq = %d, want 1", rep1.Seq)
+	}
+
+	inbox := NewShardInbox(8)
+	srv := httptest.NewServer(inbox)
+	defer srv.Close()
+
+	if err := PostShardReport(ctx, nil, srv.URL, rep1); err != nil {
+		t.Fatalf("first POST: %v", err)
+	}
+	// The retry of a POST that actually landed: dropped with 409, which
+	// PostShardReport surfaces so the worker knows to stop retrying.
+	err = PostShardReport(ctx, nil, srv.URL, rep1)
+	if err == nil || !strings.Contains(err.Error(), "409") {
+		t.Fatalf("duplicate POST: err = %v, want a 409", err)
+	}
+	if got := len(inbox.ch); got != 1 {
+		t.Fatalf("inbox holds %d reports after duplicate, want 1", got)
+	}
+
+	// The worker's next sweep (sequence 2) is new work, not a duplicate.
+	rep2, err := worker.ShardSweep(ctx, FromSnapshots(snaps), "shard-0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Seq != 2 {
+		t.Fatalf("second ShardSweep Seq = %d, want 2", rep2.Seq)
+	}
+	if err := PostShardReport(ctx, nil, srv.URL, rep2); err != nil {
+		t.Fatalf("sequence-2 POST: %v", err)
+	}
+	// A re-delivery of the now-stale sequence 1 is also a duplicate.
+	if err := PostShardReport(ctx, nil, srv.URL, rep1); err == nil {
+		t.Fatal("stale sequence-1 POST accepted after sequence 2")
+	}
+
+	// A different shard reuses sequence numbers freely.
+	other := New()
+	repB, err := other.ShardSweep(ctx, FromSnapshots(snaps), "shard-1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := PostShardReport(ctx, nil, srv.URL, repB); err != nil {
+		t.Fatalf("other shard's POST: %v", err)
+	}
+
+	// Unsequenced reports (v1 frames, hand-built) never deduplicate.
+	legacy := &ShardReport{Shard: "legacy", Profiles: 1}
+	for i := 0; i < 2; i++ {
+		if err := PostShardReport(ctx, nil, srv.URL, legacy); err != nil {
+			t.Fatalf("legacy POST %d: %v", i, err)
+		}
+	}
+	if got := len(inbox.ch); got != 5 {
+		t.Fatalf("inbox holds %d reports, want 5 (seq1, seq2, shard-1, 2x legacy)", got)
+	}
+}
+
+// TestShardReportV1FrameDecodes pins backward compatibility: a frame
+// written with the v1 layout (no sequence number) must decode with
+// Seq 0, never an error. The v1 frame is derived from a v2 encoding of
+// a report whose trailing fields are all empty: dropping the single
+// zero Seq byte and stamping version 1 yields exactly what a v1 writer
+// produced.
+func TestShardReportV1FrameDecodes(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteShardReport(&buf, &ShardReport{Shard: "old", Profiles: 3}); err != nil {
+		t.Fatal(err)
+	}
+	framed := buf.Bytes()
+	payload := framed[frameHeaderSize:]
+	if payload[len(payload)-5] != 0 {
+		t.Fatal("layout drift: expected the Seq byte fifth from the end (before four empty section counts)")
+	}
+	v1 := append([]byte(nil), payload[:len(payload)-5]...)
+	v1 = append(v1, payload[len(payload)-4:]...) // drop the Seq byte
+	v1[1] = 1                                    // stamp the old version
+
+	var reframed bytes.Buffer
+	var header [frameHeaderSize]byte
+	binary.BigEndian.PutUint32(header[0:4], uint32(len(v1)))
+	binary.BigEndian.PutUint32(header[4:8], crc32.ChecksumIEEE(v1))
+	reframed.Write(header[:])
+	reframed.Write(v1)
+
+	got, err := ReadShardReport(&reframed)
+	if err != nil {
+		t.Fatalf("v1 frame failed to decode: %v", err)
+	}
+	if got.Shard != "old" || got.Profiles != 3 || got.Seq != 0 {
+		t.Fatalf("v1 decode = %+v, want Shard=old Profiles=3 Seq=0", got)
+	}
+}
+
+// TestMergedReportsStragglerDeadline checks the partial merge: a shard
+// still sweeping when the deadline passes is written off as one failed
+// instance, the arrived reports merge, and the sweep itself succeeds.
+func TestMergedReportsStragglerDeadline(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	snaps := randomSweep(rng)
+	agg := foldAll(DefaultThreshold, snaps)
+
+	fast := ShardFetch{Name: "fast", Fetch: func(ctx context.Context, env *SweepEnv) (*ShardReport, error) {
+		return &ShardReport{
+			Shard:    "fast",
+			Profiles: agg.Profiles(),
+			Services: agg.ServiceProfiles(),
+			Moments:  agg.Moments(),
+		}, nil
+	}}
+	slow := ShardFetch{Name: "slow", Fetch: func(ctx context.Context, env *SweepEnv) (*ShardReport, error) {
+		<-ctx.Done() // a hung worker: only the deadline frees the fetch
+		return nil, ctx.Err()
+	}}
+
+	pipe := New()
+	start := time.Now()
+	sweep, err := pipe.Sweep(context.Background(), MergedReportsWithin(50*time.Millisecond, fast, slow))
+	if err != nil {
+		t.Fatalf("straggler failed the sweep: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("merge took %v, deadline never fired", elapsed)
+	}
+	if sweep.Errors != 1 || sweep.FailedByService["slow"] != 1 {
+		t.Fatalf("Errors=%d FailedByService=%v, want the straggler as one failed instance",
+			sweep.Errors, sweep.FailedByService)
+	}
+	if len(sweep.Failures) != 1 || !errors.Is(sweep.Failures[0].Err, context.DeadlineExceeded) {
+		t.Fatalf("Failures = %+v, want one DeadlineExceeded", sweep.Failures)
+	}
+	if sweep.Profiles != agg.Profiles() {
+		t.Fatalf("Profiles = %d, want the fast shard's %d", sweep.Profiles, agg.Profiles())
+	}
+	if !reflect.DeepEqual(sweep.Moments(), agg.Moments()) {
+		t.Fatal("partial merge lost the arrived shard's moments")
 	}
 }

@@ -25,6 +25,13 @@ type ShardReport struct {
 	// Shard names the worker (stable across sweeps; used in failure
 	// attribution when a whole shard is lost).
 	Shard string
+	// Seq is the worker's sweep sequence number, monotonically increasing
+	// per worker pipeline (assigned by ShardSweep). A coordinator inbox
+	// uses (Shard, Seq) to drop a report the worker POSTed twice — a
+	// retried POST whose first attempt actually landed — instead of
+	// double-counting its moments. Zero means unsequenced (a v1 report,
+	// or a hand-built one) and is never deduplicated.
+	Seq uint64
 	// At is the shard's sweep start time.
 	At time.Time
 	// Profiles and Errors count the shard's folded and failed instances.
@@ -61,9 +68,11 @@ type ShardReport struct {
 // the report: service names, locations, and functions repeat across the
 // moments of a shard, so the dictionary amortises them once per report
 // rather than once per record.
+// Version history: v1 had no sequence number; v2 appends Seq after the
+// Err ref. Decoding accepts both — a v1 frame reads back with Seq 0.
 const (
 	wireFrameMagic   = 0xB2
-	wireFrameVersion = 1
+	wireFrameVersion = 2
 )
 
 // WriteShardReport frames and writes one report.
@@ -146,6 +155,7 @@ func encodeShardBody(rep *ShardReport, tbl *frame.StringTable) []byte {
 	b = binary.AppendVarint(b, int64(rep.Profiles))
 	b = binary.AppendVarint(b, int64(rep.Errors))
 	b = binary.AppendUvarint(b, tbl.Ref(rep.Err))
+	b = binary.AppendUvarint(b, rep.Seq)
 
 	b = binary.AppendUvarint(b, uint64(len(rep.Services)))
 	for svc, n := range rep.Services {
@@ -233,6 +243,11 @@ func decodeShardReport(payload []byte) (*ShardReport, error) {
 	rep.Errors = int(v)
 	if rep.Err, err = r.Str(tbl); err != nil {
 		return nil, err
+	}
+	if payload[1] >= 2 {
+		if rep.Seq, err = r.Uvarint(); err != nil {
+			return nil, err
+		}
 	}
 
 	for _, dst := range []*map[string]int{&rep.Services, &rep.FailedByService} {
