@@ -274,7 +274,7 @@ func runLoadGen(f *fleet.Fleet, url string, posters, posts int, gz bool) error {
 	}
 
 	client := &http.Client{Timeout: 30 * time.Second}
-	var accepted, rejected, other, errs atomic.Int64
+	var accepted, rejected, quotaRejected, other, errs atomic.Int64
 	latencies := make([][]time.Duration, posters)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -302,6 +302,11 @@ func runLoadGen(f *fleet.Fleet, url string, posters, posts int, gz bool) error {
 					errs.Add(1)
 					continue
 				}
+				// The 429 body names the reason: a full queue (global
+				// backpressure) or a per-service quota. Only the first
+				// few bytes matter for the classification.
+				head := make([]byte, 128)
+				n, _ := io.ReadFull(resp.Body, head)
 				io.Copy(io.Discard, resp.Body)
 				resp.Body.Close()
 				lat = append(lat, time.Since(t0))
@@ -309,7 +314,11 @@ func runLoadGen(f *fleet.Fleet, url string, posters, posts int, gz bool) error {
 				case http.StatusAccepted:
 					accepted.Add(1)
 				case http.StatusTooManyRequests:
-					rejected.Add(1)
+					if bytes.Contains(head[:n], []byte("quota")) {
+						quotaRejected.Add(1)
+					} else {
+						rejected.Add(1)
+					}
 				default:
 					other.Add(1)
 				}
@@ -336,8 +345,8 @@ func runLoadGen(f *fleet.Fleet, url string, posters, posts int, gz bool) error {
 	total := int64(posters) * int64(posts)
 	fmt.Printf("posted %d dumps (%d bodies, %d posters × %d posts, gzip=%v) in %v\n",
 		total, len(bodies), posters, posts, gz, wall.Round(time.Millisecond))
-	fmt.Printf("  accepted=%d rejected-429=%d other=%d errors=%d\n",
-		accepted.Load(), rejected.Load(), other.Load(), errs.Load())
+	fmt.Printf("  accepted=%d rejected-429=%d quota-429=%d other=%d errors=%d\n",
+		accepted.Load(), rejected.Load(), quotaRejected.Load(), other.Load(), errs.Load())
 	fmt.Printf("  %.0f posts/sec, admission latency p50=%v p99=%v\n",
 		float64(total)/wall.Seconds(), pct(0.50).Round(time.Microsecond), pct(0.99).Round(time.Microsecond))
 	if errs.Load() > 0 {

@@ -54,8 +54,13 @@
 // each closed window emits one normal sweep through the same alerting,
 // archive, and state-journal tail the pull modes use. Admission is
 // bounded (-ingest-queue): overflow POSTs get 429 + Retry-After and the
-// rejection is charged to the service's error accounting. SIGINT drains
-// everything admitted into a final partial window before exiting.
+// rejection is charged to the service's error accounting; -ingest-quota
+// additionally caps any one service's share of the queue so a noisy
+// fleet cannot crowd the others out. Scanned dumps fold into the window
+// concurrently (-fold-workers, default min(GOMAXPROCS, 8)) — the
+// aggregator is order-independent, so worker count never changes a
+// sweep's findings. SIGINT drains everything admitted into a final
+// partial window before exiting.
 package main
 
 import (
@@ -104,6 +109,8 @@ func main() {
 	ingest := flag.String("ingest", "", "push-ingestion mode: serve an ingest endpoint on this address (e.g. :6061); instances POST debug=2 dump bodies, windowed sweeps run until SIGINT")
 	window := flag.Duration("window", 0, "with -ingest: tumbling-window duration between emitted sweeps (0 = 1m default)")
 	ingestQueue := flag.Int("ingest-queue", 0, "with -ingest: bound on dumps in flight before POSTs are rejected with 429 (0 = 1024 default)")
+	ingestQuota := flag.Int("ingest-quota", 0, "with -ingest: per-service bound on concurrently held admission slots; a service over its quota gets 429 without crowding others out (0 = no quota)")
+	foldWorkers := flag.Int("fold-workers", 0, "with -ingest: goroutines folding scanned dumps into each window (0 = min(GOMAXPROCS, 8); 1 = serial)")
 	staticIndex := flag.String("static-index", "", "findings index written by leakrank: filed bugs and alerts are decorated with the static alarm for their site")
 	flag.Parse()
 
@@ -219,7 +226,7 @@ func main() {
 		}
 		sweeps = []*leakprof.Sweep{sweep}
 	case *ingest != "":
-		err = runIngest(ctx, pipe, *ingest, *ingestQueue)
+		err = runIngest(ctx, pipe, *ingest, *ingestQueue, *ingestQuota, *foldWorkers)
 		winMu.Lock()
 		sweeps = winSweeps
 		winMu.Unlock()
@@ -290,10 +297,16 @@ func main() {
 // loop until the context is cancelled (SIGINT), then drain — everything
 // admitted folds into a final partial-window sweep before the listener
 // and pipeline shut down.
-func runIngest(ctx context.Context, pipe *leakprof.Pipeline, addr string, queue int) error {
+func runIngest(ctx context.Context, pipe *leakprof.Pipeline, addr string, queue, quota, workers int) error {
 	var iopts []leakprof.IngestOption
 	if queue > 0 {
 		iopts = append(iopts, leakprof.IngestQueue(queue))
+	}
+	if quota > 0 {
+		iopts = append(iopts, leakprof.IngestServiceQuota(quota))
+	}
+	if workers > 0 {
+		iopts = append(iopts, leakprof.IngestFoldWorkers(workers))
 	}
 	srv := leakprof.NewIngestServer(pipe, iopts...)
 	hs := &http.Server{Addr: addr, Handler: srv}
@@ -319,8 +332,8 @@ func runIngest(ctx context.Context, pipe *leakprof.Pipeline, addr string, queue 
 	defer cancel()
 	hs.Shutdown(sctx)
 	st := srv.Stats()
-	fmt.Fprintf(os.Stderr, "ingest: %d admitted (%d folded), %d rejected, %d scan errors, %d windows closed\n",
-		st.Admitted, st.Folded, st.Rejected, st.ScanErrors, st.Windows)
+	fmt.Fprintf(os.Stderr, "ingest: %d admitted (%d folded), %d rejected (%d over quota), %d scan errors, %d windows closed\n",
+		st.Admitted, st.Folded, st.Rejected+st.QuotaRejected, st.QuotaRejected, st.ScanErrors, st.Windows)
 	// ListenAndServe returns exactly once; after Shutdown this receive
 	// is immediate.
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -23,6 +23,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/stack"
@@ -286,6 +287,13 @@ func ScanSnapshotWith(service, instance string, takenAt time.Time, r io.Reader, 
 	return snap, nil
 }
 
+// scannerPool recycles stack.Scanners (a 64KiB line buffer plus warm
+// intern/header/location caches each) across profile scans. The ingest
+// hot path runs one scan per POSTed dump; without pooling every dump
+// pays the buffer allocation and re-interns the fleet's identical
+// strings from scratch.
+var scannerPool sync.Pool
+
 // scanSnapshotPartial is the shared scan-and-aggregate loop behind
 // ScanSnapshotWith and the archive replay path. Unlike the exported
 // entry point it keeps what it scanned: on a mid-body error the partial
@@ -295,10 +303,16 @@ func ScanSnapshotWith(service, instance string, takenAt time.Time, r io.Reader, 
 // responsible for saying so in any surfaced error; the error here makes
 // no salvage claim, since ScanSnapshotWith discards the partial.
 func scanSnapshotPartial(service, instance string, takenAt time.Time, r io.Reader, pool *stack.InternPool) (*Snapshot, error) {
-	sc := stack.NewScanner(r)
-	if pool != nil {
-		sc.SetInternPool(pool)
+	sc, ok := scannerPool.Get().(*stack.Scanner)
+	if ok {
+		sc.Reset(r)
+	} else {
+		sc = stack.NewScanner(r)
 	}
+	// Always (re)attach: a pooled scanner may carry a previous caller's
+	// pool, and nil must restore private interning.
+	sc.SetInternPool(pool)
+	defer scannerPool.Put(sc)
 	snap := &Snapshot{Service: service, Instance: instance, TakenAt: takenAt}
 	for sc.Scan() {
 		g := sc.Goroutine()

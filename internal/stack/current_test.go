@@ -1,6 +1,7 @@
 package stack
 
 import (
+	"sync"
 	"testing"
 )
 
@@ -35,12 +36,35 @@ func TestCaptureBufferReuse(t *testing.T) {
 }
 
 // BenchmarkCurrent measures the goleak capture primitive — the path the
-// testmain retry schedule hits up to ~20 times per verification.
+// testmain retry schedule hits up to ~20 times per verification. The
+// capture buffer is scanned in place (no whole-dump string copy), so
+// allocs/op should track the goroutine population, not the dump bytes.
+// The crowded case parks a block of goroutines so the dump carries a
+// realistic population instead of just the test harness.
 func BenchmarkCurrent(b *testing.B) {
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		if _, err := Current(); err != nil {
-			b.Fatal(err)
+	capture := func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Current(); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
+	b.Run("quiet", capture)
+	b.Run("crowded-256", func(b *testing.B) {
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for i := 0; i < 256; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-stop
+			}()
+		}
+		defer func() {
+			close(stop)
+			wg.Wait()
+		}()
+		capture(b)
+	})
 }

@@ -33,7 +33,8 @@ import (
 // intern table, which is immutable once published).
 type Scanner struct {
 	lines *bufio.Scanner
-	line  int // 1-based number of the last line read
+	buf   []byte // initial line buffer, reused across Reset
+	line  int    // 1-based number of the last line read
 
 	cur        *Goroutine // block being accumulated
 	g          *Goroutine // last yielded goroutine
@@ -84,15 +85,57 @@ type headerInfo struct {
 // pathological input.
 const maxLineBytes = 16 << 20
 
+// maxCacheEntries bounds each of the retained caches (intern, headers,
+// locations) across Reset: a scanner cycling through a pool must not
+// accumulate every string a pathological fleet ever produced. Real
+// fleets repeat the same few hundred functions, paths, and states, so
+// the bound is effectively never hit in steady state.
+const maxCacheEntries = 8192
+
 // NewScanner returns a Scanner reading a dump from r.
 func NewScanner(r io.Reader) *Scanner {
 	lines := bufio.NewScanner(r)
-	lines.Buffer(make([]byte, 64<<10), maxLineBytes)
+	buf := make([]byte, 64<<10)
+	lines.Buffer(buf, maxLineBytes)
 	return &Scanner{
 		lines:   lines,
+		buf:     buf,
 		intern:  make(map[string]string),
 		headers: make(map[string]headerInfo),
 		locs:    make(map[string]Frame),
+	}
+}
+
+// Reset rearms the scanner to read a new dump from r, reusing the line
+// buffer and — bounded by maxCacheEntries — the intern, header, and
+// location caches. This is the pooling seam for high-rate ingestion:
+// a pooled Scanner costs one bufio.Scanner shell per dump instead of a
+// 64KiB line buffer plus three warm caches. All per-dump state (yield
+// position, resync and probe state, malformed count, error) is cleared;
+// the shared intern pool attachment is kept.
+func (s *Scanner) Reset(r io.Reader) {
+	lines := bufio.NewScanner(r)
+	lines.Buffer(s.buf, maxLineBytes)
+	s.lines = lines
+	s.line = 0
+	s.cur, s.g, s.pendingLoc = nil, nil, nil
+	s.err = nil
+	s.done = false
+	s.skipping = false
+	s.malformed = 0
+	s.held = nil
+	s.probing = false
+	s.probeFrame = Frame{}
+	s.probeCreated = false
+	s.probeCreator = 0
+	if len(s.intern) > maxCacheEntries {
+		s.intern = make(map[string]string)
+	}
+	if len(s.headers) > maxCacheEntries {
+		s.headers = make(map[string]headerInfo)
+	}
+	if len(s.locs) > maxCacheEntries {
+		s.locs = make(map[string]Frame)
 	}
 }
 

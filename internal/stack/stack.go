@@ -22,6 +22,7 @@
 package stack
 
 import (
+	"bytes"
 	"fmt"
 	"runtime"
 	"strconv"
@@ -176,10 +177,17 @@ func Current() ([]*Goroutine, error) {
 }
 
 // CurrentWithSelf captures all goroutines in the process and returns the id
-// of the calling goroutine alongside.
+// of the calling goroutine alongside. The capture buffer is scanned in
+// place — the dump, which can run to megabytes on a large test process,
+// is never copied into a string.
 func CurrentWithSelf() (all []*Goroutine, self int64, err error) {
 	buf, n := dumpAll()
-	gs, perr := Parse(string((*buf)[:n]))
+	sc := NewScanner(bytes.NewReader((*buf)[:n]))
+	var gs []*Goroutine
+	for sc.Scan() {
+		gs = append(gs, sc.Goroutine())
+	}
+	perr := sc.Err()
 	captureBufPool.Put(buf)
 	if perr != nil {
 		return nil, 0, perr

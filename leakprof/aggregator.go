@@ -82,7 +82,10 @@ func NewAggregator(threshold int, filters ...OpFilter) *Aggregator {
 // Add folds one instance's profile into the fleet statistics. Each
 // profiled instance must be added exactly once per sweep (instances with
 // no blocked goroutines still count toward their service's denominator).
-// Add is safe for concurrent use.
+// Add is safe for concurrent use: the collector's parallel fetchers and
+// IngestServer's parallel window-fold workers both fold snapshots in
+// concurrently, and the sharded counters make the result independent of
+// arrival order (reduction sorts deterministically at close).
 func (a *Aggregator) Add(snap *gprofile.Snapshot) {
 	counts := filteredCounts(a.filters, snap)
 	a.mu.Lock()

@@ -58,16 +58,41 @@ func (c StateCodec) valid() bool {
 //
 // Version history: 1 carried bugs through Sightings; 2 appends the
 // bug's StaticAlarm (the static-analysis annotation the cross-linker
-// decorates filed bugs with). A version-1 reader refuses version-2
-// frames (it cannot know what the extra field means); this reader
-// decodes both.
+// decorates filed bugs with); 3 changes the string table's scope from
+// one frame to one segment. A version-3 frame's leading table lists
+// only the strings it *appends* to the segment's cumulative dictionary
+// (taking the next consecutive indices), and its references index that
+// dictionary — so steady-state delta frames that keep naming the same
+// hot stack locations stop re-encoding them. Version 3 also adds the
+// dictionary record kind (binaryKindDict): a seed of carried-over
+// strings written at a segment's head, decoding to no journal record.
+// Older frames (and whole older segments) decode unchanged: a
+// version-1/2 frame's table is still self-contained, and a reader just
+// resolves against it instead of the dictionary. The other direction
+// is refused — a version-2 reader errors on version-3 frames, which is
+// the intended "journal written by a newer build" signal.
 const (
 	binaryFrameMagic   = 0xB1
-	binaryFrameVersion = 2
+	binaryFrameVersion = 3
 	binaryFlagFlate    = 1 << 0
 )
 
-// encodePayload renders one journal record under the given codec.
+// Binary record kinds (the first body field after the string table).
+const (
+	binaryKindDelta    = 1
+	binaryKindSnapshot = 2
+	binaryKindDict     = 3 // version 3: segment dictionary seed, no record
+)
+
+// stringRef abstracts the two string-table writers the binary body can
+// target: the legacy per-frame StringTable and the segment-scoped
+// DictTable.
+type stringRef interface{ Ref(string) uint64 }
+
+// encodePayload renders one journal record under the given codec. The
+// binary form is a self-contained version-3 frame (a fresh dictionary,
+// so every reference resolves within the frame); journal appends that
+// share a segment dictionary go through encodeBinaryRecordDict instead.
 func encodePayload(rec *journalRecord, codec StateCodec) ([]byte, error) {
 	switch codec {
 	case StateCodecBinary:
@@ -78,10 +103,27 @@ func encodePayload(rec *journalRecord, codec StateCodec) ([]byte, error) {
 }
 
 // decodePayload decodes one frame payload, dispatching on the codec the
-// frame self-describes with.
+// frame self-describes with. It decodes without a segment dictionary,
+// which suffices for JSON frames, version-1/2 frames, and self-contained
+// version-3 frames; segment replay threads a dictionary via segDecoder.
+// A dictionary-seed frame decodes to (nil, nil): callers skip it.
 func decodePayload(payload []byte) (*journalRecord, error) {
+	var d segDecoder
+	return d.decodePayload(payload)
+}
+
+// segDecoder threads one segment's cumulative string dictionary through
+// frame decoding. Each version-3 frame's leading table extends the
+// dictionary before the frame's references resolve against it, keeping
+// the reader in lockstep with the writer. The zero segDecoder decodes
+// dictionary-free inputs (a nil dictionary is created on first need).
+type segDecoder struct {
+	dict *frame.Dict
+}
+
+func (d *segDecoder) decodePayload(payload []byte) (*journalRecord, error) {
 	if len(payload) > 0 && payload[0] == binaryFrameMagic {
-		return decodeBinaryRecord(payload)
+		return d.decodeBinaryRecord(payload)
 	}
 	var rec journalRecord
 	if err := json.Unmarshal(payload, &rec); err != nil {
@@ -90,18 +132,78 @@ func decodePayload(payload []byte) (*journalRecord, error) {
 	return &rec, nil
 }
 
-// encodeBinaryRecord renders rec as a binary frame payload. Snapshot
+// encodeBinaryRecord renders rec as a self-contained binary frame
+// payload: a fresh dictionary makes the frame's appended-strings table
+// carry every string it references, exactly the shape fold snapshots
+// use for their single-frame segments.
+func encodeBinaryRecord(rec *journalRecord) ([]byte, error) {
+	return encodeBinaryRecordDict(rec, frame.NewDictTable(frame.NewDict()))
+}
+
+// encodeBinaryRecordDict renders rec as a version-3 binary frame payload
+// whose references index dt's segment dictionary; strings the dictionary
+// lacks ride the frame's leading table as appends. The caller owns the
+// commit protocol: dt.Commit() only after the frame is written, so the
+// in-memory dictionary never runs ahead of the on-disk segment. Snapshot
 // bodies are flate-compressed: they carry the whole journal's state, and
 // their string-heavy sections (locations, keys) compress several-fold.
-func encodeBinaryRecord(rec *journalRecord) ([]byte, error) {
+func encodeBinaryRecordDict(rec *journalRecord, dt *frame.DictTable) ([]byte, error) {
+	body := encodeBinaryBody(rec, dt)
+	// The appended-strings table precedes the sections that reference
+	// the dictionary so decoding is one pass.
+	full := dt.AppendTo(make([]byte, 0, len(body)+64))
+	full = append(full, body...)
+	return finishBinaryPayload(full, rec.Kind == recordSnapshot)
+}
+
+// encodeDictSeedPayload renders a dictionary-seed frame payload: the
+// seed strings as the frame's appends, then the dict record kind. It is
+// written at a rolled segment's head so hot strings carried over from
+// the previous segment keep resolving as references.
+func encodeDictSeedPayload(seed []string) ([]byte, error) {
+	dt := frame.NewDictTable(frame.NewDict())
+	for _, s := range seed {
+		dt.Ref(s)
+	}
+	body := binary.AppendUvarint(make([]byte, 0, 8), binaryKindDict)
+	full := dt.AppendTo(make([]byte, 0, 64))
+	full = append(full, body...)
+	return finishBinaryPayload(full, false)
+}
+
+// finishBinaryPayload prepends the payload header and optionally flate-
+// compresses the body.
+func finishBinaryPayload(full []byte, compress bool) ([]byte, error) {
+	payload := []byte{binaryFrameMagic, binaryFrameVersion, 0}
+	if compress {
+		payload[2] |= binaryFlagFlate
+		var buf bytes.Buffer
+		zw, err := flate.NewWriter(&buf, flate.DefaultCompression)
+		if err != nil {
+			return nil, fmt.Errorf("leakprof: binary codec: %w", err)
+		}
+		if _, err := zw.Write(full); err != nil {
+			return nil, fmt.Errorf("leakprof: binary codec: %w", err)
+		}
+		if err := zw.Close(); err != nil {
+			return nil, fmt.Errorf("leakprof: binary codec: %w", err)
+		}
+		return append(payload, buf.Bytes()...), nil
+	}
+	return append(payload, full...), nil
+}
+
+// encodeBinaryRecordLegacy renders rec exactly as version-2 stores did:
+// a per-frame self-contained string table and the version-2 header
+// byte. Nothing on the write path uses it anymore; it exists so the
+// fallback-decode tests can manufacture genuine old-codec segments.
+func encodeBinaryRecordLegacy(rec *journalRecord) ([]byte, error) {
 	var tbl frame.StringTable
 	body := encodeBinaryBody(rec, &tbl)
-	// The table precedes the sections that reference it so decoding is
-	// one pass.
 	full := tbl.AppendTo(make([]byte, 0, len(body)+64))
 	full = append(full, body...)
 
-	payload := []byte{binaryFrameMagic, binaryFrameVersion, 0}
+	payload := []byte{binaryFrameMagic, 2, 0}
 	if rec.Kind == recordSnapshot {
 		payload[2] |= binaryFlagFlate
 		var buf bytes.Buffer
@@ -120,11 +222,11 @@ func encodeBinaryRecord(rec *journalRecord) ([]byte, error) {
 	return append(payload, full...), nil
 }
 
-func encodeBinaryBody(rec *journalRecord, tbl *frame.StringTable) []byte {
+func encodeBinaryBody(rec *journalRecord, tbl stringRef) []byte {
 	b := make([]byte, 0, 256)
-	kind := uint64(1)
+	kind := uint64(binaryKindDelta)
 	if rec.Kind == recordSnapshot {
-		kind = 2
+		kind = binaryKindSnapshot
 	}
 	b = binary.AppendUvarint(b, kind)
 	b = frame.AppendTime(b, rec.SavedAt)
@@ -181,7 +283,13 @@ func encodeBinaryBody(rec *journalRecord, tbl *frame.StringTable) []byte {
 // in-package codec paths (and their tests) keep one name for it.
 var errBinaryTruncated = frame.ErrTruncated
 
-func decodeBinaryRecord(payload []byte) (*journalRecord, error) {
+// decodeBinaryRecord decodes one binary frame payload. Version-1/2
+// frames resolve references against their own embedded table; version-3
+// frames first extend the decoder's segment dictionary with their
+// appended strings, then resolve against the whole dictionary. A
+// dictionary-seed frame contributes its strings and decodes to
+// (nil, nil).
+func (d *segDecoder) decodeBinaryRecord(payload []byte) (*journalRecord, error) {
 	if len(payload) < 3 {
 		return nil, errBinaryTruncated
 	}
@@ -202,6 +310,13 @@ func decodeBinaryRecord(payload []byte) (*journalRecord, error) {
 	if err != nil {
 		return nil, err
 	}
+	if ver >= 3 {
+		if d.dict == nil {
+			d.dict = frame.NewDict()
+		}
+		d.dict.Extend(tbl)
+		tbl = d.dict.Strings()
+	}
 
 	rec := &journalRecord{}
 	kind, err := r.Uvarint()
@@ -209,10 +324,15 @@ func decodeBinaryRecord(payload []byte) (*journalRecord, error) {
 		return nil, err
 	}
 	switch kind {
-	case 1:
+	case binaryKindDelta:
 		rec.Kind = recordDelta
-	case 2:
+	case binaryKindSnapshot:
 		rec.Kind = recordSnapshot
+	case binaryKindDict:
+		if ver < 3 {
+			return nil, fmt.Errorf("leakprof: dictionary record in version-%d frame", ver)
+		}
+		return nil, nil
 	default:
 		return nil, fmt.Errorf("leakprof: binary record kind %d unknown", kind)
 	}

@@ -256,6 +256,49 @@
 // durability loss — the instance still holds its dump and the 429
 // tells it to retry after the hint.
 //
+// # Hot-path tuning
+//
+// The ingest-to-journal path is built to hold its throughput and its
+// pause behaviour at fleet scale; four mechanisms carry that, each with
+// a knob or a metric:
+//
+// Parallel window folds. Admitted dumps are folded into the sharded
+// aggregator by a bounded worker pool (IngestFoldWorkers, default
+// min(GOMAXPROCS, 8)) instead of one goroutine, so scan-and-fold keeps
+// up with burst arrival. A window close quiesces the pool — every
+// in-flight fold completes before the Sweep is emitted — so the window
+// a sweep reports is exactly the set of dumps folded into it, and the
+// aggregator's order-independent shards make the parallel fold
+// byte-identical to the serial one.
+//
+// Per-service admission quotas. IngestServiceQuota bounds how many
+// dumps one service may hold in the admission queue at once; a POST
+// past the quota is rejected with 429 + Retry-After before it touches
+// the shared queue, so one misbehaving service cannot starve the rest
+// of the fleet. Quota rejections are charged to that service's failure
+// accounting (ErrIngestQuota) in the closing window, distinct from
+// whole-queue overflow (ErrIngestOverflow).
+//
+// Pooled decompression and scan state. Gzip ingest bodies decompress
+// through a pooled inflater (Reset instead of a fresh allocator per
+// POST), and profile scans draw their scanner — line buffer, interning
+// and location caches — from a pool as well, so steady-state ingest
+// allocation tracks the novel strings in a dump, not its byte size.
+// stack.Current scans its capture buffer in place for the same reason:
+// no whole-dump string copy on the goleak verification path.
+//
+// Dictionary-compressed segments. The binary journal codec writes a
+// per-segment string dictionary: the first frame after a segment roll
+// seeds the hot strings (keys, locations, service names), and
+// subsequent frames reference them by ordinal instead of repeating
+// them, which shrinks steady-state journal bytes by over a third.
+// Compaction folds capture keys under the lock but fetch and encode
+// values off it; the remaining under-lock pause is visible as
+// fold-pause-us/fold in BenchmarkSweepCriticalPath. Drain-on-close
+// grace adapts to observed fold latency (EWMA of window maxima) rather
+// than a fixed timeout, so a slow disk gets more grace and an idle
+// server closes fast.
+//
 // # Static↔dynamic loop
 //
 // The paper's two halves — production profiling (this package) and

@@ -355,6 +355,7 @@ func TestStateStoreMidFoldSweepDurability(t *testing.T) {
 	store.activeSeq = newSeq + 1
 	store.activeSize = 0
 	store.segCount++
+	store.rollDictLocked()
 	store.folding = true
 	store.foldDone = make(chan struct{})
 	store.mu.Unlock()

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -33,10 +34,15 @@ import (
 // scanned-but-unfolded snapshots) when IngestQueue is unset.
 const DefaultIngestQueue = 1024
 
-// ingestDrainGrace bounds how long the shutdown drain waits for scans
-// still in flight when Run's context is cancelled; dumps already queued
-// always fold.
-const ingestDrainGrace = 2 * time.Second
+// Shutdown drain bounds. The grace period is adaptive: the observed
+// tail fold latency times the outstanding work per worker, clamped to
+// [minDrainGrace, maxDrainGrace]. Before any fold has been timed the
+// drain falls back to defaultDrainGrace.
+const (
+	defaultDrainGrace = 2 * time.Second
+	minDrainGrace     = 100 * time.Millisecond
+	maxDrainGrace     = 5 * time.Second
+)
 
 // ErrIngestOverflow is the admission failure recorded for each dump
 // rejected with 429 because the ingest queue was full. The rejections
@@ -45,6 +51,40 @@ const ingestDrainGrace = 2 * time.Second
 // seeds) sees push-plane loss exactly as it sees pull-plane fetch
 // failures.
 var ErrIngestOverflow = errors.New("leakprof: ingest queue full")
+
+// ErrIngestQuota is the admission failure recorded for each dump
+// rejected with 429 because its service exceeded the per-service
+// admission quota (IngestServiceQuota). Distinct from ErrIngestOverflow
+// so the window accounting separates one noisy service from global
+// pressure.
+var ErrIngestQuota = errors.New("leakprof: per-service ingest quota exceeded")
+
+// gzipReaderPool recycles gzip inflate state across POSTed bodies. A
+// gzip.Reader holds a ~32KiB sliding window plus Huffman tables;
+// resetting one onto the next request's body is dramatically cheaper
+// than rebuilding that state per request on the hot ingest path.
+var gzipReaderPool sync.Pool
+
+// pooledGzipReader returns a gzip.Reader positioned over r, reusing
+// pooled inflate state when available.
+func pooledGzipReader(r io.Reader) (*gzip.Reader, error) {
+	if zr, ok := gzipReaderPool.Get().(*gzip.Reader); ok {
+		if err := zr.Reset(r); err != nil {
+			gzipReaderPool.Put(zr)
+			return nil, err
+		}
+		return zr, nil
+	}
+	return gzip.NewReader(r)
+}
+
+// putGzipReader retires zr to the pool. Close only checks the trailing
+// CRC — it does not invalidate the reader for a future Reset — so even
+// readers from failed scans are safe to recycle.
+func putGzipReader(zr *gzip.Reader) {
+	zr.Close()
+	gzipReaderPool.Put(zr)
+}
 
 // ingestItem is one admitted dump: the compact scanned snapshot plus
 // the salvage diagnostic, if the scan resynced past malformed members.
@@ -75,39 +115,70 @@ type pendingFail struct {
 // headers). Admission is bounded: once IngestQueue dumps are in flight
 // or queued, further POSTs are rejected with 429 and a Retry-After
 // hint instead of buffering — admitted dumps keep folding, rejected
-// ones are counted against their service in the closing window. A body
-// that fails to scan is a 400 and a recorded failure; a salvaged body
-// (scanner resynced past malformed members) is admitted and the
-// salvage diagnostic rides the window's error accounting, mirroring
-// the pull path.
+// ones are counted against their service in the closing window. An
+// optional per-service quota (IngestServiceQuota) bounds any one
+// service's share of those slots the same way. A body that fails to
+// scan is a 400 and a recorded failure; a salvaged body (scanner
+// resynced past malformed members) is admitted and the salvage
+// diagnostic rides the window's error accounting, mirroring the pull
+// path.
+//
+// Inside a window, queued snapshots are folded by a small pool of
+// worker goroutines (IngestFoldWorkers) appending concurrently to the
+// sweep's sharded aggregator; the window close quiesces the pool
+// before the Sweep is emitted, so every sweep still observes a
+// consistent fold frontier.
 type IngestServer struct {
 	pipe  *Pipeline
 	queue chan ingestItem
 	slots chan struct{} // admission bound: in-flight scans + queued items
 	ticks <-chan time.Time
 
+	// foldWorkers is the per-window fold pool size; quota the per-service
+	// admission bound (0 = unlimited).
+	foldWorkers int
+	quota       int
+
+	// inflight tracks per-service admissions currently holding a slot
+	// (service -> *atomic.Int64), charged before the slot is taken and
+	// released when the dump folds or its request fails.
+	inflight sync.Map
+
+	// foldNotify wakes the window loop after a worker folds, so the
+	// deadline is re-evaluated on fold progress exactly as it was when
+	// folding was inline.
+	foldNotify chan struct{}
+
 	// retryAfter is the 429 Retry-After hint in seconds: half a window,
 	// when the queue has likely drained.
 	retryAfter string
 
-	mu       sync.Mutex
-	rejected map[string]int // per-service 429 counts awaiting the next window
-	fails    []pendingFail  // admission failures awaiting the next window, capped
-	dropped  map[string]int // per-service failures beyond the fails cap
+	mu            sync.Mutex
+	rejected      map[string]int // per-service queue-full 429 counts awaiting the next window
+	quotaRejected map[string]int // per-service quota 429 counts awaiting the next window
+	fails         []pendingFail  // admission failures awaiting the next window, capped
+	dropped       map[string]int // per-service failures beyond the fails cap
 
 	// closeStart marks when the current window began closing, for the
 	// window-close pause statistic (real time, not the pipeline clock:
 	// it measures this process's fold unavailability).
 	closeStart atomic.Int64
 
-	closed    atomic.Bool
-	admitted  atomic.Uint64
-	folded    atomic.Uint64
-	rejects   atomic.Uint64
-	scanFails atomic.Uint64
-	windows   atomic.Uint64
-	pauseNS   atomic.Int64
-	lastPause atomic.Int64
+	// windowMaxNS is the slowest fold observed in the current window;
+	// tailNS is the EWMA of those per-window maxima — a cheap tail
+	// latency estimate that sizes the shutdown drain grace.
+	windowMaxNS atomic.Int64
+	tailNS      atomic.Int64
+
+	closed       atomic.Bool
+	admitted     atomic.Uint64
+	folded       atomic.Uint64
+	rejects      atomic.Uint64
+	quotaRejects atomic.Uint64
+	scanFails    atomic.Uint64
+	windows      atomic.Uint64
+	pauseNS      atomic.Int64
+	lastPause    atomic.Int64
 }
 
 // IngestOption tunes an IngestServer.
@@ -121,6 +192,33 @@ func IngestQueue(n int) IngestOption {
 		if n > 0 {
 			s.queue = make(chan ingestItem, n)
 			s.slots = make(chan struct{}, n)
+		}
+	}
+}
+
+// IngestFoldWorkers sets how many goroutines fold queued snapshots into
+// each window's aggregator. The default is min(GOMAXPROCS, 8); 1
+// restores strictly serial folding (useful as a parity baseline — the
+// aggregator is order-independent, so worker count never changes a
+// sweep's findings or moments, only its fold throughput).
+func IngestFoldWorkers(n int) IngestOption {
+	return func(s *IngestServer) {
+		if n > 0 {
+			s.foldWorkers = n
+		}
+	}
+}
+
+// IngestServiceQuota bounds any single service to n concurrently held
+// admission slots (in-flight scans plus queued snapshots). POSTs beyond
+// the quota get 429 with the same Retry-After hint, recorded as
+// ErrIngestQuota against the service in the closing window — so one
+// misbehaving fleet saturating its own quota cannot crowd every other
+// service out of the shared queue. 0 (the default) disables the quota.
+func IngestServiceQuota(n int) IngestOption {
+	return func(s *IngestServer) {
+		if n > 0 {
+			s.quota = n
 		}
 	}
 }
@@ -141,11 +239,14 @@ func IngestTicks(ticks <-chan time.Time) IngestOption {
 // WithThreshold/WithRanking/sinks/state shape every emitted Sweep.
 func NewIngestServer(pipe *Pipeline, opts ...IngestOption) *IngestServer {
 	s := &IngestServer{
-		pipe:     pipe,
-		queue:    make(chan ingestItem, DefaultIngestQueue),
-		slots:    make(chan struct{}, DefaultIngestQueue),
-		rejected: make(map[string]int),
-		dropped:  make(map[string]int),
+		pipe:          pipe,
+		queue:         make(chan ingestItem, DefaultIngestQueue),
+		slots:         make(chan struct{}, DefaultIngestQueue),
+		foldWorkers:   defaultFoldWorkers(),
+		foldNotify:    make(chan struct{}, 1),
+		rejected:      make(map[string]int),
+		quotaRejected: make(map[string]int),
+		dropped:       make(map[string]int),
 	}
 	retry := int(pipe.cfg.window().Seconds() / 2)
 	if retry < 1 {
@@ -158,10 +259,57 @@ func NewIngestServer(pipe *Pipeline, opts ...IngestOption) *IngestServer {
 	return s
 }
 
-// ServeHTTP admits one POSTed dump: reserve a queue slot (429 +
-// Retry-After when none is free), stream the body through the scanner,
-// and queue the compact snapshot for the current window. 202 on
-// admission; the fold itself is asynchronous.
+func defaultFoldWorkers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 8 {
+		n = 8
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// chargeService reserves one unit of the service's admission quota.
+// Lock-free on the hot path: one sync.Map lookup plus an atomic add per
+// admission.
+func (s *IngestServer) chargeService(service string) bool {
+	if s.quota <= 0 {
+		return true
+	}
+	v, ok := s.inflight.Load(service)
+	if !ok {
+		v, _ = s.inflight.LoadOrStore(service, new(atomic.Int64))
+	}
+	c := v.(*atomic.Int64)
+	if c.Add(1) > int64(s.quota) {
+		c.Add(-1)
+		return false
+	}
+	return true
+}
+
+// releaseService returns one unit of the service's admission quota.
+func (s *IngestServer) releaseService(service string) {
+	if s.quota <= 0 {
+		return
+	}
+	if v, ok := s.inflight.Load(service); ok {
+		v.(*atomic.Int64).Add(-1)
+	}
+}
+
+// releaseAdmission undoes one full admission (queue slot plus service
+// quota) for a request that failed after being admitted.
+func (s *IngestServer) releaseAdmission(service string) {
+	<-s.slots
+	s.releaseService(service)
+}
+
+// ServeHTTP admits one POSTed dump: charge the service quota, reserve a
+// queue slot (429 + Retry-After when either is exhausted), stream the
+// body through the scanner, and queue the compact snapshot for the
+// current window. 202 on admission; the fold itself is asynchronous.
 func (s *IngestServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST a goroutine-profile dump body (?debug=2 text)", http.StatusMethodNotAllowed)
@@ -181,11 +329,22 @@ func (s *IngestServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		instance = r.RemoteAddr
 	}
 
-	// Admission control comes before the body is read: a full queue
-	// must shed load at the door, not after paying for a scan.
+	// Admission control comes before the body is read: a full queue (or
+	// an exhausted service quota) must shed load at the door, not after
+	// paying for a scan.
+	if !s.chargeService(service) {
+		s.quotaRejects.Add(1)
+		s.mu.Lock()
+		s.quotaRejected[service]++
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", s.retryAfter)
+		http.Error(w, ErrIngestQuota.Error(), http.StatusTooManyRequests)
+		return
+	}
 	select {
 	case s.slots <- struct{}{}:
 	default:
+		s.releaseService(service)
 		s.rejects.Add(1)
 		s.mu.Lock()
 		s.rejected[service]++
@@ -197,14 +356,14 @@ func (s *IngestServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 	body := io.Reader(r.Body)
 	if r.Header.Get("Content-Encoding") == "gzip" {
-		zr, err := gzip.NewReader(body)
+		zr, err := pooledGzipReader(body)
 		if err != nil {
-			<-s.slots
+			s.releaseAdmission(service)
 			s.noteScanFail(service, instance, fmt.Errorf("leakprof: ingest %s/%s: bad gzip body: %w", service, instance, err))
 			http.Error(w, "bad gzip body: "+err.Error(), http.StatusBadRequest)
 			return
 		}
-		defer zr.Close()
+		defer putGzipReader(zr)
 		body = zr
 	}
 	// Stream straight through the scanner — the dump is never
@@ -218,12 +377,12 @@ func (s *IngestServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	snap, err := gprofile.ScanSnapshotWith(service, instance, s.pipe.cfg.now(), lr, s.pipe.cfg.Intern)
 	switch {
 	case err != nil:
-		<-s.slots
+		s.releaseAdmission(service)
 		s.noteScanFail(service, instance, err)
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	case lr.N <= 0:
-		<-s.slots
+		s.releaseAdmission(service)
 		err := fmt.Errorf("leakprof: ingest %s/%s: dump exceeds %d bytes", service, instance, limit)
 		s.noteScanFail(service, instance, err)
 		http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
@@ -277,9 +436,11 @@ func (s *IngestServer) flushAccounting(env *SweepEnv) {
 	fails := s.fails
 	dropped := s.dropped
 	rejected := s.rejected
+	quotaRejected := s.quotaRejected
 	s.fails = nil
 	s.dropped = make(map[string]int)
 	s.rejected = make(map[string]int)
+	s.quotaRejected = make(map[string]int)
 	s.mu.Unlock()
 	for _, f := range fails {
 		env.Fail(f.service, f.instance, f.err)
@@ -293,6 +454,11 @@ func (s *IngestServer) flushAccounting(env *SweepEnv) {
 	for svc, n := range rejected {
 		for i := 0; i < n; i++ {
 			env.Fail(svc, "ingest", ErrIngestOverflow)
+		}
+	}
+	for svc, n := range quotaRejected {
+		for i := 0; i < n; i++ {
+			env.Fail(svc, "ingest", ErrIngestQuota)
 		}
 	}
 }
@@ -341,11 +507,91 @@ func (s *IngestServer) Run(ctx context.Context) error {
 	}
 }
 
+// foldLoop is one window-scoped fold worker: it drains queued snapshots
+// into the sweep's aggregator until stop closes. The two-phase select
+// gives stop priority, so quiescing never races a worker into folding
+// items meant for the next window once the barrier has begun.
+func (s *IngestServer) foldLoop(stop <-chan struct{}, env *SweepEnv) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		select {
+		case <-stop:
+			return
+		case item := <-s.queue:
+			<-s.slots
+			start := time.Now()
+			env.Emit(item.snap)
+			s.releaseService(item.snap.Service)
+			s.folded.Add(1)
+			s.noteFold(time.Since(start))
+			select {
+			case s.foldNotify <- struct{}{}:
+			default:
+			}
+		}
+	}
+}
+
+// noteFold records one fold's latency into the current window's
+// running maximum (CAS max — workers race benignly).
+func (s *IngestServer) noteFold(d time.Duration) {
+	for {
+		cur := s.windowMaxNS.Load()
+		if int64(d) <= cur || s.windowMaxNS.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// closeFoldTail folds the closing window's max fold latency into the
+// tail estimate: an EWMA (α=1/4) over per-window maxima approximates a
+// high fold-latency percentile without histograms.
+func (s *IngestServer) closeFoldTail() {
+	m := s.windowMaxNS.Swap(0)
+	if m <= 0 {
+		return
+	}
+	cur := s.tailNS.Load()
+	if cur == 0 {
+		s.tailNS.Store(m)
+		return
+	}
+	s.tailNS.Store(cur + (m-cur)/4)
+}
+
+// adaptiveDrainGrace bounds the shutdown drain: long enough for workers
+// to fold everything outstanding at twice the observed tail fold
+// latency, clamped to [minDrainGrace, maxDrainGrace]. With no fold
+// samples yet (tail == 0) it falls back to the fixed default — there is
+// nothing to adapt to.
+func adaptiveDrainGrace(tail time.Duration, outstanding, workers int) time.Duration {
+	if tail <= 0 {
+		return defaultDrainGrace
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	perWorker := outstanding/workers + 1
+	g := tail * time.Duration(2*perWorker)
+	if g < minDrainGrace {
+		return minDrainGrace
+	}
+	if g > maxDrainGrace {
+		return maxDrainGrace
+	}
+	return g
+}
+
 // ingestWindow is the Source one window sweep drains: queued snapshots
-// are emitted until the pipeline clock crosses the window deadline,
-// then the source returns — closing the window — leaving later arrivals
-// queued for the next window. Context cancellation drains whatever is
-// already queued (the shutdown barrier) and returns.
+// are folded by the worker pool until the pipeline clock crosses the
+// window deadline, then the pool is quiesced and the source returns —
+// closing the window — leaving later arrivals queued for the next
+// window. Context cancellation drains whatever is already queued (the
+// shutdown barrier) and returns.
 type ingestWindow struct {
 	s     *IngestServer
 	ticks <-chan time.Time
@@ -356,39 +602,59 @@ func (ingestWindow) Name() string { return "ingest" }
 func (w ingestWindow) Sweep(ctx context.Context, env *SweepEnv) error {
 	s := w.s
 	deadline := env.Config.now().Add(env.Config.window())
+
+	// The fold pool: workers append concurrently to the sharded
+	// aggregator (Emit is safe for concurrent use, and findings/moments
+	// are deterministically ordered at close, so fold order never
+	// changes a sweep). quiesce is the window-close barrier: after it
+	// returns, no fold is in flight and none will start, so the sweep
+	// the engine emits observes a frozen aggregator.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < s.foldWorkers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.foldLoop(stop, env)
+		}()
+	}
+	quiesce := func() {
+		close(stop)
+		wg.Wait()
+		s.closeFoldTail()
+	}
+
 	for {
 		select {
-		case item := <-s.queue:
-			<-s.slots
-			env.Emit(item.snap)
-			s.folded.Add(1)
+		case <-s.foldNotify:
 		case <-w.ticks:
 		case <-ctx.Done():
-			// Shutdown: stop admitting, then fold everything already
-			// admitted so no accepted dump is lost. A held slot without
-			// a queued item is a scan still in flight — wait for it to
-			// land (or fail, releasing the slot), bounded by a grace
-			// period so a stalled client cannot pin shutdown.
+			// Shutdown: stop admitting, then let the pool fold
+			// everything already admitted so no accepted dump is lost. A
+			// held slot without a queued item is a scan still in flight —
+			// wait for it to land (or fail, releasing the slot), bounded
+			// by the adaptive grace so a stalled client cannot pin
+			// shutdown.
 			s.closed.Store(true)
-			deadline := time.After(ingestDrainGrace)
+			grace := adaptiveDrainGrace(time.Duration(s.tailNS.Load()), len(s.slots), s.foldWorkers)
+			giveUp := time.After(grace)
 			poll := time.NewTicker(time.Millisecond)
 			defer poll.Stop()
 		drain:
 			for len(s.slots) > 0 {
 				select {
-				case item := <-s.queue:
-					<-s.slots
-					env.Emit(item.snap)
-					s.folded.Add(1)
+				case <-s.foldNotify:
 				case <-poll.C:
-				case <-deadline:
+				case <-giveUp:
 					break drain
 				}
 			}
+			quiesce()
 			s.flushAccounting(env)
 			return nil
 		}
 		if !env.Config.now().Before(deadline) {
+			quiesce()
 			s.closeStart.Store(time.Now().UnixNano())
 			s.flushAccounting(env)
 			return nil
@@ -401,9 +667,10 @@ type IngestStats struct {
 	// Admitted counts dumps accepted (202) and queued; Folded counts
 	// those already folded into a window's aggregator.
 	Admitted, Folded uint64
-	// Rejected counts 429s (queue full); ScanErrors counts bodies that
-	// failed to scan or exceeded the byte limit.
-	Rejected, ScanErrors uint64
+	// Rejected counts queue-full 429s; QuotaRejected counts per-service
+	// quota 429s; ScanErrors counts bodies that failed to scan or
+	// exceeded the byte limit.
+	Rejected, QuotaRejected, ScanErrors uint64
 	// Windows counts closed windows (sweeps emitted).
 	Windows uint64
 	// QueueLen is the current number of scanned-but-unfolded snapshots.
@@ -413,6 +680,9 @@ type IngestStats struct {
 	// draining the next; LastWindowPause is the most recent close's.
 	// Admission continues during the pause — only folding waits.
 	WindowPause, LastWindowPause time.Duration
+	// FoldTail is the adaptive tail fold-latency estimate (EWMA of
+	// per-window fold maxima) that sizes the shutdown drain grace.
+	FoldTail time.Duration
 }
 
 // Stats returns current counters; safe for concurrent use.
@@ -421,10 +691,12 @@ func (s *IngestServer) Stats() IngestStats {
 		Admitted:        s.admitted.Load(),
 		Folded:          s.folded.Load(),
 		Rejected:        s.rejects.Load(),
+		QuotaRejected:   s.quotaRejects.Load(),
 		ScanErrors:      s.scanFails.Load(),
 		Windows:         s.windows.Load(),
 		QueueLen:        len(s.queue),
 		WindowPause:     time.Duration(s.pauseNS.Load()),
 		LastWindowPause: time.Duration(s.lastPause.Load()),
+		FoldTail:        time.Duration(s.tailNS.Load()),
 	}
 }

@@ -199,6 +199,190 @@ func TestIngestWindowParityWithBatchSweep(t *testing.T) {
 	}
 }
 
+// TestIngestParallelFoldParity is the parallel-fold acceptance check:
+// the same dump bodies pushed through a serial window (one fold worker)
+// and a parallel window (eight workers) must close with identical
+// findings, moments, profile counts, and bug-DB verdicts. The sharded
+// aggregator is order-independent and sorts deterministically at close,
+// so worker count may change only throughput, never results.
+func TestIngestParallelFoldParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	snaps := randomSweep(rng)
+	t0 := time.Unix(1_700_000_000, 0)
+	type rendered struct {
+		service, instance string
+		body              []byte
+	}
+	var dumps []rendered
+	for _, s := range snaps {
+		dumps = append(dumps, rendered{s.Service, s.Instance, renderDump(t, s)})
+	}
+
+	run := func(workers int) (*Sweep, []report.Bug) {
+		clock := &ingestClock{t: t0}
+		db := report.NewDB()
+		sink := &ReportSink{Reporter: &Reporter{DB: db, Now: func() time.Time { return t0 }}}
+		sweeps := make(chan *Sweep, 4)
+		pipe := New(
+			WithThreshold(40),
+			WithClock(clock.Now),
+			WithWindow(time.Minute),
+			WithOnSweep(func(s *Sweep) { sweeps <- s }),
+		)
+		pipe.AddSinks(sink)
+		ticks := make(chan time.Time)
+		srv := NewIngestServer(pipe, IngestTicks(ticks), IngestFoldWorkers(workers))
+		ctx, cancel := context.WithCancel(context.Background())
+		runDone := make(chan error, 1)
+		go func() { runDone <- srv.Run(ctx) }()
+		for _, d := range dumps {
+			if rec := postDump(srv, d.service, d.instance, d.body, false); rec.Code != http.StatusAccepted {
+				t.Fatalf("workers=%d POST %s/%s: got %d, want 202", workers, d.service, d.instance, rec.Code)
+			}
+		}
+		waitIngest(t, "all dumps folded", func() bool { return srv.Stats().Folded == uint64(len(dumps)) })
+		clock.Advance(2 * time.Minute)
+		ticks <- time.Time{}
+		var sweep *Sweep
+		select {
+		case sweep = <-sweeps:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("workers=%d: window never closed", workers)
+		}
+		cancel()
+		<-runDone
+		bugs := db.All()
+		sort.Slice(bugs, func(i, j int) bool { return bugs[i].Key < bugs[j].Key })
+		return sweep, bugs
+	}
+
+	serial, serialBugs := run(1)
+	parallel, parallelBugs := run(8)
+	if serial.Profiles != parallel.Profiles {
+		t.Fatalf("profiles: serial %d, parallel %d", serial.Profiles, parallel.Profiles)
+	}
+	if !reflect.DeepEqual(serial.Findings, parallel.Findings) {
+		t.Errorf("findings diverge:\nserial:   %+v\nparallel: %+v", serial.Findings, parallel.Findings)
+	}
+	if !reflect.DeepEqual(serial.Moments(), parallel.Moments()) {
+		t.Errorf("moments diverge:\nserial:   %+v\nparallel: %+v", serial.Moments(), parallel.Moments())
+	}
+	if !reflect.DeepEqual(serialBugs, parallelBugs) {
+		t.Errorf("bug DB verdicts diverge:\nserial:   %+v\nparallel: %+v", serialBugs, parallelBugs)
+	}
+	if len(serial.Findings) == 0 || len(serialBugs) == 0 {
+		t.Fatalf("parity vacuous: serial run produced %d findings, %d bugs", len(serial.Findings), len(serialBugs))
+	}
+}
+
+// TestIngestServiceQuota checks per-service admission quotas: a service
+// at its quota is shed with 429 while other services (and the shared
+// queue) stay open, the rejection is charged as ErrIngestQuota in the
+// closing window, and folding releases the quota.
+func TestIngestServiceQuota(t *testing.T) {
+	t0 := time.Unix(1_700_000_000, 0)
+	clock := &ingestClock{t: t0}
+	sweeps := make(chan *Sweep, 4)
+	pipe := New(
+		WithThreshold(1000),
+		WithClock(clock.Now),
+		WithWindow(time.Minute),
+		WithOnSweep(func(s *Sweep) { sweeps <- s }),
+	)
+	ticks := make(chan time.Time)
+	srv := NewIngestServer(pipe, IngestQueue(8), IngestServiceQuota(2), IngestTicks(ticks))
+	body := renderDump(t, onePager("pay", "i0", 120))
+
+	// Run is not started: admitted dumps hold their slots and quota.
+	for i := 0; i < 2; i++ {
+		if rec := postDump(srv, "pay", "i"+strconv.Itoa(i), body, false); rec.Code != http.StatusAccepted {
+			t.Fatalf("POST %d: got %d, want 202", i, rec.Code)
+		}
+	}
+	rec := postDump(srv, "pay", "i2", body, false)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-quota POST: got %d, want 429", rec.Code)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "30" {
+		t.Fatalf("quota Retry-After = %q, want \"30\"", got)
+	}
+	// The queue has six free slots: another service is unaffected.
+	if rec := postDump(srv, "web", "i0", body, false); rec.Code != http.StatusAccepted {
+		t.Fatalf("other-service POST: got %d, want 202", rec.Code)
+	}
+	if st := srv.Stats(); st.QuotaRejected != 1 || st.Rejected != 0 || st.Admitted != 3 {
+		t.Fatalf("stats after quota shed: %+v", st)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	runDone := make(chan error, 1)
+	go func() { runDone <- srv.Run(ctx) }()
+	waitIngest(t, "admitted dumps folded", func() bool { return srv.Stats().Folded == 3 })
+	// Folding released pay's quota: the service admits again.
+	if rec := postDump(srv, "pay", "i3", body, false); rec.Code != http.StatusAccepted {
+		t.Fatalf("post-fold POST: got %d, want 202 (quota released on fold)", rec.Code)
+	}
+	waitIngest(t, "fourth dump folded", func() bool { return srv.Stats().Folded == 4 })
+	clock.Advance(2 * time.Minute)
+	ticks <- time.Time{}
+	var sweep *Sweep
+	select {
+	case sweep = <-sweeps:
+	case <-time.After(10 * time.Second):
+		t.Fatal("window never closed")
+	}
+	cancel()
+	<-runDone
+
+	if sweep.Profiles != 4 {
+		t.Errorf("Profiles = %d, want 4", sweep.Profiles)
+	}
+	if sweep.Errors != 1 || sweep.FailedByService["pay"] != 1 {
+		t.Errorf("Errors = %d, FailedByService = %v, want the one quota rejection against pay",
+			sweep.Errors, sweep.FailedByService)
+	}
+	quotaFails := 0
+	for _, f := range sweep.Failures {
+		if errors.Is(f.Err, ErrIngestQuota) {
+			quotaFails++
+		}
+	}
+	if quotaFails != 1 {
+		t.Errorf("ErrIngestQuota failures = %d, want 1", quotaFails)
+	}
+	if st := srv.Stats(); st.FoldTail <= 0 {
+		t.Errorf("FoldTail = %v, want > 0 after a closed window with folds", st.FoldTail)
+	}
+}
+
+// TestAdaptiveDrainGrace pins the drain-grace policy: default with no
+// fold samples, proportional to tail latency and outstanding work per
+// worker, clamped at both ends.
+func TestAdaptiveDrainGrace(t *testing.T) {
+	cases := []struct {
+		name        string
+		tail        time.Duration
+		outstanding int
+		workers     int
+		want        time.Duration
+	}{
+		{"no-samples-default", 0, 100, 4, defaultDrainGrace},
+		{"idle-floor", time.Microsecond, 0, 1, minDrainGrace},
+		{"proportional", 10 * time.Millisecond, 100, 4, 520 * time.Millisecond},
+		{"nothing-outstanding-floor", 10 * time.Millisecond, 0, 4, minDrainGrace},
+		{"ceiling", time.Second, 100, 1, maxDrainGrace},
+		{"zero-workers-treated-as-one", 10 * time.Millisecond, 10, 0, 220 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := adaptiveDrainGrace(tc.tail, tc.outstanding, tc.workers); got != tc.want {
+				t.Errorf("adaptiveDrainGrace(%v, %d, %d) = %v, want %v",
+					tc.tail, tc.outstanding, tc.workers, got, tc.want)
+			}
+		})
+	}
+}
+
 // TestIngestBackpressure fills the admission queue and checks that
 // overflow is shed with 429 + Retry-After while every admitted dump
 // still folds, and that the rejections are charged to their services in

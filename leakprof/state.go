@@ -277,6 +277,18 @@ type StateStore struct {
 	syncs       int64     // total fsyncs issued since open (telemetry)
 	unsynced    int       // frames appended to the active segment since its last sync
 	windowStart time.Time // store-clock time of the window's first unsynced append
+	foldPauses  int64     // concurrent-fold input captures since open (telemetry)
+	foldPauseNS int64     // cumulative store-lock pause of those captures
+
+	// Segment string dictionary (binary codec): the cumulative table the
+	// active segment's version-3 frames reference and append to. A roll
+	// resets it, carrying a bounded seed over via a dictionary frame at
+	// the new segment's head; recovery rebuilds it by replaying the
+	// active segment. Appended strings commit only after their frame's
+	// write succeeds, so the dictionary never references strings the
+	// on-disk segment does not declare.
+	segDict     *frame.Dict
+	pendingSeed []string // dictionary seed owed to the head of a fresh segment
 
 	// Group-commit committer: a background goroutine issuing the
 	// time-window sync so it never rides a sweep's critical path.
@@ -627,11 +639,16 @@ func (s *StateStore) replaySegment(seq int, isLast bool) error {
 	}
 	size := fi.Size()
 	br := bufio.NewReader(f)
+	// Each segment owns a fresh string dictionary; version-3 frames
+	// extend it as they decode (a seed frame at the segment head carries
+	// strings rolled over from the previous segment), while JSON and
+	// version-1/2 frames are self-contained and leave it untouched.
+	var dec segDecoder
 	var off int64
 	for {
 		payload, n, err := readFrame(br, size-off)
 		if err == io.EOF {
-			return nil
+			break
 		}
 		if errors.Is(err, errTornFrame) {
 			if !isLast {
@@ -640,22 +657,33 @@ func (s *StateStore) replaySegment(seq int, isLast bool) error {
 			if terr := os.Truncate(path, off); terr != nil {
 				return fmt.Errorf("leakprof: truncating torn journal tail in %s: %w", path, terr)
 			}
-			return nil
+			break
 		}
 		if err != nil {
 			return fmt.Errorf("leakprof: journal segment %s at offset %d: %w", path, off, err)
 		}
-		rec, derr := decodePayload(payload)
+		rec, derr := dec.decodePayload(payload)
 		if derr != nil {
 			// The checksum matched, so this is not torn — it is a frame
 			// this version cannot understand.
 			return fmt.Errorf("leakprof: journal segment %s: decoding frame at offset %d: %w", path, off, derr)
 		}
-		if aerr := s.applyRecord(rec); aerr != nil {
-			return fmt.Errorf("leakprof: journal segment %s: %w", path, aerr)
+		if rec != nil { // nil: a dictionary seed frame, no record to apply
+			if aerr := s.applyRecord(rec); aerr != nil {
+				return fmt.Errorf("leakprof: journal segment %s: %w", path, aerr)
+			}
 		}
 		off += n
 	}
+	if isLast {
+		// The recovered writer resumes this segment, so its dictionary
+		// must be exactly what any future reader will rebuild from the
+		// frames replayed above (a torn tail was truncated before its
+		// appends were committed, keeping the two in lockstep).
+		s.segDict = dec.dict
+		s.pendingSeed = nil
+	}
+	return nil
 }
 
 // applyRecord folds one replayed frame into the in-memory state.
@@ -708,18 +736,94 @@ func encodeFrame(rec *journalRecord, codec StateCodec) ([]byte, error) {
 	return frame.New(payload), nil
 }
 
+// maxDictSeedStrings bounds the dictionary seed a roll carries into a
+// fresh segment. Small steady-state dictionaries (hot stack locations a
+// few deltas keep naming) are worth re-declaring once per segment; a
+// huge dictionary — a snapshot segment's full key space — is not, so
+// past the bound the new segment starts empty and frames re-append
+// strings on demand.
+const maxDictSeedStrings = 4096
+
+// rollDictLocked resets the segment dictionary for a freshly reserved
+// segment, carrying the outgoing dictionary's strings over as the seed
+// a dictionary frame will declare at the segment's head.
+func (s *StateStore) rollDictLocked() {
+	if s.codec != StateCodecBinary {
+		s.segDict, s.pendingSeed = nil, nil
+		return
+	}
+	var seed []string
+	if s.segDict != nil && s.segDict.Len() > 0 && s.segDict.Len() <= maxDictSeedStrings {
+		seed = s.segDict.Strings()
+	}
+	s.segDict = frame.NewDictFrom(seed)
+	s.pendingSeed = seed
+}
+
+// encodeActiveFrame renders one record as a framed byte slice destined
+// for the active segment. Under the binary codec the frame references
+// the segment dictionary; the returned commit publishes the frame's
+// appended strings into it, and must run only after the frame's write
+// succeeded so the dictionary never references strings the on-disk
+// segment does not declare.
+func (s *StateStore) encodeActiveFrame(rec *journalRecord) ([]byte, func(), error) {
+	if s.codec != StateCodecBinary {
+		buf, err := encodeFrame(rec, s.codec)
+		return buf, func() {}, err
+	}
+	if s.segDict == nil {
+		s.segDict = frame.NewDict()
+	}
+	dt := frame.NewDictTable(s.segDict)
+	payload, err := encodeBinaryRecordDict(rec, dt)
+	if err != nil {
+		return nil, nil, fmt.Errorf("leakprof: encoding journal record: %w", err)
+	}
+	if len(payload) > maxFrameBytes {
+		return nil, nil, fmt.Errorf("leakprof: journal record of %d bytes exceeds frame bound", len(payload))
+	}
+	return frame.New(payload), dt.Commit, nil
+}
+
+// writePendingSeedLocked frames the dictionary seed owed at the head of
+// a freshly created segment, before its first data frame. The seed's
+// strings are already in the in-memory dictionary (the roll put them
+// there); this writes the declaration a replaying reader rebuilds it
+// from. The seed rides the same sync as the data frame that triggered
+// it, so it does not advance the group-commit frame count.
+func (s *StateStore) writePendingSeedLocked() error {
+	if len(s.pendingSeed) == 0 {
+		return nil
+	}
+	payload, err := encodeDictSeedPayload(s.pendingSeed)
+	if err != nil {
+		return fmt.Errorf("leakprof: encoding dictionary seed: %w", err)
+	}
+	buf := frame.New(payload)
+	if _, err := s.active.Write(buf); err != nil {
+		return fmt.Errorf("leakprof: appending dictionary seed frame: %w", err)
+	}
+	s.pendingSeed = nil
+	s.activeSize += int64(len(buf))
+	s.appended += int64(len(buf))
+	return nil
+}
+
 // openActive ensures the active segment is open for appending, rolling to
 // a fresh segment when the current one has outgrown its size bound. A
 // roll syncs the outgoing segment first when frames in it are still
 // unsynced: the sync-policy loss window must never silently extend to a
-// segment the store can no longer reach through its active handle.
-func (s *StateStore) openActive(incoming int64) error {
+// segment the store can no longer reach through its active handle. It
+// reports whether a roll happened, because a roll resets the segment
+// dictionary and invalidates any frame encoded against the outgoing one.
+func (s *StateStore) openActive(incoming int64) (bool, error) {
+	rolled := false
 	// Roll on size whether or not the handle is open: after a restart the
 	// recovered active segment may already be at its bound.
 	if s.activeSeq > 0 && s.activeSize > 0 && s.activeSize+incoming > s.segmentBytes {
 		if s.unsynced > 0 && s.active != nil {
 			if err := s.syncActiveLocked(); err != nil {
-				return err
+				return false, err
 			}
 		}
 		if s.active != nil {
@@ -729,9 +833,11 @@ func (s *StateStore) openActive(incoming int64) error {
 		s.activeSeq++
 		s.activeSize = 0
 		s.segCount++
+		s.rollDictLocked()
+		rolled = true
 	}
 	if s.active != nil {
-		return nil
+		return rolled, nil
 	}
 	if s.activeSeq == 0 {
 		s.activeSeq = 1
@@ -742,13 +848,13 @@ func (s *StateStore) openActive(incoming int64) error {
 	}
 	f, err := os.OpenFile(s.segmentPath(s.activeSeq), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		return fmt.Errorf("leakprof: opening journal segment: %w", err)
+		return rolled, fmt.Errorf("leakprof: opening journal segment: %w", err)
 	}
 	if fi, err := f.Stat(); err == nil {
 		s.activeSize = fi.Size()
 	}
 	s.active = f
-	return nil
+	return rolled, nil
 }
 
 // syncActiveLocked fsyncs the active segment and resets the group-commit
@@ -772,18 +878,31 @@ func (s *StateStore) syncActiveLocked() error {
 // when the group-commit window fills or its timer fires (SyncEvery), or
 // not until Flush/Close (SyncOnClose).
 func (s *StateStore) appendRecord(rec *journalRecord) error {
-	frame, err := encodeFrame(rec, s.codec)
+	buf, commit, err := s.encodeActiveFrame(rec)
 	if err != nil {
 		return err
 	}
-	if err := s.openActive(int64(len(frame))); err != nil {
+	rolled, err := s.openActive(int64(len(buf)))
+	if err != nil {
 		return err
 	}
-	if _, err := s.active.Write(frame); err != nil {
+	if rolled {
+		// The roll reset the segment dictionary, so the frame's string
+		// references point into the outgoing segment's table; re-encode
+		// against the fresh (seeded) dictionary.
+		if buf, commit, err = s.encodeActiveFrame(rec); err != nil {
+			return err
+		}
+	}
+	if err := s.writePendingSeedLocked(); err != nil {
+		return err
+	}
+	if _, err := s.active.Write(buf); err != nil {
 		return fmt.Errorf("leakprof: appending journal frame: %w", err)
 	}
-	s.activeSize += int64(len(frame))
-	s.appended += int64(len(frame))
+	commit()
+	s.activeSize += int64(len(buf))
+	s.appended += int64(len(buf))
 	s.unsynced++
 	switch s.syncPolicy.mode {
 	case syncModeEverySweep:
@@ -1115,6 +1234,7 @@ func (s *StateStore) startFoldLocked() {
 	if s.folding {
 		return
 	}
+	start := time.Now()
 	if s.bugRetention > 0 {
 		s.db.DropAged(s.now().Add(-s.bugRetention))
 	}
@@ -1132,13 +1252,23 @@ func (s *StateStore) startFoldLocked() {
 	// them. A failed fold requeues them; without the drain they would
 	// ride the next delta frame too and replay twice.
 	pending := &journalRecord{Bugs: s.db.TakeDirty(), Trend: s.tracker.TakeNew()}
+	// Capture only the key sets under the lock; the fold goroutine
+	// fetches the values in bounded chunks off it, so the under-lock
+	// pause costs O(keys) pointer copies instead of a full DB and trend
+	// history copy. Mutations that land between this capture and the
+	// fetch are safe either way: a changed or newly filed bug is dirty
+	// and rides a delta frame appended after the snapshot (Restore is
+	// an absolute overwrite), a deleted key is skipped by the fetch,
+	// and trend observations still pending at fetch time are excluded
+	// from the export precisely because their own delta replays behind
+	// the snapshot.
 	rec := &journalRecord{
 		Kind:    recordSnapshot,
 		SavedAt: s.now(),
-		Bugs:    s.db.All(),
-		Trend:   s.tracker.Export(),
 		Sweep:   s.last,
 	}
+	bugKeys := s.db.Keys()
+	trendKeys := s.tracker.Keys()
 	if s.active != nil {
 		s.active.Close()
 		s.active = nil
@@ -1150,16 +1280,23 @@ func (s *StateStore) startFoldLocked() {
 	s.activeSeq = newSeq + 1
 	s.activeSize = 0
 	s.segCount++ // the delta segment appends land in during/after the fold
+	s.rollDictLocked()
 	s.folding = true
 	s.foldDone = make(chan struct{})
-	go s.fold(rec, pending, oldBase, oldCount, newSeq)
+	s.foldPauses++
+	s.foldPauseNS += time.Since(start).Nanoseconds()
+	go s.fold(rec, pending, bugKeys, trendKeys, oldBase, oldCount, newSeq)
 }
 
-// fold is the background half of concurrent compaction.
-func (s *StateStore) fold(rec, pending *journalRecord, oldBase, oldCount, newSeq int) {
-	frame, err := encodeFrame(rec, s.codec)
+// fold is the background half of concurrent compaction: fetch the
+// snapshot's values (chunked, off the store lock), encode, stage, and
+// swing the manifest pointer.
+func (s *StateStore) fold(rec, pending *journalRecord, bugKeys, trendKeys []string, oldBase, oldCount, newSeq int) {
+	rec.Bugs = s.db.SnapshotKeys(bugKeys)
+	rec.Trend = s.tracker.ExportStable(trendKeys)
+	buf, snapDict, err := s.encodeSnapshotFrame(rec)
 	if err == nil {
-		err = s.writeSnapshotSegment(newSeq, frame)
+		err = s.writeSnapshotSegment(newSeq, buf)
 	}
 	if err == nil {
 		err = s.writeManifest(newSeq)
@@ -1196,18 +1333,47 @@ func (s *StateStore) fold(rec, pending *journalRecord, oldBase, oldCount, newSeq
 	s.base = newSeq
 	s.segCount -= oldCount
 	s.segCount++ // the snapshot segment itself
-	s.appended += int64(len(frame))
+	s.appended += int64(len(buf))
 	s.syncs++
 	if s.active == nil && s.activeSize == 0 && s.activeSeq == newSeq+1 {
 		// Nothing was recorded during the fold: collapse onto the
 		// snapshot segment instead of leaving an empty reservation, so
-		// a quiet fold ends at exactly one live segment.
+		// a quiet fold ends at exactly one live segment. Appends resume
+		// in the snapshot frame's dictionary, which its own table
+		// declares, so the reservation's pending seed is obsolete.
 		s.activeSeq = newSeq
 		s.segCount--
 		if fi, serr := os.Stat(s.segmentPath(newSeq)); serr == nil {
 			s.activeSize = fi.Size()
 		}
+		s.segDict = snapDict
+		s.pendingSeed = nil
 	}
+}
+
+// encodeSnapshotFrame renders a snapshot record as a framed byte slice
+// with its own fresh dictionary — snapshot segments are single-frame,
+// so the frame's appended-strings table carries everything it
+// references. It returns the committed dictionary so a store that
+// resumes appending onto the snapshot segment keeps writing in its
+// dialect. Safe off the store lock: it touches only the immutable codec
+// and its own locals.
+func (s *StateStore) encodeSnapshotFrame(rec *journalRecord) ([]byte, *frame.Dict, error) {
+	if s.codec != StateCodecBinary {
+		buf, err := encodeFrame(rec, s.codec)
+		return buf, nil, err
+	}
+	dict := frame.NewDict()
+	dt := frame.NewDictTable(dict)
+	payload, err := encodeBinaryRecordDict(rec, dt)
+	if err != nil {
+		return nil, nil, fmt.Errorf("leakprof: encoding journal record: %w", err)
+	}
+	if len(payload) > maxFrameBytes {
+		return nil, nil, fmt.Errorf("leakprof: journal record of %d bytes exceeds frame bound", len(payload))
+	}
+	dt.Commit()
+	return frame.New(payload), dict, nil
 }
 
 // writeSnapshotSegment stages one snapshot frame to a temp file, syncs
@@ -1251,7 +1417,7 @@ func (s *StateStore) compactLocked() error {
 		Trend:   s.tracker.Export(),
 		Sweep:   s.last,
 	}
-	frame, err := encodeFrame(rec, s.codec)
+	buf, snapDict, err := s.encodeSnapshotFrame(rec)
 	if err != nil {
 		return err
 	}
@@ -1263,7 +1429,7 @@ func (s *StateStore) compactLocked() error {
 		s.active.Close()
 		s.active = nil
 	}
-	if err := s.writeSnapshotSegment(newSeq, frame); err != nil {
+	if err := s.writeSnapshotSegment(newSeq, buf); err != nil {
 		return err
 	}
 	// The snapshot is durable; swing the manifest pointer. Everything
@@ -1290,11 +1456,15 @@ func (s *StateStore) compactLocked() error {
 		s.legacy = false
 	}
 	s.base, s.activeSeq = newSeq, newSeq
-	s.activeSize = int64(len(frame))
+	s.activeSize = int64(len(buf))
 	s.segCount = 1
-	s.appended += int64(len(frame))
+	s.appended += int64(len(buf))
 	s.syncs++
 	s.unsynced = 0
+	// Appends resume onto the snapshot segment, whose frame already
+	// declares its whole dictionary.
+	s.segDict = snapDict
+	s.pendingSeed = nil
 	return nil
 }
 
@@ -1313,6 +1483,16 @@ func (s *StateStore) journalSyncs() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.syncs
+}
+
+// journalFoldPause returns how many concurrent folds have captured
+// their inputs since open and the cumulative store-lock pause those
+// captures cost — the bench probe proving the compaction pause no
+// longer scales with tracked-key count.
+func (s *StateStore) journalFoldPause() (int64, time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.foldPauses, time.Duration(s.foldPauseNS)
 }
 
 // SegmentCount returns the number of live journal segments.

@@ -2,9 +2,11 @@ package leakprof
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -17,6 +19,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/frame"
 	"repro/internal/gprofile"
 	"repro/internal/report"
 	"repro/internal/stack"
@@ -406,6 +409,10 @@ func readJournalFrames(t *testing.T, path string) []journalRecord {
 	}
 	remaining := fi.Size()
 	br := bufio.NewReader(f)
+	// Version-3 frames reference the segment's cumulative dictionary, so
+	// reading a segment means threading one decoder across its frames —
+	// exactly what replaySegment does.
+	var dec segDecoder
 	var out []journalRecord
 	for {
 		payload, n, err := readFrame(br, remaining)
@@ -416,9 +423,12 @@ func readJournalFrames(t *testing.T, path string) []journalRecord {
 		if err != nil {
 			t.Fatalf("frame in %s: %v", path, err)
 		}
-		rec, err := decodePayload(payload)
+		rec, err := dec.decodePayload(payload)
 		if err != nil {
 			t.Fatal(err)
+		}
+		if rec == nil { // dictionary seed frame: no record
+			continue
 		}
 		out = append(out, *rec)
 	}
@@ -1121,5 +1131,197 @@ func TestSweepArchiveRetentionKeepsNewestRecording(t *testing.T) {
 	want := []string{"sweep-0002", "sweep-0003"}
 	if !reflect.DeepEqual(dirs, want) {
 		t.Errorf("retained dirs = %v, want %v (recording order)", dirs, want)
+	}
+}
+
+// writeLegacySegment writes a segment of version-2 binary frames — the
+// pre-dictionary, self-contained encoding existing journals on disk
+// carry — so recovery's fallback decode path is exercised against real
+// old-format bytes, not a simulation.
+func writeLegacySegment(t *testing.T, path string, recs []journalRecord) {
+	t.Helper()
+	var buf bytes.Buffer
+	for i := range recs {
+		payload, err := encodeBinaryRecordLegacy(&recs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(frame.New(payload))
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStateStoreLegacyCodecRecovery proves codec-version compatibility
+// both ways: a journal written entirely in the version-2 frame format
+// recovers into the same state, and a store opened over it appends
+// version-3 dictionary frames to the same segment — a mixed-codec
+// journal — that replays cleanly on the next open.
+func TestStateStoreLegacyCodecRecovery(t *testing.T) {
+	dir := t.TempDir()
+	day := func(d int) time.Time { return time.Unix(0, 0).Add(time.Duration(d) * 24 * time.Hour) }
+	legacy := []journalRecord{
+		{
+			Kind: recordDelta, SavedAt: day(1),
+			Bugs: []report.Bug{{Key: svcKey("/old.go:1"), Service: "svc", Op: "send",
+				Location: "/old.go:1", Sightings: 1, FiledAt: day(1)}},
+			Trend: map[string][]TrendObservation{svcKey("/old.go:1"): {{At: day(1), Total: 100}}},
+			Sweep: &SweepRecord{At: day(1), Source: "test", Profiles: 10},
+		},
+		{
+			Kind: recordDelta, SavedAt: day(2),
+			Bugs: []report.Bug{{Key: svcKey("/old.go:2"), Service: "svc", Op: "send",
+				Location: "/old.go:2", Sightings: 1, FiledAt: day(2)}},
+			Sweep: &SweepRecord{At: day(2), Source: "test", Profiles: 10},
+		},
+	}
+	writeLegacySegment(t, filepath.Join(dir, "segment-0001.log"), legacy)
+
+	store, err := OpenStateStore(dir)
+	if err != nil {
+		t.Fatalf("legacy journal failed recovery: %v", err)
+	}
+	for _, loc := range []string{"/old.go:1", "/old.go:2"} {
+		if _, ok := store.BugDB().Get(svcKey(loc)); !ok {
+			t.Errorf("legacy bug %s lost", loc)
+		}
+	}
+	if last := store.LastSweep(); last == nil || !last.At.Equal(day(2)) {
+		t.Fatalf("legacy last sweep = %+v", last)
+	}
+	// New sweeps append v3 dictionary frames behind the v2 frames in the
+	// same segment: v2 frames are self-contained and consume no
+	// dictionary slots, so the mixed segment stays in writer/reader
+	// lockstep.
+	journalSweep(t, store, 3, map[string]int{"/new.go:3": 25})
+	journalSweep(t, store, 4, map[string]int{"/new.go:3": 30})
+	store.Close()
+
+	frames := readJournalFrames(t, store.segmentPath(1))
+	if len(frames) != 4 {
+		t.Fatalf("mixed segment has %d record frames, want 4", len(frames))
+	}
+	re, err := OpenStateStore(dir)
+	if err != nil {
+		t.Fatalf("mixed-codec journal failed recovery: %v", err)
+	}
+	defer re.Close()
+	for _, loc := range []string{"/old.go:1", "/old.go:2", "/new.go:3"} {
+		if _, ok := re.BugDB().Get(svcKey(loc)); !ok {
+			t.Errorf("mixed-codec recovery lost %s", loc)
+		}
+	}
+	if bug, _ := re.BugDB().Get(svcKey("/new.go:3")); bug.Sightings != 2 {
+		t.Errorf("v3 re-sighting = %d sightings, want 2", bug.Sightings)
+	}
+	if last := re.LastSweep(); last == nil || !last.At.Equal(day(4)) {
+		t.Errorf("mixed-codec last sweep = %+v", last)
+	}
+}
+
+// TestStateStoreTornDictionaryFrame tears the active segment inside its
+// head dictionary-seed frame: recovery must truncate the tail (the seed
+// and everything after it in that segment), keep every prior segment's
+// state, and keep appending — the rebuilt in-memory dictionary must
+// stay in lockstep with what survived on disk.
+func TestStateStoreTornDictionaryFrame(t *testing.T) {
+	dir := t.TempDir()
+	// segmentBytes=1 rolls every sweep into a fresh segment, each opening
+	// with a dictionary seed carried from the previous segment.
+	store, err := OpenStateStore(dir, StateCompaction(1, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	journalSweep(t, store, 1, map[string]int{"/a.go:1": 100})
+	journalSweep(t, store, 2, map[string]int{"/b.go:2": 50})
+	journalSweep(t, store, 3, map[string]int{"/c.go:3": 25})
+	if store.SegmentCount() != 3 {
+		t.Fatalf("segments = %d, want 3", store.SegmentCount())
+	}
+	store.Close()
+
+	// Tear the last segment mid-way through its first frame — the
+	// dictionary seed. 11 bytes is past the 8-byte frame header but far
+	// short of the seed payload.
+	last := store.segmentPath(3)
+	body, err := os.ReadFile(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(last, body[:11], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenStateStore(dir)
+	if err != nil {
+		t.Fatalf("torn dictionary frame failed recovery: %v", err)
+	}
+	if _, ok := re.BugDB().Get(svcKey("/a.go:1")); !ok {
+		t.Error("sweep 1 lost")
+	}
+	if _, ok := re.BugDB().Get(svcKey("/b.go:2")); !ok {
+		t.Error("sweep 2 lost")
+	}
+	if _, ok := re.BugDB().Get(svcKey("/c.go:3")); ok {
+		t.Error("sweep 3 survived a tear that destroyed its segment head")
+	}
+	// The dictionary the torn seed would have carried is gone from disk;
+	// appends must re-seed in lockstep and replay cleanly.
+	journalSweep(t, re, 4, map[string]int{"/a.go:1": 120, "/d.go:4": 12})
+	re.Close()
+	re2, err := OpenStateStore(dir)
+	if err != nil {
+		t.Fatalf("post-tear append failed recovery: %v", err)
+	}
+	defer re2.Close()
+	for _, loc := range []string{"/a.go:1", "/b.go:2", "/d.go:4"} {
+		if _, ok := re2.BugDB().Get(svcKey(loc)); !ok {
+			t.Errorf("post-tear recovery lost %s", loc)
+		}
+	}
+	if bug, _ := re2.BugDB().Get(svcKey("/a.go:1")); bug.Sightings != 2 {
+		t.Errorf("re-sighted bug = %d sightings, want 2", bug.Sightings)
+	}
+}
+
+// TestStateStoreDictionaryShrinksSteadyState pins the dictionary's
+// point: at steady state (the same keys re-sighted sweep after sweep)
+// a version-3 journal is substantially smaller than the same records
+// in the self-contained version-2 encoding, because repeated strings
+// are dictionary references instead of per-frame table copies.
+func TestStateStoreDictionaryShrinksSteadyState(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenStateStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := map[string]int{}
+	for i := 0; i < 20; i++ {
+		keys[fmt.Sprintf("/very/long/steady/state/path/services/payments/handler%02d.go:42", i)] = 100
+	}
+	const sweeps = 10
+	for d := 1; d <= sweeps; d++ {
+		journalSweep(t, store, d, keys)
+	}
+	store.Close()
+
+	fi, err := os.Stat(store.segmentPath(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v3Bytes := fi.Size()
+	var legacyBytes int64
+	for _, rec := range readJournalFrames(t, store.segmentPath(1)) {
+		rec := rec
+		payload, err := encodeBinaryRecordLegacy(&rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		legacyBytes += int64(len(frame.New(payload)))
+	}
+	if v3Bytes >= legacyBytes*2/3 {
+		t.Errorf("steady-state journal = %d bytes with dictionary, %d without: want at least a third smaller",
+			v3Bytes, legacyBytes)
 	}
 }

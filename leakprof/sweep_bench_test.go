@@ -125,6 +125,13 @@ func BenchmarkSweepCriticalPath(b *testing.B) {
 		}
 		b.ReportMetric(float64(store.journalSyncs()-startSyncs)/float64(b.N), "fsyncs/op")
 		b.ReportMetric(float64(store.journalBytesAppended()-startBytes)/float64(b.N)/1024, "journal-KB/op")
+		// The compaction pause: wall time sweeps spent inside the fold's
+		// under-lock stage (key capture + reservation). The fold itself
+		// (value fetch, snapshot encode, segment write) runs off-lock.
+		if folds, pause := store.journalFoldPause(); folds > 0 {
+			b.ReportMetric(float64(pause.Microseconds())/float64(folds), "fold-pause-us/fold")
+			b.ReportMetric(float64(folds)/float64(b.N), "folds/op")
+		}
 		// The archive keeps the last KeepSweeps sweep directories; the
 		// per-sweep metric averages over whatever is retained.
 		var archiveBytes int64
@@ -156,5 +163,14 @@ func BenchmarkSweepCriticalPath(b *testing.B) {
 	})
 	b.Run("detached-group-commit", func(b *testing.B) {
 		run(b, StateCodecBinary, WithStateSync(SyncEvery(16, 0)), WithDetachedSinks())
+	})
+	// fold-pause forces the journal to roll and fold continuously
+	// (1-byte segment budget, 2-segment cap at a 100K-key state) so
+	// fold-pause-us/fold measures the incremental export's under-lock
+	// capture — the pause the full-copy fold design spent copying the
+	// whole DB and trend history.
+	b.Run("fold-pause", func(b *testing.B) {
+		run(b, StateCodecBinary, WithStateSync(SyncEvery(16, 0)), WithDetachedSinks(),
+			WithStateCompaction(1, 2))
 	})
 }

@@ -212,6 +212,62 @@ func (t *TrendTracker) Export() map[string][]TrendObservation {
 	return out
 }
 
+// Keys returns every tracked key, unordered. With ExportStable it forms
+// the incremental-export pair the journal's concurrent fold uses:
+// capture the cheap key set inside the caller's critical section, fetch
+// the histories later in bounded chunks off it.
+func (t *TrendTracker) Keys() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, 0, len(t.history))
+	for k := range t.history {
+		out = append(out, k)
+	}
+	return out
+}
+
+// trendExportChunk bounds how many keys ExportStable copies per lock
+// acquisition, so a concurrent observer never waits on a full-history
+// export.
+const trendExportChunk = 1024
+
+// ExportStable exports the history for keys in journalable form,
+// excluding observations still pending for the next TakeNew. The
+// exclusion is what makes the export safe to fetch concurrently with
+// recording: a pending observation rides its own delta frame, which a
+// replay applies by appending after the snapshot — including it here
+// too would replay it twice. Pending observations are always a suffix
+// of their key's history (record appends to both, and retention only
+// trims the front), so dropping min(pending, len(history)) entries off
+// the tail removes exactly the unjournaled ones.
+func (t *TrendTracker) ExportStable(keys []string) map[string][]TrendObservation {
+	out := make(map[string][]TrendObservation, len(keys))
+	for len(keys) > 0 {
+		chunk := keys
+		if len(chunk) > trendExportChunk {
+			chunk = chunk[:trendExportChunk]
+		}
+		keys = keys[len(chunk):]
+		t.mu.Lock()
+		for _, key := range chunk {
+			obs, ok := t.history[key]
+			if !ok {
+				continue
+			}
+			stable := len(obs) - min(len(t.pending[key]), len(obs))
+			if stable == 0 {
+				continue
+			}
+			out[key] = exportObservations(obs[:stable])
+		}
+		t.mu.Unlock()
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
 // TakeNew returns the observations recorded since the last TakeNew and
 // clears the pending set: the per-sweep delta an append-only journal
 // persists instead of re-writing every key's history. The first call
