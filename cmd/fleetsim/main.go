@@ -17,9 +17,18 @@
 // fleet's current-day debug=2 dump bodies once, then -posters
 // concurrent posters each POST -posts of them (round-robin, optionally
 // -gzip compressed) and the run prints accepted/rejected counts,
-// posts/sec, and admission-latency percentiles. Rejections (429) are
-// expected under deliberate overload — the point of the mode is to
-// watch the endpoint shed load without stalling admitted dumps.
+// posts/sec, and admission-latency percentiles. A 429 is not dropped
+// on the floor: posters honour the endpoint's Retry-After with capped,
+// jittered backoff for up to -post-retries attempts before shedding
+// the dump, and the run reports retried-vs-shed counts. -post-token
+// sends the X-Leakprof-Token the endpoint's -ingest-token expects.
+//
+// With -matrix fleetsim runs the chaos scenario matrix instead: every
+// named fleet-config × fault-set × pipeline-mode scenario from
+// internal/chaos (or just those named by -scenario), rendering the
+// pass/fail table with per-scenario precision, recall, latency, and
+// fault evidence, and exiting non-zero if any scenario misses its
+// floors. This is the CI robustness gate.
 package main
 
 import (
@@ -29,16 +38,19 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"os/signal"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/fleet"
 	"repro/internal/gprofile"
 	"repro/internal/patterns"
@@ -62,12 +74,20 @@ func main() {
 	posters := flag.Int("posters", 256, "with -post: concurrent posting goroutines")
 	posts := flag.Int("posts", 10, "with -post: POSTs per poster")
 	gz := flag.Bool("gzip", false, "with -post: gzip-compress each dump body (Content-Encoding: gzip)")
+	postRetries := flag.Int("post-retries", 3, "with -post: attempts per dump when the endpoint answers 429 (Retry-After honoured with capped jittered backoff)")
+	postToken := flag.String("post-token", "", "with -post: X-Leakprof-Token to send (the endpoint's -ingest-token)")
+	matrix := flag.Bool("matrix", false, "run the chaos scenario matrix, print the pass/fail table, and exit non-zero on any miss")
+	scenario := flag.String("scenario", "", "with -matrix: comma-separated scenario names to run (default: all)")
 	flag.Parse()
 
-	pats := []*patterns.Pattern{
-		patterns.TimeoutLeak, patterns.UnclosedRange, patterns.ContractDone,
-		patterns.NCast, patterns.PrematureReturn,
+	if *matrix {
+		runMatrix(*scenario)
+		return
 	}
+
+	// Rotate planted defects through the full simulatable pattern
+	// catalogue, so a bigger -services covers more leak shapes.
+	pats := patterns.Simulatable()
 	var configs []fleet.ServiceConfig
 	for s := 0; s < *services; s++ {
 		cfg := fleet.ServiceConfig{
@@ -113,7 +133,7 @@ func main() {
 	}
 
 	if *post != "" {
-		if err := runLoadGen(f, *post, *posters, *posts, *gz); err != nil {
+		if err := runLoadGen(f, *post, *posters, *posts, *gz, *postRetries, *postToken); err != nil {
 			fmt.Fprintln(os.Stderr, "fleetsim:", err)
 			os.Exit(1)
 		}
@@ -144,6 +164,33 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	<-ctx.Done()
+}
+
+// runMatrix executes the chaos scenario catalogue (or the named subset)
+// and renders the pass/fail table. Any scenario missing its floors, its
+// latency SLO, or its expected fault evidence fails the run.
+func runMatrix(names string) {
+	var want []string
+	if names != "" {
+		want = strings.Split(names, ",")
+	}
+	scs, err := chaos.Lookup(want)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fleetsim:", err)
+		os.Exit(1)
+	}
+	results := chaos.RunAll(context.Background(), scs)
+	fmt.Print(chaos.RenderTable(results))
+	failed := 0
+	for _, r := range results {
+		if !r.Pass {
+			failed++
+		}
+	}
+	fmt.Printf("%d/%d scenarios passed\n", len(results)-failed, len(results))
+	if failed > 0 {
+		os.Exit(1)
+	}
 }
 
 // runSweep drives the unified pipeline over the given profile origin:
@@ -234,13 +281,19 @@ type dumpBody struct {
 // runLoadGen renders the fleet's current-day dump bodies and hammers
 // the ingest endpoint with them: posters×posts concurrent POSTs,
 // round-robin over the bodies. Overload is deliberate — 429s measure
-// the endpoint's shedding, not a failure of the run.
-func runLoadGen(f *fleet.Fleet, url string, posters, posts int, gz bool) error {
+// the endpoint's shedding, not a failure of the run. Each 429 is
+// retried up to retries attempts, honouring the endpoint's Retry-After
+// (capped, with jitter so the herd does not re-arrive in lockstep);
+// a dump still rejected after its last attempt is shed.
+func runLoadGen(f *fleet.Fleet, url string, posters, posts int, gz bool, retries int, token string) error {
 	if posters < 1 {
 		posters = 1
 	}
 	if posts < 1 {
 		posts = 1
+	}
+	if retries < 1 {
+		retries = 1
 	}
 
 	// Render every instance's dump once, up front, so the posting loop
@@ -274,7 +327,7 @@ func runLoadGen(f *fleet.Fleet, url string, posters, posts int, gz bool) error {
 	}
 
 	client := &http.Client{Timeout: 30 * time.Second}
-	var accepted, rejected, quotaRejected, other, errs atomic.Int64
+	var accepted, retried, shed, quotaShed, other, errs atomic.Int64
 	latencies := make([][]time.Duration, posters)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -283,44 +336,59 @@ func runLoadGen(f *fleet.Fleet, url string, posters, posts int, gz bool) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(p) + 1))
 			lat := make([]time.Duration, 0, posts)
 			for i := 0; i < posts; i++ {
 				d := bodies[(p*posts+i)%len(bodies)]
-				req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(d.body))
-				if err != nil {
-					errs.Add(1)
-					continue
-				}
-				req.Header.Set("X-Leakprof-Service", d.service)
-				req.Header.Set("X-Leakprof-Instance", fmt.Sprintf("%s-p%d", d.instance, p))
-				if gz {
-					req.Header.Set("Content-Encoding", "gzip")
-				}
-				t0 := time.Now()
-				resp, err := client.Do(req)
-				if err != nil {
-					errs.Add(1)
-					continue
-				}
-				// The 429 body names the reason: a full queue (global
-				// backpressure) or a per-service quota. Only the first
-				// few bytes matter for the classification.
-				head := make([]byte, 128)
-				n, _ := io.ReadFull(resp.Body, head)
-				io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
-				lat = append(lat, time.Since(t0))
-				switch resp.StatusCode {
-				case http.StatusAccepted:
-					accepted.Add(1)
-				case http.StatusTooManyRequests:
-					if bytes.Contains(head[:n], []byte("quota")) {
-						quotaRejected.Add(1)
-					} else {
-						rejected.Add(1)
+			attempts:
+				for attempt := 1; ; attempt++ {
+					req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(d.body))
+					if err != nil {
+						errs.Add(1)
+						break
 					}
-				default:
-					other.Add(1)
+					req.Header.Set("X-Leakprof-Service", d.service)
+					req.Header.Set("X-Leakprof-Instance", fmt.Sprintf("%s-p%d", d.instance, p))
+					if gz {
+						req.Header.Set("Content-Encoding", "gzip")
+					}
+					if token != "" {
+						req.Header.Set("X-Leakprof-Token", token)
+					}
+					t0 := time.Now()
+					resp, err := client.Do(req)
+					if err != nil {
+						errs.Add(1)
+						break
+					}
+					// The 429 body names the reason: a full queue (global
+					// backpressure) or a per-service quota. Only the first
+					// few bytes matter for the classification.
+					head := make([]byte, 128)
+					n, _ := io.ReadFull(resp.Body, head)
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					lat = append(lat, time.Since(t0))
+					switch resp.StatusCode {
+					case http.StatusAccepted:
+						accepted.Add(1)
+						break attempts
+					case http.StatusTooManyRequests:
+						if attempt >= retries {
+							// Out of attempts: the dump is shed.
+							if bytes.Contains(head[:n], []byte("quota")) {
+								quotaShed.Add(1)
+							} else {
+								shed.Add(1)
+							}
+							break attempts
+						}
+						retried.Add(1)
+						time.Sleep(backoffDelay(resp.Header.Get("Retry-After"), rng))
+					default:
+						other.Add(1)
+						break attempts
+					}
 				}
 			}
 			latencies[p] = lat
@@ -343,14 +411,31 @@ func runLoadGen(f *fleet.Fleet, url string, posters, posts int, gz bool) error {
 	}
 
 	total := int64(posters) * int64(posts)
-	fmt.Printf("posted %d dumps (%d bodies, %d posters × %d posts, gzip=%v) in %v\n",
-		total, len(bodies), posters, posts, gz, wall.Round(time.Millisecond))
-	fmt.Printf("  accepted=%d rejected-429=%d quota-429=%d other=%d errors=%d\n",
-		accepted.Load(), rejected.Load(), quotaRejected.Load(), other.Load(), errs.Load())
+	fmt.Printf("posted %d dumps (%d bodies, %d posters × %d posts, gzip=%v, retries=%d) in %v\n",
+		total, len(bodies), posters, posts, gz, retries, wall.Round(time.Millisecond))
+	fmt.Printf("  accepted=%d retried-429=%d shed=%d quota-shed=%d other=%d errors=%d\n",
+		accepted.Load(), retried.Load(), shed.Load(), quotaShed.Load(), other.Load(), errs.Load())
 	fmt.Printf("  %.0f posts/sec, admission latency p50=%v p99=%v\n",
 		float64(total)/wall.Seconds(), pct(0.50).Round(time.Microsecond), pct(0.99).Round(time.Microsecond))
 	if errs.Load() > 0 {
 		return fmt.Errorf("%d POSTs failed outright", errs.Load())
 	}
 	return nil
+}
+
+// backoffDelay turns a 429's Retry-After into the actual wait: the
+// server's ask, capped at 2s so an aggressive hint cannot park the
+// poster, with ±25% jitter so the shed herd does not re-arrive in
+// lockstep at the exact same instant.
+func backoffDelay(retryAfter string, rng *rand.Rand) time.Duration {
+	const capDelay = 2 * time.Second
+	d := 100 * time.Millisecond // server gave no hint
+	if secs, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && secs >= 0 {
+		d = time.Duration(secs) * time.Second
+	}
+	if d > capDelay {
+		d = capDelay
+	}
+	jitter := 0.75 + 0.5*rng.Float64()
+	return time.Duration(float64(d) * jitter)
 }

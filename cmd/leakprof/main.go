@@ -60,7 +60,11 @@
 // concurrently (-fold-workers, default min(GOMAXPROCS, 8)) — the
 // aggregator is order-independent, so worker count never changes a
 // sweep's findings. SIGINT drains everything admitted into a final
-// partial window before exiting.
+// partial window before exiting. -ingest-token arms shared-secret
+// admission: a POST without the matching X-Leakprof-Token is a 401
+// (compared constant-time) before its ?service= claim can touch any
+// accounting; the same flag makes a -shard worker send the token with
+// its -report-url handoff.
 package main
 
 import (
@@ -111,6 +115,7 @@ func main() {
 	ingestQueue := flag.Int("ingest-queue", 0, "with -ingest: bound on dumps in flight before POSTs are rejected with 429 (0 = 1024 default)")
 	ingestQuota := flag.Int("ingest-quota", 0, "with -ingest: per-service bound on concurrently held admission slots; a service over its quota gets 429 without crowding others out (0 = no quota)")
 	foldWorkers := flag.Int("fold-workers", 0, "with -ingest: goroutines folding scanned dumps into each window (0 = min(GOMAXPROCS, 8); 1 = serial)")
+	ingestToken := flag.String("ingest-token", "", "shared-secret X-Leakprof-Token: -ingest POSTs without it get 401 (compared constant-time); worker -report-url POSTs send it")
 	staticIndex := flag.String("static-index", "", "findings index written by leakrank: filed bugs and alerts are decorated with the static alarm for their site")
 	flag.Parse()
 
@@ -161,7 +166,7 @@ func main() {
 		// Worker mode bypasses findings, sinks, and the journal entirely:
 		// the shard's contribution is its folded report, and the
 		// coordinator owns everything downstream of the merge.
-		runShardWorker(ctx, opts, *shard, *shardName, *endpoints, *reportOut, *reportURL)
+		runShardWorker(ctx, opts, *shard, *shardName, *endpoints, *reportOut, *reportURL, *ingestToken)
 		return
 	}
 	pipe := leakprof.New(opts...)
@@ -226,7 +231,7 @@ func main() {
 		}
 		sweeps = []*leakprof.Sweep{sweep}
 	case *ingest != "":
-		err = runIngest(ctx, pipe, *ingest, *ingestQueue, *ingestQuota, *foldWorkers)
+		err = runIngest(ctx, pipe, *ingest, *ingestQueue, *ingestQuota, *foldWorkers, *ingestToken)
 		winMu.Lock()
 		sweeps = winSweeps
 		winMu.Unlock()
@@ -297,7 +302,7 @@ func main() {
 // loop until the context is cancelled (SIGINT), then drain — everything
 // admitted folds into a final partial-window sweep before the listener
 // and pipeline shut down.
-func runIngest(ctx context.Context, pipe *leakprof.Pipeline, addr string, queue, quota, workers int) error {
+func runIngest(ctx context.Context, pipe *leakprof.Pipeline, addr string, queue, quota, workers int, token string) error {
 	var iopts []leakprof.IngestOption
 	if queue > 0 {
 		iopts = append(iopts, leakprof.IngestQueue(queue))
@@ -307,6 +312,9 @@ func runIngest(ctx context.Context, pipe *leakprof.Pipeline, addr string, queue,
 	}
 	if workers > 0 {
 		iopts = append(iopts, leakprof.IngestFoldWorkers(workers))
+	}
+	if token != "" {
+		iopts = append(iopts, leakprof.IngestAuthToken(token))
 	}
 	srv := leakprof.NewIngestServer(pipe, iopts...)
 	hs := &http.Server{Addr: addr, Handler: srv}
@@ -332,8 +340,8 @@ func runIngest(ctx context.Context, pipe *leakprof.Pipeline, addr string, queue,
 	defer cancel()
 	hs.Shutdown(sctx)
 	st := srv.Stats()
-	fmt.Fprintf(os.Stderr, "ingest: %d admitted (%d folded), %d rejected (%d over quota), %d scan errors, %d windows closed\n",
-		st.Admitted, st.Folded, st.Rejected+st.QuotaRejected, st.QuotaRejected, st.ScanErrors, st.Windows)
+	fmt.Fprintf(os.Stderr, "ingest: %d admitted (%d folded), %d rejected (%d over quota), %d auth 401s, %d scan errors, %d windows closed\n",
+		st.Admitted, st.Folded, st.Rejected+st.QuotaRejected, st.QuotaRejected, st.AuthRejected, st.ScanErrors, st.Windows)
 	// ListenAndServe returns exactly once; after Shutdown this receive
 	// is immediate.
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -348,7 +356,7 @@ func runIngest(ctx context.Context, pipe *leakprof.Pipeline, addr string, queue,
 // runShardWorker is -shard mode: sweep partition K of the fleet's N
 // service-hash shards and hand the folded report off (file, HTTP, or
 // both) instead of filing findings.
-func runShardWorker(ctx context.Context, opts []leakprof.Option, spec, name, endpoints, out, url string) {
+func runShardWorker(ctx context.Context, opts []leakprof.Option, spec, name, endpoints, out, url, token string) {
 	if endpoints == "" {
 		fatal(errors.New("-shard requires -endpoints"))
 	}
@@ -382,7 +390,7 @@ func runShardWorker(ctx context.Context, opts []leakprof.Option, spec, name, end
 		}
 	}
 	if url != "" {
-		if err := leakprof.PostShardReport(ctx, nil, url, rep); err != nil {
+		if err := leakprof.PostShardReportAuth(ctx, nil, url, token, rep); err != nil {
 			fatal(err)
 		}
 	}

@@ -1,0 +1,55 @@
+package chaos
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestScenarioMatrix runs the full catalogue — every mode, every fault
+// mix — and requires every scenario to clear its precision/recall
+// floors, its latency SLO, and its expected-evidence checks. Every
+// fault decision is seeded, so a failure here reproduces identically.
+func TestScenarioMatrix(t *testing.T) {
+	scs := Catalogue()
+	if len(scs) < 8 {
+		t.Fatalf("catalogue has %d scenarios, want at least 8", len(scs))
+	}
+	modes := map[Mode]bool{}
+	names := map[string]bool{}
+	for _, sc := range scs {
+		if names[sc.Name] {
+			t.Fatalf("duplicate scenario name %q", sc.Name)
+		}
+		names[sc.Name] = true
+		modes[sc.Mode] = true
+	}
+	for _, m := range []Mode{ModeBatch, ModeSharded, ModeIngest} {
+		if !modes[m] {
+			t.Errorf("catalogue covers no %s scenario", m)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	results := RunAll(ctx, scs)
+	t.Logf("\n%s", RenderTable(results))
+	for _, r := range results {
+		if !r.Pass {
+			t.Errorf("%s: %v", r.Scenario.Name, r.Reasons)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	got, err := Lookup([]string{"torn-dumps", "ingest-auth"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "torn-dumps" || got[1].Name != "ingest-auth" {
+		t.Fatalf("Lookup returned %d scenarios in wrong order", len(got))
+	}
+	if _, err := Lookup([]string{"no-such-scenario"}); err == nil {
+		t.Fatal("Lookup accepted an unknown scenario name")
+	}
+}

@@ -19,8 +19,11 @@ package fleet
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/rand"
+	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/gprofile"
@@ -73,22 +76,26 @@ type Instance struct {
 	Service string
 	Name    string
 	hot     bool
-	blocked int
+	// blocked is atomic because chaos scenarios deploy mid-sweep: a
+	// DeployAll clearing backlogs races benignly with concurrent
+	// Stacks/snapshot reads, exactly as a real deploy races a sweep.
+	blocked atomic.Int64
 	benign  []*stack.Goroutine
 	cfg     *ServiceConfig
 }
 
 // Blocked returns the instance's current blocked-goroutine count at the
 // injected leak location.
-func (in *Instance) Blocked() int { return in.blocked }
+func (in *Instance) Blocked() int { return int(in.blocked.Load()) }
 
 // Stacks synthesises the instance's current goroutine population: the
 // benign background plus the leaked cluster.
 func (in *Instance) Stacks() []*stack.Goroutine {
-	out := make([]*stack.Goroutine, 0, len(in.benign)+in.blocked)
+	blocked := int(in.blocked.Load())
+	out := make([]*stack.Goroutine, 0, len(in.benign)+blocked)
 	out = append(out, in.benign...)
-	if in.blocked > 0 && in.cfg.Pattern != nil {
-		leaked := in.cfg.Pattern.Stacks(int64(1000+len(in.benign)), in.blocked)
+	if blocked > 0 && in.cfg.Pattern != nil {
+		leaked := in.cfg.Pattern.Stacks(int64(1000+len(in.benign)), blocked)
 		patterns.Relocate(leaked, in.cfg.LeakFile, in.cfg.LeakLine)
 		out = append(out, leaked...)
 	}
@@ -157,7 +164,7 @@ func (f *Fleet) AdvanceDay() {
 		for _, in := range s.instances {
 			// Deploy boundary: the backlog clears.
 			if f.Day%cfg.DeployEveryDays == 0 {
-				in.blocked = 0
+				in.blocked.Store(0)
 			}
 			leakLive := cfg.Pattern != nil &&
 				f.Day >= cfg.LeakStartDay &&
@@ -169,7 +176,26 @@ func (f *Fleet) AdvanceDay() {
 			if in.hot {
 				rate = cfg.HotLeakPerDay
 			}
-			in.blocked += rate
+			in.blocked.Add(int64(rate))
+		}
+	}
+}
+
+// DeployAll rolls every instance immediately: backlogs clear exactly as
+// at an AdvanceDay deploy boundary, but without advancing the clock.
+// Safe to call while sweeps read the fleet concurrently.
+func (f *Fleet) DeployAll() { f.DeployRolling(1) }
+
+// DeployRolling rolls the first ceil(frac×n) instances of every service
+// immediately — the mid-sweep version skew a rolling deploy causes: a
+// sweep in flight observes the rolled instances post-deploy (backlog
+// reset to zero) and the rest still on the old version with their full
+// clusters. Safe to call while sweeps read the fleet concurrently.
+func (f *Fleet) DeployRolling(frac float64) {
+	for _, s := range f.Services {
+		n := int(math.Ceil(frac * float64(len(s.instances))))
+		for i := 0; i < n && i < len(s.instances); i++ {
+			s.instances[i].blocked.Store(0)
 		}
 	}
 }
@@ -204,13 +230,13 @@ func (in *Instance) snapshotAggregated(at time.Time) *gprofile.Snapshot {
 		TakenAt:    at,
 		Goroutines: in.benign,
 	}
-	if in.blocked > 0 && in.cfg.Pattern != nil {
+	if blocked := int(in.blocked.Load()); blocked > 0 && in.cfg.Pattern != nil {
 		// One representative record determines the operation kind
 		// and location; the count rides alongside.
 		rep := in.cfg.Pattern.Stacks(1, 1)
 		patterns.Relocate(rep, in.cfg.LeakFile, in.cfg.LeakLine)
 		if op, ok := rep[0].BlockedChannelOp(); ok {
-			snap.PreAggregated = map[stack.BlockedOp]int{op: in.blocked}
+			snap.PreAggregated = map[stack.BlockedOp]int{op: blocked}
 		}
 	}
 	return snap
@@ -278,11 +304,24 @@ func (s fleetSource) Sweep(ctx context.Context, env *leakprof.SweepEnv) error {
 // LEAKPROF endpoints plus a shutdown function. Intended for moderate
 // fleet sizes (examples, integration tests).
 func (f *Fleet) Serve() ([]leakprof.Endpoint, func()) {
+	return f.ServeWith(nil)
+}
+
+// ServeWith is Serve with a per-instance handler wrapper — the chaos
+// seam. A non-nil wrap receives each instance and its real profile
+// handler and returns the handler actually mounted, letting
+// fault-injection middleware (delays, hangs, corrupted bodies) sit
+// between the sweep and the honest endpoint without the fleet knowing.
+func (f *Fleet) ServeWith(wrap func(in *Instance, h http.Handler) http.Handler) ([]leakprof.Endpoint, func()) {
 	var endpoints []leakprof.Endpoint
 	var servers []*httptest.Server
 	for _, in := range f.Instances() {
 		in := in
-		srv := httptest.NewServer(gprofile.Handler{Stacks: in.Stacks})
+		var h http.Handler = gprofile.Handler{Stacks: in.Stacks}
+		if wrap != nil {
+			h = wrap(in, h)
+		}
+		srv := httptest.NewServer(h)
 		servers = append(servers, srv)
 		endpoints = append(endpoints, leakprof.Endpoint{
 			Service:  in.Service,
@@ -301,7 +340,7 @@ func (f *Fleet) Serve() ([]leakprof.Endpoint, func()) {
 func (s *Service) TotalBlocked() int {
 	total := 0
 	for _, in := range s.instances {
-		total += in.blocked
+		total += int(in.blocked.Load())
 	}
 	return total
 }
@@ -310,8 +349,8 @@ func (s *Service) TotalBlocked() int {
 func (s *Service) MaxBlocked() (string, int) {
 	name, max := "", 0
 	for _, in := range s.instances {
-		if in.blocked > max {
-			name, max = in.Name, in.blocked
+		if b := int(in.blocked.Load()); b > max {
+			name, max = in.Name, b
 		}
 	}
 	return name, max

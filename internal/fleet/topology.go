@@ -81,6 +81,13 @@ type Topology struct {
 	// instance and the coordinator merges the reports that made it
 	// (leakprof.MergedReportsWithin). Zero waits for the slowest worker.
 	StragglerDeadline time.Duration
+	// DelayShard, when non-negative, holds that shard's report back for
+	// ShardDelay before delivering it — the straggler simulation. With a
+	// StragglerDeadline shorter than the delay the coordinator writes
+	// the shard off; with a longer one the report still makes the merge.
+	DelayShard int
+	// ShardDelay is how long DelayShard's report is held.
+	ShardDelay time.Duration
 }
 
 // NewTopology builds a coordinator and one worker pipeline per shard,
@@ -94,6 +101,7 @@ func NewTopology(f *Fleet, shards int, opts ...leakprof.Option) *Topology {
 		fleet:       f,
 		Wire:        true,
 		FailShard:   -1,
+		DelayShard:  -1,
 	}
 	for i := 0; i < shards; i++ {
 		t.Workers = append(t.Workers, leakprof.New(opts...))
@@ -118,6 +126,13 @@ func (t *Topology) Sweep(ctx context.Context) (*leakprof.Sweep, error) {
 			Fetch: func(ctx context.Context, env *leakprof.SweepEnv) (*leakprof.ShardReport, error) {
 				if i == t.FailShard {
 					return nil, fmt.Errorf("fleet: shard %d crashed before reporting", i)
+				}
+				if i == t.DelayShard && t.ShardDelay > 0 {
+					select {
+					case <-time.After(t.ShardDelay):
+					case <-ctx.Done():
+						return nil, ctx.Err()
+					}
 				}
 				rep, err := worker.ShardSweep(ctx, src, name, env.PrevFailures())
 				if err != nil {

@@ -135,6 +135,31 @@ func All() []*Pattern {
 	return out
 }
 
+// Simulatable returns every registered pattern usable by the fleet
+// simulator's pre-aggregated path: the pattern can synthesise dump
+// records and those records classify as a blocked channel operation
+// (the LEAKPROF grouping key). Runaway patterns like the timer loop
+// synthesise records that are running, not blocked — a daily profile
+// sweep cannot distinguish them from healthy churn, so they are
+// excluded here exactly as they would be invisible in production.
+func Simulatable() []*Pattern {
+	var out []*Pattern
+	for _, p := range All() {
+		if p.Stacks == nil {
+			continue
+		}
+		rep := p.Stacks(1, 1)
+		if len(rep) == 0 {
+			continue
+		}
+		if _, ok := rep[0].BlockedChannelOp(); !ok {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
 // ByCategory returns the registered patterns in the given category, sorted
 // by name.
 func ByCategory(c Category) []*Pattern {

@@ -111,6 +111,53 @@ func formatTick(v float64) string {
 	}
 }
 
+// Table renders rows as an aligned plain-text table with a separator
+// under the header (used for the chaos scenario matrix's pass/fail
+// table). Every row is padded to the widest cell of its column; short
+// rows are padded with empty cells.
+func Table(header []string, rows [][]string) string {
+	width := make([]int, len(header))
+	for i, h := range header {
+		width[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i >= len(width) {
+				width = append(width, 0)
+			}
+			if len(cell) > width[i] {
+				width[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, w := range width {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", w, cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(header)
+	for i, w := range width {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteString("\n")
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
 // Bars renders labelled integer quantities as a horizontal bar chart
 // (used for Fig 5's weekly histogram).
 func Bars(labels []string, values []int, width int) string {

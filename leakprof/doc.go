@@ -299,6 +299,52 @@
 // than a fixed timeout, so a slow disk gets more grace and an idle
 // server closes fast.
 //
+// # Chaos & fault injection
+//
+// Every robustness mechanism above — retries, error budgets, scanner
+// salvage, straggler deadlines, sequence dedup, admission backpressure
+// — exists because production misbehaves. internal/chaos is the layer
+// that proves they compose: it wraps the pull path (fleet.ServeWith
+// mounts an Injector between the sweep and each honest endpoint) and
+// the push path (posters corrupt their own POSTed bodies) with
+// independently seeded, freely combinable faults:
+//
+//   - slow and hung endpoints (exercising WithTimeout and WithRetry),
+//   - flapping instances answering 503 (retry recovery),
+//   - torn dump bodies cut mid-frame (silent undercount — a dump that
+//     simply ends scans as complete) and corrupted goroutine headers
+//     (scanner resync + Malformed(), surfacing as ErrSalvaged failures),
+//   - corrupt gzip streams (hard scan error, 400 + ScanErrors),
+//   - rolling deploys firing mid-sweep (version skew: rolled instances
+//     report empty backlogs while the rest still carry theirs),
+//   - poster clock skew (dumps crediting the next window),
+//   - crashed and straggling shards (MergedReportsWithin write-offs),
+//   - replayed shard reports (409 sequence dedup) and unauthenticated
+//     posts (401 token rejection).
+//
+// Every fault decision is a pure hash of (seed, fault kind, instance,
+// attempt ordinal) — never of goroutine scheduling — so a failing
+// scenario replays identically under -race and -count=100.
+//
+// Authentication is part of the fault surface. IngestAuthToken (flag
+// -ingest-token) arms shared-secret admission on IngestServer, and
+// ShardInbox.Token does the same for report POSTs
+// (PostShardReportAuth sends it): a POST without the matching
+// X-Leakprof-Token dies with 401 — compared constant-time, counted in
+// IngestStats.AuthRejected / ShardInbox.AuthRejected, and deliberately
+// not charged to the claimed service's failure accounting, since an
+// unauthenticated claim is exactly what cannot be trusted.
+//
+// chaos.Catalogue is the scenario matrix: named fleet-config × fault-set
+// × mode (batch pull, sharded topology, streaming ingest) combinations,
+// each planting leaks through the live pattern catalogue
+// (patterns.Simulatable) and asserting a precision floor, a recall
+// floor, and a sweep-latency SLO, plus evidence checks that the
+// configured faults actually fired. cmd/fleetsim -matrix runs it and
+// renders the pass/fail table; CI runs both the race-enabled matrix
+// test and the CLI gate, so a regression in any of the mechanisms above
+// fails a named scenario rather than an abstract unit test.
+//
 // # Static↔dynamic loop
 //
 // The paper's two halves — production profiling (this package) and

@@ -3,6 +3,7 @@ package leakprof
 import (
 	"compress/gzip"
 	"context"
+	"crypto/subtle"
 	"errors"
 	"fmt"
 	"io"
@@ -139,6 +140,10 @@ type IngestServer struct {
 	foldWorkers int
 	quota       int
 
+	// token, when non-empty, is the shared secret every POST must carry
+	// in X-Leakprof-Token; mismatches are 401s counted in AuthRejected.
+	token string
+
 	// inflight tracks per-service admissions currently holding a slot
 	// (service -> *atomic.Int64), charged before the slot is taken and
 	// released when the dump folds or its request fails.
@@ -171,6 +176,7 @@ type IngestServer struct {
 	tailNS      atomic.Int64
 
 	closed       atomic.Bool
+	authRejects  atomic.Uint64
 	admitted     atomic.Uint64
 	folded       atomic.Uint64
 	rejects      atomic.Uint64
@@ -221,6 +227,19 @@ func IngestServiceQuota(n int) IngestOption {
 			s.quota = n
 		}
 	}
+}
+
+// IngestAuthToken requires every POST to carry tok in an
+// X-Leakprof-Token header. The ingest path otherwise trusts the
+// ?service= claim, so any client can charge an arbitrary service's
+// quota and failure accounting; a shared secret closes that to holders
+// of the fleet's token. Comparison is constant-time; a mismatch is a
+// 401 counted in IngestStats.AuthRejected and deliberately NOT charged
+// to the claimed service — an unauthenticated claim is untrusted, and
+// charging it would let outsiders burn a service's error budget.
+// Empty tok (the default) disables the check.
+func IngestAuthToken(tok string) IngestOption {
+	return func(s *IngestServer) { s.token = tok }
 }
 
 // IngestTicks overrides the window wake-up channel — the test seam that
@@ -317,6 +336,12 @@ func (s *IngestServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.closed.Load() {
 		http.Error(w, "ingest server draining", http.StatusServiceUnavailable)
+		return
+	}
+	if s.token != "" &&
+		subtle.ConstantTimeCompare([]byte(r.Header.Get("X-Leakprof-Token")), []byte(s.token)) != 1 {
+		s.authRejects.Add(1)
+		http.Error(w, "missing or invalid X-Leakprof-Token", http.StatusUnauthorized)
 		return
 	}
 	service := firstOf(r.URL.Query().Get("service"), r.Header.Get("X-Leakprof-Service"))
@@ -671,6 +696,10 @@ type IngestStats struct {
 	// quota 429s; ScanErrors counts bodies that failed to scan or
 	// exceeded the byte limit.
 	Rejected, QuotaRejected, ScanErrors uint64
+	// AuthRejected counts POSTs refused with 401 for a missing or wrong
+	// X-Leakprof-Token (IngestAuthToken). Not charged to any service:
+	// the service claim of an unauthenticated request is untrusted.
+	AuthRejected uint64
 	// Windows counts closed windows (sweeps emitted).
 	Windows uint64
 	// QueueLen is the current number of scanned-but-unfolded snapshots.
@@ -693,6 +722,7 @@ func (s *IngestServer) Stats() IngestStats {
 		Rejected:        s.rejects.Load(),
 		QuotaRejected:   s.quotaRejects.Load(),
 		ScanErrors:      s.scanFails.Load(),
+		AuthRejected:    s.authRejects.Load(),
 		Windows:         s.windows.Load(),
 		QueueLen:        len(s.queue),
 		WindowPause:     time.Duration(s.pauseNS.Load()),

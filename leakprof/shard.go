@@ -3,12 +3,14 @@ package leakprof
 import (
 	"bytes"
 	"context"
+	"crypto/subtle"
 	"errors"
 	"fmt"
 	"net/http"
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/gprofile"
@@ -245,6 +247,13 @@ func ShardReportFromFile(name, path string) ShardFetch {
 // HTTP — the push transport a worker uses when it shares no filesystem
 // with the coordinator. A nil client uses http.DefaultClient.
 func PostShardReport(ctx context.Context, client *http.Client, url string, rep *ShardReport) error {
+	return PostShardReportAuth(ctx, client, url, "", rep)
+}
+
+// PostShardReportAuth is PostShardReport carrying a shared-secret token
+// in X-Leakprof-Token, for inboxes configured with ShardInbox.Token.
+// An empty token sends no header.
+func PostShardReportAuth(ctx context.Context, client *http.Client, url, token string, rep *ShardReport) error {
 	var buf bytes.Buffer
 	if err := WriteShardReport(&buf, rep); err != nil {
 		return err
@@ -254,6 +263,9 @@ func PostShardReport(ctx context.Context, client *http.Client, url string, rep *
 		return fmt.Errorf("leakprof: posting shard report: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
+	if token != "" {
+		req.Header.Set("X-Leakprof-Token", token)
+	}
 	if client == nil {
 		client = http.DefaultClient
 	}
@@ -284,7 +296,16 @@ func PostShardReport(ctx context.Context, client *http.Client, url string, rep *
 // learns its report landed and stops retrying. Unsequenced or unnamed
 // reports (v1 frames, hand-built reports) are never deduplicated.
 type ShardInbox struct {
+	// Token, when non-empty, is the shared secret every POST must carry
+	// in X-Leakprof-Token (constant-time compared; mismatches are 401s
+	// counted by AuthRejected). Set it before the inbox starts serving —
+	// a shard report folds straight into the coordinator's sweep, so an
+	// unauthenticated inbox lets anyone on the network inject moments.
+	Token string
+
 	ch chan *ShardReport
+
+	authRejects atomic.Uint64
 
 	mu      sync.Mutex
 	lastSeq map[string]uint64
@@ -308,6 +329,12 @@ func (in *ShardInbox) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST a shard report frame", http.StatusMethodNotAllowed)
 		return
 	}
+	if in.Token != "" &&
+		subtle.ConstantTimeCompare([]byte(r.Header.Get("X-Leakprof-Token")), []byte(in.Token)) != 1 {
+		in.authRejects.Add(1)
+		http.Error(w, "missing or invalid X-Leakprof-Token", http.StatusUnauthorized)
+		return
+	}
 	rep, err := ReadShardReport(r.Body)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -329,6 +356,10 @@ func (in *ShardInbox) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	in.ch <- rep
 	w.WriteHeader(http.StatusNoContent)
 }
+
+// AuthRejected counts POSTs refused with 401 for a missing or wrong
+// token since the inbox was built.
+func (in *ShardInbox) AuthRejected() uint64 { return in.authRejects.Load() }
 
 // Fetch returns a ShardFetch consuming the next report POSTed to the
 // inbox (or failing when the sweep's context expires — the crash window:
